@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the CMD kernel and the paper's §III/§IV
+//! tutorial designs — the ablations DESIGN.md calls out:
+//!
+//! * `mkGCD` vs `mkTwoGCD` throughput (paper §III-B);
+//! * bypassed vs non-bypassed RDYB (paper §IV-C);
+//! * `issue<wakeup` vs `wakeup<issue` IQ orderings (paper §IV-D);
+//! * raw scheduler overhead per rule firing.
+
+use cmd_core::demo::gcd::{stream_gcd, Gcd, TwoGcd};
+use cmd_core::demo::iq::{
+    dependent_chain, run_iq_demo, IqDemoConfig, IqOrdering, RdybKind,
+};
+use cmd_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gcd(c: &mut Criterion) {
+    let inputs: Vec<(u32, u32)> = (0..16).map(|i| (5040 + i, 7 + i)).collect();
+    let mut g = c.benchmark_group("gcd_throughput");
+    g.bench_function("mkGCD", |b| {
+        b.iter(|| {
+            let clk = Clock::new();
+            let unit = Gcd::new(&clk);
+            black_box(stream_gcd(clk, unit, inputs.clone()))
+        });
+    });
+    g.bench_function("mkTwoGCD", |b| {
+        b.iter(|| {
+            let clk = Clock::new();
+            let unit = TwoGcd::new(&clk);
+            black_box(stream_gcd(clk, unit, inputs.clone()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_iq_orderings(c: &mut Criterion) {
+    let chain = dependent_chain(48);
+    let mut g = c.benchmark_group("iq_rdyb_cm_ablation");
+    for (label, cfg) in [
+        (
+            "bypassed_issue_before_wakeup",
+            IqDemoConfig {
+                rdyb: RdybKind::Bypassed,
+                ordering: IqOrdering::IssueBeforeWakeup,
+                iq_size: 8,
+            },
+        ),
+        (
+            "bypassed_wakeup_before_issue",
+            IqDemoConfig {
+                rdyb: RdybKind::Bypassed,
+                ordering: IqOrdering::WakeupBeforeIssue,
+                iq_size: 8,
+            },
+        ),
+        (
+            "nonbypassed_issue_before_wakeup",
+            IqDemoConfig {
+                rdyb: RdybKind::NonBypassed,
+                ordering: IqOrdering::IssueBeforeWakeup,
+                iq_size: 8,
+            },
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run_iq_demo(cfg, &chain).unwrap()));
+        });
+    }
+    g.finish();
+
+    // Also print the architectural cycle counts (the paper's point is
+    // about *cycles*, not host time).
+    for (label, cfg) in [
+        ("issue<wakeup (IV-C)", IqOrdering::IssueBeforeWakeup),
+        ("wakeup<issue (IV-D)", IqOrdering::WakeupBeforeIssue),
+    ] {
+        let stats = run_iq_demo(
+            IqDemoConfig {
+                ordering: cfg,
+                ..IqDemoConfig::default()
+            },
+            &chain,
+        )
+        .unwrap();
+        eprintln!("[cycles] {label}: {} cycles for 48 dependent ops", stats.cycles);
+    }
+}
+
+fn bench_scheduler_overhead(c: &mut Criterion) {
+    c.bench_function("scheduler_rule_firing", |b| {
+        struct St {
+            x: Ehr<u64>,
+            q: PipelineFifo<u64>,
+        }
+        let clk = Clock::new();
+        let st = St {
+            x: Ehr::new(&clk, 0),
+            q: PipelineFifo::new(&clk, 4),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.rule("deq", |s: &mut St| {
+            let v = s.q.deq()?;
+            s.x.update(|x| *x += v);
+            Ok(())
+        });
+        sim.rule("enq", |s: &mut St| s.q.enq(1));
+        b.iter(|| {
+            sim.run(100);
+            black_box(sim.state().x.read())
+        });
+    });
+}
+
+criterion_group!(benches, bench_gcd, bench_iq_orderings, bench_scheduler_overhead);
+criterion_main!(benches);

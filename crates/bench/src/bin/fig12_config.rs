@@ -1,0 +1,51 @@
+//! Regenerates paper Fig. 12: the RiscyOO-B configuration table.
+
+use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
+
+fn main() {
+    let c = CoreConfig::riscyoo_b();
+    let m = mem_riscyoo_b();
+    println!("=== Fig. 12: RiscyOO-B configuration ===\n");
+    println!(
+        "Front-end    {}-wide superscalar fetch/decode/rename\n\
+         \x20            {}-entry direct-mapped BTB\n\
+         \x20            tournament branch predictor as in Alpha 21264\n\
+         \x20            {}-entry return address stack",
+        c.width, c.bp.btb_entries, c.bp.ras_entries
+    );
+    println!(
+        "Execution    {}-entry ROB with {}-way insert/commit\n\
+         \x20            Total {} pipelines: {} ALU, 1 MEM, 1 MUL/DIV\n\
+         \x20            {}-entry IQ per pipeline",
+        c.rob_entries,
+        c.width,
+        c.alu_pipes + 2,
+        c.alu_pipes,
+        c.iq_entries
+    );
+    println!(
+        "Ld-St Unit   {}-entry LQ, {}-entry SQ, {}-entry SB (each 64B wide)",
+        c.lq_entries, c.sq_entries, c.sb_entries
+    );
+    println!(
+        "TLBs         Both L1 I and D are {}-entry, fully associative\n\
+         \x20            L2 is {}-entry, {}-way associative",
+        c.tlb.l1_entries, c.tlb.l2_entries, c.tlb.l2_ways
+    );
+    println!(
+        "L1 Caches    Both I and D are {}KB, {}-way associative, max {} requests",
+        m.l1d.size_bytes / 1024,
+        m.l1d.ways,
+        m.l1d.mshrs
+    );
+    println!(
+        "L2 Cache     {}MB, {}-way, max {} requests, coherent with I and D",
+        m.l2.size_bytes / (1024 * 1024),
+        m.l2.ways,
+        m.l2.max_trans
+    );
+    println!(
+        "Memory       {}-cycle latency, max {} req (one line per {} cycles)",
+        m.l2.dram.latency, m.l2.dram.max_outstanding, m.l2.dram.cycles_per_line
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates paper Fig. 14: the RiscyOO variant table.
+
+use riscy_ooo::config::{mem_riscyoo_c_minus, CoreConfig};
+
+fn main() {
+    println!("=== Fig. 14: variants of the RiscyOO-B configuration ===\n");
+    println!("{:<16} {:<18} {}", "Variant", "Difference", "Specifications");
+    let c_minus = mem_riscyoo_c_minus();
+    println!(
+        "{:<16} {:<18} {}KB L1 I/D, {}KB L2",
+        "RiscyOO-C-",
+        "Smaller Caches",
+        c_minus.l1d.size_bytes / 1024,
+        c_minus.l2.size_bytes / 1024
+    );
+    let t = CoreConfig::riscyoo_t_plus();
+    println!(
+        "{:<16} {:<18} Non-blocking TLBs ({} L1D / {} L2 misses), {}-entry/level walk cache",
+        "RiscyOO-T+",
+        "Improved TLB",
+        t.tlb.l1d_miss_slots,
+        t.tlb.l2_miss_slots,
+        t.tlb.walk_cache_entries
+    );
+    let tr = CoreConfig::riscyoo_t_plus_r_plus();
+    println!(
+        "{:<16} {:<18} RiscyOO-T+ with {}-entry ROB",
+        "RiscyOO-T+R+", "Larger ROB", tr.rob_entries
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates paper Fig. 16: L1 D TLB misses, L2 TLB misses, branch
+//! mispredictions, L1 D misses, and L2 misses per thousand instructions on
+//! RiscyOO-T+.
+
+use riscy_bench::{run_ooo, scale_from_args};
+use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
+use riscy_workloads::spec::spec_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("=== Fig. 16: misses per 1K instructions on RiscyOO-T+ ===\n");
+    println!(
+        "{:<14}{:>8}{:>8}{:>8}{:>8}{:>8}{:>10}",
+        "benchmark", "DTLB", "L2TLB", "BrPred", "D$", "L2$", "IPC"
+    );
+    for w in spec_suite(scale) {
+        let r = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), &w);
+        println!(
+            "{:<14}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>10.3}",
+            r.name, r.dtlb_pki, r.l2tlb_pki, r.brpred_pki, r.dcache_pki, r.l2_pki,
+            r.ipc()
+        );
+    }
+    println!(
+        "\n(paper shape: mcf/astar/omnetpp TLB-heavy; libquantum D$/L2$-heavy;\n\
+         \x20sjeng/gobmk mispredict-heavy; hmmer/h264ref low everywhere)"
+    );
+}

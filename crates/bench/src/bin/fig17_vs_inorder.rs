@@ -1,0 +1,37 @@
+//! Regenerates paper Fig. 17: RiscyOO-C-, Rocket-10, and Rocket-120
+//! normalized to RiscyOO-T+ (the out-of-order vs in-order comparison).
+
+use riscy_baseline::InOrderConfig;
+use riscy_bench::{geomean, run_inorder, run_ooo, scale_from_args};
+use riscy_ooo::config::{mem_riscyoo_b, mem_riscyoo_c_minus, CoreConfig};
+use riscy_workloads::spec::spec_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("=== Fig. 17: normalized to RiscyOO-T+ (higher is better) ===");
+    println!("(paper: T+ beats Rocket-120 by ~319% and Rocket-10 by ~53%)\n");
+    println!(
+        "{:<14}{:>14}{:>14}{:>14}",
+        "benchmark", "RiscyOO-C-", "Rocket-10", "Rocket-120"
+    );
+    let (mut rc, mut r10, mut r120) = (Vec::new(), Vec::new(), Vec::new());
+    for w in spec_suite(scale) {
+        let t = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), &w);
+        let c = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_c_minus(), &w);
+        let k10 = run_inorder(InOrderConfig::rocket(10), &w);
+        let k120 = run_inorder(InOrderConfig::rocket(120), &w);
+        let n = |x: u64| t.roi_cycles as f64 / x as f64;
+        let (a, b, cc) = (n(c.roi_cycles), n(k10.roi_cycles), n(k120.roi_cycles));
+        rc.push(a);
+        r10.push(b);
+        r120.push(cc);
+        println!("{:<14}{:>14.3}{:>14.3}{:>14.3}", w.name, a, b, cc);
+    }
+    println!(
+        "{:<14}{:>14.3}{:>14.3}{:>14.3}",
+        "geo-mean",
+        geomean(&rc),
+        geomean(&r10),
+        geomean(&r120)
+    );
+}

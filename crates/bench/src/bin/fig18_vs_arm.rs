@@ -1,0 +1,35 @@
+//! Regenerates paper Fig. 18: commercial-ARM proxies (A57, Denver)
+//! normalized to RiscyOO-T+.
+//!
+//! The proxies are wider OOO configurations standing in for silicon (see
+//! DESIGN.md); the reproduction target is the *shape*: the wide cores win
+//! on average, but RiscyOO-T+ catches up or wins on the TLB-bound
+//! benchmarks (mcf, astar, omnetpp) thanks to its TLB optimizations.
+
+use riscy_bench::{geomean, run_ooo, scale_from_args};
+use riscy_ooo::config::{mem_arm_proxy, mem_riscyoo_b, CoreConfig};
+use riscy_workloads::spec::spec_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("=== Fig. 18: A57/Denver proxies normalized to RiscyOO-T+ ===");
+    println!("(paper: A57 ≈ +34%, Denver ≈ +45% on average; T+ wins mcf/astar/omnetpp)\n");
+    println!("{:<14}{:>12}{:>12}", "benchmark", "A57", "Denver");
+    let (mut a57s, mut denvers) = (Vec::new(), Vec::new());
+    for w in spec_suite(scale) {
+        let t = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), &w);
+        let a57 = run_ooo(CoreConfig::a57_proxy(), mem_arm_proxy(), &w);
+        let den = run_ooo(CoreConfig::denver_proxy(), mem_arm_proxy(), &w);
+        let ra = t.roi_cycles as f64 / a57.roi_cycles as f64;
+        let rd = t.roi_cycles as f64 / den.roi_cycles as f64;
+        a57s.push(ra);
+        denvers.push(rd);
+        println!("{:<14}{:>12.3}{:>12.3}", w.name, ra, rd);
+    }
+    println!(
+        "{:<14}{:>12.3}{:>12.3}",
+        "geo-mean",
+        geomean(&a57s),
+        geomean(&denvers)
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates paper Fig. 20: PARSEC proxies on TSO and WMM multicores
+//! with 1, 2 and 4 threads, normalized to TSO with 1 thread.
+//!
+//! The paper's finding: "no discernible difference between the performance
+//! of TSO and WMM"; TSO's speculative-load kills are ≤0.25 per 1K
+//! instructions.
+
+use riscy_bench::scale_from_args;
+use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, MemModel};
+use riscy_ooo::soc::SocSim;
+use riscy_workloads::parsec::parsec_suite;
+use riscy_workloads::spec::Workload;
+
+fn run(model: MemModel, nthreads: usize, w: &Workload) -> (u64, f64) {
+    let mut sim = SocSim::new(
+        CoreConfig::multicore(model),
+        mem_riscyoo_b(),
+        nthreads,
+        &w.program,
+    );
+    sim.run_to_completion(w.max_cycles * 4)
+        .unwrap_or_else(|e| panic!("{} ({model:?}, {nthreads}t): {e}", w.name));
+    let soc = sim.soc();
+    let st = soc.cores[0].stats;
+    let kills: u64 = soc
+        .cores
+        .iter()
+        .map(|c| c.lsq.evict_kills.read())
+        .sum();
+    let total_insts: u64 = soc.cores.iter().map(|c| c.stats.committed).sum();
+    (st.roi_cycles, 1000.0 * kills as f64 / total_insts.max(1) as f64)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("=== Fig. 20: TSO vs WMM multicore scaling ===");
+    println!("(normalized to TSO-1; higher is better; paper: TSO ≈ WMM)\n");
+    println!(
+        "{:<14}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}{:>12}",
+        "benchmark", "tso-1", "wmm-1", "tso-2", "wmm-2", "tso-4", "wmm-4", "kills/Kinst"
+    );
+    for w1 in parsec_suite(scale, 1) {
+        let (base, _) = run(MemModel::Tso, 1, &w1);
+        let mut cols = vec![1.0];
+        let mut max_kills: f64 = 0.0;
+        for n in [1, 2, 4] {
+            for model in [MemModel::Tso, MemModel::Wmm] {
+                if n == 1 && model == MemModel::Tso {
+                    continue;
+                }
+                let w = parsec_suite(scale, n)
+                    .into_iter()
+                    .find(|w| w.name == w1.name)
+                    .expect("same suite");
+                let (cycles, kills) = run(model, n, &w);
+                cols.push(base as f64 / cycles as f64);
+                max_kills = max_kills.max(kills);
+            }
+        }
+        print!("{:<14}", w1.name);
+        for c in &cols {
+            print!("{c:>8.2}");
+        }
+        println!("{max_kills:>12.3}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates paper Fig. 21: ASIC synthesis results (max frequency and
+//! NAND2-equivalent gates) for RiscyOO-T+ and RiscyOO-T+R+, via the
+//! calibrated analytic model in `riscy-synth`.
+
+use riscy_ooo::config::CoreConfig;
+use riscy_synth::{fig21_table, synthesize};
+
+fn main() {
+    println!("=== Fig. 21: ASIC synthesis results (analytic model) ===\n");
+    print!(
+        "{}",
+        fig21_table(&[
+            ("RiscyOO-T+", CoreConfig::riscyoo_t_plus()),
+            ("RiscyOO-T+R+", CoreConfig::riscyoo_t_plus_r_plus()),
+        ])
+    );
+    println!("(paper: 1.1 GHz / 1.78 M and 1.0 GHz / 1.89 M)\n");
+
+    println!("Logic breakdown of RiscyOO-T+ (NAND2-equivalents):");
+    let r = synthesize(&CoreConfig::riscyoo_t_plus());
+    for (name, g) in [
+        ("branch predictors", r.bp_gates),
+        ("ROB", r.rob_gates),
+        ("issue queues", r.iq_gates),
+        ("rename + spec mgr", r.rename_gates),
+        ("PRF logic", r.prf_gates),
+        ("LSQ + SB", r.lsq_gates),
+        ("exec units", r.exec_gates),
+        ("TLB control", r.tlb_gates),
+        ("fixed control", r.fixed_gates),
+    ] {
+        println!("  {name:<20} {:>8.0} K", g / 1000.0);
+    }
+    println!("\nExtension sweep (beyond-paper): ROB size vs area/frequency:");
+    for rob in [48, 64, 80, 96, 128] {
+        let cfg = CoreConfig {
+            rob_entries: rob,
+            ..CoreConfig::riscyoo_t_plus()
+        };
+        let s = synthesize(&cfg);
+        println!(
+            "  ROB {rob:>3}: {:>5.2} GHz, {:>5.2} M gates",
+            s.max_freq_ghz, s.nand2_gates_m
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! # riscy-bench — harnesses regenerating the paper's evaluation
+//!
+//! One binary per table/figure of §VI (see DESIGN.md's experiment index):
+//! `fig12_config` … `fig21_synthesis`. Each prints the same rows/series
+//! the paper reports. Absolute numbers differ (this substrate is a
+//! simulator, the paper's was an FPGA + silicon comparators); the *shape* —
+//! who wins, by roughly what factor, where the crossovers fall — is the
+//! reproduction target.
+//!
+//! Pass `--scale ref` for benchmark-sized runs (the default `test` scale
+//! keeps CI fast).
+
+use riscy_baseline::{InOrderConfig, InOrderSim};
+use riscy_ooo::config::CoreConfig;
+use riscy_ooo::soc::SocSim;
+use riscy_mem::system::MemConfig;
+use riscy_workloads::spec::{Scale, Workload};
+
+/// Measured result of one benchmark run on one configuration.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Cycles inside the region of interest.
+    pub roi_cycles: u64,
+    /// Instructions committed inside the region of interest.
+    pub roi_insts: u64,
+    /// Misses/events per 1 K ROI instructions, for Fig. 16.
+    pub dtlb_pki: f64,
+    /// L2 TLB misses (page walks) per 1 K instructions.
+    pub l2tlb_pki: f64,
+    /// Branch mispredictions per 1 K instructions.
+    pub brpred_pki: f64,
+    /// L1 D misses per 1 K instructions.
+    pub dcache_pki: f64,
+    /// L2 misses per 1 K instructions.
+    pub l2_pki: f64,
+}
+
+impl RunResult {
+    /// Instructions per cycle in the ROI.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.roi_cycles == 0 {
+            0.0
+        } else {
+            self.roi_insts as f64 / self.roi_cycles as f64
+        }
+    }
+
+    /// The paper's performance metric: 1 / cycle count.
+    #[must_use]
+    pub fn perf(&self) -> f64 {
+        if self.roi_cycles == 0 {
+            0.0
+        } else {
+            1.0 / self.roi_cycles as f64
+        }
+    }
+}
+
+/// Runs one workload on the out-of-order core.
+///
+/// # Panics
+///
+/// Panics if the workload fails to complete (a simulator bug).
+#[must_use]
+pub fn run_ooo(cfg: CoreConfig, mem: MemConfig, w: &Workload) -> RunResult {
+    let mut sim = SocSim::new(cfg, mem, 1, &w.program);
+    sim.run_to_completion(w.max_cycles)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let soc = sim.soc();
+    let st = soc.cores[0].stats;
+    let insts = st.roi_insts.max(1);
+    let pki = |x: u64| 1000.0 * x as f64 / insts as f64;
+    RunResult {
+        name: w.name,
+        roi_cycles: st.roi_cycles,
+        roi_insts: st.roi_insts,
+        dtlb_pki: pki(st.dtlb_misses),
+        l2tlb_pki: pki(soc.cores[0].tlb.walks),
+        brpred_pki: pki(st.mispredicts),
+        dcache_pki: pki(soc.mem.dcache_ref(0).stats.misses),
+        l2_pki: pki(soc.mem.l2.stats.misses),
+    }
+}
+
+/// Runs one workload on the in-order baseline.
+///
+/// # Panics
+///
+/// Panics if the workload fails to complete.
+#[must_use]
+pub fn run_inorder(cfg: InOrderConfig, w: &Workload) -> RunResult {
+    let mut sim = InOrderSim::new(cfg, &w.program);
+    sim.run(w.max_cycles * 4)
+        .unwrap_or_else(|c| panic!("{}: stuck after {c} cycles", w.name));
+    let st = sim.stats;
+    let insts = st.roi_insts.max(1);
+    RunResult {
+        name: w.name,
+        roi_cycles: st.roi_cycles,
+        roi_insts: st.roi_insts,
+        dtlb_pki: 0.0,
+        l2tlb_pki: 0.0,
+        brpred_pki: 1000.0 * st.mispredicts as f64 / insts as f64,
+        dcache_pki: 0.0,
+        l2_pki: 0.0,
+    }
+}
+
+/// Geometric mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Harmonic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn harmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// Parses `--scale test|ref` from the command line (default `test`).
+#[must_use]
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) if args.get(i + 1).map(String::as_str) == Some("ref") => Scale::Ref,
+        _ => Scale::Test,
+    }
+}
+
+/// Prints a normalized-performance table: one row per benchmark, one
+/// column per configuration, last row the geometric mean.
+pub fn print_normalized_table(
+    title: &str,
+    baseline_label: &str,
+    results: &[(&str, Vec<RunResult>)],
+    baseline: &[RunResult],
+) {
+    println!("\n=== {title} ===");
+    println!("(performance = 1/cycles, normalized to {baseline_label}; higher is better)\n");
+    print!("{:<14}", "benchmark");
+    for (label, _) in results {
+        print!("{label:>14}");
+    }
+    println!();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); results.len()];
+    for (bi, base) in baseline.iter().enumerate() {
+        print!("{:<14}", base.name);
+        for (ci, (_, rs)) in results.iter().enumerate() {
+            let r = rs[bi].perf() / base.perf();
+            ratios[ci].push(r);
+            print!("{r:>14.3}");
+        }
+        println!();
+    }
+    print!("{:<14}", "geo-mean");
+    for column in &ratios {
+        print!("{:>14.3}", geomean(column));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((harmean(&[1.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert!((harmean(&[2.0, 6.0]) - 3.0).abs() < 1e-9);
+    }
+}

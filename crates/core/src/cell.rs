@@ -1,0 +1,615 @@
+//! Transactional state cells: [`Ehr`], [`Reg`], and [`Wire`].
+//!
+//! All module state in a CMD design lives in these cells. Writes performed
+//! inside a rule are *buffered* and only published when the whole rule
+//! commits — this is what makes rules atomic: a rule either successfully
+//! updates the state of all the modules it calls, or it does nothing.
+//!
+//! The two register flavors differ in *intra-cycle visibility*, mirroring
+//! Bluespec:
+//!
+//! * [`Ehr`] — an *ephemeral history register* (Rosenband \[2\]): a read
+//!   observes the writes committed by rules earlier in the same cycle (and,
+//!   within a rule, the rule's own earlier write). The canonical rule order
+//!   of the scheduler plays the role of EHR port numbering.
+//! * [`Reg`] — a plain D flip-flop: a read always observes the
+//!   start-of-cycle value; writes become visible next cycle. Two rules
+//!   writing the same `Reg` in one cycle is a design error (BSV would reject
+//!   the schedule) and panics.
+//! * [`Wire`] — a same-cycle-only value (RWire): set by an earlier rule,
+//!   readable until the cycle ends, automatically cleared.
+//!
+//! Outside of any rule (e.g. during construction or direct test pokes),
+//! writes apply immediately; this substitutes for BSV's reset values.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::clock::{Clock, EndOfCycle, TxnCell};
+use crate::guard::{Guarded, Stall};
+
+// ---------------------------------------------------------------------------
+// Ehr
+// ---------------------------------------------------------------------------
+
+struct EhrInner<T> {
+    cur: RefCell<T>,
+    pend: RefCell<Option<T>>,
+    dirty: Cell<bool>,
+}
+
+impl<T> TxnCell for EhrInner<T> {
+    fn commit(&self) {
+        if let Some(v) = self.pend.borrow_mut().take() {
+            *self.cur.borrow_mut() = v;
+        }
+        self.dirty.set(false);
+    }
+
+    fn abort(&self) {
+        *self.pend.borrow_mut() = None;
+        self.dirty.set(false);
+    }
+}
+
+/// An ephemeral history register: sequential (bypassed) intra-cycle
+/// visibility.
+///
+/// # Examples
+///
+/// ```
+/// use cmd_core::clock::Clock;
+/// use cmd_core::cell::Ehr;
+///
+/// let clk = Clock::new();
+/// let x = Ehr::new(&clk, 1u32);
+///
+/// clk.begin_rule();
+/// x.write(5);
+/// assert_eq!(x.read(), 5); // rule sees its own write
+/// clk.commit_rule();
+///
+/// clk.begin_rule();
+/// assert_eq!(x.read(), 5); // later rule in the same cycle sees it too
+/// clk.abort_rule();
+/// ```
+pub struct Ehr<T: 'static> {
+    inner: Rc<EhrInner<T>>,
+    clk: Clock,
+}
+
+impl<T: 'static> Clone for Ehr<T> {
+    /// Clones the *handle*: both handles refer to the same state, like two
+    /// references to one hardware register.
+    fn clone(&self) -> Self {
+        Ehr {
+            inner: Rc::clone(&self.inner),
+            clk: self.clk.clone(),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Ehr<T> {
+    /// Creates an `Ehr` with the given reset value.
+    #[must_use]
+    pub fn new(clk: &Clock, init: T) -> Self {
+        Ehr {
+            inner: Rc::new(EhrInner {
+                cur: RefCell::new(init),
+                pend: RefCell::new(None),
+                dirty: Cell::new(false),
+            }),
+            clk: clk.clone(),
+        }
+    }
+
+    /// Reads the latest value: this rule's own buffered write if any,
+    /// otherwise the value committed by earlier rules (this cycle or
+    /// before).
+    #[must_use]
+    pub fn read(&self) -> T {
+        if let Some(v) = self.inner.pend.borrow().as_ref() {
+            return v.clone();
+        }
+        self.inner.cur.borrow().clone()
+    }
+
+    /// Applies `f` to a borrow of the latest value without cloning.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        if let Some(v) = self.inner.pend.borrow().as_ref() {
+            return f(v);
+        }
+        f(&self.inner.cur.borrow())
+    }
+
+    fn ensure_dirty(&self) {
+        if !self.inner.dirty.get() {
+            self.inner.dirty.set(true);
+            self.clk.mark_dirty(self.inner.clone() as Rc<dyn TxnCell>);
+        }
+    }
+
+    /// Buffers a write; inside a rule it is published only on commit.
+    /// Outside a rule the write applies immediately (initialization).
+    pub fn write(&self, v: T) {
+        if !self.clk.in_rule() {
+            *self.inner.cur.borrow_mut() = v;
+            return;
+        }
+        self.ensure_dirty();
+        *self.inner.pend.borrow_mut() = Some(v);
+    }
+
+    /// Read-modify-write without cloning twice: the buffered copy is created
+    /// at most once per rule and then mutated in place.
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        if !self.clk.in_rule() {
+            return f(&mut self.inner.cur.borrow_mut());
+        }
+        self.ensure_dirty();
+        let mut pend = self.inner.pend.borrow_mut();
+        if pend.is_none() {
+            *pend = Some(self.inner.cur.borrow().clone());
+        }
+        f(pend.as_mut().expect("just filled"))
+    }
+}
+
+impl<T: Clone + 'static> Ehr<Vec<T>> {
+    /// Element read for array-shaped state (e.g. a register file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize) -> T {
+        self.with(|v| v[i].clone())
+    }
+
+    /// Element write for array-shaped state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&self, i: usize, val: T) {
+        self.update(|v| v[i] = val);
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> fmt::Debug for Ehr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Ehr").field(&self.read()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reg
+// ---------------------------------------------------------------------------
+
+struct RegInner<T> {
+    name: &'static str,
+    at_start: RefCell<T>,
+    next: RefCell<Option<T>>,
+    pend: RefCell<Option<T>>,
+    dirty: Cell<bool>,
+}
+
+impl<T> TxnCell for RegInner<T> {
+    fn commit(&self) {
+        if let Some(v) = self.pend.borrow_mut().take() {
+            let mut next = self.next.borrow_mut();
+            assert!(
+                next.is_none(),
+                "two rules wrote Reg `{}` in the same cycle (undeclared conflict)",
+                self.name
+            );
+            *next = Some(v);
+        }
+        self.dirty.set(false);
+    }
+
+    fn abort(&self) {
+        *self.pend.borrow_mut() = None;
+        self.dirty.set(false);
+    }
+}
+
+impl<T> EndOfCycle for RegInner<T> {
+    fn end_cycle(&self) {
+        if let Some(v) = self.next.borrow_mut().take() {
+            *self.at_start.borrow_mut() = v;
+        }
+    }
+}
+
+/// A plain register: reads observe the start-of-cycle value; writes become
+/// visible next cycle.
+///
+/// # Examples
+///
+/// ```
+/// use cmd_core::clock::Clock;
+/// use cmd_core::cell::Reg;
+///
+/// let clk = Clock::new();
+/// let r = Reg::new(&clk, 7u32);
+///
+/// clk.begin_rule();
+/// r.write(9);
+/// assert_eq!(r.read(), 7); // still the old value this cycle
+/// clk.commit_rule();
+/// clk.end_cycle();
+/// assert_eq!(r.read(), 9);
+/// ```
+pub struct Reg<T: 'static> {
+    inner: Rc<RegInner<T>>,
+    clk: Clock,
+}
+
+impl<T: 'static> Clone for Reg<T> {
+    /// Clones the *handle*: both handles refer to the same register.
+    fn clone(&self) -> Self {
+        Reg {
+            inner: Rc::clone(&self.inner),
+            clk: self.clk.clone(),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Reg<T> {
+    /// Creates a register with the given reset value.
+    #[must_use]
+    pub fn new(clk: &Clock, init: T) -> Self {
+        Self::named(clk, "", init)
+    }
+
+    /// Creates a named register; the name appears in conflict diagnostics.
+    #[must_use]
+    pub fn named(clk: &Clock, name: &'static str, init: T) -> Self {
+        let inner = Rc::new(RegInner {
+            name,
+            at_start: RefCell::new(init),
+            next: RefCell::new(None),
+            pend: RefCell::new(None),
+            dirty: Cell::new(false),
+        });
+        clk.register_eoc(Rc::downgrade(&inner) as std::rc::Weak<dyn EndOfCycle>);
+        Reg {
+            inner,
+            clk: clk.clone(),
+        }
+    }
+
+    /// Reads the start-of-cycle value.
+    #[must_use]
+    pub fn read(&self) -> T {
+        self.inner.at_start.borrow().clone()
+    }
+
+    /// Applies `f` to a borrow of the start-of-cycle value without cloning.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.inner.at_start.borrow())
+    }
+
+    /// Buffers a write to take effect next cycle; outside a rule the write
+    /// applies immediately (initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at commit time) if a second rule writes the same register in
+    /// one cycle, and immediately if the *same* rule writes it twice.
+    pub fn write(&self, v: T) {
+        if !self.clk.in_rule() {
+            *self.inner.at_start.borrow_mut() = v;
+            return;
+        }
+        {
+            let mut pend = self.inner.pend.borrow_mut();
+            assert!(
+                pend.is_none(),
+                "rule wrote Reg `{}` twice",
+                self.inner.name
+            );
+            *pend = Some(v);
+        }
+        if !self.inner.dirty.get() {
+            self.inner.dirty.set(true);
+            self.clk.mark_dirty(self.inner.clone() as Rc<dyn TxnCell>);
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> fmt::Debug for Reg<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Reg").field(&self.read()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire
+// ---------------------------------------------------------------------------
+
+struct WireInner<T> {
+    val: RefCell<Option<T>>,
+    pend: RefCell<Option<T>>,
+    dirty: Cell<bool>,
+}
+
+impl<T> TxnCell for WireInner<T> {
+    fn commit(&self) {
+        if let Some(v) = self.pend.borrow_mut().take() {
+            *self.val.borrow_mut() = Some(v);
+        }
+        self.dirty.set(false);
+    }
+
+    fn abort(&self) {
+        *self.pend.borrow_mut() = None;
+        self.dirty.set(false);
+    }
+}
+
+impl<T> EndOfCycle for WireInner<T> {
+    fn end_cycle(&self) {
+        *self.val.borrow_mut() = None;
+    }
+}
+
+/// A same-cycle wire (RWire): carries a value from an earlier rule to a
+/// later one within a single cycle, then clears.
+///
+/// This is the primitive under the paper's *Bypass* structure (§V-A), whose
+/// `set` and `get` methods satisfy `set < get`.
+///
+/// # Examples
+///
+/// ```
+/// use cmd_core::clock::Clock;
+/// use cmd_core::cell::Wire;
+///
+/// let clk = Clock::new();
+/// let w: Wire<u32> = Wire::new(&clk);
+///
+/// clk.begin_rule();
+/// w.set(3);
+/// clk.commit_rule();
+///
+/// clk.begin_rule();
+/// assert_eq!(w.get(), Ok(3));
+/// clk.commit_rule();
+/// clk.end_cycle();
+///
+/// clk.begin_rule();
+/// assert!(w.get().is_err()); // cleared at the cycle boundary
+/// clk.abort_rule();
+/// ```
+pub struct Wire<T: 'static> {
+    inner: Rc<WireInner<T>>,
+    clk: Clock,
+}
+
+impl<T: 'static> Clone for Wire<T> {
+    /// Clones the *handle*: both handles refer to the same wire.
+    fn clone(&self) -> Self {
+        Wire {
+            inner: Rc::clone(&self.inner),
+            clk: self.clk.clone(),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Wire<T> {
+    /// Creates an empty wire.
+    #[must_use]
+    pub fn new(clk: &Clock) -> Self {
+        let inner = Rc::new(WireInner {
+            val: RefCell::new(None),
+            pend: RefCell::new(None),
+            dirty: Cell::new(false),
+        });
+        clk.register_eoc(Rc::downgrade(&inner) as std::rc::Weak<dyn EndOfCycle>);
+        Wire {
+            inner,
+            clk: clk.clone(),
+        }
+    }
+
+    /// Drives the wire for the remainder of this cycle.
+    pub fn set(&self, v: T) {
+        if !self.clk.in_rule() {
+            *self.inner.val.borrow_mut() = Some(v);
+            return;
+        }
+        if !self.inner.dirty.get() {
+            self.inner.dirty.set(true);
+            self.clk.mark_dirty(self.inner.clone() as Rc<dyn TxnCell>);
+        }
+        *self.inner.pend.borrow_mut() = Some(v);
+    }
+
+    /// Reads the wire.
+    ///
+    /// # Errors
+    ///
+    /// Stalls if nothing drove the wire this cycle.
+    pub fn get(&self) -> Guarded<T> {
+        if let Some(v) = self.inner.pend.borrow().as_ref() {
+            return Ok(v.clone());
+        }
+        self.inner
+            .val
+            .borrow()
+            .clone()
+            .ok_or(Stall::new("wire not set"))
+    }
+
+    /// Reads the wire as an `Option` (no stall).
+    #[must_use]
+    pub fn peek(&self) -> Option<T> {
+        if let Some(v) = self.inner.pend.borrow().as_ref() {
+            return Some(v.clone());
+        }
+        self.inner.val.borrow().clone()
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> fmt::Debug for Wire<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Wire").field(&self.peek()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ehr_abort_discards_write() {
+        let clk = Clock::new();
+        let x = Ehr::new(&clk, 1u32);
+        clk.begin_rule();
+        x.write(2);
+        clk.abort_rule();
+        assert_eq!(x.read(), 1);
+    }
+
+    #[test]
+    fn ehr_commit_publishes_to_later_rules_same_cycle() {
+        let clk = Clock::new();
+        let x = Ehr::new(&clk, 1u32);
+        clk.begin_rule();
+        x.write(2);
+        clk.commit_rule();
+        clk.begin_rule();
+        assert_eq!(x.read(), 2);
+        x.update(|v| *v += 10);
+        assert_eq!(x.read(), 12);
+        clk.commit_rule();
+        clk.end_cycle();
+        assert_eq!(x.read(), 12);
+    }
+
+    #[test]
+    fn ehr_update_after_abort_starts_from_committed_value() {
+        let clk = Clock::new();
+        let x = Ehr::new(&clk, 5u32);
+        clk.begin_rule();
+        x.update(|v| *v = 100);
+        clk.abort_rule();
+        clk.begin_rule();
+        x.update(|v| *v += 1);
+        clk.commit_rule();
+        assert_eq!(x.read(), 6);
+    }
+
+    #[test]
+    fn ehr_vec_helpers() {
+        let clk = Clock::new();
+        let rf = Ehr::new(&clk, vec![0u64; 4]);
+        clk.begin_rule();
+        rf.set(2, 99);
+        assert_eq!(rf.get(2), 99);
+        clk.commit_rule();
+        assert_eq!(rf.get(2), 99);
+        assert_eq!(rf.get(0), 0);
+    }
+
+    #[test]
+    fn reg_read_is_start_of_cycle() {
+        let clk = Clock::new();
+        let r = Reg::new(&clk, 1u32);
+        clk.begin_rule();
+        r.write(2);
+        assert_eq!(r.read(), 1);
+        clk.commit_rule();
+        clk.begin_rule();
+        assert_eq!(r.read(), 1); // later rule, same cycle: still old value
+        clk.abort_rule();
+        clk.end_cycle();
+        assert_eq!(r.read(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same cycle")]
+    fn reg_double_write_two_rules_panics() {
+        let clk = Clock::new();
+        let r = Reg::named(&clk, "pc", 0u32);
+        clk.begin_rule();
+        r.write(1);
+        clk.commit_rule();
+        clk.begin_rule();
+        r.write(2);
+        clk.commit_rule();
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn reg_double_write_same_rule_panics() {
+        let clk = Clock::new();
+        let r = Reg::named(&clk, "pc", 0u32);
+        clk.begin_rule();
+        r.write(1);
+        r.write(2);
+    }
+
+    #[test]
+    fn reg_aborted_write_frees_the_slot() {
+        let clk = Clock::new();
+        let r = Reg::new(&clk, 0u32);
+        clk.begin_rule();
+        r.write(1);
+        clk.abort_rule();
+        clk.begin_rule();
+        r.write(2);
+        clk.commit_rule();
+        clk.end_cycle();
+        assert_eq!(r.read(), 2);
+    }
+
+    #[test]
+    fn wire_clears_each_cycle() {
+        let clk = Clock::new();
+        let w: Wire<u8> = Wire::new(&clk);
+        clk.begin_rule();
+        w.set(1);
+        clk.commit_rule();
+        assert_eq!(w.peek(), Some(1));
+        clk.end_cycle();
+        assert_eq!(w.peek(), None);
+        assert!(w.get().is_err());
+    }
+
+    #[test]
+    fn wire_aborted_set_is_invisible() {
+        let clk = Clock::new();
+        let w: Wire<u8> = Wire::new(&clk);
+        clk.begin_rule();
+        w.set(1);
+        clk.abort_rule();
+        assert_eq!(w.peek(), None);
+    }
+
+    #[test]
+    fn init_writes_outside_rules_apply_immediately() {
+        let clk = Clock::new();
+        let x = Ehr::new(&clk, 0u32);
+        let r = Reg::new(&clk, 0u32);
+        x.write(7);
+        r.write(8);
+        assert_eq!(x.read(), 7);
+        assert_eq!(r.read(), 8);
+    }
+
+    #[test]
+    fn dropped_cells_unregister_from_clock() {
+        let clk = Clock::new();
+        {
+            let _r = Reg::new(&clk, 0u32);
+            let _w: Wire<u8> = Wire::new(&clk);
+        }
+        // Must not panic touching dropped cells.
+        clk.end_cycle();
+        clk.end_cycle();
+    }
+}

@@ -1,0 +1,488 @@
+//! The transactional clock: cycle/rule boundaries, atomic commit, and
+//! dynamic conflict-matrix enforcement.
+//!
+//! A [`Clock`] is shared (cheaply, via `Rc`) by every state cell and module
+//! interface of a design. The scheduler ([`crate::sim::Sim`]) drives it:
+//!
+//! 1. [`Clock::begin_rule`] opens a transaction;
+//! 2. the rule body runs, cells buffer writes and interfaces record method
+//!    calls;
+//! 3. [`Clock::check_cm`] asks whether the recorded calls are compatible
+//!    (per every module's [`ConflictMatrix`]) with the rules that already
+//!    fired this cycle;
+//! 4. [`Clock::commit_rule`] atomically publishes the buffered writes, or
+//!    [`Clock::abort_rule`] discards them;
+//! 5. [`Clock::end_cycle`] canonicalizes registers and clears wires.
+//!
+//! This realizes the paper's execution model: hardware behaves as if multiple
+//! rules execute every cycle, yet the behavior is always expressible as rules
+//! executing one-by-one (§I).
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+use crate::cm::{ConflictMatrix, Rel};
+
+/// A state cell participating in the current rule's transaction.
+///
+/// Implemented by the inner storage of [`crate::cell::Ehr`],
+/// [`crate::cell::Reg`], and [`crate::cell::Wire`].
+pub(crate) trait TxnCell {
+    /// Publish the buffered write.
+    fn commit(&self);
+    /// Discard the buffered write.
+    fn abort(&self);
+}
+
+/// A cell that needs a notification at the end of every cycle (registers
+/// canonicalize, wires clear).
+pub(crate) trait EndOfCycle {
+    fn end_cycle(&self);
+}
+
+/// A same-cycle concurrency violation: firing the current rule would require
+/// an ordering the module's conflict matrix forbids.
+///
+/// The scheduler treats this exactly as BSV-generated hardware does: the
+/// offending rule does not fire this cycle and retries on the next one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmViolation {
+    /// Module whose CM was violated.
+    pub module: String,
+    /// Method already committed earlier this cycle.
+    pub earlier_method: String,
+    /// Method the current rule tried to call.
+    pub later_method: String,
+    /// The declared relation between them.
+    pub rel: Rel,
+}
+
+impl fmt::Display for CmViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} {} {}.{}: cannot fire in the same cycle after it",
+            self.module, self.earlier_method, self.rel, self.module, self.later_method
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MethodCall {
+    module: u32,
+    method: u16,
+}
+
+struct ModuleInfo {
+    name: String,
+    methods: Vec<&'static str>,
+    cm: ConflictMatrix,
+}
+
+/// Shared clock/transaction state. See the module docs.
+pub struct Clock {
+    inner: Rc<ClockInner>,
+}
+
+impl Clone for Clock {
+    fn clone(&self) -> Self {
+        Clock {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl fmt::Debug for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Clock")
+            .field("cycle", &self.inner.cycle.get())
+            .field("in_rule", &self.inner.in_rule.get())
+            .finish()
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+pub(crate) struct ClockInner {
+    cycle: Cell<u64>,
+    in_rule: Cell<bool>,
+    dirty: RefCell<Vec<Rc<dyn TxnCell>>>,
+    eoc: RefCell<Vec<Weak<dyn EndOfCycle>>>,
+    calls: RefCell<Vec<MethodCall>>,
+    fired_calls: RefCell<Vec<MethodCall>>,
+    modules: RefCell<Vec<ModuleInfo>>,
+    eoc_hooks: RefCell<Vec<Rc<dyn Fn()>>>,
+}
+
+impl Clock {
+    /// Creates a fresh clock at cycle 0.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmd_core::clock::Clock;
+    /// let clk = Clock::new();
+    /// assert_eq!(clk.cycle(), 0);
+    /// ```
+    #[must_use]
+    pub fn new() -> Self {
+        Clock {
+            inner: Rc::new(ClockInner {
+                cycle: Cell::new(0),
+                in_rule: Cell::new(false),
+                dirty: RefCell::new(Vec::new()),
+                eoc: RefCell::new(Vec::new()),
+                calls: RefCell::new(Vec::new()),
+                fired_calls: RefCell::new(Vec::new()),
+                modules: RefCell::new(Vec::new()),
+                eoc_hooks: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Current cycle number.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.inner.cycle.get()
+    }
+
+    /// Whether a rule transaction is currently open.
+    #[must_use]
+    pub fn in_rule(&self) -> bool {
+        self.inner.in_rule.get()
+    }
+
+    /// Registers a module interface with `methods` participating in CM
+    /// checking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cm` does not cover exactly `methods.len()` methods or if it
+    /// is internally inconsistent.
+    #[must_use]
+    pub fn module(&self, name: &str, methods: &[&'static str], cm: ConflictMatrix) -> ModuleIfc {
+        assert_eq!(
+            cm.len(),
+            methods.len(),
+            "conflict matrix size must match method count for module {name}"
+        );
+        cm.validate()
+            .unwrap_or_else(|(a, b)| panic!("inconsistent CM for {name}: methods {a},{b}"));
+        let mut modules = self.inner.modules.borrow_mut();
+        let id = u32::try_from(modules.len()).expect("too many modules");
+        modules.push(ModuleInfo {
+            name: name.to_string(),
+            methods: methods.to_vec(),
+            cm,
+        });
+        ModuleIfc {
+            clk: self.clone(),
+            id,
+        }
+    }
+
+    pub(crate) fn mark_dirty(&self, cell: Rc<dyn TxnCell>) {
+        debug_assert!(
+            self.inner.in_rule.get(),
+            "state cell written outside of a rule"
+        );
+        self.inner.dirty.borrow_mut().push(cell);
+    }
+
+    pub(crate) fn register_eoc(&self, cell: Weak<dyn EndOfCycle>) {
+        self.inner.eoc.borrow_mut().push(cell);
+    }
+
+    /// Registers a callback run at every cycle boundary, *after* registers
+    /// have latched and wires have cleared.
+    ///
+    /// Library modules use this for cycle-boundary bookkeeping (e.g. the
+    /// conflict-free FIFO snapshots its occupancy); it is also handy for
+    /// per-cycle statistics sampling. Writes performed inside the callback
+    /// apply immediately, like initialization writes.
+    pub fn at_end_of_cycle(&self, f: impl Fn() + 'static) {
+        self.inner.eoc_hooks.borrow_mut().push(Rc::new(f));
+    }
+
+    /// Opens a rule transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open.
+    pub fn begin_rule(&self) {
+        assert!(!self.inner.in_rule.get(), "nested rules are not allowed");
+        self.inner.in_rule.set(true);
+    }
+
+    /// Checks the current rule's recorded method calls against every method
+    /// committed earlier this cycle, returning the first violation.
+    #[must_use]
+    pub fn check_cm(&self) -> Option<CmViolation> {
+        let calls = self.inner.calls.borrow();
+        let fired = self.inner.fired_calls.borrow();
+        let modules = self.inner.modules.borrow();
+        for cur in calls.iter() {
+            for prev in fired.iter() {
+                if prev.module != cur.module {
+                    continue;
+                }
+                let info = &modules[prev.module as usize];
+                let rel = info.cm.rel(prev.method as usize, cur.method as usize);
+                if !rel.allows_earlier_first() {
+                    return Some(CmViolation {
+                        module: info.name.clone(),
+                        earlier_method: info.methods[prev.method as usize].to_string(),
+                        later_method: info.methods[cur.method as usize].to_string(),
+                        rel,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Atomically publishes the current rule's buffered writes and records
+    /// its method calls as fired-this-cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn commit_rule(&self) {
+        assert!(self.inner.in_rule.get(), "commit outside of a rule");
+        for cell in self.inner.dirty.borrow_mut().drain(..) {
+            cell.commit();
+        }
+        self.inner
+            .fired_calls
+            .borrow_mut()
+            .extend(self.inner.calls.borrow_mut().drain(..));
+        self.inner.in_rule.set(false);
+    }
+
+    /// Discards the current rule's buffered writes and method calls: the
+    /// rule has no effect, as if it never ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn abort_rule(&self) {
+        assert!(self.inner.in_rule.get(), "abort outside of a rule");
+        for cell in self.inner.dirty.borrow_mut().drain(..) {
+            cell.abort();
+        }
+        self.inner.calls.borrow_mut().clear();
+        self.inner.in_rule.set(false);
+    }
+
+    /// Ends the cycle: registers latch their next values, wires clear, and
+    /// the fired-method history resets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule transaction is still open.
+    pub fn end_cycle(&self) {
+        assert!(
+            !self.inner.in_rule.get(),
+            "end_cycle during an open rule transaction"
+        );
+        self.inner.fired_calls.borrow_mut().clear();
+        {
+            let mut eoc = self.inner.eoc.borrow_mut();
+            eoc.retain(|w| {
+                if let Some(cell) = w.upgrade() {
+                    cell.end_cycle();
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        // Index-based iteration so a hook may register further hooks without
+        // a RefCell borrow conflict, and without cloning the whole list.
+        let mut i = 0;
+        loop {
+            let hook = {
+                let hooks = self.inner.eoc_hooks.borrow();
+                match hooks.get(i) {
+                    Some(h) => Rc::clone(h),
+                    None => break,
+                }
+            };
+            hook();
+            i += 1;
+        }
+        self.inner.cycle.set(self.inner.cycle.get() + 1);
+    }
+}
+
+/// A registered module interface; records method calls for CM enforcement.
+///
+/// Modules built in this framework hold a `ModuleIfc` and call
+/// [`ModuleIfc::record`] at the top of each interface method that
+/// participates in concurrency checking.
+#[derive(Debug, Clone)]
+pub struct ModuleIfc {
+    clk: Clock,
+    id: u32,
+}
+
+impl ModuleIfc {
+    /// Records that the current rule called method `method` (the index used
+    /// when the CM was declared).
+    ///
+    /// Outside of a rule (e.g. when a module is poked directly in a unit
+    /// test) the call is ignored.
+    pub fn record(&self, method: usize) {
+        if !self.clk.inner.in_rule.get() {
+            return;
+        }
+        self.clk.inner.calls.borrow_mut().push(MethodCall {
+            module: self.id,
+            method: u16::try_from(method).expect("method index too large"),
+        });
+    }
+
+    /// The clock this interface is registered on.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cm::ConflictMatrix;
+
+    #[test]
+    fn cycle_advances_on_end_cycle() {
+        let clk = Clock::new();
+        assert_eq!(clk.cycle(), 0);
+        clk.end_cycle();
+        clk.end_cycle();
+        assert_eq!(clk.cycle(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested rules")]
+    fn nested_begin_rule_panics() {
+        let clk = Clock::new();
+        clk.begin_rule();
+        clk.begin_rule();
+    }
+
+    #[test]
+    #[should_panic(expected = "end_cycle during an open rule")]
+    fn end_cycle_mid_rule_panics() {
+        let clk = Clock::new();
+        clk.begin_rule();
+        clk.end_cycle();
+    }
+
+    #[test]
+    fn cm_violation_detected_across_rules() {
+        let clk = Clock::new();
+        // Two methods: 0 = a, 1 = b with a < b (so calling a after b fired is illegal).
+        let cm = ConflictMatrix::builder(2).seq(&[0, 1]).build();
+        let ifc = clk.module("m", &["a", "b"], cm);
+
+        // Rule 1 calls b and commits.
+        clk.begin_rule();
+        ifc.record(1);
+        assert!(clk.check_cm().is_none());
+        clk.commit_rule();
+
+        // Rule 2 calls a: a < b means b-then-a is forbidden this cycle.
+        clk.begin_rule();
+        ifc.record(0);
+        let v = clk.check_cm().expect("must be a violation");
+        assert_eq!(v.earlier_method, "b");
+        assert_eq!(v.later_method, "a");
+        clk.abort_rule();
+
+        // Next cycle it is fine.
+        clk.end_cycle();
+        clk.begin_rule();
+        ifc.record(0);
+        assert!(clk.check_cm().is_none());
+        clk.commit_rule();
+    }
+
+    #[test]
+    fn conflicting_methods_cannot_share_cycle_in_either_order() {
+        let clk = Clock::new();
+        let cm = ConflictMatrix::builder(2).build(); // all C
+        let ifc = clk.module("m", &["x", "y"], cm);
+
+        clk.begin_rule();
+        ifc.record(0);
+        clk.commit_rule();
+
+        clk.begin_rule();
+        ifc.record(1);
+        assert!(clk.check_cm().is_some());
+        clk.abort_rule();
+    }
+
+    #[test]
+    fn free_methods_share_cycle() {
+        let clk = Clock::new();
+        let ifc = clk.module("m", &["x", "y"], ConflictMatrix::all_free(2));
+        clk.begin_rule();
+        ifc.record(0);
+        ifc.record(1);
+        clk.commit_rule();
+        clk.begin_rule();
+        ifc.record(0);
+        ifc.record(1);
+        assert!(clk.check_cm().is_none());
+        clk.commit_rule();
+    }
+
+    #[test]
+    fn aborted_rule_leaves_no_call_history() {
+        let clk = Clock::new();
+        let cm = ConflictMatrix::builder(1).build();
+        let ifc = clk.module("m", &["only"], cm);
+
+        clk.begin_rule();
+        ifc.record(0);
+        clk.abort_rule();
+
+        // Same cycle: method `only` conflicts with itself, but the earlier
+        // call was aborted, so this must pass.
+        clk.begin_rule();
+        ifc.record(0);
+        assert!(clk.check_cm().is_none());
+        clk.commit_rule();
+    }
+
+    #[test]
+    fn record_outside_rule_is_ignored() {
+        let clk = Clock::new();
+        let ifc = clk.module("m", &["only"], ConflictMatrix::builder(1).build());
+        ifc.record(0); // must not panic or poison later checks
+        clk.begin_rule();
+        ifc.record(0);
+        assert!(clk.check_cm().is_none());
+        clk.commit_rule();
+    }
+
+    #[test]
+    fn violation_display_mentions_module_and_methods() {
+        let v = CmViolation {
+            module: "IQ".into(),
+            earlier_method: "enter".into(),
+            later_method: "issue".into(),
+            rel: Rel::After,
+        };
+        let s = v.to_string();
+        assert!(s.contains("IQ.enter"));
+        assert!(s.contains("IQ.issue"));
+    }
+}

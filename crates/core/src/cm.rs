@@ -1,0 +1,305 @@
+//! Conflict matrices: the concurrency contract of a module's interface.
+//!
+//! The paper (§IV-B) extends latency-insensitive interfaces with an
+//! *atomicity* property specified by a **conflict matrix** (CM): for each
+//! pair of interface methods `f1`, `f2` the CM records one of
+//! `{C, <, >, CF}`:
+//!
+//! * `C`  — the methods conflict and cannot be called in the same cycle by
+//!   two different rules;
+//! * `<`  — they may be called concurrently and the net effect is as if `f1`
+//!   executed before `f2`;
+//! * `>`  — concurrent, net effect as if `f2` executed before `f1`;
+//! * `CF` — conflict-free: order does not affect the final state.
+//!
+//! The scheduler uses the CM of every module to decide which rules may fire
+//! in the same clock cycle (see [`crate::sim`]). Because this embedding
+//! executes the rules of one cycle in a fixed canonical order, a later rule
+//! may commit in the same cycle as an earlier one only if every method pair
+//! between them is `CF` or ordered earlier-`<`-later.
+
+use std::fmt;
+
+/// The relationship between an ordered pair of methods `(f1, f2)`.
+///
+/// `Rel::Before` means `f1 < f2` (net effect: `f1` first); `Rel::After`
+/// means `f1 > f2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rel {
+    /// `C`: the pair cannot execute in the same cycle.
+    #[default]
+    Conflict,
+    /// `<`: concurrent execution appears as `f1` before `f2`.
+    Before,
+    /// `>`: concurrent execution appears as `f2` before `f1`.
+    After,
+    /// `CF`: order is immaterial.
+    Free,
+}
+
+impl Rel {
+    /// The relation for the reversed pair `(f2, f1)`.
+    #[must_use]
+    pub fn flipped(self) -> Rel {
+        match self {
+            Rel::Conflict => Rel::Conflict,
+            Rel::Before => Rel::After,
+            Rel::After => Rel::Before,
+            Rel::Free => Rel::Free,
+        }
+    }
+
+    /// Whether a call of `f2` may commit in a cycle where `f1` has already
+    /// committed (i.e. `f1` is sequenced earlier in the canonical order).
+    #[must_use]
+    pub fn allows_earlier_first(self) -> bool {
+        matches!(self, Rel::Before | Rel::Free)
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rel::Conflict => "C",
+            Rel::Before => "<",
+            Rel::After => ">",
+            Rel::Free => "CF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete conflict matrix over a module's `n` checked methods.
+///
+/// Unspecified pairs default to [`Rel::Conflict`], the safe choice: a design
+/// that forgets to declare a relation loses same-cycle concurrency (a
+/// performance bug), never atomicity (a correctness bug). This mirrors the
+/// paper's observation (§IV-C) that a module with a weaker CM yields a
+/// *correct but slower* composition.
+///
+/// # Examples
+///
+/// ```
+/// use cmd_core::cm::{ConflictMatrix, Rel};
+///
+/// // IQ from paper §IV-C: issue < wakeup < enter.
+/// let cm = ConflictMatrix::builder(3)
+///     .seq(&[2, 1, 0]) // methods: 0 = enter, 1 = wakeup, 2 = issue
+///     .build();
+/// assert_eq!(cm.rel(2, 0), Rel::Before);
+/// assert_eq!(cm.rel(0, 2), Rel::After);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictMatrix {
+    n: usize,
+    rel: Vec<Rel>,
+}
+
+impl ConflictMatrix {
+    /// Starts building a CM for `n` methods; all pairs begin as `C`.
+    #[must_use]
+    pub fn builder(n: usize) -> ConflictMatrixBuilder {
+        ConflictMatrixBuilder {
+            cm: ConflictMatrix {
+                n,
+                rel: vec![Rel::Conflict; n * n],
+            },
+        }
+    }
+
+    /// A CM in which every pair (including a method with itself) is `CF`.
+    ///
+    /// Useful for pure value methods or for modules whose methods touch
+    /// disjoint state.
+    #[must_use]
+    pub fn all_free(n: usize) -> Self {
+        ConflictMatrix {
+            n,
+            rel: vec![Rel::Free; n * n],
+        }
+    }
+
+    /// Number of methods this matrix covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix covers zero methods.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The relation of the ordered pair `(f1, f2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[must_use]
+    pub fn rel(&self, f1: usize, f2: usize) -> Rel {
+        assert!(f1 < self.n && f2 < self.n, "method index out of bounds");
+        self.rel[f1 * self.n + f2]
+    }
+
+    /// Checks internal consistency: `rel(a, b)` must equal
+    /// `rel(b, a).flipped()` for all pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending pair if the matrix is asymmetric.
+    pub fn validate(&self) -> Result<(), (usize, usize)> {
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.rel(a, b) != self.rel(b, a).flipped() {
+                    return Err((a, b));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ConflictMatrix`]; see [`ConflictMatrix::builder`].
+#[derive(Debug, Clone)]
+pub struct ConflictMatrixBuilder {
+    cm: ConflictMatrix,
+}
+
+impl ConflictMatrixBuilder {
+    fn set_raw(&mut self, a: usize, b: usize, r: Rel) {
+        let n = self.cm.n;
+        assert!(a < n && b < n, "method index out of bounds");
+        assert!(
+            a != b || matches!(r, Rel::Conflict | Rel::Free),
+            "a method's relation with itself must be C or CF"
+        );
+        self.cm.rel[a * n + b] = r;
+        self.cm.rel[b * n + a] = r.flipped();
+    }
+
+    /// Declares `rel(a, b) = r` (and the flipped relation for `(b, a)`).
+    #[must_use]
+    pub fn pair(mut self, a: usize, b: usize, r: Rel) -> Self {
+        self.set_raw(a, b, r);
+        self
+    }
+
+    /// Declares every listed method pair as sequenced: for `i < j`,
+    /// `methods[i] < methods[j]`. Self-relations (the diagonal) are left
+    /// untouched — action methods usually conflict with themselves; use
+    /// [`Self::self_free`] for value methods.
+    ///
+    /// A method appearing earlier in `methods` appears to execute first when
+    /// fired concurrently.
+    #[must_use]
+    pub fn seq(mut self, methods: &[usize]) -> Self {
+        for (i, &a) in methods.iter().enumerate() {
+            for &b in &methods[i + 1..] {
+                self.set_raw(a, b, Rel::Before);
+            }
+        }
+        self
+    }
+
+    /// Declares the pair (and self-pairs) conflict-free.
+    #[must_use]
+    pub fn free(mut self, a: usize, b: usize) -> Self {
+        self.set_raw(a, b, Rel::Free);
+        self
+    }
+
+    /// Declares a method conflict-free with itself (multiple rules may call
+    /// it in one cycle, e.g. a pure value method).
+    #[must_use]
+    pub fn self_free(mut self, a: usize) -> Self {
+        self.set_raw(a, a, Rel::Free);
+        self
+    }
+
+    /// Finishes the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulated matrix is inconsistent (cannot happen via
+    /// this builder's setters, which maintain symmetry).
+    #[must_use]
+    pub fn build(self) -> ConflictMatrix {
+        self.cm
+            .validate()
+            .expect("builder maintains symmetric relations");
+        self.cm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_conflict() {
+        let cm = ConflictMatrix::builder(2).build();
+        assert_eq!(cm.rel(0, 1), Rel::Conflict);
+        assert_eq!(cm.rel(0, 0), Rel::Conflict);
+    }
+
+    #[test]
+    fn seq_orders_pairs_both_ways() {
+        let cm = ConflictMatrix::builder(3).seq(&[0, 1, 2]).build();
+        assert_eq!(cm.rel(0, 1), Rel::Before);
+        assert_eq!(cm.rel(1, 0), Rel::After);
+        assert_eq!(cm.rel(0, 2), Rel::Before);
+        // Diagonal untouched: action methods conflict with themselves.
+        assert_eq!(cm.rel(1, 1), Rel::Conflict);
+    }
+
+    #[test]
+    fn flipped_is_involutive() {
+        for r in [Rel::Conflict, Rel::Before, Rel::After, Rel::Free] {
+            assert_eq!(r.flipped().flipped(), r);
+        }
+    }
+
+    #[test]
+    fn allows_earlier_first_matches_paper_semantics() {
+        assert!(Rel::Before.allows_earlier_first());
+        assert!(Rel::Free.allows_earlier_first());
+        assert!(!Rel::After.allows_earlier_first());
+        assert!(!Rel::Conflict.allows_earlier_first());
+    }
+
+    #[test]
+    fn all_free_is_free_everywhere() {
+        let cm = ConflictMatrix::all_free(4);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(cm.rel(a, b), Rel::Free);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let cm = ConflictMatrix::builder(4)
+            .seq(&[3, 1, 0])
+            .free(2, 2)
+            .pair(2, 0, Rel::Before)
+            .build();
+        assert!(cm.validate().is_ok());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Rel::Conflict.to_string(), "C");
+        assert_eq!(Rel::Before.to_string(), "<");
+        assert_eq!(Rel::After.to_string(), ">");
+        assert_eq!(Rel::Free.to_string(), "CF");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rel_bounds_checked() {
+        let cm = ConflictMatrix::builder(2).build();
+        let _ = cm.rel(2, 0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Executable versions of the paper's tutorial designs: the GCD modules of
+//! §III and the issue-queue/ready-bit composition of §IV.
+//!
+//! These are kept in the library (not just in tests) because they are the
+//! paper's own explanatory artifacts: examples and benchmarks build on
+//! them.
+
+pub mod gcd;
+pub mod iq;

@@ -1,0 +1,135 @@
+//! Guard failures for interface methods and rules.
+//!
+//! In CMD every interface method is *guarded*: it cannot be applied unless it
+//! is ready (paper §I, §III). In this embedding a method that is not ready
+//! returns [`Stall`], and a rule propagating a `Stall` (usually with `?`)
+//! aborts atomically: none of its buffered writes are committed.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failed guard: the method was not ready, so the calling rule cannot fire.
+///
+/// `Stall` is deliberately tiny (a static reason string) because guard
+/// failures are the *normal* flow-control mechanism of a CMD design: a
+/// processor stalls rules every cycle. The reason is kept for diagnostics and
+/// per-rule stall statistics.
+///
+/// # Examples
+///
+/// ```
+/// use cmd_core::guard::{Guarded, Stall};
+///
+/// fn deq(empty: bool) -> Guarded<u32> {
+///     if empty {
+///         return Err(Stall::new("fifo empty"));
+///     }
+///     Ok(42)
+/// }
+///
+/// assert!(deq(true).is_err());
+/// assert_eq!(deq(false), Ok(42));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stall {
+    reason: &'static str,
+}
+
+impl Stall {
+    /// Creates a stall with a human-readable reason (e.g. `"iq full"`).
+    #[must_use]
+    pub const fn new(reason: &'static str) -> Self {
+        Stall { reason }
+    }
+
+    /// The reason this guard failed.
+    #[must_use]
+    pub const fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl Default for Stall {
+    fn default() -> Self {
+        Stall::new("guard not ready")
+    }
+}
+
+impl fmt::Display for Stall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "guard not ready: {}", self.reason)
+    }
+}
+
+impl Error for Stall {}
+
+/// The result type of every guarded interface method and rule body.
+pub type Guarded<T> = Result<T, Stall>;
+
+/// Aborts the enclosing rule (returns `Err(Stall)`) unless `cond` holds.
+///
+/// This is the ergonomic equivalent of a BSV method/rule guard condition.
+///
+/// # Examples
+///
+/// ```
+/// use cmd_core::guard::Guarded;
+/// use cmd_core::guard_that;
+///
+/// fn start(busy: bool) -> Guarded<()> {
+///     guard_that!(!busy, "module busy");
+///     Ok(())
+/// }
+///
+/// assert!(start(true).is_err());
+/// assert!(start(false).is_ok());
+/// ```
+#[macro_export]
+macro_rules! guard_that {
+    ($cond:expr, $reason:expr) => {
+        if !($cond) {
+            return Err($crate::guard::Stall::new($reason));
+        }
+    };
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::guard::Stall::new(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_reports_reason() {
+        let s = Stall::new("rob full");
+        assert_eq!(s.reason(), "rob full");
+        assert_eq!(s.to_string(), "guard not ready: rob full");
+    }
+
+    #[test]
+    fn default_stall_has_nonempty_reason() {
+        assert!(!Stall::default().reason().is_empty());
+    }
+
+    #[test]
+    fn guard_macro_stalls_with_reason() {
+        fn f(x: u32) -> Guarded<u32> {
+            guard_that!(x < 10, "x too big");
+            Ok(x)
+        }
+        assert_eq!(f(3), Ok(3));
+        assert_eq!(f(30), Err(Stall::new("x too big")));
+    }
+
+    #[test]
+    fn guard_macro_default_reason_is_condition_text() {
+        fn f(x: u32) -> Guarded<u32> {
+            guard_that!(x != 0);
+            Ok(x)
+        }
+        assert_eq!(f(0).unwrap_err().reason(), "x != 0");
+    }
+}

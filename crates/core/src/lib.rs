@@ -1,0 +1,73 @@
+//! # cmd-core — the Composable Modular Design (CMD) framework
+//!
+//! A Rust embedding of the design framework from *"Composable Building
+//! Blocks to Open up Processor Design"* (Zhang, Wright, Bourgeat, Arvind —
+//! MICRO 2018). In CMD:
+//!
+//! 1. **Interface methods** of modules provide instantaneous access and
+//!    perform atomic updates to the state elements inside the module;
+//! 2. every method is **guarded** — it cannot be applied unless it is ready
+//!    (here: it returns [`guard::Stall`]);
+//! 3. modules are composed by **atomic rules** that call methods of
+//!    different modules; a rule either updates the state of *all* called
+//!    modules or does nothing.
+//!
+//! Same-cycle concurrency between rules is governed by each module's
+//! [`cm::ConflictMatrix`] over its methods (`{C, <, >, CF}`), and the
+//! resulting hardware behaves as if multiple rules execute every cycle while
+//! always being expressible as rules executing one-by-one. This crate
+//! realizes those semantics as a cycle-accurate, transactional simulation
+//! kernel:
+//!
+//! * [`clock`] — cycle/rule boundaries, atomic commit, CM enforcement;
+//! * [`cell`] — transactional state: [`cell::Ehr`] (ephemeral history
+//!   register), [`cell::Reg`] (D flip-flop), [`cell::Wire`] (RWire);
+//! * [`cm`] — conflict matrices;
+//! * [`guard`] — guarded methods and rules;
+//! * [`sim`] — the rule scheduler with per-rule firing statistics;
+//! * [`fifo`] — pipeline / bypass / conflict-free FIFOs;
+//! * [`demo`] — the paper's tutorial designs (GCD §III, IQ/RDYB §IV).
+//!
+//! # Examples
+//!
+//! A producer/consumer pair over a bypass FIFO:
+//!
+//! ```
+//! use cmd_core::prelude::*;
+//!
+//! struct St {
+//!     q: BypassFifo<u64>,
+//!     got: Ehr<Vec<u64>>,
+//! }
+//!
+//! let clk = Clock::new();
+//! let st = St { q: BypassFifo::new(&clk, 2), got: Ehr::new(&clk, Vec::new()) };
+//! let mut sim = Sim::new(clk, st);
+//! sim.rule("produce", |s: &mut St| s.q.enq(7));
+//! sim.rule("consume", |s: &mut St| {
+//!     let v = s.q.deq()?;
+//!     s.got.update(|g| g.push(v));
+//!     Ok(())
+//! });
+//! sim.run(3);
+//! assert_eq!(sim.state().got.read(), vec![7, 7, 7]);
+//! ```
+
+pub mod cell;
+pub mod clock;
+pub mod cm;
+pub mod demo;
+pub mod fifo;
+pub mod guard;
+pub mod sim;
+
+/// Convenient glob-import of the kernel's core types.
+pub mod prelude {
+    pub use crate::cell::{Ehr, Reg, Wire};
+    pub use crate::clock::{Clock, CmViolation, ModuleIfc};
+    pub use crate::cm::{ConflictMatrix, Rel};
+    pub use crate::fifo::{BypassFifo, CfFifo, Fifo, PipelineFifo};
+    pub use crate::guard::{Guarded, Stall};
+    pub use crate::guard_that;
+    pub use crate::sim::{RuleId, RuleStats, Sim};
+}

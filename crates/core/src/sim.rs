@@ -1,0 +1,406 @@
+//! The rule scheduler: fires every rule once per cycle, in a fixed canonical
+//! order, with atomic commit/abort and conflict-matrix enforcement.
+//!
+//! The canonical order corresponds to the EHR port assignment in the
+//! paper's hardware compilation: if rule *A* precedes rule *B* in the
+//! schedule and both fire in a cycle, the cycle's net effect is *A then B*.
+//! A rule fails to fire in a cycle when
+//!
+//! * one of its guards stalls ([`crate::guard::Stall`]), or
+//! * its method calls are incompatible — per some module's
+//!   [`crate::cm::ConflictMatrix`] — with a rule that already fired this
+//!   cycle (a [`CmViolation`]).
+//!
+//! Either way the rule has *no effect whatsoever* this cycle, preserving the
+//! paper's atomicity guarantee, and the scheduler records the outcome in
+//! per-rule statistics so CM choices show up as measurable performance
+//! differences (paper §IV-C/D).
+
+use std::fmt;
+
+use crate::clock::{Clock, CmViolation};
+use crate::guard::Guarded;
+
+/// Identifier of a registered rule, returned by [`Sim::rule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(usize);
+
+impl RuleId {
+    /// Index of this rule in the canonical schedule.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Outcome counters for one rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Cycles in which the rule fired (committed).
+    pub fired: u64,
+    /// Cycles in which a guard stalled the rule.
+    pub guard_stalls: u64,
+    /// Cycles in which a conflict-matrix check stalled the rule.
+    pub cm_stalls: u64,
+}
+
+struct RuleEntry<S> {
+    name: String,
+    body: Box<dyn FnMut(&mut S) -> Guarded<()>>,
+    stats: RuleStats,
+}
+
+/// A complete CMD design: user state `S` (the module tree), a [`Clock`], and
+/// the registered rules.
+///
+/// # Examples
+///
+/// A one-register counter incremented by a rule:
+///
+/// ```
+/// use cmd_core::clock::Clock;
+/// use cmd_core::cell::Ehr;
+/// use cmd_core::sim::Sim;
+///
+/// struct Counter { n: Ehr<u64> }
+///
+/// let clk = Clock::new();
+/// let state = Counter { n: Ehr::new(&clk, 0) };
+/// let mut sim = Sim::new(clk, state);
+/// sim.rule("tick", |s: &mut Counter| {
+///     s.n.update(|v| *v += 1);
+///     Ok(())
+/// });
+/// sim.run(10);
+/// assert_eq!(sim.state().n.read(), 10);
+/// ```
+pub struct Sim<S> {
+    clk: Clock,
+    state: S,
+    rules: Vec<RuleEntry<S>>,
+    cycles: u64,
+    last_violation: Option<CmViolation>,
+}
+
+impl<S> Sim<S> {
+    /// Wraps a design state and its clock. All state cells inside `state`
+    /// must have been created from `clk`.
+    #[must_use]
+    pub fn new(clk: Clock, state: S) -> Self {
+        Sim {
+            clk,
+            state,
+            rules: Vec::new(),
+            cycles: 0,
+            last_violation: None,
+        }
+    }
+
+    /// Registers a rule at the end of the canonical schedule.
+    ///
+    /// Earlier-registered rules appear to execute before later ones when
+    /// both fire in a cycle, so registration order is the designer's chosen
+    /// rule ordering (paper §IV-C discusses how this choice interacts with
+    /// module CMs).
+    pub fn rule(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnMut(&mut S) -> Guarded<()> + 'static,
+    ) -> RuleId {
+        let id = RuleId(self.rules.len());
+        self.rules.push(RuleEntry {
+            name: name.into(),
+            body: Box::new(body),
+            stats: RuleStats::default(),
+        });
+        id
+    }
+
+    /// Executes one clock cycle: attempts every rule once, in order.
+    pub fn cycle(&mut self) {
+        for entry in &mut self.rules {
+            self.clk.begin_rule();
+            match (entry.body)(&mut self.state) {
+                Ok(()) => {
+                    if let Some(v) = self.clk.check_cm() {
+                        self.clk.abort_rule();
+                        entry.stats.cm_stalls += 1;
+                        self.last_violation = Some(v);
+                    } else {
+                        self.clk.commit_rule();
+                        entry.stats.fired += 1;
+                    }
+                }
+                Err(_stall) => {
+                    self.clk.abort_rule();
+                    entry.stats.guard_stalls += 1;
+                }
+            }
+        }
+        self.clk.end_cycle();
+        self.cycles += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.cycle();
+        }
+    }
+
+    /// Runs until `done` holds (checked between cycles), up to `max_cycles`.
+    ///
+    /// Returns the number of cycles executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(max_cycles)` if the predicate never held — the usual
+    /// sign of a deadlocked design (e.g. the IQ wakeup race of paper §IV-A).
+    pub fn run_until(
+        &mut self,
+        mut done: impl FnMut(&S) -> bool,
+        max_cycles: u64,
+    ) -> Result<u64, u64> {
+        for c in 0..max_cycles {
+            if done(&self.state) {
+                return Ok(c);
+            }
+            self.cycle();
+        }
+        if done(&self.state) {
+            Ok(max_cycles)
+        } else {
+            Err(max_cycles)
+        }
+    }
+
+    /// Total cycles executed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The design state (module tree).
+    #[must_use]
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the design state, for test pokes and result
+    /// extraction.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// The clock driving this design.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clk
+    }
+
+    /// Statistics for one rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this `Sim`.
+    #[must_use]
+    pub fn rule_stats(&self, id: RuleId) -> RuleStats {
+        self.rules[id.0].stats
+    }
+
+    /// Name of one rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this `Sim`.
+    #[must_use]
+    pub fn rule_name(&self, id: RuleId) -> &str {
+        &self.rules[id.0].name
+    }
+
+    /// Iterator over `(name, stats)` pairs in schedule order.
+    pub fn all_rule_stats(&self) -> impl Iterator<Item = (&str, RuleStats)> + '_ {
+        self.rules.iter().map(|r| (r.name.as_str(), r.stats))
+    }
+
+    /// The most recent conflict-matrix violation, if any — useful when
+    /// debugging an unexpectedly low firing rate.
+    #[must_use]
+    pub fn last_violation(&self) -> Option<&CmViolation> {
+        self.last_violation.as_ref()
+    }
+
+    /// A formatted multi-line scheduling report (rule name, fire rate,
+    /// stall breakdown).
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("cycles: {}\n", self.cycles));
+        for r in &self.rules {
+            let total = r.stats.fired + r.stats.guard_stalls + r.stats.cm_stalls;
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * r.stats.fired as f64 / total as f64
+            };
+            out.push_str(&format!(
+                "  {:<24} fired {:>10} ({:5.1}%)  guard-stall {:>10}  cm-stall {:>10}\n",
+                r.name, r.stats.fired, pct, r.stats.guard_stalls, r.stats.cm_stalls
+            ));
+        }
+        out
+    }
+}
+
+impl<S> fmt::Debug for Sim<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("cycles", &self.cycles)
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Ehr, Reg};
+    use crate::cm::ConflictMatrix;
+    use crate::clock::ModuleIfc;
+    use crate::guard::Stall;
+
+    struct Two {
+        a: Ehr<u32>,
+        b: Ehr<u32>,
+    }
+
+    #[test]
+    fn rules_fire_in_order_and_see_prior_effects() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.rule("inc_a", |s: &mut Two| {
+            s.a.update(|v| *v += 1);
+            Ok(())
+        });
+        sim.rule("copy_a_to_b", |s: &mut Two| {
+            s.b.write(s.a.read());
+            Ok(())
+        });
+        sim.run(3);
+        // Each cycle b copies the already-incremented a (EHR bypass).
+        assert_eq!(sim.state().a.read(), 3);
+        assert_eq!(sim.state().b.read(), 3);
+    }
+
+    #[test]
+    fn guard_stall_aborts_whole_rule() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        let r = sim.rule("partial", |s: &mut Two| {
+            s.a.write(99); // buffered...
+            Err(Stall::new("always stalls")) // ...then the rule aborts
+        });
+        sim.run(5);
+        assert_eq!(sim.state().a.read(), 0, "no partial update may survive");
+        assert_eq!(sim.rule_stats(r).guard_stalls, 5);
+        assert_eq!(sim.rule_stats(r).fired, 0);
+    }
+
+    struct CmState {
+        ifc: ModuleIfc,
+        x: Ehr<u32>,
+    }
+
+    #[test]
+    fn cm_stall_forces_retry_next_cycle() {
+        let clk = Clock::new();
+        // Single method conflicting with itself: only one of the two rules
+        // can fire per cycle.
+        let ifc = clk.module("m", &["bump"], ConflictMatrix::builder(1).build());
+        let st = CmState {
+            ifc,
+            x: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        let r1 = sim.rule("first", |s: &mut CmState| {
+            s.ifc.record(0);
+            s.x.update(|v| *v += 1);
+            Ok(())
+        });
+        let r2 = sim.rule("second", |s: &mut CmState| {
+            s.ifc.record(0);
+            s.x.update(|v| *v += 1);
+            Ok(())
+        });
+        sim.run(10);
+        assert_eq!(sim.state().x.read(), 10, "exactly one bump per cycle");
+        assert_eq!(sim.rule_stats(r1).fired, 10);
+        assert_eq!(sim.rule_stats(r2).cm_stalls, 10);
+        assert!(sim.last_violation().is_some());
+    }
+
+    #[test]
+    fn run_until_detects_completion_and_deadlock() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.rule("inc", |s: &mut Two| {
+            s.a.update(|v| *v += 1);
+            Ok(())
+        });
+        assert_eq!(sim.run_until(|s| s.a.read() == 4, 100), Ok(4));
+        assert_eq!(sim.run_until(|s| s.a.read() == 0, 10), Err(10));
+    }
+
+    #[test]
+    fn reg_based_rules_exchange_values_without_bypass() {
+        struct Swap {
+            x: Reg<u32>,
+            y: Reg<u32>,
+        }
+        let clk = Clock::new();
+        let st = Swap {
+            x: Reg::new(&clk, 1),
+            y: Reg::new(&clk, 2),
+        };
+        let mut sim = Sim::new(clk, st);
+        // Classic hardware swap: both rules read start-of-cycle values.
+        sim.rule("x_gets_y", |s: &mut Swap| {
+            s.x.write(s.y.read());
+            Ok(())
+        });
+        sim.rule("y_gets_x", |s: &mut Swap| {
+            s.y.write(s.x.read());
+            Ok(())
+        });
+        sim.run(1);
+        assert_eq!(sim.state().x.read(), 2);
+        assert_eq!(sim.state().y.read(), 1);
+        sim.run(1);
+        assert_eq!(sim.state().x.read(), 1);
+        assert_eq!(sim.state().y.read(), 2);
+    }
+
+    #[test]
+    fn report_lists_every_rule() {
+        let clk = Clock::new();
+        let st = ();
+        let mut sim = Sim::new(clk, st);
+        sim.rule("nop", |_s: &mut ()| Ok(()));
+        sim.run(2);
+        let rep = sim.report();
+        assert!(rep.contains("nop"));
+        assert!(rep.contains("cycles: 2"));
+    }
+}

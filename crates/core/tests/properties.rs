@@ -1,0 +1,317 @@
+//! Property-based tests of the CMD kernel's core invariants:
+//!
+//! 1. **Atomicity** — an aborted rule leaves no trace, no matter where in
+//!    its body the guard failed.
+//! 2. **One-rule-at-a-time semantics** — a cycle's net effect on `Ehr`
+//!    state equals executing exactly the fired rules sequentially.
+//! 3. **FIFO conformance** — each FIFO flavor refines a simple queue model
+//!    under arbitrary legal operation sequences.
+//! 4. **Conflict-matrix consistency** — builders always produce symmetric
+//!    matrices, and CM enforcement never lets a forbidden pair share a
+//!    cycle.
+
+use cmd_core::cm::Rel;
+use cmd_core::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// 1. Atomicity
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// A rule that writes a random subset of cells and then stalls must
+    /// leave every cell untouched.
+    #[test]
+    fn aborted_rules_leave_no_trace(
+        writes in proptest::collection::vec((0usize..8, any::<u64>()), 0..16),
+        fail_at in 0usize..16,
+    ) {
+        let clk = Clock::new();
+        let cells: Vec<Ehr<u64>> = (0..8).map(|i| Ehr::new(&clk, i as u64)).collect();
+        let before: Vec<u64> = cells.iter().map(Ehr::read).collect();
+
+        clk.begin_rule();
+        for (k, (i, v)) in writes.iter().enumerate() {
+            if k == fail_at {
+                break;
+            }
+            cells[*i].write(*v);
+        }
+        clk.abort_rule();
+
+        let after: Vec<u64> = cells.iter().map(Ehr::read).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Mixed commit/abort sequences: only committed rules' writes survive.
+    #[test]
+    fn only_committed_writes_survive(
+        ops in proptest::collection::vec((0usize..4, any::<u64>(), any::<bool>()), 1..24),
+    ) {
+        let clk = Clock::new();
+        let cells: Vec<Ehr<u64>> = (0..4).map(|_| Ehr::new(&clk, 0)).collect();
+        let mut model = [0u64; 4];
+        for (i, v, commit) in &ops {
+            clk.begin_rule();
+            cells[*i].write(*v);
+            if *commit {
+                clk.commit_rule();
+                model[*i] = *v;
+            } else {
+                clk.abort_rule();
+            }
+        }
+        clk.end_cycle();
+        for (i, m) in model.iter().enumerate() {
+            prop_assert_eq!(cells[i].read(), *m);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. One-rule-at-a-time semantics
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum RuleKind {
+    AddTo(usize, u64),
+    CopyThenBump(usize, usize),
+    GuardedDouble(usize, u64),
+}
+
+fn rule_kind() -> impl Strategy<Value = RuleKind> {
+    prop_oneof![
+        (0usize..4, 1u64..100).prop_map(|(i, v)| RuleKind::AddTo(i, v)),
+        (0usize..4, 0usize..4).prop_map(|(a, b)| RuleKind::CopyThenBump(a, b)),
+        (0usize..4, 0u64..50).prop_map(|(i, t)| RuleKind::GuardedDouble(i, t)),
+    ]
+}
+
+fn apply_kind(k: RuleKind, state: &mut [u64; 4]) -> bool {
+    match k {
+        RuleKind::AddTo(i, v) => {
+            state[i] = state[i].wrapping_add(v);
+            true
+        }
+        RuleKind::CopyThenBump(a, b) => {
+            state[a] = state[b].wrapping_add(1);
+            true
+        }
+        RuleKind::GuardedDouble(i, threshold) => {
+            if state[i] < threshold {
+                return false; // guard fails: no effect
+            }
+            state[i] = state[i].wrapping_mul(2);
+            true
+        }
+    }
+}
+
+proptest! {
+    /// Running a schedule of random rules for several cycles produces the
+    /// same state as applying the rules one-by-one (in schedule order,
+    /// skipping stalled ones) — the paper's central semantic claim.
+    #[test]
+    fn cycles_linearize_to_sequential_rule_execution(
+        kinds in proptest::collection::vec(rule_kind(), 1..8),
+        cycles in 1u64..6,
+    ) {
+        let clk = Clock::new();
+        struct St {
+            cells: Vec<Ehr<u64>>,
+        }
+        let st = St {
+            cells: (0..4).map(|i| Ehr::new(&clk, 10 + i as u64)).collect(),
+        };
+        let mut sim = Sim::new(clk, st);
+        for k in kinds.clone() {
+            sim.rule(format!("{k:?}"), move |s: &mut St| match k {
+                RuleKind::AddTo(i, v) => {
+                    s.cells[i].update(|x| *x = x.wrapping_add(v));
+                    Ok(())
+                }
+                RuleKind::CopyThenBump(a, b) => {
+                    let v = s.cells[b].read();
+                    s.cells[a].write(v.wrapping_add(1));
+                    Ok(())
+                }
+                RuleKind::GuardedDouble(i, t) => {
+                    let v = s.cells[i].read();
+                    if v < t {
+                        return Err(Stall::new("below threshold"));
+                    }
+                    s.cells[i].write(v.wrapping_mul(2));
+                    Ok(())
+                }
+            });
+        }
+        sim.run(cycles);
+
+        // Reference: pure-Rust sequential execution.
+        let mut model = [10u64, 11, 12, 13];
+        for _ in 0..cycles {
+            for &k in &kinds {
+                apply_kind(k, &mut model);
+            }
+        }
+        for i in 0..4 {
+            prop_assert_eq!(sim.state().cells[i].read(), model[i]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. FIFO conformance
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum FifoOp {
+    Enq(u32),
+    Deq,
+    EndCycle,
+}
+
+fn fifo_ops() -> impl Strategy<Value = Vec<FifoOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u32>().prop_map(FifoOp::Enq),
+            Just(FifoOp::Deq),
+            Just(FifoOp::EndCycle),
+        ],
+        1..60,
+    )
+}
+
+/// Drives a FIFO with each op in its own rule-cycle (so every flavor's CM
+/// permits it), checking against a VecDeque model.
+fn check_fifo_against_model<F: Fifo<u32>>(clk: &Clock, f: &F, ops: &[FifoOp]) {
+    let cap = f.capacity();
+    let mut model = std::collections::VecDeque::new();
+    for op in ops {
+        match op {
+            FifoOp::Enq(v) => {
+                clk.begin_rule();
+                let r = f.enq(*v);
+                if model.len() < cap {
+                    assert!(r.is_ok(), "model has room");
+                    model.push_back(*v);
+                    clk.commit_rule();
+                } else {
+                    assert!(r.is_err(), "model is full");
+                    clk.abort_rule();
+                }
+                clk.end_cycle();
+            }
+            FifoOp::Deq => {
+                clk.begin_rule();
+                let r = f.deq();
+                match model.pop_front() {
+                    Some(expect) => {
+                        assert_eq!(r, Ok(expect));
+                        clk.commit_rule();
+                    }
+                    None => {
+                        assert!(r.is_err(), "model is empty");
+                        clk.abort_rule();
+                    }
+                }
+                clk.end_cycle();
+            }
+            FifoOp::EndCycle => clk.end_cycle(),
+        }
+        assert_eq!(f.len(), model.len());
+    }
+}
+
+proptest! {
+    #[test]
+    fn pipeline_fifo_refines_queue(ops in fifo_ops(), cap in 1usize..6) {
+        let clk = Clock::new();
+        let f: PipelineFifo<u32> = PipelineFifo::new(&clk, cap);
+        check_fifo_against_model(&clk, &f, &ops);
+    }
+
+    #[test]
+    fn bypass_fifo_refines_queue(ops in fifo_ops(), cap in 1usize..6) {
+        let clk = Clock::new();
+        let f: BypassFifo<u32> = BypassFifo::new(&clk, cap);
+        check_fifo_against_model(&clk, &f, &ops);
+    }
+
+    #[test]
+    fn cf_fifo_refines_queue(ops in fifo_ops(), cap in 1usize..6) {
+        let clk = Clock::new();
+        let f: CfFifo<u32> = CfFifo::new(&clk, cap);
+        check_fifo_against_model(&clk, &f, &ops);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Conflict matrices
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Any sequence of builder operations yields a symmetric matrix.
+    #[test]
+    fn built_matrices_are_always_consistent(
+        n in 1usize..8,
+        pairs in proptest::collection::vec((0usize..8, 0usize..8, 0u8..4), 0..20),
+    ) {
+        let mut b = ConflictMatrix::builder(n);
+        for (a, c, r) in pairs {
+            if a < n && c < n {
+                let rel = [Rel::Conflict, Rel::Before, Rel::After, Rel::Free][r as usize];
+                // Directional self-relations are rejected by the builder.
+                if a == c && !matches!(rel, Rel::Conflict | Rel::Free) {
+                    continue;
+                }
+                b = b.pair(a, c, rel);
+            }
+        }
+        let cm = b.build();
+        prop_assert!(cm.validate().is_ok());
+        for a in 0..n {
+            for c in 0..n {
+                prop_assert_eq!(cm.rel(a, c), cm.rel(c, a).flipped());
+            }
+        }
+    }
+
+    /// Under the scheduler, two rules calling a conflicting method pair
+    /// never both fire in one cycle, for any declared relation.
+    #[test]
+    fn enforcement_matches_declaration(rel_code in 0u8..4, cycles in 1u64..8) {
+        let rel = [Rel::Conflict, Rel::Before, Rel::After, Rel::Free][rel_code as usize];
+        let clk = Clock::new();
+        let cm = ConflictMatrix::builder(2)
+            .pair(0, 1, rel)
+            .self_free(0)
+            .self_free(1)
+            .build();
+        let ifc = clk.module("m", &["a", "b"], cm);
+        struct St {
+            ifc: ModuleIfc,
+        }
+        let mut sim = Sim::new(clk, St { ifc });
+        let ra = sim.rule("callA", |s: &mut St| {
+            s.ifc.record(0);
+            Ok(())
+        });
+        let rb = sim.rule("callB", |s: &mut St| {
+            s.ifc.record(1);
+            Ok(())
+        });
+        sim.run(cycles);
+        let (fa, fb) = (sim.rule_stats(ra), sim.rule_stats(rb));
+        prop_assert_eq!(fa.fired, cycles, "first rule always fires");
+        match rel {
+            // callA fires first in the schedule; b-after-a is legal iff
+            // rel(a, b) ∈ {<, CF}.
+            Rel::Before | Rel::Free => prop_assert_eq!(fb.fired, cycles),
+            Rel::After | Rel::Conflict => {
+                prop_assert_eq!(fb.fired, 0);
+                prop_assert_eq!(fb.cm_stalls, cycles);
+            }
+        }
+    }
+}

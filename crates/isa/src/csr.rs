@@ -1,0 +1,349 @@
+//! Control and status registers: addresses, fields, and a minimal CSR file
+//! sufficient for M/S privilege, traps, and Sv39 paging.
+
+/// Privilege modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priv {
+    /// User mode.
+    U,
+    /// Supervisor mode.
+    S,
+    /// Machine mode.
+    M,
+}
+
+impl Priv {
+    /// Encoding used in `mstatus.MPP`.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            Priv::U => 0,
+            Priv::S => 1,
+            Priv::M => 3,
+        }
+    }
+
+    /// Decodes an MPP/SPP value (1-bit SPP handled by caller).
+    #[must_use]
+    pub fn from_code(c: u64) -> Priv {
+        match c & 3 {
+            0 => Priv::U,
+            1 => Priv::S,
+            _ => Priv::M,
+        }
+    }
+}
+
+/// Well-known CSR addresses used in this reproduction.
+pub mod addr {
+    /// machine status
+    pub const MSTATUS: u16 = 0x300;
+    /// machine trap vector
+    pub const MTVEC: u16 = 0x305;
+    /// machine scratch
+    pub const MSCRATCH: u16 = 0x340;
+    /// machine exception PC
+    pub const MEPC: u16 = 0x341;
+    /// machine trap cause
+    pub const MCAUSE: u16 = 0x342;
+    /// machine trap value
+    pub const MTVAL: u16 = 0x343;
+    /// machine exception delegation
+    pub const MEDELEG: u16 = 0x302;
+    /// machine hart id (read-only)
+    pub const MHARTID: u16 = 0xf14;
+    /// supervisor status (view of mstatus)
+    pub const SSTATUS: u16 = 0x100;
+    /// supervisor trap vector
+    pub const STVEC: u16 = 0x105;
+    /// supervisor scratch
+    pub const SSCRATCH: u16 = 0x140;
+    /// supervisor exception PC
+    pub const SEPC: u16 = 0x141;
+    /// supervisor trap cause
+    pub const SCAUSE: u16 = 0x142;
+    /// supervisor trap value
+    pub const STVAL: u16 = 0x143;
+    /// address translation and protection
+    pub const SATP: u16 = 0x180;
+    /// cycle counter (read-only shadow)
+    pub const CYCLE: u16 = 0xc00;
+    /// instructions-retired counter (read-only shadow)
+    pub const INSTRET: u16 = 0xc02;
+}
+
+/// Exception causes (mcause values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exception {
+    /// Instruction address misaligned.
+    InstAddrMisaligned,
+    /// Instruction access fault.
+    InstAccessFault,
+    /// Illegal instruction.
+    IllegalInst,
+    /// Breakpoint (`ebreak`).
+    Breakpoint,
+    /// Load address misaligned.
+    LoadAddrMisaligned,
+    /// Load access fault.
+    LoadAccessFault,
+    /// Store/AMO address misaligned.
+    StoreAddrMisaligned,
+    /// Store/AMO access fault.
+    StoreAccessFault,
+    /// Environment call (from the faulting privilege).
+    Ecall(Priv),
+    /// Instruction page fault.
+    InstPageFault,
+    /// Load page fault.
+    LoadPageFault,
+    /// Store/AMO page fault.
+    StorePageFault,
+}
+
+impl Exception {
+    /// The mcause encoding.
+    #[must_use]
+    pub fn cause(self) -> u64 {
+        match self {
+            Exception::InstAddrMisaligned => 0,
+            Exception::InstAccessFault => 1,
+            Exception::IllegalInst => 2,
+            Exception::Breakpoint => 3,
+            Exception::LoadAddrMisaligned => 4,
+            Exception::LoadAccessFault => 5,
+            Exception::StoreAddrMisaligned => 6,
+            Exception::StoreAccessFault => 7,
+            Exception::Ecall(Priv::U) => 8,
+            Exception::Ecall(Priv::S) => 9,
+            Exception::Ecall(Priv::M) => 11,
+            Exception::InstPageFault => 12,
+            Exception::LoadPageFault => 13,
+            Exception::StorePageFault => 15,
+        }
+    }
+}
+
+/// A minimal machine/supervisor CSR file.
+///
+/// Unknown CSRs read as zero and ignore writes, which is enough for the
+/// bare-metal workloads of this reproduction (they never rely on WARL
+/// subtleties).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrFile {
+    /// mstatus (sstatus is a view of it).
+    pub mstatus: u64,
+    /// mtvec.
+    pub mtvec: u64,
+    /// mscratch.
+    pub mscratch: u64,
+    /// mepc.
+    pub mepc: u64,
+    /// mcause.
+    pub mcause: u64,
+    /// mtval.
+    pub mtval: u64,
+    /// medeleg.
+    pub medeleg: u64,
+    /// stvec.
+    pub stvec: u64,
+    /// sscratch.
+    pub sscratch: u64,
+    /// sepc.
+    pub sepc: u64,
+    /// scause.
+    pub scause: u64,
+    /// stval.
+    pub stval: u64,
+    /// satp.
+    pub satp: u64,
+    /// This hart's id (mhartid).
+    pub hartid: u64,
+}
+
+/// mstatus bit positions used here.
+pub mod mstatus {
+    /// Supervisor previous privilege.
+    pub const SPP_BIT: u64 = 1 << 8;
+    /// Machine previous privilege (2 bits).
+    pub const MPP_SHIFT: u32 = 11;
+    /// Machine interrupt enable.
+    pub const MIE: u64 = 1 << 3;
+    /// Machine previous interrupt enable.
+    pub const MPIE: u64 = 1 << 7;
+    /// Supervisor interrupt enable.
+    pub const SIE: u64 = 1 << 1;
+    /// Supervisor previous interrupt enable.
+    pub const SPIE: u64 = 1 << 5;
+}
+
+impl CsrFile {
+    /// Creates a reset CSR file for `hartid`.
+    #[must_use]
+    pub fn new(hartid: u64) -> Self {
+        CsrFile {
+            mstatus: 0,
+            mtvec: 0,
+            mscratch: 0,
+            mepc: 0,
+            mcause: 0,
+            mtval: 0,
+            medeleg: 0,
+            stvec: 0,
+            sscratch: 0,
+            sepc: 0,
+            scause: 0,
+            stval: 0,
+            satp: 0,
+            hartid,
+        }
+    }
+
+    /// Reads a CSR; `cycle`/`instret` shadows are supplied by the caller
+    /// since only it knows the current counts.
+    #[must_use]
+    pub fn read(&self, csr: u16, cycle: u64, instret: u64) -> u64 {
+        match csr {
+            addr::MSTATUS => self.mstatus,
+            addr::MTVEC => self.mtvec,
+            addr::MSCRATCH => self.mscratch,
+            addr::MEPC => self.mepc,
+            addr::MCAUSE => self.mcause,
+            addr::MTVAL => self.mtval,
+            addr::MEDELEG => self.medeleg,
+            addr::MHARTID => self.hartid,
+            // sstatus: the S-visible subset of mstatus.
+            addr::SSTATUS => self.mstatus & 0x8000_0003_000d_e762,
+            addr::STVEC => self.stvec,
+            addr::SSCRATCH => self.sscratch,
+            addr::SEPC => self.sepc,
+            addr::SCAUSE => self.scause,
+            addr::STVAL => self.stval,
+            addr::SATP => self.satp,
+            addr::CYCLE => cycle,
+            addr::INSTRET => instret,
+            _ => 0,
+        }
+    }
+
+    /// Writes a CSR (ignoring read-only and unknown addresses).
+    pub fn write(&mut self, csr: u16, v: u64) {
+        match csr {
+            addr::MSTATUS => self.mstatus = v,
+            addr::MTVEC => self.mtvec = v,
+            addr::MSCRATCH => self.mscratch = v,
+            addr::MEPC => self.mepc = v & !1,
+            addr::MCAUSE => self.mcause = v,
+            addr::MTVAL => self.mtval = v,
+            addr::MEDELEG => self.medeleg = v,
+            addr::SSTATUS => {
+                let mask = 0x8000_0003_000d_e762u64 & !(1 << 63);
+                self.mstatus = (self.mstatus & !mask) | (v & mask);
+            }
+            addr::STVEC => self.stvec = v,
+            addr::SSCRATCH => self.sscratch = v,
+            addr::SEPC => self.sepc = v & !1,
+            addr::SCAUSE => self.scause = v,
+            addr::STVAL => self.stval = v,
+            addr::SATP => self.satp = v,
+            _ => {}
+        }
+    }
+
+    /// Takes a trap into M-mode from privilege `from` at `pc`; returns the
+    /// new PC (the trap vector).
+    pub fn trap_to_m(&mut self, e: Exception, pc: u64, tval: u64, from: Priv) -> u64 {
+        self.mepc = pc;
+        self.mcause = e.cause();
+        self.mtval = tval;
+        // MPP <- from; MPIE <- MIE; MIE <- 0.
+        let mie = (self.mstatus >> 3) & 1;
+        self.mstatus &= !(3 << mstatus::MPP_SHIFT);
+        self.mstatus |= from.code() << mstatus::MPP_SHIFT;
+        self.mstatus = (self.mstatus & !mstatus::MPIE) | (mie << 7);
+        self.mstatus &= !mstatus::MIE;
+        self.mtvec & !3
+    }
+
+    /// Executes `mret`, returning `(new_pc, new_priv)`.
+    pub fn mret(&mut self) -> (u64, Priv) {
+        let mpp = Priv::from_code(self.mstatus >> mstatus::MPP_SHIFT);
+        let mpie = (self.mstatus >> 7) & 1;
+        self.mstatus = (self.mstatus & !mstatus::MIE) | (mpie << 3);
+        self.mstatus |= mstatus::MPIE;
+        self.mstatus &= !(3 << mstatus::MPP_SHIFT);
+        (self.mepc, mpp)
+    }
+
+    /// Executes `sret`, returning `(new_pc, new_priv)`.
+    pub fn sret(&mut self) -> (u64, Priv) {
+        let spp = if self.mstatus & mstatus::SPP_BIT != 0 {
+            Priv::S
+        } else {
+            Priv::U
+        };
+        let spie = (self.mstatus >> 5) & 1;
+        self.mstatus = (self.mstatus & !mstatus::SIE) | (spie << 1);
+        self.mstatus |= mstatus::SPIE;
+        self.mstatus &= !mstatus::SPP_BIT;
+        (self.sepc, spp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_and_mret_roundtrip() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::MTVEC, 0x8000_0100);
+        let vec = c.trap_to_m(Exception::Ecall(Priv::S), 0x8000_1234, 0, Priv::S);
+        assert_eq!(vec, 0x8000_0100);
+        assert_eq!(c.mepc, 0x8000_1234);
+        assert_eq!(c.mcause, 9);
+        let (pc, p) = c.mret();
+        assert_eq!(pc, 0x8000_1234);
+        assert_eq!(p, Priv::S);
+    }
+
+    #[test]
+    fn mret_restores_mpp_to_machine() {
+        let mut c = CsrFile::new(0);
+        c.trap_to_m(Exception::IllegalInst, 0x10, 0, Priv::M);
+        let (_, p) = c.mret();
+        assert_eq!(p, Priv::M);
+    }
+
+    #[test]
+    fn sret_uses_spp() {
+        let mut c = CsrFile::new(0);
+        c.mstatus |= mstatus::SPP_BIT;
+        c.sepc = 0x42;
+        let (pc, p) = c.sret();
+        assert_eq!((pc, p), (0x42, Priv::S));
+        let (_, p2) = c.sret();
+        assert_eq!(p2, Priv::U, "SPP cleared by first sret");
+    }
+
+    #[test]
+    fn unknown_csrs_read_zero() {
+        let c = CsrFile::new(3);
+        assert_eq!(c.read(0x7c0, 0, 0), 0);
+        assert_eq!(c.read(addr::MHARTID, 0, 0), 3);
+    }
+
+    #[test]
+    fn cycle_and_instret_shadows() {
+        let c = CsrFile::new(0);
+        assert_eq!(c.read(addr::CYCLE, 123, 45), 123);
+        assert_eq!(c.read(addr::INSTRET, 123, 45), 45);
+    }
+
+    #[test]
+    fn epc_writes_clear_low_bit() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::MEPC, 0x1001);
+        assert_eq!(c.mepc, 0x1000);
+    }
+}

@@ -1,0 +1,45 @@
+//! # riscy-isa — RV64IMA+Zicsr instruction set substrate
+//!
+//! The ISA layer shared by every processor model in this reproduction of
+//! *"Composable Building Blocks to Open up Processor Design"* (MICRO 2018):
+//!
+//! * [`reg`] — architectural registers;
+//! * [`inst`] — decoded instructions, binary encode/decode;
+//! * [`asm`] — a label-based assembler and loadable [`asm::Program`] images
+//!   (substituting for cross-compiled SPEC/PARSEC binaries);
+//! * [`csr`] — control/status registers, privilege, traps;
+//! * [`vm`] — Sv39 page tables and the page-walk algorithm;
+//! * [`mem`] — sparse physical memory and the platform MMIO map;
+//! * [`interp`] — the golden-model interpreter (Spike substitute) used for
+//!   lock-step co-simulation against the hardware models.
+//!
+//! # Examples
+//!
+//! Assemble and run a program on the golden model:
+//!
+//! ```
+//! use riscy_isa::asm::Assembler;
+//! use riscy_isa::interp::Machine;
+//! use riscy_isa::mem::{DRAM_BASE, MMIO_EXIT};
+//! use riscy_isa::reg::Gpr;
+//!
+//! let mut a = Assembler::new(DRAM_BASE);
+//! a.li(Gpr::a(0), 6);
+//! a.li(Gpr::a(1), 7);
+//! a.mul(Gpr::a(2), Gpr::a(0), Gpr::a(1));
+//! a.li(Gpr::t(0), MMIO_EXIT as i64);
+//! a.sd(Gpr::ZERO, 0, Gpr::t(0));
+//! let program = a.assemble();
+//!
+//! let mut m = Machine::with_program(1, &program);
+//! m.run(1000).expect("halts");
+//! assert_eq!(m.hart(0).reg(Gpr::a(2)), 42);
+//! ```
+
+pub mod asm;
+pub mod csr;
+pub mod inst;
+pub mod interp;
+pub mod mem;
+pub mod reg;
+pub mod vm;

@@ -1,0 +1,182 @@
+//! Sparse physical memory, the platform address map, and MMIO definitions.
+//!
+//! The map mirrors a typical RISC-V SoC: DRAM at `0x8000_0000`, an MMIO
+//! device block below it. The MMIO devices substitute for the paper's
+//! host-target interface (HTIF): per-hart exit registers, a console, and
+//! region-of-interest (ROI) markers used by every benchmark harness.
+
+use std::collections::HashMap;
+
+/// Base of cacheable DRAM.
+pub const DRAM_BASE: u64 = 0x8000_0000;
+
+/// Base of the MMIO device block (non-cacheable).
+pub const MMIO_BASE: u64 = 0x1000_0000;
+/// One-past-the-end of the MMIO block.
+pub const MMIO_END: u64 = 0x1001_0000;
+
+/// Per-hart exit registers: a store of `code` to `MMIO_EXIT + 8*hart` halts
+/// that hart with exit code `code`.
+pub const MMIO_EXIT: u64 = MMIO_BASE;
+/// Console: a byte stored here is appended to the console log.
+pub const MMIO_PUTCHAR: u64 = MMIO_BASE + 0x100;
+/// ROI marker: store 1 at region-of-interest begin, 0 at end.
+pub const MMIO_ROI: u64 = MMIO_BASE + 0x200;
+
+/// Whether `pa` lies in the MMIO block.
+#[must_use]
+pub fn is_mmio(pa: u64) -> bool {
+    (MMIO_BASE..MMIO_END).contains(&pa)
+}
+
+const PAGE_BYTES: usize = 4096;
+
+/// Byte-addressable sparse physical memory (allocates 4 KiB frames on first
+/// touch; unwritten memory reads as zero).
+#[derive(Default)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl std::fmt::Debug for SparseMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseMem")
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl SparseMem {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (touched) 4 KiB frames.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, pa: u64) -> u8 {
+        match self.pages.get(&(pa / PAGE_BYTES as u64)) {
+            Some(p) => p[(pa % PAGE_BYTES as u64) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, pa: u64, v: u8) {
+        let page = self
+            .pages
+            .entry(pa / PAGE_BYTES as u64)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES]));
+        page[(pa % PAGE_BYTES as u64) as usize] = v;
+    }
+
+    /// Reads `n <= 8` bytes little-endian (may cross a page boundary).
+    #[must_use]
+    pub fn read_le(&self, pa: u64, n: u64) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= u64::from(self.read_u8(pa + i)) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n <= 8` bytes of `v` little-endian.
+    pub fn write_le(&mut self, pa: u64, n: u64, v: u64) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(pa + i, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads an aligned 64-bit word (PTE reads, cache refills).
+    #[must_use]
+    pub fn read_u64(&self, pa: u64) -> u64 {
+        self.read_le(pa, 8)
+    }
+
+    /// Writes an aligned 64-bit word.
+    pub fn write_u64(&mut self, pa: u64, v: u64) {
+        self.write_le(pa, 8, v);
+    }
+
+    /// Copies a byte slice into memory at `pa`.
+    pub fn write_bytes(&mut self, pa: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(pa + i as u64, b);
+        }
+    }
+
+    /// Reads an entire aligned 64-byte cache line.
+    #[must_use]
+    pub fn read_line(&self, pa: u64) -> [u8; 64] {
+        debug_assert_eq!(pa % 64, 0, "line reads must be aligned");
+        let mut line = [0u8; 64];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = self.read_u8(pa + i as u64);
+        }
+        line
+    }
+
+    /// Writes an entire aligned 64-byte cache line.
+    pub fn write_line(&mut self, pa: u64, line: &[u8; 64]) {
+        debug_assert_eq!(pa % 64, 0, "line writes must be aligned");
+        self.write_bytes(pa, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let m = SparseMem::new();
+        assert_eq!(m.read_u64(DRAM_BASE), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = SparseMem::new();
+        m.write_le(DRAM_BASE, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u8(DRAM_BASE), 0x88);
+        assert_eq!(m.read_le(DRAM_BASE, 4), 0x5566_7788);
+        assert_eq!(m.read_le(DRAM_BASE + 4, 4), 0x1122_3344);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMem::new();
+        let pa = DRAM_BASE + 4096 - 4;
+        m.write_le(pa, 8, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_le(pa, 8), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut m = SparseMem::new();
+        let mut line = [0u8; 64];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        m.write_line(DRAM_BASE + 64, &line);
+        assert_eq!(m.read_line(DRAM_BASE + 64), line);
+    }
+
+    #[test]
+    fn mmio_range_check() {
+        assert!(is_mmio(MMIO_EXIT));
+        assert!(is_mmio(MMIO_PUTCHAR));
+        assert!(!is_mmio(DRAM_BASE));
+        assert!(!is_mmio(MMIO_END));
+    }
+}

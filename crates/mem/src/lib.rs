@@ -1,0 +1,28 @@
+//! # riscy-mem — the coherent memory substrate
+//!
+//! Everything below the core in the paper's SoC (Fig. 9 load-store unit
+//! periphery and Fig. 11 multiprocessor): non-blocking L1 caches, a shared
+//! inclusive L2 with a directory-based MSI protocol, crossbars, a DRAM
+//! model, TLBs, and hardware page walkers with a split translation cache.
+//!
+//! * [`msg`] — protocol message types;
+//! * [`queue`] — latency-modeling channels;
+//! * [`cache`] — cache arrays and the non-blocking L1;
+//! * [`l2`] — the shared L2 (line-blocked transactions, directory);
+//! * [`dram`] — latency/bandwidth-limited DRAM;
+//! * [`tlb`] — L1/L2 TLBs, page walker, walk cache;
+//! * [`system`] — the assembled [`system::MemSystem`].
+//!
+//! Modeling level: these components expose latency-insensitive guarded
+//! FIFO interfaces (the paper's composition style) and advance with a
+//! per-cycle `tick`. The intra-cycle atomicity machinery of `cmd-core` is
+//! reserved for the processor core, where cross-module atomicity is the
+//! correctness problem the paper highlights.
+
+pub mod cache;
+pub mod dram;
+pub mod l2;
+pub mod msg;
+pub mod queue;
+pub mod system;
+pub mod tlb;

@@ -1,0 +1,496 @@
+//! The assembled memory system: per-core L1 I/D caches, crossbars, the
+//! shared L2, DRAM, and the page-walk crossbar (paper Fig. 11).
+
+use riscy_isa::mem::SparseMem;
+
+use crate::cache::{L1Cache, L1Config};
+use crate::l2::{UncachedReq, UncachedResp, L2, L2Config};
+use crate::msg::{ChildReq, ChildToParent, ParentToChild};
+use crate::queue::TimedQueue;
+
+/// Configuration of the whole memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Per-core L1 instruction cache.
+    pub l1i: L1Config,
+    /// Per-core L1 data cache.
+    pub l1d: L1Config,
+    /// Shared L2 + DRAM.
+    pub l2: L2Config,
+    /// One-way crossbar latency in cycles.
+    pub xbar_latency: u64,
+    /// Additional L2 pipeline latency applied to L2→L1 responses.
+    pub l2_pipe_latency: u64,
+}
+
+impl Default for MemConfig {
+    /// The paper's RiscyOO-B memory system.
+    fn default() -> Self {
+        MemConfig {
+            l1i: L1Config::default(),
+            l1d: L1Config::default(),
+            l2: L2Config::default(),
+            xbar_latency: 2,
+            l2_pipe_latency: 8,
+        }
+    }
+}
+
+/// The shared memory system for `n` cores.
+///
+/// Child-id convention: core `c`'s D cache is child `2c`, its I cache is
+/// child `2c + 1`. Instruction fetches are fully coherent, as in the paper.
+#[derive(Debug)]
+pub struct MemSystem {
+    /// Backing physical memory.
+    pub mem: SparseMem,
+    l1d: Vec<L1Cache>,
+    l1i: Vec<L1Cache>,
+    /// The shared L2.
+    pub l2: L2,
+    c2p_req: TimedQueue<ChildReq>,
+    c2p_msg: TimedQueue<ChildToParent>,
+    /// Single ordered parent→child channel (see [`ParentToChild`]).
+    p2c: TimedQueue<(usize, ParentToChild)>,
+    walk_req: TimedQueue<UncachedReq>,
+    walk_resp: TimedQueue<(usize, UncachedResp)>,
+    now: u64,
+}
+
+impl MemSystem {
+    /// Builds the memory system for `num_cores` cores.
+    #[must_use]
+    pub fn new(cfg: MemConfig, num_cores: usize, mem: SparseMem) -> Self {
+        let children = 2 * num_cores;
+        MemSystem {
+            mem,
+            l1d: (0..num_cores).map(|c| L1Cache::new(2 * c, cfg.l1d)).collect(),
+            l1i: (0..num_cores)
+                .map(|c| L1Cache::new(2 * c + 1, cfg.l1i))
+                .collect(),
+            l2: L2::new(cfg.l2, children, num_cores),
+            c2p_req: TimedQueue::new(cfg.xbar_latency, 4096),
+            c2p_msg: TimedQueue::new(cfg.xbar_latency, 4096),
+            p2c: TimedQueue::new(cfg.xbar_latency + cfg.l2_pipe_latency, 4096),
+            walk_req: TimedQueue::new(cfg.xbar_latency, 1024),
+            walk_resp: TimedQueue::new(cfg.xbar_latency + cfg.l2_pipe_latency, 1024),
+            now: 0,
+        }
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Core `c`'s data cache.
+    pub fn dcache(&mut self, core: usize) -> &mut L1Cache {
+        &mut self.l1d[core]
+    }
+
+    /// Core `c`'s instruction cache.
+    pub fn icache(&mut self, core: usize) -> &mut L1Cache {
+        &mut self.l1i[core]
+    }
+
+    /// Read-only view of core `c`'s data cache.
+    #[must_use]
+    pub fn dcache_ref(&self, core: usize) -> &L1Cache {
+        &self.l1d[core]
+    }
+
+    /// Read-only view of core `c`'s instruction cache.
+    #[must_use]
+    pub fn icache_ref(&self, core: usize) -> &L1Cache {
+        &self.l1i[core]
+    }
+
+    /// Submits a page-walker PTE load.
+    pub fn push_walker_req(&mut self, req: UncachedReq) {
+        let now = self.now;
+        let _ = self.walk_req.push(now, req);
+    }
+
+    /// Pops a page-walker PTE response for `core`.
+    pub fn pop_walker_resp(&mut self, core: usize) -> Option<UncachedResp> {
+        // Only the head is inspected; per-core fairness is not an issue at
+        // walker request rates.
+        match self.walk_resp.peek_ready(self.now) {
+            Some((c, _)) if *c == core => self.walk_resp.pop_ready(self.now).map(|(_, r)| r),
+            _ => None,
+        }
+    }
+
+    /// Advances the entire memory system one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // L1s tick and emit.
+        for l1 in self.l1d.iter_mut().chain(self.l1i.iter_mut()) {
+            l1.tick(now);
+            while let Some(r) = l1.to_parent_req.pop_front() {
+                let _ = self.c2p_req.push(now, r);
+            }
+            while let Some(m) = l1.to_parent_msg.pop_front() {
+                let _ = self.c2p_msg.push(now, m);
+            }
+        }
+        // Deliver to L2.
+        while let Some(r) = self.c2p_req.pop_ready(now) {
+            self.l2.req_in.push_back(r);
+        }
+        while let Some(m) = self.c2p_msg.pop_ready(now) {
+            self.l2.msg_in.push_back(m);
+        }
+        while let Some(w) = self.walk_req.pop_ready(now) {
+            self.l2.uncached_in.push_back(w);
+        }
+        // L2 ticks and emits.
+        self.l2.tick(now, &mut self.mem);
+        for child in 0..self.l1d.len() * 2 {
+            while let Some(r) = self.l2.resp_out[child].pop_front() {
+                let _ = self.p2c.push(now, (child, ParentToChild::Grant(r)));
+            }
+            while let Some(d) = self.l2.down_out[child].pop_front() {
+                let _ = self.p2c.push(now, (child, ParentToChild::Down(d)));
+            }
+        }
+        for core in 0..self.l1d.len() {
+            while let Some(u) = self.l2.uncached_out[core].pop_front() {
+                let _ = self.walk_resp.push(now, (core, u));
+            }
+        }
+        // Deliver to L1s, preserving per-child order.
+        while let Some((child, m)) = self.p2c.pop_ready(now) {
+            self.child_mut(child).from_parent.push_back(m);
+        }
+        self.now += 1;
+    }
+
+    fn child_mut(&mut self, child: usize) -> &mut L1Cache {
+        if child % 2 == 0 {
+            &mut self.l1d[child / 2]
+        } else {
+            &mut self.l1i[child / 2]
+        }
+    }
+
+    /// Whether every component is quiescent (test helper).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.l2.is_idle()
+            && self.c2p_req.is_empty()
+            && self.c2p_msg.is_empty()
+            && self.p2c.is_empty()
+            && self.l1d.iter().all(L1Cache::is_idle)
+            && self.l1i.iter().all(L1Cache::is_idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{AtomicOp, CoreReq, CoreResp, Msi};
+    use riscy_isa::mem::DRAM_BASE;
+
+    fn sys(cores: usize) -> MemSystem {
+        let mut mem = SparseMem::new();
+        for i in 0..1024 {
+            mem.write_u64(DRAM_BASE + 8 * i, i);
+        }
+        let cfg = MemConfig {
+            l2: L2Config {
+                dram: crate::dram::DramConfig {
+                    latency: 20,
+                    max_outstanding: 8,
+                    cycles_per_line: 2,
+                },
+                ..L2Config::default()
+            },
+            ..MemConfig::default()
+        };
+        MemSystem::new(cfg, cores, mem)
+    }
+
+    /// Runs until the D-cache of `core` produces a response.
+    fn wait_resp(s: &mut MemSystem, core: usize, max: u64) -> CoreResp {
+        for _ in 0..max {
+            let now = s.now();
+            if let Some(r) = s.dcache(core).pop_resp(now) {
+                return r;
+            }
+            s.tick();
+        }
+        panic!("no response within {max} cycles");
+    }
+
+    #[test]
+    fn load_miss_roundtrip_latency() {
+        let mut s = sys(1);
+        s.dcache(0)
+            .request(CoreReq::Ld {
+                tag: 1,
+                addr: DRAM_BASE + 16,
+                bytes: 8,
+            })
+            .unwrap();
+        let start = s.now();
+        let r = wait_resp(&mut s, 0, 500);
+        assert_eq!(r, CoreResp::Ld { tag: 1, data: 2 });
+        let lat = s.now() - start;
+        assert!(lat >= 20, "must include DRAM latency, got {lat}");
+        // Second access to the same line hits quickly.
+        s.dcache(0)
+            .request(CoreReq::Ld {
+                tag: 2,
+                addr: DRAM_BASE + 24,
+                bytes: 8,
+            })
+            .unwrap();
+        let start = s.now();
+        let r = wait_resp(&mut s, 0, 50);
+        assert_eq!(r, CoreResp::Ld { tag: 2, data: 3 });
+        assert!(s.now() - start <= 5, "hit must be fast");
+    }
+
+    #[test]
+    fn store_and_read_back_through_hierarchy() {
+        let mut s = sys(1);
+        let line = DRAM_BASE;
+        s.dcache(0)
+            .request(CoreReq::St { sb_idx: 0, line })
+            .unwrap();
+        let r = wait_resp(&mut s, 0, 500);
+        assert_eq!(r, CoreResp::St { sb_idx: 0 });
+        let mut data = [0u8; 64];
+        let mut en = [false; 64];
+        data[0] = 0xcd;
+        en[0] = true;
+        s.dcache(0).write_data(line, &data, &en);
+        s.dcache(0)
+            .request(CoreReq::Ld {
+                tag: 9,
+                addr: line,
+                bytes: 1,
+            })
+            .unwrap();
+        let r = wait_resp(&mut s, 0, 100);
+        assert_eq!(r, CoreResp::Ld { tag: 9, data: 0xcd });
+    }
+
+    #[test]
+    fn coherence_migrates_dirty_line_between_cores() {
+        let mut s = sys(2);
+        let line = DRAM_BASE + 0x400;
+        // Core 0 writes.
+        s.dcache(0)
+            .request(CoreReq::St { sb_idx: 0, line })
+            .unwrap();
+        let r = wait_resp(&mut s, 0, 500);
+        assert_eq!(r, CoreResp::St { sb_idx: 0 });
+        let mut data = [0u8; 64];
+        let mut en = [false; 64];
+        data[5] = 0x77;
+        en[5] = true;
+        s.dcache(0).write_data(line, &data, &en);
+        assert_eq!(s.dcache_ref(0).line_state(line), Msi::M);
+        // Core 1 reads and must see core 0's store.
+        s.dcache(1)
+            .request(CoreReq::Ld {
+                tag: 3,
+                addr: line + 5,
+                bytes: 1,
+            })
+            .unwrap();
+        let r = wait_resp(&mut s, 1, 500);
+        assert_eq!(r, CoreResp::Ld { tag: 3, data: 0x77 });
+        // Core 0 is demoted to S.
+        assert_eq!(s.dcache_ref(0).line_state(line), Msi::S);
+        assert_eq!(s.dcache_ref(1).line_state(line), Msi::S);
+    }
+
+    #[test]
+    fn write_write_migration() {
+        let mut s = sys(2);
+        let line = DRAM_BASE + 0x800;
+        for core in 0..2 {
+            s.dcache(core)
+                .request(CoreReq::St {
+                    sb_idx: core as u32,
+                    line,
+                })
+                .unwrap();
+            let r = wait_resp(&mut s, core, 500);
+            assert_eq!(
+                r,
+                CoreResp::St {
+                    sb_idx: core as u32
+                }
+            );
+            let mut data = [0u8; 64];
+            let mut en = [false; 64];
+            data[core] = 0xa0 + core as u8;
+            en[core] = true;
+            s.dcache(core).write_data(line, &data, &en);
+        }
+        assert_eq!(s.dcache_ref(0).line_state(line), Msi::I, "invalidated");
+        assert_eq!(s.dcache_ref(1).line_state(line), Msi::M);
+        // Core 0 loads back: must see both writes.
+        s.dcache(0)
+            .request(CoreReq::Ld {
+                tag: 1,
+                addr: line,
+                bytes: 2,
+            })
+            .unwrap();
+        let r = wait_resp(&mut s, 0, 500);
+        assert_eq!(r, CoreResp::Ld { tag: 1, data: 0xa1a0 });
+    }
+
+    #[test]
+    fn amo_counter_across_cores_is_atomic() {
+        let mut s = sys(2);
+        let addr = DRAM_BASE + 0xc00;
+        for round in 0..5u64 {
+            for core in 0..2 {
+                s.dcache(core)
+                    .request(CoreReq::Atomic {
+                        tag: 1,
+                        addr,
+                        bytes: 8,
+                        op: AtomicOp::Amo(riscy_isa::inst::AmoOp::Add, 1),
+                    })
+                    .unwrap();
+                let r = wait_resp(&mut s, core, 1000);
+                // The fixture initializes this word to its index (0xc00/8).
+                let init = 384;
+                match r {
+                    CoreResp::Atomic { data, .. } => {
+                        assert_eq!(data, init + round * 2 + core as u64);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lr_sc_broken_by_remote_write() {
+        let mut s = sys(2);
+        let addr = DRAM_BASE + 0x1000;
+        // Core 0: LR.
+        s.dcache(0)
+            .request(CoreReq::Atomic {
+                tag: 1,
+                addr,
+                bytes: 8,
+                op: AtomicOp::Lr,
+            })
+            .unwrap();
+        wait_resp(&mut s, 0, 500);
+        // Core 1: store to the same line (invalidates core 0).
+        s.dcache(1)
+            .request(CoreReq::St {
+                sb_idx: 0,
+                line: addr,
+            })
+            .unwrap();
+        let r = wait_resp(&mut s, 1, 500);
+        assert_eq!(r, CoreResp::St { sb_idx: 0 });
+        s.dcache(1).write_data(addr, &[0u8; 64], &[true; 64]);
+        // Core 0: SC must fail.
+        s.dcache(0)
+            .request(CoreReq::Atomic {
+                tag: 2,
+                addr,
+                bytes: 8,
+                op: AtomicOp::Sc(5),
+            })
+            .unwrap();
+        let r = wait_resp(&mut s, 0, 500);
+        assert_eq!(r, CoreResp::Atomic { tag: 2, data: 1 });
+    }
+
+    #[test]
+    fn icache_fetch_and_eviction_note_on_remote_write() {
+        let mut s = sys(1);
+        let line = DRAM_BASE;
+        s.icache(0)
+            .request(CoreReq::Ld {
+                tag: 0,
+                addr: line,
+                bytes: 8,
+            })
+            .unwrap();
+        for _ in 0..300 {
+            let now = s.now();
+            if s.icache(0).pop_resp(now).is_some() {
+                break;
+            }
+            s.tick();
+        }
+        assert_eq!(s.icache_ref(0).line_state(line), Msi::S);
+        // D-side write to the same line invalidates the I copy (coherent
+        // fetches).
+        s.dcache(0)
+            .request(CoreReq::St { sb_idx: 0, line })
+            .unwrap();
+        let r = wait_resp(&mut s, 0, 500);
+        assert_eq!(r, CoreResp::St { sb_idx: 0 });
+        s.dcache(0).write_data(line, &[1u8; 64], &[true; 64]);
+        for _ in 0..50 {
+            s.tick();
+        }
+        assert_eq!(s.icache_ref(0).line_state(line), Msi::I);
+        assert!(s.icache(0).evict_notes.contains(&line));
+    }
+
+    #[test]
+    fn many_outstanding_misses_pipeline() {
+        let mut s = sys(1);
+        // 8 loads to distinct lines all outstanding at once.
+        for i in 0..8u64 {
+            s.dcache(0)
+                .request(CoreReq::Ld {
+                    tag: i as u32,
+                    addr: DRAM_BASE + 64 * i,
+                    bytes: 8,
+                })
+                .unwrap();
+        }
+        let start = s.now();
+        let mut got = 0;
+        let mut finish = 0;
+        while got < 8 {
+            let now = s.now();
+            while s.dcache(0).pop_resp(now).is_some() {
+                got += 1;
+                finish = now;
+            }
+            s.tick();
+            assert!(s.now() - start < 1000, "deadlock");
+        }
+        let total = finish - start;
+        // Serial latency would be ≥ 8 × (20 + overhead); overlap must beat it.
+        assert!(total < 8 * 25, "misses must overlap: {total}");
+    }
+
+    #[test]
+    fn walker_reads_route_through_l2() {
+        let mut s = sys(1);
+        s.mem.write_u64(DRAM_BASE + 0x2000, 0xfeed);
+        s.push_walker_req(UncachedReq {
+            core: 0,
+            tag: 4,
+            addr: DRAM_BASE + 0x2000,
+        });
+        for _ in 0..300 {
+            if let Some(r) = s.pop_walker_resp(0) {
+                assert_eq!(r, UncachedResp { tag: 4, data: 0xfeed });
+                return;
+            }
+            s.tick();
+        }
+        panic!("walker response never arrived");
+    }
+}

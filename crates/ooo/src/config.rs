@@ -1,0 +1,342 @@
+//! Core and SoC configurations, including every named configuration of the
+//! paper's evaluation (Figs. 12–14) and the comparison-processor proxies.
+
+use riscy_mem::cache::L1Config;
+use riscy_mem::dram::DramConfig;
+use riscy_mem::l2::L2Config;
+use riscy_mem::system::MemConfig;
+
+/// Memory consistency model implemented by the load-store unit (paper §V-B,
+/// Fig. 20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemModel {
+    /// Total store order: stores issue to L1 in order from the SQ; loads
+    /// killed on cache eviction (`cacheEvict`).
+    Tso,
+    /// The paper's weak memory model \[39\]: committed stores coalesce in a
+    /// store buffer and drain out of order.
+    Wmm,
+}
+
+/// TLB microarchitecture (paper Fig. 14: RiscyOO-B vs RiscyOO-T+).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// L1 I/D TLB entries (fully associative).
+    pub l1_entries: usize,
+    /// L2 TLB entries.
+    pub l2_entries: usize,
+    /// L2 TLB associativity.
+    pub l2_ways: usize,
+    /// Maximum concurrent L1 D TLB misses (1 = blocking; T+: 4).
+    pub l1d_miss_slots: usize,
+    /// Maximum concurrent L2 TLB misses / page walks (1 = blocking; T+: 2).
+    pub l2_miss_slots: usize,
+    /// Split translation (page-walk) cache entries per level (0 = none;
+    /// T+: 24).
+    pub walk_cache_entries: usize,
+}
+
+impl TlbConfig {
+    /// RiscyOO-B: blocking TLBs, no walk cache.
+    #[must_use]
+    pub fn blocking() -> Self {
+        TlbConfig {
+            l1_entries: 32,
+            l2_entries: 2048,
+            l2_ways: 4,
+            l1d_miss_slots: 1,
+            l2_miss_slots: 1,
+            walk_cache_entries: 0,
+        }
+    }
+
+    /// RiscyOO-T+: non-blocking TLBs with a 24-entry-per-level walk cache.
+    #[must_use]
+    pub fn nonblocking() -> Self {
+        TlbConfig {
+            l1d_miss_slots: 4,
+            l2_miss_slots: 2,
+            walk_cache_entries: 24,
+            ..Self::blocking()
+        }
+    }
+}
+
+/// Branch-prediction configuration (paper Fig. 12: 256-entry BTB,
+/// Alpha-21264-style tournament predictor, 8-entry RAS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpConfig {
+    /// BTB entries (direct-mapped).
+    pub btb_entries: usize,
+    /// Local history table entries.
+    pub local_hist_entries: usize,
+    /// Bits of local history.
+    pub local_hist_bits: u32,
+    /// Global/choice table entries.
+    pub global_entries: usize,
+    /// Return-address-stack entries.
+    pub ras_entries: usize,
+}
+
+impl Default for BpConfig {
+    fn default() -> Self {
+        BpConfig {
+            btb_entries: 256,
+            local_hist_entries: 1024,
+            local_hist_bits: 10,
+            global_entries: 4096,
+            ras_entries: 8,
+        }
+    }
+}
+
+/// Full configuration of one core (paper Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Superscalar width: fetch/decode/rename/commit per cycle.
+    pub width: usize,
+    /// ROB entries.
+    pub rob_entries: usize,
+    /// Number of ALU pipelines.
+    pub alu_pipes: usize,
+    /// Entries per issue queue.
+    pub iq_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Store-buffer entries (64 B each).
+    pub sb_entries: usize,
+    /// Physical registers.
+    pub phys_regs: usize,
+    /// Speculation tags (simultaneously unresolved branches).
+    pub spec_tags: usize,
+    /// Branch prediction.
+    pub bp: BpConfig,
+    /// TLBs.
+    pub tlb: TlbConfig,
+    /// Memory model.
+    pub mem_model: MemModel,
+}
+
+impl CoreConfig {
+    /// RiscyOO-B, the paper's base configuration (Fig. 12) — blocking TLBs.
+    #[must_use]
+    pub fn riscyoo_b() -> Self {
+        CoreConfig {
+            width: 2,
+            rob_entries: 64,
+            alu_pipes: 2,
+            iq_entries: 16,
+            lq_entries: 24,
+            sq_entries: 14,
+            sb_entries: 4,
+            phys_regs: 96,
+            spec_tags: 12,
+            bp: BpConfig::default(),
+            tlb: TlbConfig::blocking(),
+            mem_model: MemModel::Wmm,
+        }
+    }
+
+    /// RiscyOO-T+ (Fig. 14): RiscyOO-B with non-blocking TLBs and a page
+    /// walk cache.
+    #[must_use]
+    pub fn riscyoo_t_plus() -> Self {
+        CoreConfig {
+            tlb: TlbConfig::nonblocking(),
+            ..Self::riscyoo_b()
+        }
+    }
+
+    /// RiscyOO-T+R+ (Fig. 14): T+ with an 80-entry ROB (to match BOOM).
+    #[must_use]
+    pub fn riscyoo_t_plus_r_plus() -> Self {
+        CoreConfig {
+            rob_entries: 80,
+            spec_tags: 16,
+            phys_regs: 112,
+            ..Self::riscyoo_t_plus()
+        }
+    }
+
+    /// The quad-core configuration of Fig. 20: 48-entry ROB, proportionally
+    /// reduced buffers, still 2-wide with four pipelines.
+    #[must_use]
+    pub fn multicore(model: MemModel) -> Self {
+        CoreConfig {
+            rob_entries: 48,
+            lq_entries: 18,
+            sq_entries: 10,
+            iq_entries: 12,
+            phys_regs: 80,
+            mem_model: model,
+            ..Self::riscyoo_t_plus()
+        }
+    }
+
+    /// A57 proxy: 3-wide superscalar OOO (commercial-ARM stand-in for
+    /// Fig. 18; see DESIGN.md substitutions).
+    #[must_use]
+    pub fn a57_proxy() -> Self {
+        CoreConfig {
+            width: 3,
+            alu_pipes: 3,
+            rob_entries: 128,
+            iq_entries: 24,
+            lq_entries: 32,
+            sq_entries: 24,
+            phys_regs: 160,
+            spec_tags: 16,
+            ..Self::riscyoo_t_plus()
+        }
+    }
+
+    /// Denver proxy: an aggressive 4-wide configuration with large buffers
+    /// (Fig. 18 stand-in for the 7-wide Denver).
+    #[must_use]
+    pub fn denver_proxy() -> Self {
+        CoreConfig {
+            width: 4,
+            alu_pipes: 4,
+            rob_entries: 192,
+            iq_entries: 32,
+            lq_entries: 48,
+            sq_entries: 32,
+            phys_regs: 256,
+            spec_tags: 20,
+            ..Self::riscyoo_t_plus()
+        }
+    }
+
+    /// BOOM proxy (Fig. 19): 2-wide, 80-entry ROB, matched caches, blocking
+    /// TLBs (BOOM's TLB microarchitecture lacked RiscyOO-T+'s
+    /// optimizations), slightly better branch prediction.
+    #[must_use]
+    pub fn boom_proxy() -> Self {
+        CoreConfig {
+            rob_entries: 80,
+            phys_regs: 112,
+            spec_tags: 16,
+            tlb: TlbConfig::blocking(),
+            bp: BpConfig {
+                global_entries: 8192,
+                local_hist_entries: 2048,
+                ..BpConfig::default()
+            },
+            ..Self::riscyoo_b()
+        }
+    }
+}
+
+/// Cache/memory configurations of Figs. 12–14.
+#[must_use]
+pub fn mem_riscyoo_b() -> MemConfig {
+    MemConfig::default()
+}
+
+/// RiscyOO-C-: 16 KB L1 I/D, 256 KB L2 (Fig. 14) — for the Rocket
+/// comparison.
+#[must_use]
+pub fn mem_riscyoo_c_minus() -> MemConfig {
+    MemConfig {
+        l1i: L1Config {
+            size_bytes: 16 * 1024,
+            ..L1Config::default()
+        },
+        l1d: L1Config {
+            size_bytes: 16 * 1024,
+            ..L1Config::default()
+        },
+        l2: L2Config {
+            size_bytes: 256 * 1024,
+            ..L2Config::default()
+        },
+        ..MemConfig::default()
+    }
+}
+
+/// A57/Denver proxy memory: 2 MB L2, larger L1 I.
+#[must_use]
+pub fn mem_arm_proxy() -> MemConfig {
+    MemConfig {
+        l1i: L1Config {
+            size_bytes: 48 * 1024,
+            ways: 12,
+            ..L1Config::default()
+        },
+        l2: L2Config {
+            size_bytes: 2 * 1024 * 1024,
+            ..L2Config::default()
+        },
+        ..MemConfig::default()
+    }
+}
+
+/// Rocket-like memory with a configurable flat latency and no L2
+/// (the prototype "is said to have an L2 ... there is actually no L2").
+#[must_use]
+pub fn mem_rocket(latency: u64) -> MemConfig {
+    MemConfig {
+        l1i: L1Config {
+            size_bytes: 16 * 1024,
+            ..L1Config::default()
+        },
+        l1d: L1Config {
+            size_bytes: 16 * 1024,
+            ..L1Config::default()
+        },
+        // A tiny pass-through "L2" models the absence of one.
+        l2: L2Config {
+            size_bytes: 8 * 1024,
+            ways: 2,
+            max_trans: 4,
+            dram: DramConfig {
+                latency,
+                max_outstanding: 4,
+                cycles_per_line: 1,
+            },
+            mesi: false,
+        },
+        xbar_latency: 0,
+        l2_pipe_latency: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_configs_match_figure_12_and_14() {
+        let b = CoreConfig::riscyoo_b();
+        assert_eq!(b.width, 2);
+        assert_eq!(b.rob_entries, 64);
+        assert_eq!(b.lq_entries, 24);
+        assert_eq!(b.sq_entries, 14);
+        assert_eq!(b.sb_entries, 4);
+        assert_eq!(b.tlb.l1d_miss_slots, 1, "B has blocking TLBs");
+
+        let t = CoreConfig::riscyoo_t_plus();
+        assert_eq!(t.tlb.l1d_miss_slots, 4);
+        assert_eq!(t.tlb.l2_miss_slots, 2);
+        assert_eq!(t.tlb.walk_cache_entries, 24);
+
+        let tr = CoreConfig::riscyoo_t_plus_r_plus();
+        assert_eq!(tr.rob_entries, 80);
+    }
+
+    #[test]
+    fn proxies_are_wider() {
+        assert_eq!(CoreConfig::a57_proxy().width, 3);
+        assert_eq!(CoreConfig::denver_proxy().width, 4);
+        assert_eq!(CoreConfig::boom_proxy().rob_entries, 80);
+    }
+
+    #[test]
+    fn memory_variants_scale() {
+        assert_eq!(mem_riscyoo_c_minus().l1d.size_bytes, 16 * 1024);
+        assert_eq!(mem_riscyoo_b().l2.size_bytes, 1024 * 1024);
+        assert_eq!(mem_rocket(120).l2.dram.latency, 120);
+    }
+}

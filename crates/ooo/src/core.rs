@@ -1,0 +1,1755 @@
+//! The RiscyOO core's state and top-level rules (paper Fig. 9).
+//!
+//! Each `rule_*` method on [`crate::soc::Soc`] is one of the paper's
+//! top-level atomic rules ("about a dozen at the top level"); the canonical
+//! schedule order is fixed in [`crate::soc::SocSim::new`] and plays the role
+//! of EHR port numbering. Rules call the guarded interface methods of the
+//! CMD modules (ROB, IQs, LSQ, store buffer, rename table, speculation
+//! manager), so a stalled resource atomically aborts the whole rule.
+
+use std::collections::VecDeque;
+
+use cmd_core::cell::Ehr;
+use cmd_core::guard::{Guarded, Stall};
+use riscy_isa::csr::{CsrFile, Exception, Priv};
+use riscy_isa::inst::{decode, CsrOp, CsrSrc, Instr, Rhs};
+use riscy_isa::interp::{alu_exec, muldiv_exec};
+use riscy_isa::mem::{is_mmio, DRAM_BASE, MMIO_ROI};
+use riscy_isa::reg::Gpr;
+use riscy_isa::vm::Access;
+use riscy_mem::msg::{line_of, AtomicOp, CoreReq, CoreResp};
+
+use crate::config::{CoreConfig, MemModel};
+use crate::frontend::{branch_taken, predict_next, Btb, Ras, Tournament};
+use crate::iq::IssueQueue;
+use crate::lsq::{LdIssue, LdState, Lsq};
+use crate::prf::{Bypass, Prf};
+use crate::rename::{RenameTable, SpecManager, SpecSnapshot};
+use crate::rob::{LsqDeqResult, Rob, RobEntry};
+use crate::sb::{SbSearch, StoreBuffer};
+use crate::soc::{CoreStats, Soc};
+use crate::tlbport::TlbHier;
+use crate::types::{
+    ExecPipe, MemKind, PhysReg, SpecMask, SystemOp, Uop,
+};
+
+/// Divide latency in cycles (iterative unit).
+const DIV_LATENCY: u64 = 16;
+/// Multiply latency in cycles.
+const MUL_LATENCY: u64 = 3;
+
+/// An in-flight instruction-fetch request.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchReq {
+    /// Sequence number (responses are consumed in order).
+    pub seq: u64,
+    /// Fetch epoch at issue.
+    pub epoch: u64,
+    /// Virtual PC of the packet.
+    pub pc: u64,
+    /// Instructions in the packet (1 or 2 … up to the width).
+    pub n: usize,
+    /// The next fetch PC this request's issuer guessed (BTB-based).
+    pub guess_next: u64,
+    /// Fetch faulted at translation: packet carries the fault.
+    pub fault: bool,
+}
+
+/// A decoded instruction awaiting rename.
+#[derive(Debug, Clone, Copy)]
+pub struct DecInst {
+    /// PC.
+    pub pc: u64,
+    /// Decoded instruction, or `Err` for illegal encodings / fetch faults.
+    pub instr: Result<Instr, Exception>,
+    /// Predicted next PC.
+    pub pred_next: u64,
+    /// Predicted taken (conditional branches).
+    pub pred_taken: bool,
+    /// Global history before this instruction's own shift.
+    pub ghist: crate::frontend::GhistSnapshot,
+    /// RAS state after this instruction's decode-time push/pop.
+    pub ras: crate::frontend::RasSnapshot,
+}
+
+/// A memory instruction between address calculation and LSQ update.
+#[derive(Debug, Clone, Copy)]
+pub struct MemTrans {
+    /// The micro-op.
+    pub uop: Uop,
+    /// Virtual address.
+    pub va: u64,
+    /// Store data (stores / SC / AMO).
+    pub data: u64,
+    /// Outstanding TLB request id, if parked.
+    pub tlb_id: Option<u64>,
+}
+
+/// All architectural and microarchitectural state of one core.
+pub struct CoreState {
+    /// Core id.
+    pub id: usize,
+    /// Configuration.
+    pub cfg: CoreConfig,
+    /// Rename table + free list.
+    pub rt: RenameTable,
+    /// Speculation manager.
+    pub sm: SpecManager,
+    /// Physical register file + scoreboard.
+    pub prf: Prf,
+    /// Reorder buffer.
+    pub rob: Rob,
+    /// Issue queues: `[alu0..aluN, mem, muldiv]`.
+    pub iqs: Vec<IssueQueue>,
+    /// Load-store queue.
+    pub lsq: Lsq,
+    /// Store buffer (WMM).
+    pub sb: StoreBuffer,
+    /// Bypass network.
+    pub bypass: Bypass,
+    /// Dependency mask of the next renamed instruction.
+    pub cur_mask: Ehr<SpecMask>,
+    /// Next fetch PC.
+    pub fetch_pc: Ehr<u64>,
+    /// Fetch epoch (bumped on every redirect).
+    pub epoch: Ehr<u64>,
+    /// Next fetch sequence number.
+    pub fetch_seq: Ehr<u64>,
+    /// Next sequence number decode will consume.
+    pub fetch_expect: Ehr<u64>,
+    /// Issued fetches awaiting I-cache responses.
+    pub inflight_fetch: Ehr<Vec<FetchReq>>,
+    /// Arrived fetch packets `(seq, req, raw_bytes)`.
+    pub fetch_buf: Ehr<Vec<(FetchReq, u64)>>,
+    /// Decoded instructions awaiting rename.
+    pub fetch_q: Ehr<VecDeque<DecInst>>,
+    /// A serialized (system) instruction is in flight.
+    pub serialize: Ehr<bool>,
+    /// Issue→exec latches, one per ALU pipe.
+    pub alu_ex: Vec<Ehr<Option<Uop>>>,
+    /// Exec→writeback latches, one per ALU pipe.
+    pub alu_wb: Vec<Ehr<Option<(Uop, u64)>>>,
+    /// The mul/div unit: `(uop, done_cycle, value)`.
+    pub md_unit: Ehr<Option<(Uop, u64, u64)>>,
+    /// Mul/div writeback latch.
+    pub md_wb: Ehr<Option<(Uop, u64)>>,
+    /// Mem-pipe issue→addr-calc latch.
+    pub mem_ex: Ehr<Option<Uop>>,
+    /// Addr-calc'd memory ops waiting on translation.
+    pub mem_wait_tlb: Ehr<Vec<MemTrans>>,
+    /// Forwarded load values awaiting writeback `(lq_idx, age, value)`.
+    pub forward_q: Ehr<VecDeque<(u16, u64, u64)>>,
+    /// Branch target buffer.
+    pub btb: Btb,
+    /// Tournament direction predictor.
+    pub tour: Tournament,
+    /// Return address stack.
+    pub ras: Ras,
+    /// TLB hierarchy.
+    pub tlb: TlbHier,
+    /// CSR file.
+    pub csr: CsrFile,
+    /// Current privilege.
+    pub priv_mode: Priv,
+    /// Next TLB request id.
+    pub next_tlb_id: u64,
+    /// ROI begin marker `(cycle, instret)`.
+    pub roi_start: Option<(u64, u64)>,
+    /// Performance counters.
+    pub stats: CoreStats,
+}
+
+/// Sign/zero extension of a loaded value.
+fn ext_load(v: u64, bytes: u8, signed: bool) -> u64 {
+    if !signed || bytes == 8 {
+        return v;
+    }
+    let bits = 8 * u32::from(bytes);
+    (((v << (64 - bits)) as i64) >> (64 - bits)) as u64
+}
+
+impl CoreState {
+    fn iq_mem(&self) -> &IssueQueue {
+        &self.iqs[self.cfg.alu_pipes]
+    }
+
+    fn iq_md(&self) -> &IssueQueue {
+        &self.iqs[self.cfg.alu_pipes + 1]
+    }
+
+    /// Applies `f` to every uop sitting in a pipeline latch.
+    fn for_each_latched_uop(&self, mut f: impl FnMut(&mut Uop) -> bool) {
+        for l in &self.alu_ex {
+            l.update(|e| {
+                if let Some(u) = e {
+                    if !f(u) {
+                        *e = None;
+                    }
+                }
+            });
+        }
+        for l in &self.alu_wb {
+            l.update(|e| {
+                if let Some((u, _)) = e {
+                    if !f(u) {
+                        *e = None;
+                    }
+                }
+            });
+        }
+        self.md_unit.update(|e| {
+            if let Some((u, _, _)) = e {
+                if !f(u) {
+                    *e = None;
+                }
+            }
+        });
+        self.md_wb.update(|e| {
+            if let Some((u, _)) = e {
+                if !f(u) {
+                    *e = None;
+                }
+            }
+        });
+        self.mem_ex.update(|e| {
+            if let Some(u) = e {
+                if !f(u) {
+                    *e = None;
+                }
+            }
+        });
+        self.mem_wait_tlb.update(|v| {
+            v.retain_mut(|t| f(&mut t.uop));
+        });
+    }
+
+    /// Reads an operand: PRF if present, else the bypass network.
+    fn operand(&self, p: PhysReg) -> Option<u64> {
+        if self.prf.is_present(p) {
+            Some(self.prf.read(p))
+        } else {
+            self.bypass.get(p)
+        }
+    }
+
+    /// Write-back side effects shared by every result producer.
+    fn writeback(&self, lane: usize, dst: PhysReg, value: u64) {
+        self.prf.write(dst, value);
+        self.bypass.set(lane, dst, value);
+        for iq in &self.iqs {
+            iq.wakeup(dst);
+        }
+    }
+}
+
+impl Soc {
+    // -----------------------------------------------------------------
+    // Substrate
+    // -----------------------------------------------------------------
+
+    /// Advances the memory system and TLBs one cycle; wires the page-walk
+    /// crossbar (paper Fig. 11).
+    pub(crate) fn rule_substrate(&mut self) {
+        let now = self.mem.now();
+        for core in &mut self.cores {
+            for req in core.tlb.drain_walker_reqs() {
+                self.mem.push_walker_req(req);
+            }
+            while let Some(r) = self.mem.pop_walker_resp(core.id) {
+                core.tlb.push_walker_resp(r);
+            }
+            core.tlb.tick(now, core.csr.satp);
+            // Fetch retries via the (now filled) I TLB; the response queue
+            // itself is not consumed anywhere else.
+            while core.tlb.pop_i_resp().is_some() {}
+        }
+        self.mem.tick();
+    }
+
+    /// TSO: drains cache eviction notifications into `cacheEvict`
+    /// (paper §V-B). Under WMM the notes are discarded.
+    pub(crate) fn rule_cache_evict(&mut self, c: usize) -> Guarded<()> {
+        let is_tso = self.cfg.mem_model == MemModel::Tso;
+        let core = &self.cores[c];
+        let dcache = self.mem.dcache(c);
+        if dcache.evict_notes.is_empty() {
+            return Err(Stall::new("no evictions"));
+        }
+        while let Some(line) = dcache.evict_notes.pop_front() {
+            if is_tso {
+                core.lsq.cache_evict(line);
+            }
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Commit
+    // -----------------------------------------------------------------
+
+    /// Commits one instruction from the ROB head, or launches/han­dles the
+    /// commit-slot work of non-speculative memory instructions.
+    pub(crate) fn rule_commit(&mut self, c: usize) -> Guarded<()> {
+        let e = self.cores[c].rob.first()?;
+        if !e.completed {
+            // MMIO/atomic accesses start only at the commit slot (§V-B).
+            if e.non_spec_mem && !e.started {
+                // A successful launch must commit its state changes, so it
+                // ends the rule with Ok even though nothing retired.
+                self.launch_commit_access(c, &e)?;
+                return Ok(());
+            }
+            return Err(Stall::new("head not completed"));
+        }
+        if let Some(x) = e.exception {
+            self.commit_exception(c, &e, x);
+            return Ok(());
+        }
+        if e.ld_kill {
+            self.cores[c].stats.ld_kill_flushes += 1;
+            self.flush_core(c, e.uop.pc); // replay from the killed load
+            return Ok(());
+        }
+        if let Some(op) = e.system {
+            self.commit_system(c, &e, op);
+            return Ok(());
+        }
+        self.commit_normal(c, &e)
+    }
+
+    fn launch_commit_access(&mut self, c: usize, e: &RobEntry) -> Guarded<()> {
+        let idx = e.uop.lsq_idx.ok_or(Stall::new("untranslated"))?;
+        let core = &self.cores[c];
+        let Some(entry) = core.lsq.lq_entry(idx) else {
+            return Err(Stall::new("lsq entry gone"));
+        };
+        let Some(pa) = entry.addr else {
+            return Err(Stall::new("address not yet translated"));
+        };
+        if entry.state == LdState::Done {
+            return Err(Stall::new("already performed"));
+        }
+        if entry.mmio {
+            // MMIO load: devices read as zero.
+            core.lsq.resp_ld(idx, 0);
+            if let Some(dst) = entry.dst {
+                let lane = core.cfg.alu_pipes + 1;
+                core.writeback(lane, dst, 0);
+            }
+            core.lsq.mark_wb_done(idx);
+            core.rob.with_entry(e.uop.rob, |e| e.started = true);
+            return Ok(());
+        }
+        if let Some(op) = entry.atomic {
+            // Older (committed) stores must be globally performed before an
+            // atomic touches the cache — it bypasses the SQ/SB path.
+            if !core.sb.is_empty() {
+                return Err(Stall::new("atomic waits for SB drain"));
+            }
+            if let Ok((_, st)) = core.lsq.first_st() {
+                if st.age < entry.age && !st.is_fence {
+                    return Err(Stall::new("atomic waits for older stores"));
+                }
+            }
+            let dcache = self.mem.dcache(c);
+            if !dcache.can_accept() {
+                return Err(Stall::new("dcache full"));
+            }
+            dcache
+                .request(CoreReq::Atomic {
+                    tag: u32::from(idx),
+                    addr: pa,
+                    bytes: entry.bytes,
+                    op,
+                })
+                .map_err(|_| Stall::new("dcache rejected"))?;
+            self.cores[c].rob.with_entry(e.uop.rob, |e| e.started = true);
+            return Ok(());
+        }
+        Err(Stall::new("unexpected non-spec entry"))
+    }
+
+    fn commit_exception(&mut self, c: usize, e: &RobEntry, x: Exception) {
+        let core = &mut self.cores[c];
+        core.stats.system_flushes += 1;
+        let vec = core.csr.trap_to_m(x, e.uop.pc, e.tval, core.priv_mode);
+        core.priv_mode = Priv::M;
+        self.cosim_step(c, e, None);
+        self.count_commit(c, e);
+        self.flush_core(c, vec);
+    }
+
+    fn commit_system(&mut self, c: usize, e: &RobEntry, op: SystemOp) {
+        let mut next = e.next_pc;
+        let mut rd_val = None;
+        {
+            let core = &mut self.cores[c];
+            core.stats.system_flushes += 1;
+            match op {
+                SystemOp::Csr => {
+                    if let Instr::Csr { op, rd, src, csr } = e.uop.instr {
+                        let count = core.stats.committed;
+                        let old = core.csr.read(csr, count, count);
+                        let srcv = match src {
+                            CsrSrc::Reg(_) => {
+                                // Source value read from the renamed register.
+                                core.prf.read(e.uop.src1)
+                            }
+                            CsrSrc::Imm(z) => u64::from(z),
+                        };
+                        let write = match op {
+                            CsrOp::Rw => Some(srcv),
+                            CsrOp::Rs => {
+                                if matches!(src, CsrSrc::Reg(r) if r.is_zero())
+                                    || matches!(src, CsrSrc::Imm(0))
+                                {
+                                    None
+                                } else {
+                                    Some(old | srcv)
+                                }
+                            }
+                            CsrOp::Rc => {
+                                if matches!(src, CsrSrc::Reg(r) if r.is_zero())
+                                    || matches!(src, CsrSrc::Imm(0))
+                                {
+                                    None
+                                } else {
+                                    Some(old & !srcv)
+                                }
+                            }
+                        };
+                        if let Some(v) = write {
+                            core.csr.write(csr, v);
+                        }
+                        if let Some(dst) = e.uop.dst {
+                            core.prf.write(dst, old);
+                        }
+                        if !rd.is_zero() {
+                            rd_val = Some((rd, old));
+                        }
+                    }
+                }
+                SystemOp::Ret => {
+                    let (pc, p) = match e.uop.instr {
+                        Instr::Mret => core.csr.mret(),
+                        _ => core.csr.sret(),
+                    };
+                    core.priv_mode = p;
+                    next = pc;
+                }
+                SystemOp::FlushFence => {
+                    core.tlb.flush();
+                }
+                SystemOp::Trap | SystemOp::Nop => {}
+            }
+        }
+        // Commit the register mapping before flushing.
+        if let (Some(a), Some(d), Some(o)) = (e.uop.arch_dst, e.uop.dst, e.uop.old_dst) {
+            let freed = self.cores[c].rt.commit(a, d, o);
+            self.cores[c].sm.note_commit_free(&freed);
+        }
+        self.cosim_step(c, e, rd_val);
+        self.count_commit(c, e);
+        self.flush_core(c, next);
+    }
+
+    fn commit_normal(&mut self, c: usize, e: &RobEntry) -> Guarded<()> {
+        // Memory bookkeeping at the commit slot.
+        match e.uop.mem_kind {
+            Some(MemKind::Store | MemKind::Fence) => {
+                let idx = e.uop.lsq_idx.expect("stores have SQ entries");
+                if e.mmio {
+                    // Perform the device write now, in order.
+                    let entry = self.cores[c].lsq.sq_entry(idx).expect("live");
+                    let pa = entry.addr.expect("translated");
+                    let data = entry.data.expect("data set");
+                    self.device_store(c, pa, data);
+                }
+                self.cores[c].lsq.set_at_commit_st(idx);
+            }
+            Some(MemKind::Atomic | MemKind::Load) => {
+                // Completed via deqLd; nothing further.
+            }
+            None => {}
+        }
+        let rd_val = match (e.uop.arch_dst, e.uop.dst) {
+            (Some(a), Some(d)) => Some((a, self.cores[c].prf.read(d))),
+            _ => None,
+        };
+        if let (Some(a), Some(d), Some(o)) = (e.uop.arch_dst, e.uop.dst, e.uop.old_dst) {
+            let freed = self.cores[c].rt.commit(a, d, o);
+            self.cores[c].sm.note_commit_free(&freed);
+        }
+        self.cores[c].rob.deq().expect("head checked");
+        if e.uop.instr.is_branch_or_jump() {
+            self.cores[c].stats.branches += 1;
+        }
+        self.cosim_step(c, e, rd_val);
+        self.count_commit(c, e);
+        Ok(())
+    }
+
+    fn count_commit(&mut self, c: usize, _e: &RobEntry) {
+        self.cores[c].stats.committed += 1;
+        if self.cores[c].roi_start.is_some() {
+            self.cores[c].stats.roi_insts += 1;
+        }
+    }
+
+    /// MMIO store side effects (exit, console, ROI markers).
+    fn device_store(&mut self, c: usize, pa: u64, data: u64) {
+        if pa == MMIO_ROI {
+            let now = self.mem.now();
+            let core = &mut self.cores[c];
+            if data != 0 {
+                core.roi_start = Some((now, core.stats.committed));
+            } else if let Some((cyc0, _)) = core.roi_start.take() {
+                core.stats.roi_cycles += now - cyc0;
+            }
+            return;
+        }
+        self.devices.store(pa, data);
+    }
+
+    /// Full commit-time pipeline flush (exceptions, system instructions,
+    /// load-speculation replays).
+    fn flush_core(&mut self, c: usize, new_pc: u64) {
+        let core = &mut self.cores[c];
+        core.rob.flush();
+        for iq in &core.iqs {
+            iq.flush();
+        }
+        core.lsq.flush_speculative();
+        core.rt.flush_to_committed();
+        core.sm.flush();
+        core.prf.flush_all_present();
+        core.cur_mask.write(SpecMask::EMPTY);
+        core.serialize.write(false);
+        for l in &core.alu_ex {
+            l.write(None);
+        }
+        for l in &core.alu_wb {
+            l.write(None);
+        }
+        core.md_unit.write(None);
+        core.md_wb.write(None);
+        core.mem_ex.write(None);
+        core.mem_wait_tlb.update(Vec::clear);
+        core.forward_q.update(VecDeque::clear);
+        core.fetch_q.update(VecDeque::clear);
+        core.fetch_buf.update(Vec::clear);
+        core.fetch_expect.write(core.fetch_seq.read());
+        core.epoch.update(|e| *e += 1);
+        core.fetch_pc.write(new_pc);
+    }
+
+    /// Lock-step golden-model check at commit (single-core co-simulation).
+    fn cosim_step(&mut self, c: usize, e: &RobEntry, rd: Option<(Gpr, u64)>) {
+        if c != 0 {
+            return;
+        }
+        let Some(golden) = &mut self.golden else {
+            return;
+        };
+        use riscy_isa::interp::StepOutcome;
+        let gpc = golden.hart(0).pc;
+        if gpc != e.uop.pc {
+            self.cosim_errors.push(format!(
+                "pc mismatch: core committed {:#x}, golden at {:#x} (inst #{})",
+                e.uop.pc,
+                gpc,
+                self.cores[c].stats.committed
+            ));
+            return;
+        }
+        let out = golden.step(0);
+        let grd = match out {
+            StepOutcome::Retired(cm) => cm.rd,
+            _ => None,
+        };
+        if grd != rd {
+            self.cosim_errors.push(format!(
+                "rd mismatch at pc {:#x}: core {:?}, golden {:?}",
+                e.uop.pc, rd, grd
+            ));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Write-back
+    // -----------------------------------------------------------------
+
+    /// ALU pipe `p` write-back: PRF write, IQ wakeups, bypass, ROB
+    /// completion.
+    pub(crate) fn rule_alu_writeback(&mut self, c: usize, p: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        let (uop, value) = core.alu_wb[p]
+            .read()
+            .ok_or(Stall::new("nothing to write back"))?;
+        core.alu_wb[p].write(None);
+        core.writeback(p, uop.dst.expect("wb implies dst"), value);
+        core.rob.set_non_mem_completed(uop.rob);
+        Ok(())
+    }
+
+    /// Mul/div write-back.
+    pub(crate) fn rule_md_writeback(&mut self, c: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        let (uop, value) = core.md_wb.read().ok_or(Stall::new("md wb empty"))?;
+        core.md_wb.write(None);
+        let lane = core.cfg.alu_pipes;
+        core.writeback(lane, uop.dst.expect("muldiv has dst"), value);
+        core.rob.set_non_mem_completed(uop.rob);
+        Ok(())
+    }
+
+    /// Load/atomic responses from the D cache (paper's `doRespLd`).
+    pub(crate) fn rule_resp_ld(&mut self, c: usize) -> Guarded<()> {
+        let now = self.mem.now();
+        let dcache = self.mem.dcache(c);
+        let resp = match dcache.pop_resp(now) {
+            Some(r @ (CoreResp::Ld { .. } | CoreResp::Atomic { .. })) => r,
+            Some(r @ CoreResp::St { .. }) => {
+                // Leave store responses for doRespSt.
+                // (Cannot push back; handle inline.)
+                return self.handle_store_resp(c, r);
+            }
+            None => return Err(Stall::new("no load response")),
+        };
+        let (tag, data, is_atomic) = match resp {
+            CoreResp::Ld { tag, data } => (tag, data, false),
+            CoreResp::Atomic { tag, data } => (tag, data, true),
+            CoreResp::St { .. } => unreachable!(),
+        };
+        let core = &self.cores[c];
+        let idx = tag as u16;
+        let entry_before = core.lsq.lq_entry(idx);
+        let wrong_path = core.lsq.resp_ld(idx, data);
+        if wrong_path {
+            return Ok(());
+        }
+        let entry = entry_before.expect("live entry for in-flight load");
+        if let Some(dst) = entry.dst {
+            let v = if is_atomic {
+                data // the cache already width-extended atomics
+            } else {
+                ext_load(data, entry.bytes, entry.signed)
+            };
+            let lane = core.cfg.alu_pipes + 1;
+            core.writeback(lane, dst, v);
+        }
+        core.lsq.mark_wb_done(idx);
+        Ok(())
+    }
+
+    /// Drains one forwarded load value (paper Fig. 10's `forwardQ`).
+    pub(crate) fn rule_forward(&mut self, c: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        let (idx, age, value) = core
+            .forward_q
+            .with(|q| q.front().copied())
+            .ok_or(Stall::new("forward queue empty"))?;
+        core.forward_q.update(|q| {
+            q.pop_front();
+        });
+        let Some(entry) = core.lsq.lq_entry(idx) else {
+            return Ok(()); // squashed in the meantime
+        };
+        if entry.age != age {
+            return Ok(()); // slot was reallocated
+        }
+        if let Some(dst) = entry.dst {
+            let v = ext_load(value, entry.bytes, entry.signed);
+            let lane = core.cfg.alu_pipes + 2;
+            core.writeback(lane, dst, v);
+        }
+        core.lsq.mark_wb_done(idx);
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Execute
+    // -----------------------------------------------------------------
+
+    /// ALU pipe `p` execute (Reg-Read + Exec): also resolves branches.
+    pub(crate) fn rule_alu_exec(&mut self, c: usize, p: usize) -> Guarded<()> {
+        let uop = self.cores[c].alu_ex[p]
+            .read()
+            .ok_or(Stall::new("alu exec empty"))?;
+        let (wb, resolved): (Option<u64>, Option<(u64, bool, bool)>) = {
+            let core = &self.cores[c];
+            let a = core
+                .operand(uop.src1)
+                .ok_or(Stall::new("src1 not ready"))?;
+            let b = core
+                .operand(uop.src2)
+                .ok_or(Stall::new("src2 not ready"))?;
+            match uop.instr {
+                Instr::Alu { op, word, rhs, .. } => {
+                    let rhs_v = match rhs {
+                        Rhs::Reg(_) => b,
+                        Rhs::Imm(i) => i as i64 as u64,
+                    };
+                    (Some(alu_exec(op, word, a, rhs_v)), None)
+                }
+                Instr::Lui { imm, .. } => (Some(imm as u64), None),
+                Instr::Auipc { imm, .. } => (Some(uop.pc.wrapping_add(imm as u64)), None),
+                Instr::Jal { .. } => (Some(uop.pc.wrapping_add(4)), None),
+                Instr::Jalr { offset, .. } => {
+                    let target = a.wrapping_add(offset as i64 as u64) & !1;
+                    (Some(uop.pc.wrapping_add(4)), Some((target, true, false)))
+                }
+                Instr::Branch { cond, offset, .. } => {
+                    let taken = branch_taken(cond, a, b);
+                    let target = if taken {
+                        uop.pc.wrapping_add(offset as i64 as u64)
+                    } else {
+                        uop.pc.wrapping_add(4)
+                    };
+                    (None, Some((target, taken, true)))
+                }
+                other => unreachable!("non-ALU instr in ALU pipe: {other:?}"),
+            }
+        };
+        {
+            let core = &self.cores[c];
+            core.alu_ex[p].write(None);
+            // Results targeting x0 (nop, plain jumps) complete immediately.
+            if let (Some(v), true) = (wb, uop.dst.is_some()) {
+                core.alu_wb[p].write(Some((uop, v)));
+            } else {
+                core.rob.set_non_mem_completed(uop.rob);
+            }
+            if let Some((target, _, _)) = resolved {
+                core.rob.set_next_pc(uop.rob, target);
+            }
+        }
+        if let Some((target, taken, is_cond)) = resolved {
+            if is_cond {
+                self.train_branch(c, &uop, taken, target);
+            }
+            self.resolve_branch(c, &uop, target, taken);
+        }
+        Ok(())
+    }
+
+    fn train_branch(&mut self, c: usize, uop: &Uop, taken: bool, target: u64) {
+        let core = &mut self.cores[c];
+        core.tour.train(uop.pc, uop.ghist, taken);
+        if taken {
+            core.btb.update(uop.pc, target);
+        } else {
+            core.btb.invalidate(uop.pc);
+        }
+    }
+
+    /// Compares resolved control flow against the prediction; on a
+    /// mispredict performs `wrongSpec` recovery, otherwise `correctSpec`.
+    fn resolve_branch(&mut self, c: usize, uop: &Uop, actual: u64, taken: bool) {
+        let Some(tag) = uop.own_tag else { return };
+        if actual == uop.pred_next {
+            let core = &self.cores[c];
+            core.sm.correct(tag);
+            core.rob.correct_spec(tag);
+            for iq in &core.iqs {
+                iq.correct_spec(tag);
+            }
+            core.lsq.correct_spec(tag);
+            core.cur_mask.update(|m| *m = m.without(tag));
+            core.for_each_latched_uop(|u| {
+                u.mask = u.mask.without(tag);
+                true
+            });
+            return;
+        }
+        // Mispredicted: restore and squash (paper §V `wrongSpec`).
+        if matches!(uop.instr, Instr::Jalr { .. }) {
+            self.cores[c].btb.update(uop.pc, actual);
+        }
+        self.cores[c].stats.mispredicts += 1;
+        let snap: SpecSnapshot = self.cores[c].sm.wrong(tag);
+        let core = &mut self.cores[c];
+        core.rt.restore(&snap.rat);
+        core.ras.restore(snap.ras);
+        core.tour.restore(snap.ghist, taken);
+        core.rob.wrong_spec(tag);
+        for iq in &core.iqs {
+            iq.wrong_spec(tag);
+        }
+        core.lsq.wrong_spec(tag);
+        core.cur_mask.write(snap.mask);
+        core.for_each_latched_uop(|u| !u.mask.contains(tag));
+        core.forward_q.update(VecDeque::clear);
+        core.fetch_q.update(VecDeque::clear);
+        core.fetch_buf.update(Vec::clear);
+        core.fetch_expect.write(core.fetch_seq.read());
+        core.epoch.update(|e| *e += 1);
+        core.fetch_pc.write(actual);
+    }
+
+    /// Mul/div execute: countdown unit.
+    pub(crate) fn rule_md_exec(&mut self, c: usize) -> Guarded<()> {
+        let now = self.mem.now();
+        let core = &self.cores[c];
+        let (uop, done, mut value) = core.md_unit.read().ok_or(Stall::new("md idle"))?;
+        if value == u64::MAX && done == u64::MAX {
+            // Operands read on the first execution cycle.
+            let a = core
+                .operand(uop.src1)
+                .ok_or(Stall::new("src1 not ready"))?;
+            let b = core
+                .operand(uop.src2)
+                .ok_or(Stall::new("src2 not ready"))?;
+            let Instr::MulDiv { op, word, .. } = uop.instr else {
+                unreachable!("non-muldiv in md unit")
+            };
+            value = muldiv_exec(op, word, a, b);
+            let lat = match op {
+                riscy_isa::inst::MulDivOp::Mul
+                | riscy_isa::inst::MulDivOp::Mulh
+                | riscy_isa::inst::MulDivOp::Mulhsu
+                | riscy_isa::inst::MulDivOp::Mulhu => MUL_LATENCY,
+                _ => DIV_LATENCY,
+            };
+            core.md_unit.write(Some((uop, now + lat, value)));
+            return Ok(());
+        }
+        if now < done {
+            return Err(Stall::new("md busy"));
+        }
+        if core.md_wb.read().is_some() {
+            return Err(Stall::new("md wb full"));
+        }
+        core.md_unit.write(None);
+        core.md_wb.write(Some((uop, value)));
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Memory pipeline
+    // -----------------------------------------------------------------
+
+    /// Addr-Calc (paper Fig. 9): computes the VA and reads store data.
+    pub(crate) fn rule_addr_calc(&mut self, c: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        let uop = core.mem_ex.read().ok_or(Stall::new("mem exec empty"))?;
+        if core.mem_wait_tlb.with(Vec::len) >= 4 {
+            return Err(Stall::new("translate stage full"));
+        }
+        if uop.mem_kind == Some(MemKind::Fence) {
+            core.mem_ex.write(None);
+            core.rob.set_non_mem_completed(uop.rob);
+            return Ok(());
+        }
+        let base = core
+            .operand(uop.src1)
+            .ok_or(Stall::new("base not ready"))?;
+        let data = core
+            .operand(uop.src2)
+            .ok_or(Stall::new("data not ready"))?;
+        let va = match uop.instr {
+            Instr::Load { offset, .. } | Instr::Store { offset, .. } => {
+                base.wrapping_add(offset as i64 as u64)
+            }
+            _ => base, // atomics address from rs1
+        };
+        core.mem_ex.write(None);
+        core.mem_wait_tlb.update(|v| {
+            v.push(MemTrans {
+                uop,
+                va,
+                data,
+                tlb_id: None,
+            })
+        });
+        Ok(())
+    }
+
+    /// Update-LSQ (paper Fig. 9): translation, LSQ fill, ROB notification.
+    ///
+    /// This rule mixes transactional cells with the plain TLB structures,
+    /// so it is written to *always commit* once it has consumed a TLB
+    /// response: it only stalls when there is provably nothing to do.
+    pub(crate) fn rule_update_lsq(&mut self, c: usize) -> Guarded<()> {
+        let now = self.mem.now();
+        let mut progressed = false;
+
+        // 1. Consume every arrived TLB response (each finishes one parked
+        //    translation; responses for flushed entries are dropped).
+        while let Some(r) = self.cores[c].tlb.pop_d_resp() {
+            progressed = true;
+            let slot = self.cores[c]
+                .mem_wait_tlb
+                .with(|v| v.iter().position(|t| t.tlb_id == Some(r.id)));
+            if let Some(slot) = slot {
+                let t = self.cores[c].mem_wait_tlb.with(|v| v[slot]);
+                let res = r.result.map_err(|f| {
+                    let x = match f.access {
+                        Access::Load => Exception::LoadPageFault,
+                        _ => Exception::StorePageFault,
+                    };
+                    (x, f.va)
+                });
+                self.finish_translation(c, slot, &t, res);
+            }
+        }
+
+        // 2. Attempt one same-cycle L1 D TLB lookup for the oldest entry
+        //    without an outstanding miss. Under the blocking configuration
+        //    (RiscyOO-B) nothing proceeds while a miss is pending.
+        let hum = self.cores[c].tlb.hit_under_miss();
+        if !(!hum && self.cores[c].tlb.d_miss_pending()) {
+            let next = self.cores[c]
+                .mem_wait_tlb
+                .with(|v| v.iter().enumerate().find(|(_, t)| t.tlb_id.is_none()).map(|(i, t)| (i, *t)));
+            if let Some((slot, t)) = next {
+                let access = match t.uop.mem_kind {
+                    Some(MemKind::Load) => Access::Load,
+                    _ => Access::Store,
+                };
+                let (satp, pm) = {
+                    let core = &self.cores[c];
+                    (core.csr.satp, core.priv_mode)
+                };
+                match self.cores[c].tlb.lookup_d(t.va, access, satp, pm) {
+                    Some(res) => {
+                        let res = res.map_err(|f| {
+                            let x = match f.access {
+                                Access::Load => Exception::LoadPageFault,
+                                _ => Exception::StorePageFault,
+                            };
+                            (x, f.va)
+                        });
+                        self.finish_translation(c, slot, &t, res);
+                        progressed = true;
+                    }
+                    None => {
+                        if self.cores[c].tlb.can_park_d() {
+                            let id = self.cores[c].next_tlb_id;
+                            self.cores[c].next_tlb_id += 1;
+                            self.cores[c].stats.dtlb_misses += 1;
+                            let pm = self.cores[c].priv_mode;
+                            self.cores[c].tlb.request_d(now, id, t.va, access, pm);
+                            self.cores[c].mem_wait_tlb.update(|v| {
+                                v[slot].tlb_id = Some(id);
+                            });
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if progressed {
+            Ok(())
+        } else {
+            Err(Stall::new("nothing to translate"))
+        }
+    }
+
+    fn finish_translation(
+        &mut self,
+        c: usize,
+        slot: usize,
+        t: &MemTrans,
+        res: Result<u64, (Exception, u64)>,
+    ) {
+        self.cores[c].mem_wait_tlb.update(|v| {
+            v.remove(slot);
+        });
+        let core = &self.cores[c];
+        let uop = t.uop;
+        let idx = uop.lsq_idx.expect("memory op has an LSQ slot");
+        // Physical address sanity: below DRAM and outside MMIO is an
+        // access fault.
+        let res = res.and_then(|pa| {
+            if pa >= DRAM_BASE || is_mmio(pa) {
+                Ok(pa)
+            } else {
+                let x = if uop.mem_kind == Some(MemKind::Load) {
+                    Exception::LoadAccessFault
+                } else {
+                    Exception::StoreAccessFault
+                };
+                Err((x, pa))
+            }
+        });
+        let mmio = matches!(res, Ok(pa) if is_mmio(pa));
+        let (bytes, signed) = access_meta(&uop.instr);
+        match uop.mem_kind {
+            Some(MemKind::Load) => {
+                core.lsq.update_ld(idx, res, bytes, signed, mmio, None);
+                core.rob.set_after_translation(
+                    uop.rob,
+                    mmio,
+                    mmio,
+                    false,
+                    res.err(),
+                );
+            }
+            Some(MemKind::Atomic) => {
+                let op = atomic_op(&uop.instr, t.data);
+                core.lsq.update_ld(idx, res, bytes, false, mmio, Some(op));
+                core.rob
+                    .set_after_translation(uop.rob, true, mmio, false, res.err());
+            }
+            Some(MemKind::Store) => {
+                core.lsq.update_st(idx, res, bytes, t.data, mmio);
+                core.rob
+                    .set_after_translation(uop.rob, false, mmio, true, res.err());
+            }
+            _ => unreachable!("fences do not translate"),
+        }
+    }
+
+    /// Paper Fig. 10 `doIssueLd`.
+    pub(crate) fn rule_issue_ld(&mut self, c: usize) -> Guarded<()> {
+        let (idx, addr, bytes) = self.cores[c].lsq.get_issue_ld()?;
+        if !self.mem.dcache(c).can_accept() {
+            return Err(Stall::new("dcache full"));
+        }
+        let core = &self.cores[c];
+        let sb_result = if core.cfg.mem_model == MemModel::Wmm {
+            core.sb.search(addr, bytes)
+        } else {
+            SbSearch::Miss
+        };
+        match core.lsq.issue_ld(idx, sb_result) {
+            LdIssue::Forward(v) => {
+                let age = core.lsq.lq_entry(idx).expect("live").age;
+                core.forward_q.update(|q| q.push_back((idx, age, v)));
+                Ok(())
+            }
+            LdIssue::ToCache => {
+                self.mem
+                    .dcache(c)
+                    .request(CoreReq::Ld {
+                        tag: u32::from(idx),
+                        addr,
+                        bytes,
+                    })
+                    .expect("can_accept checked");
+                Ok(())
+            }
+            LdIssue::Stalled => Ok(()),
+        }
+    }
+
+    /// Paper's `deqLd`: retire the oldest load from the LQ and notify the
+    /// ROB (`setAtLSQDeq`).
+    pub(crate) fn rule_deq_ld(&mut self, c: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        let (_, e) = core.lsq.first_ld()?;
+        let result = if e.killed {
+            LsqDeqResult::Killed
+        } else if let Some((x, tval)) = e.fault {
+            LsqDeqResult::Exception(x, tval)
+        } else if e.state == LdState::Done {
+            if e.dst.is_some() && !e.wb_done {
+                return Err(Stall::new("write-back not yet performed"));
+            }
+            if core.lsq.older_store_addr_unknown(e.age) {
+                return Err(Stall::new("older store address unknown"));
+            }
+            LsqDeqResult::Complete
+        } else {
+            return Err(Stall::new("load not done"));
+        };
+        let e = core.lsq.deq_ld();
+        core.rob.set_at_lsq_deq(e.rob, result);
+        Ok(())
+    }
+
+    /// Paper's `deqSt`: drain committed stores (to the SB under WMM, to L1
+    /// directly under TSO) and retire fences.
+    pub(crate) fn rule_deq_st(&mut self, c: usize) -> Guarded<()> {
+        let model = self.cfg.mem_model;
+        let core = &self.cores[c];
+        let (idx, e) = core.lsq.first_st()?;
+        if !e.committed {
+            return Err(Stall::new("store not committed"));
+        }
+        if e.is_fence {
+            let drained = match model {
+                MemModel::Wmm => core.sb.is_empty(),
+                MemModel::Tso => true, // older stores already dequeued
+            };
+            if !drained {
+                return Err(Stall::new("fence waiting for SB drain"));
+            }
+            core.lsq.deq_st();
+            return Ok(());
+        }
+        if e.mmio {
+            core.lsq.deq_st(); // device write already performed at commit
+            return Ok(());
+        }
+        let addr = e.addr.expect("committed store translated");
+        let data = e.data.expect("committed store has data");
+        match model {
+            MemModel::Wmm => {
+                core.sb.enq(addr, e.bytes, data)?;
+                core.lsq.deq_st();
+            }
+            MemModel::Tso => {
+                if e.issued {
+                    return Err(Stall::new("store awaiting respSt"));
+                }
+                if !self.mem.dcache(c).can_accept() {
+                    return Err(Stall::new("dcache full"));
+                }
+                self.cores[c].lsq.mark_st_issued(idx);
+                self.mem
+                    .dcache(c)
+                    .request(CoreReq::St {
+                        sb_idx: u32::from(idx),
+                        line: line_of(addr),
+                    })
+                    .expect("can_accept checked");
+            }
+        }
+        Ok(())
+    }
+
+    /// WMM: issue a store-buffer entry to L1 D.
+    pub(crate) fn rule_sb_issue(&mut self, c: usize) -> Guarded<()> {
+        if self.cfg.mem_model != MemModel::Wmm {
+            return Err(Stall::new("no SB under TSO"));
+        }
+        if !self.mem.dcache(c).can_accept() {
+            return Err(Stall::new("dcache full"));
+        }
+        let (idx, line) = self.cores[c].sb.issue()?;
+        self.mem
+            .dcache(c)
+            .request(CoreReq::St {
+                sb_idx: idx as u32,
+                line,
+            })
+            .expect("can_accept checked");
+        Ok(())
+    }
+
+    /// Paper Fig. 10 `doRespSt`: store permission granted — write the data
+    /// and wake stalled loads.
+    pub(crate) fn rule_resp_st(&mut self, c: usize) -> Guarded<()> {
+        let now = self.mem.now();
+        let resp = {
+            let dcache = self.mem.dcache(c);
+            match dcache.pop_resp(now) {
+                Some(r @ CoreResp::St { .. }) => r,
+                Some(other) => {
+                    // A load response at the head: handle it here to avoid
+                    // head-of-line blocking between response kinds.
+                    return self.handle_load_resp(c, other);
+                }
+                None => return Err(Stall::new("no store response")),
+            }
+        };
+        self.handle_store_resp(c, resp)
+    }
+
+    fn handle_store_resp(&mut self, c: usize, resp: CoreResp) -> Guarded<()> {
+        let CoreResp::St { sb_idx } = resp else {
+            unreachable!()
+        };
+        match self.cfg.mem_model {
+            MemModel::Wmm => {
+                let e = self.cores[c].sb.deq(sb_idx as usize);
+                self.mem.dcache(c).write_data(e.line, &e.data, &e.byte_en);
+                self.cores[c].lsq.wakeup_by_sb_deq(sb_idx as usize);
+            }
+            MemModel::Tso => {
+                let idx = sb_idx as u16;
+                let e = self.cores[c].lsq.sq_entry(idx).expect("issued store");
+                let addr = e.addr.expect("translated");
+                let line = line_of(addr);
+                let mut data = [0u8; 64];
+                let mut en = [false; 64];
+                let off = (addr - line) as usize;
+                for k in 0..e.bytes as usize {
+                    data[off + k] = (e.data.expect("data") >> (8 * k)) as u8;
+                    en[off + k] = true;
+                }
+                self.mem.dcache(c).write_data(line, &data, &en);
+                self.cores[c].lsq.deq_st();
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_load_resp(&mut self, c: usize, resp: CoreResp) -> Guarded<()> {
+        let (tag, data, is_atomic) = match resp {
+            CoreResp::Ld { tag, data } => (tag, data, false),
+            CoreResp::Atomic { tag, data } => (tag, data, true),
+            CoreResp::St { .. } => unreachable!(),
+        };
+        let core = &self.cores[c];
+        let idx = tag as u16;
+        let entry_before = core.lsq.lq_entry(idx);
+        if core.lsq.resp_ld(idx, data) {
+            return Ok(());
+        }
+        let entry = entry_before.expect("live entry");
+        if let Some(dst) = entry.dst {
+            let v = if is_atomic {
+                data
+            } else {
+                ext_load(data, entry.bytes, entry.signed)
+            };
+            let lane = core.cfg.alu_pipes + 1;
+            core.writeback(lane, dst, v);
+        }
+        core.lsq.mark_wb_done(idx);
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Issue
+    // -----------------------------------------------------------------
+
+    /// Issues from ALU IQ `p` into its exec latch; single-cycle producers
+    /// set the optimistic scoreboard bit (paper §V "Scoreboard").
+    pub(crate) fn rule_issue_alu(&mut self, c: usize, p: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        if core.alu_ex[p].read().is_some() {
+            return Err(Stall::new("exec latch full"));
+        }
+        let uop = core.iqs[p].issue()?;
+        if let Some(dst) = uop.dst {
+            // Optimistic scoreboard wakeup (paper §V): single-cycle ALU
+            // producers wake dependents at issue; the value reaches them
+            // through the bypass network exactly when they reg-read.
+            core.prf.set_score_ready(dst);
+            for iq in &core.iqs {
+                iq.wakeup(dst);
+            }
+        }
+        core.alu_ex[p].write(Some(uop));
+        Ok(())
+    }
+
+    /// Issues into the mul/div unit.
+    pub(crate) fn rule_issue_md(&mut self, c: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        if core.md_unit.read().is_some() {
+            return Err(Stall::new("md unit busy"));
+        }
+        let uop = core.iq_md().issue()?;
+        // Marker state: operands read on the first exec cycle.
+        core.md_unit.write(Some((uop, u64::MAX, u64::MAX)));
+        Ok(())
+    }
+
+    /// Issues from the memory IQ into Addr-Calc.
+    pub(crate) fn rule_issue_mem(&mut self, c: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        if core.mem_ex.read().is_some() {
+            return Err(Stall::new("mem exec latch full"));
+        }
+        let uop = core.iq_mem().issue()?;
+        core.mem_ex.write(Some(uop));
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Rename
+    // -----------------------------------------------------------------
+
+    /// Renames one instruction (paper Fig. 8's `doRename`, one rule per
+    /// superscalar way).
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn rule_rename(&mut self, c: usize) -> Guarded<()> {
+        let core = &self.cores[c];
+        if core.serialize.read() {
+            return Err(Stall::new("serialized instruction in flight"));
+        }
+        let dec = core
+            .fetch_q
+            .with(|q| q.front().copied())
+            .ok_or(Stall::new("nothing to rename"))?;
+        let mask = core.cur_mask.read();
+
+        let instr = match dec.instr {
+            Ok(i) => i,
+            Err(x) => {
+                // Illegal instruction / fetch fault: a completed ROB entry
+                // carrying the exception.
+                let uop = bare_uop(&dec, core.rob.enq_index(), mask);
+                let mut e = RobEntry::new(uop);
+                e.completed = true;
+                e.exception = Some(x);
+                e.tval = if x == Exception::InstPageFault { dec.pc } else { 0 };
+                core.rob.enq(e)?;
+                core.fetch_q.update(|q| {
+                    q.pop_front();
+                });
+                return Ok(());
+            }
+        };
+
+        // Serialized (system) instructions rename alone, with an empty ROB
+        // (the paper allows a single CSR instruction in flight).
+        if let Some(op) = system_class(&instr) {
+            if !core.rob.is_empty() || !core.lsq.is_empty() || !core.sb.is_empty() {
+                return Err(Stall::new("waiting to serialize"));
+            }
+            let mut uop = bare_uop(&dec, core.rob.enq_index(), SpecMask::EMPTY);
+            uop.instr = instr;
+            if let Instr::Csr { rd, src, .. } = instr {
+                // The CSR source register is read at commit via src1.
+                if let CsrSrc::Reg(rs1) = src {
+                    uop.src1 = core.rt.lookup(rs1);
+                }
+                if !rd.is_zero() {
+                    let (new, old) = core.rt.allocate(rd)?;
+                    uop.arch_dst = Some(rd);
+                    uop.dst = Some(new);
+                    uop.old_dst = Some(old);
+                    core.prf.set_not_ready(new);
+                }
+            }
+            let mut e = RobEntry::new(uop);
+            e.completed = true;
+            e.system = Some(op);
+            if let Some(x) = trap_exception(&instr, core.priv_mode) {
+                e.exception = Some(x);
+                e.tval = if x == Exception::Breakpoint { dec.pc } else { 0 };
+            }
+            core.rob.enq(e)?;
+            core.serialize.write(true);
+            core.fetch_q.update(|q| {
+                q.pop_front();
+            });
+            return Ok(());
+        }
+
+        // Ordinary instruction: rename sources, allocate resources.
+        let (rs1, rs2) = sources(&instr);
+        let src1 = core.rt.lookup(rs1);
+        let src2 = core.rt.lookup(rs2);
+        let rdy1 = core.prf.score_ready(src1);
+        let rdy2 = core.prf.score_ready(src2);
+
+        let rob_idx = core.rob.enq_index();
+        let mem_kind = mem_class(&instr);
+        let lsq_idx = match mem_kind {
+            Some(kind @ (MemKind::Load | MemKind::Atomic)) => {
+                Some(core.lsq.enq_ld(rob_idx, mask, None, kind == MemKind::Atomic)?)
+            }
+            Some(MemKind::Store) => Some(core.lsq.enq_st(rob_idx, mask, false)?),
+            Some(MemKind::Fence) => Some(core.lsq.enq_st(rob_idx, mask, true)?),
+            None => None,
+        };
+
+        let rd = dest(&instr);
+        let (arch_dst, dst, old_dst) = match rd {
+            Some(r) => {
+                let (new, old) = core.rt.allocate(r)?;
+                (Some(r), Some(new), Some(old))
+            }
+            None => (None, None, None),
+        };
+
+        let mut uop = Uop {
+            instr,
+            pc: dec.pc,
+            pred_next: dec.pred_next,
+            rob: rob_idx,
+            arch_dst,
+            dst,
+            old_dst,
+            src1,
+            src2,
+            mask,
+            own_tag: None,
+            lsq_idx,
+            mem_kind,
+            pred_taken: dec.pred_taken,
+            ghist: dec.ghist,
+        };
+
+        // Branches needing verification allocate a speculation tag with a
+        // recovery snapshot (paper §V "SpeculationManager").
+        let needs_tag = matches!(instr, Instr::Branch { .. } | Instr::Jalr { .. });
+        if needs_tag {
+            let snap = SpecSnapshot {
+                rat: core.rt.snapshot(),
+                ras: dec.ras,
+                ghist: dec.ghist,
+                mask,
+            };
+            let tag = core.sm.allocate(snap)?;
+            uop.own_tag = Some(tag);
+            core.cur_mask.write(mask.with(tag));
+        }
+
+        // Enter the right issue queue.
+        let pipe = pipe_of(&instr);
+        match pipe {
+            ExecPipe::Alu => {
+                // Round-robin over ALU IQs by ROB index.
+                let p = rob_idx as usize % core.cfg.alu_pipes;
+                core.iqs[p].enter(uop, rdy1, rdy2)?;
+            }
+            ExecPipe::Mem => {
+                core.iq_mem().enter(uop, rdy1, rdy2)?;
+            }
+            ExecPipe::MulDiv => {
+                core.iq_md().enter(uop, rdy1, rdy2)?;
+            }
+        }
+        // Destination becomes not-ready only after the source ready bits
+        // were read (paper Fig. 8's ordering in doRename).
+        if let Some(d) = dst {
+            core.prf.set_not_ready(d);
+        }
+        // Loads record their destination in the LQ entry.
+        if let (Some(idx), Some(MemKind::Load | MemKind::Atomic)) = (lsq_idx, mem_kind) {
+            core.lsq.set_ld_dst(idx, dst);
+        }
+
+        let e = RobEntry::new(uop);
+        core.rob.enq(e)?;
+        core.fetch_q.update(|q| {
+            q.pop_front();
+        });
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Decode
+    // -----------------------------------------------------------------
+
+    /// Consumes one fetched packet in sequence order, decodes it, predicts
+    /// next PCs, and redirects the fetch stream when its BTB guess was
+    /// wrong.
+    pub(crate) fn rule_decode(&mut self, c: usize) -> Guarded<()> {
+        let core = &mut self.cores[c];
+        let expect = core.fetch_expect.read();
+        let epoch = core.epoch.read();
+        let pos = core
+            .fetch_buf
+            .with(|b| b.iter().position(|(r, _)| r.seq == expect))
+            .ok_or(Stall::new("packet not arrived"))?;
+        if core.fetch_q.with(VecDeque::len) + 2 > 4 * core.cfg.width {
+            return Err(Stall::new("decode queue full"));
+        }
+        let (req, raw) = core.fetch_buf.with(|b| b[pos]);
+        core.fetch_buf.update(|b| {
+            b.remove(pos);
+        });
+        core.fetch_expect.write(expect + 1);
+        if req.epoch != epoch {
+            return Ok(()); // stale wrong-path packet
+        }
+        if req.fault {
+            core.fetch_q.update(|q| {
+                q.push_back(DecInst {
+                    pc: req.pc,
+                    instr: Err(Exception::InstPageFault),
+                    pred_next: req.pc.wrapping_add(4),
+                    pred_taken: false,
+                    ghist: core.tour.snapshot(),
+                    ras: core.ras.snapshot(),
+                })
+            });
+            return Ok(());
+        }
+        let mut next = req.pc;
+        for k in 0..req.n {
+            let pc = req.pc + 4 * k as u64;
+            if pc != next {
+                break; // earlier instruction in the packet jumped away
+            }
+            let word = (raw >> (32 * k)) as u32;
+            let ghist = core.tour.snapshot();
+            match decode(word) {
+                Ok(instr) => {
+                    let p = predict_next(&mut core.btb, &mut core.tour, &mut core.ras, pc, &instr);
+                    core.fetch_q.update(|q| {
+                        q.push_back(DecInst {
+                            pc,
+                            instr: Ok(instr),
+                            pred_next: p.target,
+                            pred_taken: p.taken,
+                            ghist,
+                            ras: core.ras.snapshot(),
+                        })
+                    });
+                    next = p.target;
+                }
+                Err(_) => {
+                    core.fetch_q.update(|q| {
+                        q.push_back(DecInst {
+                            pc,
+                            instr: Err(Exception::IllegalInst),
+                            pred_next: pc + 4,
+                            pred_taken: false,
+                            ghist,
+                            ras: core.ras.snapshot(),
+                        })
+                    });
+                    next = pc + 4;
+                }
+            }
+        }
+        if next != req.guess_next {
+            // Decode-time redirect: the BTB-based fetch-ahead guessed wrong.
+            core.epoch.update(|e| *e += 1);
+            core.fetch_pc.write(next);
+            core.fetch_buf.update(Vec::clear);
+            core.fetch_expect.write(core.fetch_seq.read());
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Fetch
+    // -----------------------------------------------------------------
+
+    /// Issues an I-cache fetch for the next packet, guessing the following
+    /// fetch PC with the BTB (fetch-ahead).
+    pub(crate) fn rule_fetch(&mut self, c: usize) -> Guarded<()> {
+        let now = self.mem.now();
+        if self.devices.exited[c].is_some() {
+            return Err(Stall::new("core exited"));
+        }
+        {
+            let core = &self.cores[c];
+            if core.fetch_q.with(VecDeque::len) >= 4 * core.cfg.width {
+                return Err(Stall::new("decode queue full"));
+            }
+            if core.fetch_buf.with(Vec::len) >= 8 {
+                return Err(Stall::new("fetch buffer full"));
+            }
+            if core.inflight_fetch.with(Vec::len) >= 4 {
+                return Err(Stall::new("fetches in flight"));
+            }
+            if core.tlb.i_miss_pending() {
+                return Err(Stall::new("itlb miss pending"));
+            }
+        }
+        let pc = self.cores[c].fetch_pc.read();
+        let epoch = self.cores[c].epoch.read();
+        let n = if pc % 8 == 0 { self.cfg.width.min(2) } else { 1 };
+        let (satp, pm) = {
+            let core = &self.cores[c];
+            (core.csr.satp, core.priv_mode)
+        };
+        let seq = self.cores[c].fetch_seq.read();
+        let pa = match self.cores[c].tlb.lookup_i(pc, satp, pm) {
+            Some(Ok(pa)) => pa,
+            Some(Err(_)) => {
+                // Fetch fault: deliver a poisoned packet directly.
+                let req = FetchReq {
+                    seq,
+                    epoch,
+                    pc,
+                    n: 1,
+                    guess_next: pc.wrapping_add(4),
+                    fault: true,
+                };
+                let core = &self.cores[c];
+                core.fetch_seq.write(seq + 1);
+                core.fetch_buf.update(|b| b.push((req, 0)));
+                core.fetch_pc.write(pc.wrapping_add(4));
+                return Ok(());
+            }
+            None => {
+                let id = self.cores[c].next_tlb_id;
+                self.cores[c].next_tlb_id += 1;
+                self.cores[c].tlb.request_i(now, id, pc, pm);
+                return Err(Stall::new("itlb miss"));
+            }
+        };
+        if !self.mem.icache(c).can_accept() {
+            return Err(Stall::new("icache full"));
+        }
+        // BTB-based fetch-ahead: follow a predicted-taken branch anywhere
+        // in the packet.
+        let mut guess = pc + 4 * n as u64;
+        let mut eff_n = n;
+        for k in 0..n {
+            if let Some(t) = self.cores[c].btb.predict(pc + 4 * k as u64) {
+                guess = t;
+                eff_n = k + 1;
+                break;
+            }
+        }
+        let req = FetchReq {
+            seq,
+            epoch,
+            pc,
+            n: eff_n,
+            guess_next: guess,
+            fault: false,
+        };
+        self.mem
+            .icache(c)
+            .request(CoreReq::Ld {
+                tag: seq as u32,
+                addr: pa,
+                bytes: (4 * eff_n) as u8,
+            })
+            .expect("can_accept checked");
+        let core = &self.cores[c];
+        core.fetch_seq.write(seq + 1);
+        core.inflight_fetch.update(|v| v.push(req));
+        core.fetch_pc.write(guess);
+        Ok(())
+    }
+
+    /// Moves arrived I-cache responses into the fetch buffer. A dedicated
+    /// rule so the plain-state pops always pair with a committed rule.
+    pub(crate) fn rule_fetch_resp(&mut self, c: usize) -> Guarded<()> {
+        let now = self.mem.now();
+        let mut moved = 0;
+        while let Some(resp) = self.mem.icache(c).pop_resp(now) {
+            moved += 1;
+            let CoreResp::Ld { tag, data } = resp else {
+                continue;
+            };
+            let core = &self.cores[c];
+            let found = core
+                .inflight_fetch
+                .with(|v| v.iter().find(|r| r.seq as u32 == tag).copied());
+            if let Some(req) = found {
+                core.inflight_fetch
+                    .update(|v| v.retain(|r| r.seq as u32 != tag));
+                // Wrong-path packets from before a redirect are dropped
+                // here; the sequence counter already skipped past them.
+                if req.epoch == core.epoch.read() {
+                    core.fetch_buf.update(|b| b.push((req, data)));
+                }
+            }
+        }
+        if moved == 0 {
+            return Err(Stall::new("no fetch responses"));
+        }
+        Ok(())
+    }
+}
+
+/// Access size/signedness of a memory instruction.
+fn access_meta(i: &Instr) -> (u8, bool) {
+    match *i {
+        Instr::Load { width, signed, .. } => (width.bytes() as u8, signed),
+        Instr::Store { width, .. } => (width.bytes() as u8, false),
+        Instr::Lr { width, .. } | Instr::Sc { width, .. } | Instr::Amo { width, .. } => {
+            (width.bytes() as u8, true)
+        }
+        _ => (8, false),
+    }
+}
+
+/// Builds the cache-level atomic payload.
+fn atomic_op(i: &Instr, data: u64) -> AtomicOp {
+    match *i {
+        Instr::Lr { .. } => AtomicOp::Lr,
+        Instr::Sc { .. } => AtomicOp::Sc(data),
+        Instr::Amo { op, .. } => AtomicOp::Amo(op, data),
+        _ => unreachable!("not an atomic"),
+    }
+}
+
+/// Serialized (system) instruction classification.
+fn system_class(i: &Instr) -> Option<SystemOp> {
+    match i {
+        Instr::Csr { .. } => Some(SystemOp::Csr),
+        Instr::Ecall | Instr::Ebreak => Some(SystemOp::Trap),
+        Instr::Mret | Instr::Sret => Some(SystemOp::Ret),
+        Instr::FenceI | Instr::SfenceVma { .. } => Some(SystemOp::FlushFence),
+        Instr::Wfi => Some(SystemOp::Nop),
+        _ => None,
+    }
+}
+
+/// The exception a trap-class instruction raises at commit.
+fn trap_exception(i: &Instr, p: Priv) -> Option<Exception> {
+    match i {
+        Instr::Ecall => Some(Exception::Ecall(p)),
+        Instr::Ebreak => Some(Exception::Breakpoint),
+        _ => None,
+    }
+}
+
+/// Architectural source registers (x0 for unused slots).
+fn sources(i: &Instr) -> (Gpr, Gpr) {
+    match *i {
+        Instr::Jalr { rs1, .. } => (rs1, Gpr::ZERO),
+        Instr::Branch { rs1, rs2, .. } => (rs1, rs2),
+        Instr::Load { rs1, .. } => (rs1, Gpr::ZERO),
+        Instr::Store { rs1, rs2, .. } => (rs1, rs2),
+        Instr::Alu { rs1, rhs, .. } => match rhs {
+            Rhs::Reg(rs2) => (rs1, rs2),
+            Rhs::Imm(_) => (rs1, Gpr::ZERO),
+        },
+        Instr::MulDiv { rs1, rs2, .. } => (rs1, rs2),
+        Instr::Lr { rs1, .. } => (rs1, Gpr::ZERO),
+        Instr::Sc { rs1, rs2, .. } | Instr::Amo { rs1, rs2, .. } => (rs1, rs2),
+        _ => (Gpr::ZERO, Gpr::ZERO),
+    }
+}
+
+/// Architectural destination, if any (x0 writes are dropped).
+fn dest(i: &Instr) -> Option<Gpr> {
+    let rd = match *i {
+        Instr::Lui { rd, .. }
+        | Instr::Auipc { rd, .. }
+        | Instr::Jal { rd, .. }
+        | Instr::Jalr { rd, .. }
+        | Instr::Load { rd, .. }
+        | Instr::Alu { rd, .. }
+        | Instr::MulDiv { rd, .. }
+        | Instr::Lr { rd, .. }
+        | Instr::Sc { rd, .. }
+        | Instr::Amo { rd, .. } => rd,
+        _ => return None,
+    };
+    (!rd.is_zero()).then_some(rd)
+}
+
+/// Memory classification.
+fn mem_class(i: &Instr) -> Option<MemKind> {
+    match i {
+        Instr::Load { .. } => Some(MemKind::Load),
+        Instr::Store { .. } => Some(MemKind::Store),
+        Instr::Lr { .. } | Instr::Sc { .. } | Instr::Amo { .. } => Some(MemKind::Atomic),
+        Instr::Fence => Some(MemKind::Fence),
+        _ => None,
+    }
+}
+
+/// Execution pipeline selection.
+fn pipe_of(i: &Instr) -> ExecPipe {
+    match i {
+        Instr::Load { .. }
+        | Instr::Store { .. }
+        | Instr::Lr { .. }
+        | Instr::Sc { .. }
+        | Instr::Amo { .. }
+        | Instr::Fence => ExecPipe::Mem,
+        Instr::MulDiv { .. } => ExecPipe::MulDiv,
+        _ => ExecPipe::Alu,
+    }
+}
+
+fn bare_uop(dec: &DecInst, rob: u16, mask: SpecMask) -> Uop {
+    Uop {
+        instr: Instr::Ecall, // placeholder for undecodable words
+        pc: dec.pc,
+        pred_next: dec.pred_next,
+        rob,
+        arch_dst: None,
+        dst: None,
+        old_dst: None,
+        src1: PhysReg::ZERO,
+        src2: PhysReg::ZERO,
+        mask,
+        own_tag: None,
+        lsq_idx: None,
+        mem_kind: None,
+        pred_taken: dec.pred_taken,
+        ghist: dec.ghist,
+    }
+}

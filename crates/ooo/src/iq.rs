@@ -1,0 +1,270 @@
+//! Instruction issue queues: one per execution pipeline (paper §IV, §V-A).
+//!
+//! Readiness uses the scoreboard's *optimistic* presence bits at entry and
+//! wakeups from write-back and early (issue-time) producers, giving
+//! back-to-back scheduling of dependent single-cycle operations.
+
+use cmd_core::cell::Ehr;
+use cmd_core::clock::Clock;
+use cmd_core::guard::{Guarded, Stall};
+
+use crate::types::{PhysReg, SpecTag, Uop};
+
+#[derive(Debug, Clone, Copy)]
+struct IqEntry {
+    uop: Uop,
+    rdy1: bool,
+    rdy2: bool,
+    age: u64,
+}
+
+/// An issue queue (paper Fig. 7 generalized to real micro-ops).
+#[derive(Clone)]
+pub struct IssueQueue {
+    slots: Vec<Ehr<Option<IqEntry>>>,
+    next_age: Ehr<u64>,
+}
+
+impl IssueQueue {
+    /// Creates an empty IQ of `size` slots.
+    #[must_use]
+    pub fn new(clk: &Clock, size: usize) -> Self {
+        IssueQueue {
+            slots: (0..size).map(|_| Ehr::new(clk, None)).collect(),
+            next_age: Ehr::new(clk, 0),
+        }
+    }
+
+    /// Inserts a renamed micro-op with its source-ready bits (paper's
+    /// `enter`).
+    ///
+    /// # Errors
+    ///
+    /// Stalls when the queue is full.
+    pub fn enter(&self, uop: Uop, rdy1: bool, rdy2: bool) -> Guarded<()> {
+        let free = self
+            .slots
+            .iter()
+            .position(|s| s.with(Option::is_none))
+            .ok_or(Stall::new("iq full"))?;
+        let age = self.next_age.read();
+        self.next_age.write(age + 1);
+        self.slots[free].write(Some(IqEntry {
+            uop,
+            rdy1,
+            rdy2,
+            age,
+        }));
+        Ok(())
+    }
+
+    /// Wakes every entry waiting on `dst` (paper's `wakeup`).
+    pub fn wakeup(&self, dst: PhysReg) {
+        if dst == PhysReg::ZERO {
+            return;
+        }
+        for s in &self.slots {
+            s.update(|e| {
+                if let Some(e) = e {
+                    if e.uop.src1 == dst {
+                        e.rdy1 = true;
+                    }
+                    if e.uop.src2 == dst {
+                        e.rdy2 = true;
+                    }
+                }
+            });
+        }
+    }
+
+    /// Removes and returns the oldest fully-ready micro-op (paper's
+    /// `issue`).
+    ///
+    /// # Errors
+    ///
+    /// Stalls when nothing is ready.
+    pub fn issue(&self) -> Guarded<Uop> {
+        let pick = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.with(|e| {
+                    e.as_ref()
+                        .filter(|e| e.rdy1 && e.rdy2)
+                        .map(|e| (i, e.age))
+                })
+            })
+            .min_by_key(|&(_, age)| age)
+            .map(|(i, _)| i)
+            .ok_or(Stall::new("no ready instruction"))?;
+        let e = self.slots[pick].read().expect("slot valid");
+        self.slots[pick].write(None);
+        Ok(e.uop)
+    }
+
+    /// `wrongSpec`: drops every entry carrying `tag`.
+    pub fn wrong_spec(&self, tag: SpecTag) {
+        for s in &self.slots {
+            s.update(|e| {
+                if matches!(e, Some(en) if en.uop.mask.contains(tag)) {
+                    *e = None;
+                }
+            });
+        }
+    }
+
+    /// `correctSpec`: clears `tag` from every mask.
+    pub fn correct_spec(&self, tag: SpecTag) {
+        for s in &self.slots {
+            s.update(|e| {
+                if let Some(en) = e {
+                    en.uop.mask = en.uop.mask.without(tag);
+                }
+            });
+        }
+    }
+
+    /// Empties the queue.
+    pub fn flush(&self) {
+        for s in &self.slots {
+            s.write(None);
+        }
+    }
+
+    /// Occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.with(Option::is_some)).count()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SpecMask;
+    use riscy_isa::inst::Instr;
+    use riscy_isa::reg::Gpr;
+
+    fn uop(src1: u16, src2: u16, mask: SpecMask) -> Uop {
+        Uop {
+            instr: Instr::Lui {
+                rd: Gpr::a(0),
+                imm: 0,
+            },
+            pc: 0,
+            pred_next: 4,
+            rob: 0,
+            arch_dst: None,
+            dst: None,
+            old_dst: None,
+            src1: PhysReg(src1),
+            src2: PhysReg(src2),
+            mask,
+            own_tag: None,
+            lsq_idx: None,
+            mem_kind: None,
+            pred_taken: false,
+            ghist: crate::frontend::GhistSnapshot::default(),
+        }
+    }
+
+    fn in_rule<R>(clk: &Clock, f: impl FnOnce() -> R) -> R {
+        clk.begin_rule();
+        let r = f();
+        clk.commit_rule();
+        r
+    }
+
+    #[test]
+    fn issue_oldest_ready_first() {
+        let clk = Clock::new();
+        let iq = IssueQueue::new(&clk, 4);
+        in_rule(&clk, || {
+            iq.enter(uop(1, 0, SpecMask::EMPTY), false, true).unwrap();
+            iq.enter(uop(2, 0, SpecMask::EMPTY), true, true).unwrap();
+            iq.enter(uop(3, 0, SpecMask::EMPTY), true, true).unwrap();
+        });
+        in_rule(&clk, || {
+            let u = iq.issue().unwrap();
+            assert_eq!(u.src1, PhysReg(2), "oldest *ready*, not oldest");
+        });
+    }
+
+    #[test]
+    fn wakeup_enables_issue_same_cycle_in_later_rule() {
+        let clk = Clock::new();
+        let iq = IssueQueue::new(&clk, 4);
+        in_rule(&clk, || {
+            iq.enter(uop(5, 5, SpecMask::EMPTY), false, false).unwrap();
+        });
+        in_rule(&clk, || {
+            assert!(iq.issue().is_err());
+        });
+        in_rule(&clk, || iq.wakeup(PhysReg(5)));
+        in_rule(&clk, || {
+            assert!(iq.issue().is_ok(), "EHR: wakeup visible to later rule");
+        });
+    }
+
+    #[test]
+    fn wakeup_of_zero_register_ignored() {
+        let clk = Clock::new();
+        let iq = IssueQueue::new(&clk, 2);
+        in_rule(&clk, || {
+            iq.enter(uop(0, 0, SpecMask::EMPTY), false, false).unwrap();
+        });
+        in_rule(&clk, || iq.wakeup(PhysReg::ZERO));
+        in_rule(&clk, || {
+            assert!(iq.issue().is_err(), "p0 wakeups must not fire");
+        });
+    }
+
+    #[test]
+    fn full_queue_stalls() {
+        let clk = Clock::new();
+        let iq = IssueQueue::new(&clk, 2);
+        in_rule(&clk, || {
+            iq.enter(uop(1, 1, SpecMask::EMPTY), true, true).unwrap();
+            iq.enter(uop(2, 2, SpecMask::EMPTY), true, true).unwrap();
+            assert!(iq.enter(uop(3, 3, SpecMask::EMPTY), true, true).is_err());
+        });
+    }
+
+    #[test]
+    fn wrong_spec_kills_tagged_only() {
+        let clk = Clock::new();
+        let iq = IssueQueue::new(&clk, 4);
+        let tag = SpecTag(1);
+        in_rule(&clk, || {
+            iq.enter(uop(1, 1, SpecMask::EMPTY), true, true).unwrap();
+            iq.enter(uop(2, 2, SpecMask::EMPTY.with(tag)), true, true)
+                .unwrap();
+        });
+        in_rule(&clk, || iq.wrong_spec(tag));
+        assert_eq!(iq.len(), 1);
+        in_rule(&clk, || {
+            assert_eq!(iq.issue().unwrap().src1, PhysReg(1));
+        });
+    }
+
+    #[test]
+    fn correct_spec_then_reuse() {
+        let clk = Clock::new();
+        let iq = IssueQueue::new(&clk, 4);
+        let tag = SpecTag(3);
+        in_rule(&clk, || {
+            iq.enter(uop(1, 1, SpecMask::EMPTY.with(tag)), true, true)
+                .unwrap();
+        });
+        in_rule(&clk, || iq.correct_spec(tag));
+        in_rule(&clk, || iq.wrong_spec(tag));
+        assert_eq!(iq.len(), 1, "mask was cleared before the reuse kill");
+    }
+}

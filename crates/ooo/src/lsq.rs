@@ -1,0 +1,1013 @@
+//! The load-store queue (paper §V-B): split LQ/SQ with the paper's full
+//! interface — `enq`, `update`, `getIssueLd`, `issueLd`, `respLd`,
+//! `wakeupBySBDeq`, `cacheEvict`, `setAtCommit`, `firstLd`/`firstSt`,
+//! `deqLd`/`deqSt` — plus `correctSpec`/`wrongSpec`.
+//!
+//! Loads issue speculatively past older stores with unknown addresses;
+//! a store's `update` searches younger loads for memory-dependency
+//! violations and marks them *to-be-killed* (handled at commit as a
+//! flush+replay). Under TSO, `cacheEvict` additionally kills loads that
+//! read values made stale by a remote write (paper §V-B).
+
+use cmd_core::cell::Ehr;
+use cmd_core::clock::Clock;
+use cmd_core::guard::{Guarded, Stall};
+use riscy_isa::csr::Exception;
+use riscy_mem::msg::{line_of, AtomicOp};
+
+use crate::sb::SbSearch;
+use crate::types::{PhysReg, SpecMask, SpecTag};
+
+/// Execution state of a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdState {
+    /// Address not yet translated.
+    WaitAddr,
+    /// Ready to be picked by `getIssueLd`.
+    Ready,
+    /// Stalled on an explicit source (cleared by a wakeup method).
+    Stalled,
+    /// Request in flight to the cache.
+    Issued,
+    /// Value bound (forwarded or from cache).
+    Done,
+}
+
+/// What stalls a load (paper: "the load records the source that stalls
+/// it, and retries after the source of the stall has been resolved").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallSrc {
+    /// Partially-overlapping older store (by age).
+    SqPartial(u64),
+    /// Partially-overlapping store-buffer entry.
+    SbEntry(usize),
+    /// An older fence.
+    Fence(u64),
+}
+
+/// One load-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct LqEntry {
+    /// ROB index.
+    pub rob: u16,
+    /// Speculation mask.
+    pub mask: SpecMask,
+    /// Memory-op age (global order among loads and stores).
+    pub age: u64,
+    /// Destination register.
+    pub dst: Option<PhysReg>,
+    /// Access size.
+    pub bytes: u8,
+    /// Sign-extend the result.
+    pub signed: bool,
+    /// Physical address (after translation).
+    pub addr: Option<u64>,
+    /// Targets MMIO space (executes at commit).
+    pub mmio: bool,
+    /// LR/SC/AMO payload (executes at commit).
+    pub atomic: Option<AtomicOp>,
+    /// Allocated for an LR/SC/AMO (known at rename, before translation).
+    pub atomic_class: bool,
+    /// Execution state.
+    pub state: LdState,
+    /// Stall source while `state == Stalled`.
+    pub stall: Option<StallSrc>,
+    /// Bound value.
+    pub value: Option<u64>,
+    /// Age of the store the value was forwarded from (`None` = cache;
+    /// `Some(0)` = store buffer).
+    pub fwd_src_age: Option<u64>,
+    /// Page fault from translation.
+    pub fault: Option<(Exception, u64)>,
+    /// Memory-dependency violation: replay at commit.
+    pub killed: bool,
+    /// The destination register write-back has been performed.
+    pub wb_done: bool,
+    /// Squashed while a cache response is outstanding: the slot is poisoned
+    /// until the wrong-path response returns (paper §V-B).
+    pub zombie: bool,
+    /// The instruction has reached the commit slot (atomics/MMIO may start).
+    pub at_commit: bool,
+}
+
+/// One store-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct SqEntry {
+    /// ROB index.
+    pub rob: u16,
+    /// Speculation mask.
+    pub mask: SpecMask,
+    /// Memory-op age.
+    pub age: u64,
+    /// Access size.
+    pub bytes: u8,
+    /// Physical address.
+    pub addr: Option<u64>,
+    /// Store data.
+    pub data: Option<u64>,
+    /// Targets MMIO space.
+    pub mmio: bool,
+    /// This entry is a fence, not a store.
+    pub is_fence: bool,
+    /// Translation faulted (entry is dead weight until the flush).
+    pub faulted: bool,
+    /// Committed from the ROB; may drain.
+    pub committed: bool,
+    /// TSO: issued to L1 D, awaiting `respSt`.
+    pub issued: bool,
+}
+
+/// Result of `issueLd` (paper Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdIssue {
+    /// Forward this value (goes through the forwarding queue).
+    Forward(u64),
+    /// Send to the cache.
+    ToCache,
+    /// Stalled; the source was recorded.
+    Stalled,
+}
+
+/// The split load/store queue.
+#[derive(Clone)]
+pub struct Lsq {
+    lq: Vec<Ehr<Option<LqEntry>>>,
+    sq: Vec<Ehr<Option<SqEntry>>>,
+    next_age: Ehr<u64>,
+    /// Loads killed by `cacheEvict` (TSO statistic, Fig. 20 discussion).
+    pub evict_kills: Ehr<u64>,
+}
+
+impl Lsq {
+    /// Creates an empty LSQ (paper Fig. 12: 24-entry LQ, 14-entry SQ).
+    #[must_use]
+    pub fn new(clk: &Clock, lq_entries: usize, sq_entries: usize) -> Self {
+        Lsq {
+            lq: (0..lq_entries).map(|_| Ehr::new(clk, None)).collect(),
+            sq: (0..sq_entries).map(|_| Ehr::new(clk, None)).collect(),
+            next_age: Ehr::new(clk, 1),
+            evict_kills: Ehr::new(clk, 0),
+        }
+    }
+
+    fn alloc_age(&self) -> u64 {
+        let a = self.next_age.read();
+        self.next_age.write(a + 1);
+        a
+    }
+
+    /// Allocates a load entry at rename (paper's `enq`).
+    ///
+    /// # Errors
+    ///
+    /// Stalls when the LQ is full.
+    pub fn enq_ld(
+        &self,
+        rob: u16,
+        mask: SpecMask,
+        dst: Option<PhysReg>,
+        atomic_class: bool,
+    ) -> Guarded<u16> {
+        let free = self
+            .lq
+            .iter()
+            .position(|s| s.with(Option::is_none))
+            .ok_or(Stall::new("lq full"))?;
+        let age = self.alloc_age();
+        self.lq[free].write(Some(LqEntry {
+            rob,
+            mask,
+            age,
+            dst,
+            bytes: 0,
+            signed: false,
+            addr: None,
+            mmio: false,
+            atomic: None,
+            atomic_class,
+            state: LdState::WaitAddr,
+            stall: None,
+            value: None,
+            fwd_src_age: None,
+            fault: None,
+            killed: false,
+            wb_done: false,
+            zombie: false,
+            at_commit: false,
+        }));
+        Ok(free as u16)
+    }
+
+    /// Allocates a store or fence entry at rename (paper's `enq`).
+    ///
+    /// # Errors
+    ///
+    /// Stalls when the SQ is full.
+    pub fn enq_st(&self, rob: u16, mask: SpecMask, is_fence: bool) -> Guarded<u16> {
+        let free = self
+            .sq
+            .iter()
+            .position(|s| s.with(Option::is_none))
+            .ok_or(Stall::new("sq full"))?;
+        let age = self.alloc_age();
+        self.sq[free].write(Some(SqEntry {
+            rob,
+            mask,
+            age,
+            bytes: 0,
+            addr: None,
+            data: None,
+            mmio: false,
+            is_fence,
+            faulted: false,
+            committed: false,
+            issued: false,
+        }));
+        Ok(free as u16)
+    }
+
+    /// Records a load's destination register (set during rename, after the
+    /// entry was allocated).
+    pub fn set_ld_dst(&self, idx: u16, dst: Option<PhysReg>) {
+        self.lq[idx as usize].update(|e| {
+            e.as_mut().expect("live LQ index").dst = dst;
+        });
+    }
+
+    /// Fills a load's translation results (half of the paper's `update`).
+    pub fn update_ld(
+        &self,
+        idx: u16,
+        addr: Result<u64, (Exception, u64)>,
+        bytes: u8,
+        signed: bool,
+        mmio: bool,
+        atomic: Option<AtomicOp>,
+    ) {
+        self.lq[idx as usize].update(|e| {
+            let e = e.as_mut().expect("live LQ index");
+            e.bytes = bytes;
+            e.signed = signed;
+            e.mmio = mmio;
+            e.atomic = atomic;
+            match addr {
+                Ok(pa) => {
+                    e.addr = Some(pa);
+                    // MMIO and atomics wait for the commit slot.
+                    e.state = if mmio || atomic.is_some() {
+                        LdState::Stalled
+                    } else {
+                        LdState::Ready
+                    };
+                }
+                Err(f) => {
+                    e.fault = Some(f);
+                    e.state = LdState::Done;
+                }
+            }
+        });
+    }
+
+    /// Fills a store's translation results and data, and performs the
+    /// memory-dependency kill search on younger loads (the other half of
+    /// the paper's `update`).
+    pub fn update_st(
+        &self,
+        idx: u16,
+        addr: Result<u64, (Exception, u64)>,
+        bytes: u8,
+        data: u64,
+        mmio: bool,
+    ) {
+        let (age, pa) = {
+            let mut out = (0, None);
+            self.sq[idx as usize].update(|e| {
+                let e = e.as_mut().expect("live SQ index");
+                e.bytes = bytes;
+                e.mmio = mmio;
+                match addr {
+                    Ok(pa) => {
+                        e.addr = Some(pa);
+                        e.data = Some(data);
+                        out = (e.age, Some(pa));
+                    }
+                    Err(_) => {
+                        e.faulted = true;
+                        out = (e.age, None);
+                    }
+                }
+            });
+            out
+        };
+        let Some(pa) = pa else { return };
+        // Kill younger loads that already read bytes this store writes and
+        // whose value did not come from a store younger than this one.
+        for cell in &self.lq {
+            cell.update(|e| {
+                let Some(e) = e else { return };
+                if e.zombie || e.age <= age || e.killed {
+                    return;
+                }
+                let Some(la) = e.addr else { return };
+                if !overlaps(la, e.bytes, pa, bytes) {
+                    return;
+                }
+                let bound = matches!(e.state, LdState::Issued | LdState::Done);
+                if bound && e.fwd_src_age.unwrap_or(0) < age {
+                    e.killed = true;
+                }
+            });
+        }
+    }
+
+    /// Returns a load ready to issue (paper's `getIssueLd`): the oldest
+    /// `Ready` load with no older fence in the SQ.
+    ///
+    /// # Errors
+    ///
+    /// Stalls when no load is ready.
+    pub fn get_issue_ld(&self) -> Guarded<(u16, u64, u8)> {
+        let oldest_fence = self
+            .sq
+            .iter()
+            .filter_map(|s| s.with(|e| e.as_ref().filter(|e| e.is_fence).map(|e| e.age)))
+            .min();
+        // Atomics and MMIO accesses execute at commit and write the cache
+        // directly; younger loads must not run ahead of them.
+        let oldest_atomic = self
+            .lq
+            .iter()
+            .filter_map(|s| {
+                s.with(|e| {
+                    e.as_ref()
+                        .filter(|e| {
+                            !e.zombie
+                                && (e.atomic_class || e.mmio)
+                                && e.state != LdState::Done
+                        })
+                        .map(|e| e.age)
+                })
+            })
+            .min();
+        let pick = self
+            .lq
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.with(|e| {
+                    e.as_ref()
+                        .filter(|e| {
+                            !e.zombie
+                                && e.state == LdState::Ready
+                                && !e.killed
+                                && !e.atomic_class
+                                && !e.mmio
+                                && oldest_atomic.is_none_or(|a| e.age < a)
+                        })
+                        .map(|e| (i, e.age, e.addr.expect("ready implies addr"), e.bytes))
+                })
+            })
+            .min_by_key(|&(_, age, _, _)| age);
+        let Some((i, age, addr, bytes)) = pick else {
+            return Err(Stall::new("no ready load"));
+        };
+        if let Some(f) = oldest_fence {
+            if f < age {
+                // Record the fence stall so the load retries after the
+                // fence drains.
+                self.lq[i].update(|e| {
+                    let e = e.as_mut().expect("live");
+                    e.state = LdState::Stalled;
+                    e.stall = Some(StallSrc::Fence(f));
+                });
+                return Err(Stall::new("load blocked by fence"));
+            }
+        }
+        Ok((i as u16, addr, bytes))
+    }
+
+    /// Issues the load at `idx`: combines the store-queue search with the
+    /// supplied store-buffer search result (paper's `issueLd`, Fig. 10).
+    pub fn issue_ld(&self, idx: u16, sb: SbSearch) -> LdIssue {
+        let e = self.lq[idx as usize].read().expect("live LQ index");
+        let (la, lb) = (e.addr.expect("addr known"), e.bytes);
+        // Youngest older overlapping store in the SQ wins over the SB.
+        let mut best: Option<(u64, SqEntry)> = None;
+        for cell in &self.sq {
+            cell.with(|s| {
+                if let Some(s) = s.as_ref() {
+                    if s.is_fence || s.faulted || s.age >= e.age {
+                        return;
+                    }
+                    let Some(sa) = s.addr else { return };
+                    if overlaps(la, lb, sa, s.bytes)
+                        && best.is_none_or(|(bage, _)| s.age > bage)
+                    {
+                        best = Some((s.age, *s));
+                    }
+                }
+            });
+        }
+        let outcome = if let Some((sage, s)) = best {
+            let sa = s.addr.expect("matched");
+            if covers(sa, s.bytes, la, lb) {
+                let v = extract(s.data.expect("data set with addr"), sa, la, lb);
+                self.lq[idx as usize].update(|e| {
+                    let e = e.as_mut().expect("live");
+                    e.state = LdState::Done;
+                    e.value = Some(v);
+                    e.fwd_src_age = Some(sage);
+                });
+                return LdIssue::Forward(v);
+            }
+            self.lq[idx as usize].update(|e| {
+                let e = e.as_mut().expect("live");
+                e.state = LdState::Stalled;
+                e.stall = Some(StallSrc::SqPartial(sage));
+            });
+            return LdIssue::Stalled;
+        } else {
+            match sb {
+                SbSearch::Forward(v) => {
+                    self.lq[idx as usize].update(|e| {
+                        let e = e.as_mut().expect("live");
+                        e.state = LdState::Done;
+                        e.value = Some(v);
+                        e.fwd_src_age = Some(0);
+                    });
+                    LdIssue::Forward(v)
+                }
+                SbSearch::Partial(i) => {
+                    self.lq[idx as usize].update(|e| {
+                        let e = e.as_mut().expect("live");
+                        e.state = LdState::Stalled;
+                        e.stall = Some(StallSrc::SbEntry(i));
+                    });
+                    LdIssue::Stalled
+                }
+                SbSearch::Miss => {
+                    self.lq[idx as usize].update(|e| {
+                        let e = e.as_mut().expect("live");
+                        e.state = LdState::Issued;
+                    });
+                    LdIssue::ToCache
+                }
+            }
+        };
+        outcome
+    }
+
+    /// Delivers a cache response (paper's `respLd`). Returns `true` when it
+    /// was a wrong-path response (the slot is freed, nothing else to do).
+    pub fn resp_ld(&self, idx: u16, data: u64) -> bool {
+        let mut wrong_path = false;
+        self.lq[idx as usize].update(|e| {
+            let Some(en) = e.as_mut() else {
+                wrong_path = true;
+                return;
+            };
+            if en.zombie {
+                *e = None;
+                wrong_path = true;
+                return;
+            }
+            en.state = LdState::Done;
+            en.value = Some(data);
+        });
+        wrong_path
+    }
+
+    /// Marks the load's register write-back performed (loads may only
+    /// dequeue once their value is architecturally visible).
+    pub fn mark_wb_done(&self, idx: u16) {
+        self.lq[idx as usize].update(|e| {
+            if let Some(e) = e {
+                e.wb_done = true;
+            }
+        });
+    }
+
+    /// Reads an entry (for write-back metadata).
+    #[must_use]
+    pub fn lq_entry(&self, idx: u16) -> Option<LqEntry> {
+        self.lq[idx as usize].read().filter(|e| !e.zombie)
+    }
+
+    /// Reads an SQ entry.
+    #[must_use]
+    pub fn sq_entry(&self, idx: u16) -> Option<SqEntry> {
+        self.sq[idx as usize].read()
+    }
+
+    /// A store-buffer entry drained: clear matching stall sources (paper's
+    /// `wakeupBySBDeq`).
+    pub fn wakeup_by_sb_deq(&self, sb_idx: usize) {
+        self.wakeup_where(|s| matches!(s, StallSrc::SbEntry(i) if *i == sb_idx));
+    }
+
+    fn wakeup_where(&self, pred: impl Fn(&StallSrc) -> bool) {
+        for cell in &self.lq {
+            cell.update(|e| {
+                if let Some(e) = e {
+                    if e.state == LdState::Stalled && !e.zombie {
+                        if let Some(s) = &e.stall {
+                            if pred(s) {
+                                e.stall = None;
+                                e.state = LdState::Ready;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// TSO: a line left the L1 D; kill cache-sourced loads that already
+    /// bound a value from it (paper's `cacheEvict`).
+    pub fn cache_evict(&self, line: u64) {
+        let mut kills = 0;
+        for cell in &self.lq {
+            cell.update(|e| {
+                if let Some(e) = e {
+                    if e.zombie || e.killed {
+                        return;
+                    }
+                    let Some(a) = e.addr else { return };
+                    if line_of(a) == line
+                        && e.state == LdState::Done
+                        && e.fwd_src_age.is_none()
+                    {
+                        e.killed = true;
+                        kills += 1;
+                    }
+                }
+            });
+        }
+        if kills > 0 {
+            self.evict_kills.update(|k| *k += kills);
+        }
+    }
+
+    /// Marks the instruction at the commit slot (paper's `setAtCommit`):
+    /// commits stores/fences, or releases an MMIO/atomic load to execute.
+    pub fn set_at_commit_st(&self, idx: u16) {
+        self.sq[idx as usize].update(|e| {
+            e.as_mut().expect("live SQ index").committed = true;
+        });
+    }
+
+    /// Releases an MMIO/atomic load at the commit slot.
+    pub fn set_at_commit_ld(&self, idx: u16) {
+        self.lq[idx as usize].update(|e| {
+            e.as_mut().expect("live LQ index").at_commit = true;
+        });
+    }
+
+    fn oldest_lq(&self) -> Option<(usize, LqEntry)> {
+        self.lq
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.with(|e| e.filter(|e| !e.zombie).map(|e| (i, e))))
+            .min_by_key(|(_, e)| e.age)
+    }
+
+    fn oldest_sq(&self) -> Option<(usize, SqEntry)> {
+        self.sq
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.with(|e| e.map(|e| (i, e))))
+            .min_by_key(|(_, e)| e.age)
+    }
+
+    /// The oldest load (paper's `firstLd`).
+    ///
+    /// # Errors
+    ///
+    /// Stalls when the LQ is empty.
+    pub fn first_ld(&self) -> Guarded<(u16, LqEntry)> {
+        self.oldest_lq()
+            .map(|(i, e)| (i as u16, e))
+            .ok_or(Stall::new("lq empty"))
+    }
+
+    /// The oldest store/fence (paper's `firstSt`).
+    ///
+    /// # Errors
+    ///
+    /// Stalls when the SQ is empty.
+    pub fn first_st(&self) -> Guarded<(u16, SqEntry)> {
+        self.oldest_sq()
+            .map(|(i, e)| (i as u16, e))
+            .ok_or(Stall::new("sq empty"))
+    }
+
+    /// Whether any older store than `age` still has an unknown address
+    /// (final memory-dependency check before a load dequeues).
+    #[must_use]
+    pub fn older_store_addr_unknown(&self, age: u64) -> bool {
+        self.sq.iter().any(|s| {
+            s.with(|e| {
+                matches!(e, Some(e) if e.age < age && !e.is_fence && !e.faulted && e.addr.is_none())
+            })
+        })
+    }
+
+    /// Removes the oldest load (paper's `deqLd`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LQ is empty.
+    pub fn deq_ld(&self) -> LqEntry {
+        let (i, e) = self.oldest_lq().expect("deqLd on empty LQ");
+        self.lq[i].write(None);
+        e
+    }
+
+    /// Removes the oldest store and wakes loads stalled on it (paper's
+    /// `deqSt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SQ is empty.
+    pub fn deq_st(&self) -> SqEntry {
+        let (i, e) = self.oldest_sq().expect("deqSt on empty SQ");
+        self.sq[i].write(None);
+        if e.is_fence {
+            self.wakeup_where(|s| matches!(s, StallSrc::Fence(a) if *a == e.age));
+        } else {
+            self.wakeup_where(|s| matches!(s, StallSrc::SqPartial(a) if *a == e.age));
+        }
+        e
+    }
+
+    /// Marks the TSO head store as issued to L1.
+    pub fn mark_st_issued(&self, idx: u16) {
+        self.sq[idx as usize].update(|e| {
+            e.as_mut().expect("live SQ index").issued = true;
+        });
+    }
+
+    /// `wrongSpec`: drops tagged entries; issued loads become zombies until
+    /// their wrong-path responses return.
+    pub fn wrong_spec(&self, tag: SpecTag) {
+        for cell in &self.lq {
+            cell.update(|e| {
+                if let Some(en) = e {
+                    if en.mask.contains(tag) && !en.zombie {
+                        if en.state == LdState::Issued {
+                            en.zombie = true;
+                        } else {
+                            *e = None;
+                        }
+                    }
+                }
+            });
+        }
+        for cell in &self.sq {
+            cell.update(|e| {
+                if matches!(e, Some(en) if en.mask.contains(tag)) {
+                    *e = None;
+                }
+            });
+        }
+    }
+
+    /// `correctSpec`: clears `tag` everywhere.
+    pub fn correct_spec(&self, tag: SpecTag) {
+        for cell in &self.lq {
+            cell.update(|e| {
+                if let Some(e) = e {
+                    e.mask = e.mask.without(tag);
+                }
+            });
+        }
+        for cell in &self.sq {
+            cell.update(|e| {
+                if let Some(e) = e {
+                    e.mask = e.mask.without(tag);
+                }
+            });
+        }
+    }
+
+    /// Commit-time flush: drop everything except committed stores/fences
+    /// and zombie loads (their responses are still in flight).
+    pub fn flush_speculative(&self) {
+        for cell in &self.lq {
+            cell.update(|e| {
+                if let Some(en) = e {
+                    if en.zombie {
+                        return;
+                    }
+                    if en.state == LdState::Issued {
+                        en.zombie = true;
+                    } else {
+                        *e = None;
+                    }
+                }
+            });
+        }
+        for cell in &self.sq {
+            cell.update(|e| {
+                if matches!(e, Some(en) if !en.committed) {
+                    *e = None;
+                }
+            });
+        }
+    }
+
+    /// Live (non-zombie) load count.
+    #[must_use]
+    pub fn lq_len(&self) -> usize {
+        self.lq
+            .iter()
+            .filter(|s| s.with(|e| matches!(e, Some(e) if !e.zombie)))
+            .count()
+    }
+
+    /// Store/fence count.
+    #[must_use]
+    pub fn sq_len(&self) -> usize {
+        self.sq.iter().filter(|s| s.with(Option::is_some)).count()
+    }
+
+    /// Whether both queues are drained (zombies included — they pin slots).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lq.iter().all(|s| s.with(Option::is_none)) && self.sq_len() == 0
+    }
+}
+
+fn overlaps(a1: u64, n1: u8, a2: u64, n2: u8) -> bool {
+    a1 < a2 + u64::from(n2) && a2 < a1 + u64::from(n1)
+}
+
+/// Whether `[sa, sa+sn)` covers all of `[la, la+ln)`.
+fn covers(sa: u64, sn: u8, la: u64, ln: u8) -> bool {
+    sa <= la && la + u64::from(ln) <= sa + u64::from(sn)
+}
+
+/// Extracts the load bytes from a covering store's data.
+fn extract(data: u64, sa: u64, la: u64, ln: u8) -> u64 {
+    let shift = 8 * (la - sa);
+    let v = data >> shift;
+    if ln == 8 {
+        v
+    } else {
+        v & ((1u64 << (8 * ln)) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_rule<R>(clk: &Clock, f: impl FnOnce() -> R) -> R {
+        clk.begin_rule();
+        let r = f();
+        clk.commit_rule();
+        r
+    }
+
+    fn lsq() -> (Clock, Lsq) {
+        let clk = Clock::new();
+        let l = Lsq::new(&clk, 4, 4);
+        (clk, l)
+    }
+
+    #[test]
+    fn enq_capacity() {
+        let (clk, l) = lsq();
+        in_rule(&clk, || {
+            for _ in 0..4 {
+                l.enq_ld(0, SpecMask::EMPTY, None, false).unwrap();
+            }
+            assert!(l.enq_ld(0, SpecMask::EMPTY, None, false).is_err());
+            for _ in 0..4 {
+                l.enq_st(0, SpecMask::EMPTY, false).unwrap();
+            }
+            assert!(l.enq_st(0, SpecMask::EMPTY, false).is_err());
+        });
+    }
+
+    #[test]
+    fn load_forwards_from_covering_older_store() {
+        let (clk, l) = lsq();
+        let (st, ld) = in_rule(&clk, || {
+            let st = l.enq_st(1, SpecMask::EMPTY, false).unwrap();
+            let ld = l.enq_ld(2, SpecMask::EMPTY, None, false).unwrap();
+            st_ld_pair(&l, st, ld)
+        });
+        let r = in_rule(&clk, || l.issue_ld(ld, SbSearch::Miss));
+        assert_eq!(r, LdIssue::Forward(0x9988), "bytes 2..4 of the store");
+        let _ = st;
+    }
+
+    fn st_ld_pair(l: &Lsq, st: u16, ld: u16) -> (u16, u16) {
+        // store 8 bytes at 0x1000; load 2 bytes at 0x1002.
+        l.update_st(st, Ok(0x1000), 8, 0xddcc_bbaa_9988_7766, false);
+        l.update_ld(ld, Ok(0x1002), 2, false, false, None);
+        (st, ld)
+    }
+
+    #[test]
+    fn load_stalls_on_partial_older_store_then_wakes_on_deq() {
+        let (clk, l) = lsq();
+        let ld = in_rule(&clk, || {
+            let st = l.enq_st(1, SpecMask::EMPTY, false).unwrap();
+            let ld = l.enq_ld(2, SpecMask::EMPTY, None, false).unwrap();
+            l.update_st(st, Ok(0x1004), 4, 0xffff_ffff, false);
+            l.update_ld(ld, Ok(0x1000), 8, false, false, None);
+            ld
+        });
+        let r = in_rule(&clk, || l.issue_ld(ld, SbSearch::Miss));
+        assert_eq!(r, LdIssue::Stalled);
+        in_rule(&clk, || {
+            assert!(l.get_issue_ld().is_err(), "stalled load not re-offered");
+        });
+        in_rule(&clk, || {
+            l.set_at_commit_st(0);
+            l.deq_st();
+        });
+        let (idx, _, _) = in_rule(&clk, || l.get_issue_ld().unwrap());
+        assert_eq!(idx, ld, "deqSt woke the load");
+    }
+
+    #[test]
+    fn speculative_load_killed_by_late_store_address() {
+        let (clk, l) = lsq();
+        let (st, ld) = in_rule(&clk, || {
+            let st = l.enq_st(1, SpecMask::EMPTY, false).unwrap();
+            let ld = l.enq_ld(2, SpecMask::EMPTY, None, false).unwrap();
+            // The load translates first and issues speculatively.
+            l.update_ld(ld, Ok(0x2000), 8, false, false, None);
+            (st, ld)
+        });
+        in_rule(&clk, || {
+            let (idx, addr, _) = l.get_issue_ld().unwrap();
+            assert_eq!((idx, addr), (ld, 0x2000));
+            assert_eq!(l.issue_ld(ld, SbSearch::Miss), LdIssue::ToCache);
+        });
+        in_rule(&clk, || {
+            assert!(!l.resp_ld(ld, 0xdead), "not wrong-path");
+        });
+        // Now the older store's address arrives and overlaps.
+        in_rule(&clk, || {
+            l.update_st(st, Ok(0x2000), 8, 1, false);
+        });
+        assert!(l.lq_entry(ld).unwrap().killed, "violation detected");
+    }
+
+    #[test]
+    fn forward_from_youngest_older_store_is_not_killed() {
+        let (clk, l) = lsq();
+        let (st_old, st_new, ld) = in_rule(&clk, || {
+            let st_old = l.enq_st(1, SpecMask::EMPTY, false).unwrap();
+            let st_new = l.enq_st(2, SpecMask::EMPTY, false).unwrap();
+            let ld = l.enq_ld(3, SpecMask::EMPTY, None, false).unwrap();
+            // Younger store's address is known; it covers the load.
+            l.update_st(st_new, Ok(0x3000), 8, 42, false);
+            l.update_ld(ld, Ok(0x3000), 8, false, false, None);
+            (st_old, st_new, ld)
+        });
+        let r = in_rule(&clk, || l.issue_ld(ld, SbSearch::Miss));
+        assert_eq!(r, LdIssue::Forward(42));
+        // The *older* store resolves to the same address: the load read the
+        // younger value, which is still correct.
+        in_rule(&clk, || l.update_st(st_old, Ok(0x3000), 8, 7, false));
+        assert!(!l.lq_entry(ld).unwrap().killed);
+        let _ = st_new;
+    }
+
+    #[test]
+    fn fence_blocks_younger_loads_until_deq() {
+        let (clk, l) = lsq();
+        let ld = in_rule(&clk, || {
+            l.enq_st(1, SpecMask::EMPTY, true).unwrap(); // fence
+            let ld = l.enq_ld(2, SpecMask::EMPTY, None, false).unwrap();
+            l.update_ld(ld, Ok(0x4000), 8, false, false, None);
+            ld
+        });
+        in_rule(&clk, || {
+            assert!(l.get_issue_ld().is_err(), "fence blocks the load");
+        });
+        in_rule(&clk, || {
+            l.deq_st();
+        });
+        let got = in_rule(&clk, || l.get_issue_ld());
+        assert_eq!(got.unwrap().0, ld);
+    }
+
+    #[test]
+    fn sb_search_results_honored() {
+        let (clk, l) = lsq();
+        let (ld1, ld2) = in_rule(&clk, || {
+            let ld1 = l.enq_ld(1, SpecMask::EMPTY, None, false).unwrap();
+            let ld2 = l.enq_ld(2, SpecMask::EMPTY, None, false).unwrap();
+            l.update_ld(ld1, Ok(0x5000), 8, false, false, None);
+            l.update_ld(ld2, Ok(0x5008), 8, false, false, None);
+            (ld1, ld2)
+        });
+        let r1 = in_rule(&clk, || l.issue_ld(ld1, SbSearch::Forward(99)));
+        assert_eq!(r1, LdIssue::Forward(99));
+        let r2 = in_rule(&clk, || l.issue_ld(ld2, SbSearch::Partial(1)));
+        assert_eq!(r2, LdIssue::Stalled);
+        in_rule(&clk, || l.wakeup_by_sb_deq(1));
+        let got = in_rule(&clk, || l.get_issue_ld().unwrap().0);
+        assert_eq!(got, ld2);
+    }
+
+    #[test]
+    fn wrong_spec_zombifies_issued_loads() {
+        let (clk, l) = lsq();
+        let tag = SpecTag(0);
+        let ld = in_rule(&clk, || {
+            let ld = l.enq_ld(1, SpecMask::EMPTY.with(tag), None, false).unwrap();
+            l.update_ld(ld, Ok(0x6000), 8, false, false, None);
+            ld
+        });
+        in_rule(&clk, || {
+            l.get_issue_ld().unwrap();
+            l.issue_ld(ld, SbSearch::Miss);
+        });
+        in_rule(&clk, || l.wrong_spec(tag));
+        assert_eq!(l.lq_len(), 0, "logically gone");
+        assert!(!l.is_empty(), "slot pinned until the response returns");
+        let wrong = in_rule(&clk, || l.resp_ld(ld, 5));
+        assert!(wrong, "response identified as wrong-path");
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn tso_cache_evict_kills_cache_sourced_loads_only() {
+        let (clk, l) = lsq();
+        let (ld_cache, ld_fwd) = in_rule(&clk, || {
+            let st = l.enq_st(1, SpecMask::EMPTY, false).unwrap();
+            let a = l.enq_ld(2, SpecMask::EMPTY, None, false).unwrap();
+            let b = l.enq_ld(3, SpecMask::EMPTY, None, false).unwrap();
+            l.update_st(st, Ok(0x7000), 8, 1, false);
+            l.update_ld(a, Ok(0x7040), 8, false, false, None);
+            l.update_ld(b, Ok(0x7000), 8, false, false, None);
+            (a, b)
+        });
+        in_rule(&clk, || {
+            l.issue_ld(ld_cache, SbSearch::Miss);
+            l.resp_ld(ld_cache, 9);
+            assert_eq!(l.issue_ld(ld_fwd, SbSearch::Miss), LdIssue::Forward(1));
+        });
+        in_rule(&clk, || {
+            l.cache_evict(0x7040);
+            l.cache_evict(0x7000);
+        });
+        assert!(l.lq_entry(ld_cache).unwrap().killed);
+        assert!(
+            !l.lq_entry(ld_fwd).unwrap().killed,
+            "forwarded loads immune to eviction"
+        );
+        assert_eq!(l.evict_kills.read(), 1);
+    }
+
+    #[test]
+    fn deq_ld_ordering_and_unknown_store_guard() {
+        let (clk, l) = lsq();
+        in_rule(&clk, || {
+            let st = l.enq_st(1, SpecMask::EMPTY, false).unwrap();
+            let ld = l.enq_ld(2, SpecMask::EMPTY, None, false).unwrap();
+            l.update_ld(ld, Ok(0x8000), 8, false, false, None);
+            let (_, e) = l.first_ld().unwrap();
+            assert!(l.older_store_addr_unknown(e.age), "store addr unknown");
+            l.update_st(st, Ok(0x9000), 8, 0, false);
+            assert!(!l.older_store_addr_unknown(e.age));
+        });
+    }
+
+    #[test]
+    fn flush_keeps_committed_stores() {
+        let (clk, l) = lsq();
+        in_rule(&clk, || {
+            let st1 = l.enq_st(1, SpecMask::EMPTY, false).unwrap();
+            let _st2 = l.enq_st(2, SpecMask::EMPTY, false).unwrap();
+            let _ld = l.enq_ld(3, SpecMask::EMPTY, None, false).unwrap();
+            l.update_st(st1, Ok(0xa000), 8, 5, false);
+            l.set_at_commit_st(st1);
+        });
+        in_rule(&clk, || l.flush_speculative());
+        assert_eq!(l.sq_len(), 1, "committed store survives");
+        assert_eq!(l.lq_len(), 0);
+    }
+
+    #[test]
+    fn extract_subword_from_store_data() {
+        assert_eq!(extract(0x1122_3344_5566_7788, 0x100, 0x100, 8), 0x1122_3344_5566_7788);
+        assert_eq!(extract(0x1122_3344_5566_7788, 0x100, 0x102, 2), 0x5566);
+        assert_eq!(extract(0x1122_3344_5566_7788, 0x100, 0x107, 1), 0x11);
+    }
+
+    #[test]
+    fn overlap_helper() {
+        assert!(overlaps(0x100, 8, 0x104, 8));
+        assert!(!overlaps(0x100, 4, 0x104, 4));
+        assert!(covers(0x100, 8, 0x104, 4));
+        assert!(!covers(0x104, 4, 0x100, 8));
+    }
+}

@@ -1,0 +1,417 @@
+//! Register renaming: speculative and committed rename tables, the free
+//! list, and the speculation manager (paper Fig. 9's `RenameTable` and
+//! `SpeculationManager` modules).
+//!
+//! All state lives in [`Ehr`] cells so the `doRename` rule is atomic: if any
+//! resource (ROB slot, IQ slot, LSQ slot, physical register, speculation
+//! tag) is unavailable, the whole rename aborts and *nothing* leaks — the
+//! composability property §IV of the paper is about.
+
+use std::collections::VecDeque;
+
+use cmd_core::cell::Ehr;
+use cmd_core::clock::Clock;
+use cmd_core::guard::{Guarded, Stall};
+use riscy_isa::reg::Gpr;
+
+use crate::frontend::{GhistSnapshot, RasSnapshot};
+use crate::types::{PhysReg, SpecMask, SpecTag};
+
+/// Rename table (RAT) pair: speculative and committed maps, plus the free
+/// list of physical registers.
+#[derive(Clone)]
+pub struct RenameTable {
+    rat: Ehr<Vec<PhysReg>>,
+    crat: Ehr<Vec<PhysReg>>,
+    free: Ehr<VecDeque<PhysReg>>,
+    phys_regs: usize,
+}
+
+impl RenameTable {
+    /// Creates the reset mapping: architectural register `i` maps to
+    /// physical register `i`; the rest are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `phys_regs > 32`.
+    #[must_use]
+    pub fn new(clk: &Clock, phys_regs: usize) -> Self {
+        assert!(phys_regs > 32, "need more physical than architectural regs");
+        let identity: Vec<PhysReg> = (0..32).map(|i| PhysReg(i as u16)).collect();
+        let free: VecDeque<PhysReg> = (32..phys_regs).map(|i| PhysReg(i as u16)).collect();
+        RenameTable {
+            rat: Ehr::new(clk, identity.clone()),
+            crat: Ehr::new(clk, identity),
+            free: Ehr::new(clk, free),
+            phys_regs,
+        }
+    }
+
+    /// Speculative mapping of `r`.
+    #[must_use]
+    pub fn lookup(&self, r: Gpr) -> PhysReg {
+        self.rat.with(|t| t[r.index()])
+    }
+
+    /// Renames a destination: allocates a fresh physical register and
+    /// returns `(new, old)`.
+    ///
+    /// Renaming `x0` performs no allocation and returns the zero register.
+    ///
+    /// # Errors
+    ///
+    /// Stalls when the free list is empty.
+    pub fn allocate(&self, r: Gpr) -> Guarded<(PhysReg, PhysReg)> {
+        if r.is_zero() {
+            return Ok((PhysReg::ZERO, PhysReg::ZERO));
+        }
+        let new = self
+            .free
+            .with(|f| f.front().copied())
+            .ok_or(Stall::new("no free physical register"))?;
+        self.free.update(|f| {
+            f.pop_front();
+        });
+        let old = self.lookup(r);
+        self.rat.update(|t| t[r.index()] = new);
+        Ok((new, old))
+    }
+
+    /// Commits a mapping: the committed RAT advances and the overwritten
+    /// physical register returns to the free list.
+    pub fn commit(&self, r: Gpr, new: PhysReg, old: PhysReg) -> Vec<PhysReg> {
+        if r.is_zero() {
+            return Vec::new();
+        }
+        self.crat.update(|t| t[r.index()] = new);
+        if old != PhysReg::ZERO || old.index() != 0 {
+            self.free.update(|f| f.push_back(old));
+            return vec![old];
+        }
+        Vec::new()
+    }
+
+    /// Full-pipeline flush: the speculative RAT collapses to the committed
+    /// one and the free list is rebuilt from it.
+    pub fn flush_to_committed(&self) {
+        let crat = self.crat.read();
+        let mut in_use = vec![false; self.phys_regs];
+        for p in &crat {
+            in_use[p.index()] = true;
+        }
+        self.rat.write(crat);
+        let free: VecDeque<PhysReg> = (0..self.phys_regs)
+            .filter(|&i| !in_use[i])
+            .map(|i| PhysReg(i as u16))
+            .collect();
+        self.free.write(free);
+    }
+
+    /// Snapshot of the speculative state (for branch tags).
+    #[must_use]
+    pub fn snapshot(&self) -> RatSnapshot {
+        RatSnapshot {
+            rat: self.rat.read(),
+            free: self.free.read(),
+        }
+    }
+
+    /// Restores a snapshot (branch misprediction).
+    pub fn restore(&self, s: &RatSnapshot) {
+        self.rat.write(s.rat.clone());
+        self.free.write(s.free.clone());
+    }
+
+    /// Number of free physical registers.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.free.with(VecDeque::len)
+    }
+}
+
+/// Captured speculative rename state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatSnapshot {
+    rat: Vec<PhysReg>,
+    free: VecDeque<PhysReg>,
+}
+
+impl RatSnapshot {
+    fn push_free(&mut self, p: PhysReg) {
+        self.free.push_back(p);
+    }
+}
+
+/// Everything restored when a branch turns out mispredicted.
+#[derive(Debug, Clone)]
+pub struct SpecSnapshot {
+    /// Rename state at the branch.
+    pub rat: RatSnapshot,
+    /// RAS top pointer.
+    pub ras: RasSnapshot,
+    /// Global branch history.
+    pub ghist: GhistSnapshot,
+    /// The branch's own dependency mask (tags allocated after it depend on
+    /// it transitively via this).
+    pub mask: SpecMask,
+}
+
+/// The speculation manager: a finite set of tags, each with a snapshot
+/// (paper §V: `SpeculationManager`).
+#[derive(Clone)]
+pub struct SpecManager {
+    snapshots: Ehr<Vec<Option<SpecSnapshot>>>,
+    num_tags: usize,
+}
+
+impl SpecManager {
+    /// Creates a manager with `num_tags` tags.
+    #[must_use]
+    pub fn new(clk: &Clock, num_tags: usize) -> Self {
+        assert!(num_tags <= 32, "SpecMask is 32 bits");
+        SpecManager {
+            snapshots: Ehr::new(clk, vec![None; num_tags]),
+            num_tags,
+        }
+    }
+
+    /// Allocates a tag for a branch, recording its recovery snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Stalls when all tags are live (rename must wait).
+    pub fn allocate(&self, snap: SpecSnapshot) -> Guarded<SpecTag> {
+        let slot = self
+            .snapshots
+            .with(|s| s.iter().position(Option::is_none))
+            .ok_or(Stall::new("no free speculation tag"))?;
+        self.snapshots.update(|s| s[slot] = Some(snap));
+        Ok(SpecTag(slot as u8))
+    }
+
+    /// Resolves a branch as correctly predicted: frees the tag
+    /// (`correctSpec`). Callers must also clear the bit from all masks in
+    /// flight.
+    pub fn correct(&self, tag: SpecTag) {
+        self.snapshots.update(|s| {
+            s[tag.0 as usize] = None;
+            // Clear this tag from the dependency masks of younger tags.
+            for snap in s.iter_mut().flatten() {
+                snap.mask = snap.mask.without(tag);
+            }
+        });
+    }
+
+    /// Resolves a branch as mispredicted: returns its snapshot and frees
+    /// this tag plus every younger tag that depended on it (`wrongSpec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag is not live.
+    pub fn wrong(&self, tag: SpecTag) -> SpecSnapshot {
+        let snap = self
+            .snapshots
+            .with(|s| s[tag.0 as usize].clone())
+            .expect("wrongSpec on a dead tag");
+        self.snapshots.update(|s| {
+            s[tag.0 as usize] = None;
+            for slot in s.iter_mut() {
+                if matches!(slot, Some(sn) if sn.mask.contains(tag)) {
+                    *slot = None;
+                }
+            }
+        });
+        snap
+    }
+
+    /// A physical register was freed at commit; surviving snapshots must
+    /// learn about it or a restore would leak it.
+    pub fn note_commit_free(&self, regs: &[PhysReg]) {
+        if regs.is_empty() {
+            return;
+        }
+        self.snapshots.update(|s| {
+            for snap in s.iter_mut().flatten() {
+                for &p in regs {
+                    snap.rat.push_free(p);
+                }
+            }
+        });
+    }
+
+    /// Frees every tag (full flush).
+    pub fn flush(&self) {
+        self.snapshots.update(|s| s.iter_mut().for_each(|e| *e = None));
+    }
+
+    /// Number of live tags.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.snapshots.with(|s| s.iter().flatten().count())
+    }
+
+    /// Total tags.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.num_tags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::{Ras, Tournament};
+    use crate::config::BpConfig;
+
+    fn fixture() -> (Clock, RenameTable, SpecManager) {
+        let clk = Clock::new();
+        let rt = RenameTable::new(&clk, 40);
+        let sm = SpecManager::new(&clk, 4);
+        (clk, rt, sm)
+    }
+
+    fn snap(rt: &RenameTable, mask: SpecMask) -> SpecSnapshot {
+        let t = Tournament::new(BpConfig::default());
+        let r = Ras::new(4);
+        SpecSnapshot {
+            rat: rt.snapshot(),
+            ras: r.snapshot(),
+            ghist: t.snapshot(),
+            mask,
+        }
+    }
+
+    #[test]
+    fn allocate_and_lookup() {
+        let (clk, rt, _) = fixture();
+        clk.begin_rule();
+        let a1 = Gpr::a(1);
+        let (new, old) = rt.allocate(a1).unwrap();
+        assert_eq!(old, PhysReg(11), "reset maps x11 to p11");
+        assert_eq!(new, PhysReg(32), "first free register");
+        assert_eq!(rt.lookup(a1), new);
+        clk.commit_rule();
+    }
+
+    #[test]
+    fn x0_never_allocates() {
+        let (clk, rt, _) = fixture();
+        clk.begin_rule();
+        let before = rt.free_count();
+        let (new, old) = rt.allocate(Gpr::ZERO).unwrap();
+        assert_eq!((new, old), (PhysReg::ZERO, PhysReg::ZERO));
+        assert_eq!(rt.free_count(), before);
+        clk.commit_rule();
+    }
+
+    #[test]
+    fn freelist_exhaustion_stalls_atomically() {
+        let (clk, rt, _) = fixture();
+        clk.begin_rule();
+        for _ in 0..8 {
+            rt.allocate(Gpr::a(0)).unwrap();
+        }
+        assert!(rt.allocate(Gpr::a(0)).is_err());
+        clk.abort_rule();
+        // The abort rolled back every allocation.
+        assert_eq!(rt.free_count(), 8);
+        assert_eq!(rt.lookup(Gpr::a(0)), PhysReg(10));
+    }
+
+    #[test]
+    fn commit_frees_old_mapping() {
+        let (clk, rt, _) = fixture();
+        clk.begin_rule();
+        let (new, old) = rt.allocate(Gpr::a(2)).unwrap();
+        let freed = rt.commit(Gpr::a(2), new, old);
+        assert_eq!(freed, vec![old]);
+        clk.commit_rule();
+        assert_eq!(rt.free_count(), 8, "old register recycled");
+    }
+
+    #[test]
+    fn flush_returns_to_committed_state() {
+        let (clk, rt, _) = fixture();
+        clk.begin_rule();
+        let (n1, o1) = rt.allocate(Gpr::a(3)).unwrap();
+        rt.commit(Gpr::a(3), n1, o1);
+        // Speculative allocation beyond the commit point.
+        let _ = rt.allocate(Gpr::a(4)).unwrap();
+        let _ = rt.allocate(Gpr::a(5)).unwrap();
+        rt.flush_to_committed();
+        assert_eq!(rt.lookup(Gpr::a(3)), n1, "committed mapping survives");
+        assert_eq!(rt.lookup(Gpr::a(4)), PhysReg(14), "speculative undone");
+        assert_eq!(rt.free_count(), 8);
+        clk.commit_rule();
+    }
+
+    #[test]
+    fn mispredict_restore_with_commit_free_fixup() {
+        let (clk, rt, sm) = fixture();
+        clk.begin_rule();
+        // Older instruction renames a0 (will commit later).
+        let (n_a0, o_a0) = rt.allocate(Gpr::a(0)).unwrap();
+        // Branch allocates a tag.
+        let tag = sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
+        // Wrong-path instructions rename.
+        let _ = rt.allocate(Gpr::a(1)).unwrap();
+        let _ = rt.allocate(Gpr::a(2)).unwrap();
+        // The older instruction commits, freeing p10's old mapping.
+        let freed = rt.commit(Gpr::a(0), n_a0, o_a0);
+        sm.note_commit_free(&freed);
+        // Mispredict: restore.
+        let s = sm.wrong(tag);
+        rt.restore(&s.rat);
+        clk.commit_rule();
+        // a0's speculative (now committed) mapping survives; wrong path undone.
+        assert_eq!(rt.lookup(Gpr::a(0)), n_a0);
+        assert_eq!(rt.lookup(Gpr::a(1)), PhysReg(11));
+        // Free list: started 8, minus a0's live new reg, plus freed old p10.
+        assert_eq!(rt.free_count(), 8);
+    }
+
+    #[test]
+    fn tag_exhaustion_stalls() {
+        let (clk, rt, sm) = fixture();
+        clk.begin_rule();
+        for _ in 0..4 {
+            sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
+        }
+        assert!(sm.allocate(snap(&rt, SpecMask::EMPTY)).is_err());
+        clk.commit_rule();
+        assert_eq!(sm.live(), 4);
+    }
+
+    #[test]
+    fn correct_spec_frees_tag_and_clears_masks() {
+        let (clk, rt, sm) = fixture();
+        clk.begin_rule();
+        let t0 = sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
+        let t1 = sm
+            .allocate(snap(&rt, SpecMask::EMPTY.with(t0)))
+            .unwrap();
+        sm.correct(t0);
+        assert_eq!(sm.live(), 1);
+        // t1 no longer depends on t0: wrong(t0-reuse) must not kill it.
+        let t0_again = sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
+        assert_eq!(t0_again, t0, "slot reused");
+        sm.wrong(t0_again);
+        assert_eq!(sm.live(), 1, "t1 survives");
+        let _ = t1;
+        clk.commit_rule();
+    }
+
+    #[test]
+    fn wrong_spec_kills_dependent_tags() {
+        let (clk, rt, sm) = fixture();
+        clk.begin_rule();
+        let t0 = sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
+        let _t1 = sm
+            .allocate(snap(&rt, SpecMask::EMPTY.with(t0)))
+            .unwrap();
+        let _t2 = sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
+        sm.wrong(t0);
+        assert_eq!(sm.live(), 1, "t1 dies with t0; independent t2 survives");
+        clk.commit_rule();
+    }
+}

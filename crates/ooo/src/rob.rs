@@ -1,0 +1,424 @@
+//! The reorder buffer (paper §V-A), with the paper's interface:
+//! `getEnqIndex`/`enq`/`first`/`deq`, `setNonMemCompleted`,
+//! `setAfterTranslation`, `setAtLSQDeq`, plus `correctSpec`/`wrongSpec`.
+
+use cmd_core::cell::Ehr;
+use cmd_core::clock::Clock;
+use cmd_core::guard::{Guarded, Stall};
+use riscy_isa::csr::Exception;
+
+use crate::types::{SpecTag, SystemOp, Uop};
+
+/// One ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobEntry {
+    /// The renamed instruction.
+    pub uop: Uop,
+    /// Ready to commit.
+    pub completed: bool,
+    /// Exception detected (handled at commit).
+    pub exception: Option<Exception>,
+    /// Trap value (faulting address).
+    pub tval: u64,
+    /// Load-speculation failure: replay from this instruction at commit.
+    pub ld_kill: bool,
+    /// Actual next PC (branches update it at execute; system instructions
+    /// redirect here after commit).
+    pub next_pc: u64,
+    /// Memory access may only start at the commit slot (MMIO/atomics).
+    pub non_spec_mem: bool,
+    /// The access targets MMIO space.
+    pub mmio: bool,
+    /// System (serialized) instruction class.
+    pub system: Option<SystemOp>,
+    /// A commit-time memory access has been launched.
+    pub started: bool,
+}
+
+impl RobEntry {
+    /// A fresh entry for `uop`.
+    #[must_use]
+    pub fn new(uop: Uop) -> Self {
+        RobEntry {
+            uop,
+            completed: false,
+            exception: None,
+            tval: 0,
+            ld_kill: false,
+            next_pc: uop.pc.wrapping_add(4),
+            non_spec_mem: false,
+            mmio: false,
+            system: None,
+            started: false,
+        }
+    }
+}
+
+/// Outcome reported by the LSQ when an entry is dequeued
+/// (`setAtLSQDeq`, paper §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsqDeqResult {
+    /// Load finished normally.
+    Complete,
+    /// Address translation or access faulted.
+    Exception(Exception, u64),
+    /// The speculative load violated the memory model.
+    Killed,
+}
+
+/// The reorder buffer: a circular buffer of [`RobEntry`] cells.
+#[derive(Clone)]
+pub struct Rob {
+    entries: Vec<Ehr<Option<RobEntry>>>,
+    head: Ehr<usize>,
+    tail: Ehr<usize>,
+    count: Ehr<usize>,
+}
+
+impl Rob {
+    /// Creates an empty ROB of `capacity` entries.
+    #[must_use]
+    pub fn new(clk: &Clock, capacity: usize) -> Self {
+        Rob {
+            entries: (0..capacity).map(|_| Ehr::new(clk, None)).collect(),
+            head: Ehr::new(clk, 0),
+            tail: Ehr::new(clk, 0),
+            count: Ehr::new(clk, 0),
+        }
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count.read()
+    }
+
+    /// Whether the ROB is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The index the next `enq` will use (paper's `getEnqIndex`, needed to
+    /// tag IQ/LSQ entries before the enq happens).
+    #[must_use]
+    pub fn enq_index(&self) -> u16 {
+        self.tail.read() as u16
+    }
+
+    /// Appends an entry in program order.
+    ///
+    /// # Errors
+    ///
+    /// Stalls when full.
+    pub fn enq(&self, e: RobEntry) -> Guarded<u16> {
+        if self.len() >= self.capacity() {
+            return Err(Stall::new("rob full"));
+        }
+        let t = self.tail.read();
+        self.entries[t].write(Some(e));
+        self.tail.write((t + 1) % self.capacity());
+        self.count.update(|c| *c += 1);
+        Ok(t as u16)
+    }
+
+    /// The oldest entry (commit candidate).
+    ///
+    /// # Errors
+    ///
+    /// Stalls when empty.
+    pub fn first(&self) -> Guarded<RobEntry> {
+        if self.is_empty() {
+            return Err(Stall::new("rob empty"));
+        }
+        Ok(self.entries[self.head.read()]
+            .read()
+            .expect("head entry valid"))
+    }
+
+    /// Removes the oldest entry.
+    ///
+    /// # Errors
+    ///
+    /// Stalls when empty.
+    pub fn deq(&self) -> Guarded<RobEntry> {
+        let e = self.first()?;
+        let h = self.head.read();
+        self.entries[h].write(None);
+        self.head.write((h + 1) % self.capacity());
+        self.count.update(|c| *c -= 1);
+        Ok(e)
+    }
+
+    /// Applies `f` to the entry at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (stale index — a scheduling bug).
+    pub fn with_entry(&self, idx: u16, f: impl FnOnce(&mut RobEntry)) {
+        self.entries[idx as usize].update(|e| {
+            f(e.as_mut().expect("rob index must be live"))
+        });
+    }
+
+    /// Reads the entry at `idx`, if live.
+    #[must_use]
+    pub fn entry(&self, idx: u16) -> Option<RobEntry> {
+        self.entries[idx as usize].read()
+    }
+
+    /// Marks a non-memory instruction completed (paper's
+    /// `setNonMemCompleted`).
+    pub fn set_non_mem_completed(&self, idx: u16) {
+        self.with_entry(idx, |e| e.completed = true);
+    }
+
+    /// Records translation results for a memory instruction (paper's
+    /// `setAfterTranslation`): whether it must wait for the commit slot,
+    /// whether it is now complete (normal stores), and any page fault.
+    pub fn set_after_translation(
+        &self,
+        idx: u16,
+        non_spec_mem: bool,
+        mmio: bool,
+        complete: bool,
+        exception: Option<(Exception, u64)>,
+    ) {
+        self.with_entry(idx, |e| {
+            e.non_spec_mem = non_spec_mem;
+            e.mmio = mmio;
+            if let Some((x, tval)) = exception {
+                e.exception = Some(x);
+                e.tval = tval;
+                e.completed = true;
+            } else if complete {
+                e.completed = true;
+            }
+        });
+    }
+
+    /// Records a load's LSQ dequeue outcome (paper's `setAtLSQDeq`).
+    pub fn set_at_lsq_deq(&self, idx: u16, r: LsqDeqResult) {
+        self.with_entry(idx, |e| match r {
+            LsqDeqResult::Complete => e.completed = true,
+            LsqDeqResult::Exception(x, tval) => {
+                e.exception = Some(x);
+                e.tval = tval;
+                e.completed = true;
+            }
+            LsqDeqResult::Killed => {
+                e.ld_kill = true;
+                e.completed = true;
+            }
+        });
+    }
+
+    /// Records a branch's resolved next PC.
+    pub fn set_next_pc(&self, idx: u16, next: u64) {
+        self.with_entry(idx, |e| e.next_pc = next);
+    }
+
+    /// `wrongSpec`: squashes every entry carrying `tag` (they form the
+    /// youngest suffix) and rolls the tail back.
+    pub fn wrong_spec(&self, tag: SpecTag) {
+        let cap = self.capacity();
+        let mut t = self.tail.read();
+        let mut n = self.count.read();
+        while n > 0 {
+            let prev = (t + cap - 1) % cap;
+            let Some(e) = self.entries[prev].read() else {
+                break;
+            };
+            if !e.uop.mask.contains(tag) {
+                break;
+            }
+            self.entries[prev].write(None);
+            t = prev;
+            n -= 1;
+        }
+        self.tail.write(t);
+        self.count.write(n);
+    }
+
+    /// `correctSpec`: clears `tag` from every live mask.
+    pub fn correct_spec(&self, tag: SpecTag) {
+        for cell in &self.entries {
+            cell.update(|e| {
+                if let Some(e) = e {
+                    e.uop.mask = e.uop.mask.without(tag);
+                }
+            });
+        }
+    }
+
+    /// Empties the ROB (commit-time flush).
+    pub fn flush(&self) {
+        for cell in &self.entries {
+            cell.write(None);
+        }
+        self.head.write(0);
+        self.tail.write(0);
+        self.count.write(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{PhysReg, SpecMask};
+    use riscy_isa::inst::Instr;
+    use riscy_isa::reg::Gpr;
+
+    fn uop(pc: u64, mask: SpecMask) -> Uop {
+        Uop {
+            instr: Instr::Lui {
+                rd: Gpr::a(0),
+                imm: 0,
+            },
+            pc,
+            pred_next: pc + 4,
+            rob: 0,
+            arch_dst: Some(Gpr::a(0)),
+            dst: Some(PhysReg(33)),
+            old_dst: Some(PhysReg(10)),
+            src1: PhysReg::ZERO,
+            src2: PhysReg::ZERO,
+            mask,
+            own_tag: None,
+            lsq_idx: None,
+            mem_kind: None,
+            pred_taken: false,
+            ghist: crate::frontend::GhistSnapshot::default(),
+        }
+    }
+
+    fn in_rule<R>(clk: &Clock, f: impl FnOnce() -> R) -> R {
+        clk.begin_rule();
+        let r = f();
+        clk.commit_rule();
+        r
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let clk = Clock::new();
+        let rob = Rob::new(&clk, 4);
+        in_rule(&clk, || {
+            for i in 0..4 {
+                rob.enq(RobEntry::new(uop(i * 4, SpecMask::EMPTY))).unwrap();
+            }
+            assert!(rob.enq(RobEntry::new(uop(99, SpecMask::EMPTY))).is_err());
+        });
+        in_rule(&clk, || {
+            assert_eq!(rob.first().unwrap().uop.pc, 0);
+            assert_eq!(rob.deq().unwrap().uop.pc, 0);
+            assert_eq!(rob.deq().unwrap().uop.pc, 4);
+        });
+        assert_eq!(rob.len(), 2);
+    }
+
+    #[test]
+    fn enq_index_matches_actual() {
+        let clk = Clock::new();
+        let rob = Rob::new(&clk, 4);
+        in_rule(&clk, || {
+            let predicted = rob.enq_index();
+            let actual = rob.enq(RobEntry::new(uop(0, SpecMask::EMPTY))).unwrap();
+            assert_eq!(predicted, actual);
+        });
+    }
+
+    #[test]
+    fn completion_markers() {
+        let clk = Clock::new();
+        let rob = Rob::new(&clk, 4);
+        let idx = in_rule(&clk, || {
+            rob.enq(RobEntry::new(uop(0, SpecMask::EMPTY))).unwrap()
+        });
+        in_rule(&clk, || rob.set_non_mem_completed(idx));
+        assert!(rob.entry(idx).unwrap().completed);
+
+        let idx2 = in_rule(&clk, || {
+            rob.enq(RobEntry::new(uop(4, SpecMask::EMPTY))).unwrap()
+        });
+        in_rule(&clk, || {
+            rob.set_after_translation(idx2, true, true, false, None);
+        });
+        let e = rob.entry(idx2).unwrap();
+        assert!(e.non_spec_mem && e.mmio && !e.completed);
+
+        in_rule(&clk, || {
+            rob.set_at_lsq_deq(idx2, LsqDeqResult::Killed);
+        });
+        let e = rob.entry(idx2).unwrap();
+        assert!(e.ld_kill && e.completed);
+    }
+
+    #[test]
+    fn wrong_spec_rolls_back_suffix() {
+        let clk = Clock::new();
+        let rob = Rob::new(&clk, 8);
+        let tag = SpecTag(2);
+        in_rule(&clk, || {
+            rob.enq(RobEntry::new(uop(0, SpecMask::EMPTY))).unwrap();
+            rob.enq(RobEntry::new(uop(4, SpecMask::EMPTY))).unwrap();
+            rob.enq(RobEntry::new(uop(8, SpecMask::EMPTY.with(tag))))
+                .unwrap();
+            rob.enq(RobEntry::new(uop(12, SpecMask::EMPTY.with(tag))))
+                .unwrap();
+        });
+        in_rule(&clk, || rob.wrong_spec(tag));
+        assert_eq!(rob.len(), 2);
+        // The next enq reuses the rolled-back slots.
+        let idx = in_rule(&clk, || {
+            rob.enq(RobEntry::new(uop(100, SpecMask::EMPTY))).unwrap()
+        });
+        assert_eq!(idx, 2);
+    }
+
+    #[test]
+    fn correct_spec_clears_masks() {
+        let clk = Clock::new();
+        let rob = Rob::new(&clk, 4);
+        let tag = SpecTag(0);
+        in_rule(&clk, || {
+            rob.enq(RobEntry::new(uop(0, SpecMask::EMPTY.with(tag))))
+                .unwrap();
+        });
+        in_rule(&clk, || rob.correct_spec(tag));
+        in_rule(&clk, || rob.wrong_spec(tag));
+        assert_eq!(rob.len(), 1, "cleared entry survives a tag reuse kill");
+    }
+
+    #[test]
+    fn flush_empties() {
+        let clk = Clock::new();
+        let rob = Rob::new(&clk, 4);
+        in_rule(&clk, || {
+            rob.enq(RobEntry::new(uop(0, SpecMask::EMPTY))).unwrap();
+            rob.enq(RobEntry::new(uop(4, SpecMask::EMPTY))).unwrap();
+        });
+        in_rule(&clk, || rob.flush());
+        assert!(rob.is_empty());
+        assert_eq!(rob.enq_index(), 0);
+    }
+
+    #[test]
+    fn wraparound_indices() {
+        let clk = Clock::new();
+        let rob = Rob::new(&clk, 2);
+        for i in 0..5u64 {
+            in_rule(&clk, || {
+                rob.enq(RobEntry::new(uop(i * 4, SpecMask::EMPTY))).unwrap();
+                rob.deq().unwrap();
+            });
+        }
+        assert!(rob.is_empty());
+    }
+}

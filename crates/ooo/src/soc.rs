@@ -1,0 +1,328 @@
+//! The SoC: one or more RiscyOO cores composed with the shared memory
+//! system (paper Figs. 9 and 11), plus the MMIO devices and the run loop.
+
+use cmd_core::cell::Ehr;
+use cmd_core::clock::Clock;
+use cmd_core::sim::Sim;
+use riscy_isa::asm::Program;
+use riscy_isa::csr::{CsrFile, Priv};
+use riscy_isa::interp::Machine;
+use riscy_isa::mem::{MMIO_EXIT, MMIO_PUTCHAR, MMIO_ROI};
+use riscy_mem::system::{MemConfig, MemSystem};
+
+use crate::config::CoreConfig;
+use crate::core::{CoreState, DecInst, MemTrans};
+use crate::frontend::{Btb, Ras, Tournament};
+use crate::iq::IssueQueue;
+use crate::lsq::Lsq;
+use crate::prf::{Bypass, Prf};
+use crate::rename::{RenameTable, SpecManager};
+use crate::rob::Rob;
+use crate::sb::StoreBuffer;
+use crate::tlbport::TlbHier;
+use crate::types::SpecMask;
+
+/// Per-core performance counters (sources for Figs. 15–20).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Conditional branches + indirect jumps committed.
+    pub branches: u64,
+    /// Mispredictions (exec-time redirects).
+    pub mispredicts: u64,
+    /// Commit-time flushes due to load-speculation kills.
+    pub ld_kill_flushes: u64,
+    /// Commit-time flushes due to exceptions/system instructions.
+    pub system_flushes: u64,
+    /// L1 D TLB misses (parked requests).
+    pub dtlb_misses: u64,
+    /// Page walks (L2 TLB misses).
+    pub l2tlb_misses: u64,
+    /// Cycles inside the region of interest.
+    pub roi_cycles: u64,
+    /// Instructions committed inside the region of interest.
+    pub roi_insts: u64,
+}
+
+/// Memory-mapped devices shared by all cores (HTIF substitute).
+#[derive(Debug, Clone, Default)]
+pub struct Devices {
+    /// Exit codes, one per core; `Some` once halted.
+    pub exited: Vec<Option<u64>>,
+    /// Console bytes.
+    pub console: Vec<u8>,
+}
+
+impl Devices {
+    /// Handles an MMIO store performed at commit by `core`.
+    /// Returns `true` when the address hit a device.
+    pub fn store(&mut self, pa: u64, value: u64) -> bool {
+        if (MMIO_EXIT..MMIO_EXIT + 8 * 8).contains(&pa) {
+            let target = ((pa - MMIO_EXIT) / 8) as usize;
+            if let Some(slot) = self.exited.get_mut(target) {
+                *slot = Some(value);
+            }
+            true
+        } else if pa == MMIO_PUTCHAR {
+            self.console.push(value as u8);
+            true
+        } else {
+            pa == MMIO_ROI // handled by the core's ROI bookkeeping
+        }
+    }
+}
+
+/// The assembled system under simulation.
+pub struct Soc {
+    /// Shared core configuration.
+    pub cfg: CoreConfig,
+    /// The coherent memory system (owns physical memory).
+    pub mem: MemSystem,
+    /// The cores.
+    pub cores: Vec<CoreState>,
+    /// MMIO devices.
+    pub devices: Devices,
+    /// Optional golden model for lock-step commit checking (single-core).
+    pub golden: Option<Machine>,
+    /// Co-simulation mismatches (fatal in tests).
+    pub cosim_errors: Vec<String>,
+}
+
+impl Soc {
+    /// Builds a `num_cores`-core SoC running `program`.
+    #[must_use]
+    pub fn new(
+        clk: &Clock,
+        cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        num_cores: usize,
+        program: &Program,
+    ) -> Self {
+        let mut pmem = riscy_isa::mem::SparseMem::new();
+        program.load(&mut pmem);
+        let mem = MemSystem::new(mem_cfg, num_cores, pmem);
+        let cores = (0..num_cores)
+            .map(|id| CoreState::new(clk, id, &cfg, program.entry))
+            .collect();
+        Soc {
+            cfg,
+            mem,
+            cores,
+            devices: Devices {
+                exited: vec![None; num_cores],
+                console: Vec::new(),
+            },
+            golden: None,
+            cosim_errors: Vec::new(),
+        }
+    }
+
+    /// Enables lock-step golden-model checking (single-core only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a multi-core SoC.
+    pub fn enable_cosim(&mut self, program: &Program) {
+        assert_eq!(self.cores.len(), 1, "co-simulation is single-core");
+        self.golden = Some(Machine::with_program(1, program));
+    }
+
+    /// Whether every core has written its exit device.
+    #[must_use]
+    pub fn all_exited(&self) -> bool {
+        self.devices.exited.iter().all(Option::is_some)
+    }
+
+    /// Current cycle (the memory system's clock is the global one).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.mem.now()
+    }
+}
+
+/// A fully wired simulation of a [`Soc`]: builds the rule schedule in the
+/// canonical order and runs it.
+pub struct SocSim {
+    sim: Sim<Soc>,
+}
+
+impl SocSim {
+    /// Builds the SoC and registers every rule.
+    #[must_use]
+    pub fn new(cfg: CoreConfig, mem_cfg: MemConfig, num_cores: usize, program: &Program) -> Self {
+        let clk = Clock::new();
+        let soc = Soc::new(&clk, cfg, mem_cfg, num_cores, program);
+        let mut sim = Sim::new(clk, soc);
+        // Substrate first: cache/TLB/DRAM responses become visible to the
+        // core rules of the same cycle.
+        sim.rule("substrate", |s: &mut Soc| {
+            s.rule_substrate();
+            Ok(())
+        });
+        let ncores = num_cores;
+        for c in 0..ncores {
+            let w = cfg.width;
+            for k in 0..w {
+                sim.rule(format!("c{c}.commit{k}"), move |s: &mut Soc| s.rule_commit(c));
+            }
+            sim.rule(format!("c{c}.cacheEvict"), move |s: &mut Soc| {
+                s.rule_cache_evict(c)
+            });
+            for p in 0..cfg.alu_pipes {
+                sim.rule(format!("c{c}.aluWb{p}"), move |s: &mut Soc| {
+                    s.rule_alu_writeback(c, p)
+                });
+            }
+            sim.rule(format!("c{c}.mdWb"), move |s: &mut Soc| s.rule_md_writeback(c));
+            sim.rule(format!("c{c}.respLd"), move |s: &mut Soc| s.rule_resp_ld(c));
+            sim.rule(format!("c{c}.forward"), move |s: &mut Soc| s.rule_forward(c));
+            for p in 0..cfg.alu_pipes {
+                sim.rule(format!("c{c}.aluExec{p}"), move |s: &mut Soc| {
+                    s.rule_alu_exec(c, p)
+                });
+            }
+            sim.rule(format!("c{c}.mdExec"), move |s: &mut Soc| s.rule_md_exec(c));
+            sim.rule(format!("c{c}.addrCalc"), move |s: &mut Soc| {
+                s.rule_addr_calc(c)
+            });
+            sim.rule(format!("c{c}.updateLsq"), move |s: &mut Soc| {
+                s.rule_update_lsq(c)
+            });
+            sim.rule(format!("c{c}.issueLd"), move |s: &mut Soc| s.rule_issue_ld(c));
+            sim.rule(format!("c{c}.deqLd"), move |s: &mut Soc| s.rule_deq_ld(c));
+            sim.rule(format!("c{c}.deqSt"), move |s: &mut Soc| s.rule_deq_st(c));
+            sim.rule(format!("c{c}.sbIssue"), move |s: &mut Soc| s.rule_sb_issue(c));
+            sim.rule(format!("c{c}.respSt"), move |s: &mut Soc| s.rule_resp_st(c));
+            for p in 0..cfg.alu_pipes {
+                sim.rule(format!("c{c}.issueAlu{p}"), move |s: &mut Soc| {
+                    s.rule_issue_alu(c, p)
+                });
+            }
+            sim.rule(format!("c{c}.issueMd"), move |s: &mut Soc| s.rule_issue_md(c));
+            sim.rule(format!("c{c}.issueMem"), move |s: &mut Soc| {
+                s.rule_issue_mem(c)
+            });
+            for k in 0..w {
+                sim.rule(format!("c{c}.rename{k}"), move |s: &mut Soc| s.rule_rename(c));
+            }
+            sim.rule(format!("c{c}.fetchResp"), move |s: &mut Soc| {
+                s.rule_fetch_resp(c)
+            });
+            sim.rule(format!("c{c}.decode"), move |s: &mut Soc| s.rule_decode(c));
+            sim.rule(format!("c{c}.fetch"), move |s: &mut Soc| s.rule_fetch(c));
+        }
+        SocSim { sim }
+    }
+
+    /// The SoC under simulation.
+    #[must_use]
+    pub fn soc(&self) -> &Soc {
+        self.sim.state()
+    }
+
+    /// Mutable access (test setup, e.g. enabling co-simulation).
+    pub fn soc_mut(&mut self) -> &mut Soc {
+        self.sim.state_mut()
+    }
+
+    /// Runs one cycle.
+    pub fn cycle(&mut self) {
+        self.sim.cycle();
+    }
+
+    /// Cycles executed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.sim.cycles()
+    }
+
+    /// Runs until every core exits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the cycle budget when it is exhausted first, or a
+    /// co-simulation mismatch description.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<u64, String> {
+        for _ in 0..max_cycles {
+            if self.soc().all_exited() {
+                return Ok(self.cycles());
+            }
+            if let Some(e) = self.soc().cosim_errors.first() {
+                return Err(e.clone());
+            }
+            self.cycle();
+        }
+        if self.soc().all_exited() {
+            Ok(self.cycles())
+        } else {
+            Err(format!(
+                "cycle budget {max_cycles} exhausted; committed {:?}",
+                self.soc()
+                    .cores
+                    .iter()
+                    .map(|c| c.stats.committed)
+                    .collect::<Vec<_>>()
+            ))
+        }
+    }
+
+    /// The scheduling report of the underlying CMD simulation.
+    #[must_use]
+    pub fn report(&self) -> String {
+        self.sim.report()
+    }
+}
+
+impl CoreState {
+    /// Builds a reset core.
+    #[must_use]
+    pub fn new(clk: &Clock, id: usize, cfg: &CoreConfig, entry: u64) -> Self {
+        let num_iqs = cfg.alu_pipes + 2; // + mem + muldiv
+        CoreState {
+            id,
+            cfg: *cfg,
+            rt: RenameTable::new(clk, cfg.phys_regs),
+            sm: SpecManager::new(clk, cfg.spec_tags),
+            prf: Prf::new(clk, cfg.phys_regs),
+            rob: Rob::new(clk, cfg.rob_entries),
+            iqs: (0..num_iqs)
+                .map(|_| IssueQueue::new(clk, cfg.iq_entries))
+                .collect(),
+            lsq: Lsq::new(clk, cfg.lq_entries, cfg.sq_entries),
+            sb: StoreBuffer::new(clk, cfg.sb_entries),
+            bypass: Bypass::new(clk, cfg.alu_pipes + 3),
+            cur_mask: Ehr::new(clk, SpecMask::EMPTY),
+            fetch_pc: Ehr::new(clk, entry),
+            epoch: Ehr::new(clk, 0),
+            fetch_seq: Ehr::new(clk, 0),
+            fetch_expect: Ehr::new(clk, 0),
+            inflight_fetch: Ehr::new(clk, Vec::new()),
+            fetch_buf: Ehr::new(clk, Vec::new()),
+            fetch_q: Ehr::new(clk, std::collections::VecDeque::new()),
+            serialize: Ehr::new(clk, false),
+            alu_ex: (0..cfg.alu_pipes).map(|_| Ehr::new(clk, None)).collect(),
+            alu_wb: (0..cfg.alu_pipes).map(|_| Ehr::new(clk, None)).collect(),
+            md_unit: Ehr::new(clk, None),
+            md_wb: Ehr::new(clk, None),
+            mem_ex: Ehr::new(clk, None),
+            mem_wait_tlb: Ehr::new(clk, Vec::new()),
+            forward_q: Ehr::new(clk, std::collections::VecDeque::new()),
+            btb: Btb::new(cfg.bp.btb_entries),
+            tour: Tournament::new(cfg.bp),
+            ras: Ras::new(cfg.bp.ras_entries),
+            tlb: TlbHier::new(id, cfg.tlb),
+            csr: CsrFile::new(id as u64),
+            priv_mode: Priv::M,
+            next_tlb_id: 1,
+            roi_start: None,
+            stats: CoreStats::default(),
+        }
+    }
+}
+
+// Re-exported for the crate root.
+pub use crate::core::CoreState as Core;
+
+#[allow(dead_code)]
+fn _assert_types(_: &DecInst, _: &MemTrans) {}

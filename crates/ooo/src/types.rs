@@ -1,0 +1,169 @@
+//! Core-internal types: physical registers, speculation masks, micro-ops.
+
+use riscy_isa::inst::Instr;
+use riscy_isa::reg::Gpr;
+
+use crate::frontend::GhistSnapshot;
+
+/// A physical register name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysReg(pub u16);
+
+impl PhysReg {
+    /// The physical register permanently holding zero (`p0` maps `x0`).
+    pub const ZERO: PhysReg = PhysReg(0);
+
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A speculation tag: one bit position in a [`SpecMask`] (paper §V:
+/// "speculation tags are managed as a finite set of bit masks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecTag(pub u8);
+
+/// The set of unresolved branches an instruction depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SpecMask(pub u32);
+
+impl SpecMask {
+    /// The empty mask (depends on no unresolved branch).
+    pub const EMPTY: SpecMask = SpecMask(0);
+
+    /// Whether this instruction depends on `tag`.
+    #[must_use]
+    pub fn contains(self, tag: SpecTag) -> bool {
+        self.0 & (1 << tag.0) != 0
+    }
+
+    /// Adds a dependency.
+    #[must_use]
+    pub fn with(self, tag: SpecTag) -> SpecMask {
+        SpecMask(self.0 | (1 << tag.0))
+    }
+
+    /// Removes a resolved dependency (`correctSpec`).
+    #[must_use]
+    pub fn without(self, tag: SpecTag) -> SpecMask {
+        SpecMask(self.0 & !(1 << tag.0))
+    }
+
+    /// Whether the mask is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Which execution pipeline an instruction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecPipe {
+    /// Simple integer ops and branches.
+    Alu,
+    /// Loads, stores, fences, atomics.
+    Mem,
+    /// Multiply/divide (the paper's FP/MUL/DIV pipeline; FP is not part of
+    /// the integer evaluation).
+    MulDiv,
+}
+
+/// Classification of an instruction for the memory pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// LR / SC / AMO (executes at commit).
+    Atomic,
+    /// A fence (ordering only).
+    Fence,
+}
+
+/// Reasons an instruction must execute serially at commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemOp {
+    /// CSR read/write.
+    Csr,
+    /// `ecall` / `ebreak` (trap at commit).
+    Trap,
+    /// `mret` / `sret`.
+    Ret,
+    /// `fence.i` / `sfence.vma` (flush structures).
+    FlushFence,
+    /// `wfi` (treated as a no-op).
+    Nop,
+}
+
+/// A renamed micro-op flowing through the back-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uop {
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Its PC.
+    pub pc: u64,
+    /// Predicted next PC (for branch verification).
+    pub pred_next: u64,
+    /// ROB index.
+    pub rob: u16,
+    /// Architectural destination.
+    pub arch_dst: Option<Gpr>,
+    /// Renamed destination.
+    pub dst: Option<PhysReg>,
+    /// Old physical mapping of the destination (freed at commit).
+    pub old_dst: Option<PhysReg>,
+    /// Renamed first source.
+    pub src1: PhysReg,
+    /// Renamed second source.
+    pub src2: PhysReg,
+    /// Speculation dependencies.
+    pub mask: SpecMask,
+    /// This instruction's own speculation tag (branches only).
+    pub own_tag: Option<SpecTag>,
+    /// LQ or SQ index for memory instructions.
+    pub lsq_idx: Option<u16>,
+    /// Memory classification.
+    pub mem_kind: Option<MemKind>,
+    /// Predicted direction (conditional branches).
+    pub pred_taken: bool,
+    /// Global-history snapshot before this branch (for training/recovery).
+    pub ghist: GhistSnapshot,
+}
+
+/// Why the ROB asked for a pipeline flush at commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushCause {
+    /// An architectural exception (page fault etc.) — redirect to the trap
+    /// vector.
+    Exception(riscy_isa::csr::Exception),
+    /// A speculative load violated the memory model; replay from it.
+    LoadSpeculationFailure,
+    /// A system instruction (CSR/fence/ret) completed; resume at next PC.
+    SystemDone,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_mask_ops() {
+        let m = SpecMask::EMPTY.with(SpecTag(3)).with(SpecTag(7));
+        assert!(m.contains(SpecTag(3)));
+        assert!(m.contains(SpecTag(7)));
+        assert!(!m.contains(SpecTag(0)));
+        let m2 = m.without(SpecTag(3));
+        assert!(!m2.contains(SpecTag(3)));
+        assert!(m2.contains(SpecTag(7)));
+        assert!(SpecMask::EMPTY.is_empty());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn phys_reg_zero() {
+        assert_eq!(PhysReg::ZERO.index(), 0);
+    }
+}

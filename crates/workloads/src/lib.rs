@@ -1,0 +1,13 @@
+//! # riscy-workloads — synthetic SPEC CINT2006 and PARSEC proxies
+//!
+//! The paper evaluates RiscyOO on SPEC CINT2006 (ref inputs, Figs. 15–19)
+//! and PARSEC (simlarge, Fig. 20). Neither can be cross-compiled here, so
+//! this crate generates *proxy* programs with matched characteristics —
+//! see DESIGN.md's substitution table. The proxies run bare-metal with
+//! Sv39 paging enabled ([`runtime`]), so the TLB and memory-system paths
+//! under evaluation are exercised exactly as a real binary would.
+
+pub mod parsec;
+pub mod runtime;
+pub mod spec;
+pub use crate::spec::Workload;

@@ -1,0 +1,89 @@
+//! The paper's headline evaluation claims as executable assertions
+//! (small-scale versions of the fig15/fig17/fig20 harnesses; run
+//! `riscy-bench` for the full tables).
+
+use riscy_baseline::{InOrderConfig, InOrderSim};
+use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, MemModel};
+use riscy_ooo::soc::SocSim;
+use riscy_workloads::parsec::blackscholes;
+use riscy_workloads::spec::{mcf, Scale};
+
+fn roi_cycles_ooo(cfg: CoreConfig, w: &riscy_workloads::spec::Workload) -> u64 {
+    let mut sim = SocSim::new(cfg, mem_riscyoo_b(), 1, &w.program);
+    sim.run_to_completion(w.max_cycles)
+        .unwrap_or_else(|e| panic!("{e}"));
+    sim.soc().cores[0].stats.roi_cycles
+}
+
+/// Fig. 15: the TLB optimizations speed up the TLB-bound mcf substantially.
+#[test]
+fn tlb_optimizations_speed_up_mcf() {
+    let w = mcf(Scale::Test);
+    let b = roi_cycles_ooo(CoreConfig::riscyoo_b(), &w);
+    let t = roi_cycles_ooo(CoreConfig::riscyoo_t_plus(), &w);
+    let gain = b as f64 / t as f64;
+    assert!(
+        gain > 1.25,
+        "paper: ~1.5x on mcf; measured {gain:.2} ({b} vs {t} cycles)"
+    );
+}
+
+/// Fig. 17: the OOO core crushes the in-order core at realistic (120-cycle)
+/// memory latency on a memory-bound benchmark.
+#[test]
+fn ooo_beats_in_order_at_high_memory_latency() {
+    let w = mcf(Scale::Test);
+    let t = roi_cycles_ooo(CoreConfig::riscyoo_t_plus(), &w);
+    let mut rocket = InOrderSim::new(InOrderConfig::rocket(120), &w.program);
+    rocket
+        .run(w.max_cycles * 4)
+        .unwrap_or_else(|c| panic!("rocket stuck at {c}"));
+    let r = rocket.stats.roi_cycles;
+    assert!(
+        r as f64 > 2.5 * t as f64,
+        "paper: ~4-5x on mcf; measured {:.2}x ({r} vs {t})",
+        r as f64 / t as f64
+    );
+}
+
+/// Fig. 20: TSO and WMM perform indistinguishably.
+#[test]
+fn tso_and_wmm_perform_equally() {
+    let mut cycles = Vec::new();
+    for model in [MemModel::Tso, MemModel::Wmm] {
+        let w = blackscholes(Scale::Test, 2);
+        let mut sim = SocSim::new(
+            CoreConfig::multicore(model),
+            mem_riscyoo_b(),
+            2,
+            &w.program,
+        );
+        sim.run_to_completion(w.max_cycles * 4)
+            .unwrap_or_else(|e| panic!("{model:?}: {e}"));
+        cycles.push(sim.soc().cores[0].stats.roi_cycles as f64);
+    }
+    let ratio = cycles[0] / cycles[1];
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "paper: no discernible difference; measured TSO/WMM = {ratio:.3}"
+    );
+}
+
+/// Fig. 20 discussion: TSO's speculative-load kills are rare.
+#[test]
+fn tso_eviction_kills_are_rare() {
+    let w = blackscholes(Scale::Test, 2);
+    let mut sim = SocSim::new(
+        CoreConfig::multicore(MemModel::Tso),
+        mem_riscyoo_b(),
+        2,
+        &w.program,
+    );
+    sim.run_to_completion(w.max_cycles * 4)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let soc = sim.soc();
+    let kills: u64 = soc.cores.iter().map(|c| c.lsq.evict_kills.read()).sum();
+    let insts: u64 = soc.cores.iter().map(|c| c.stats.committed).sum();
+    let pki = 1000.0 * kills as f64 / insts as f64;
+    assert!(pki < 1.0, "paper: ≤0.25/KInst; measured {pki:.3}");
+}
