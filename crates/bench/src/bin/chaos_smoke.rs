@@ -1,0 +1,78 @@
+//! Fault-injection smoke campaign on the OoO SoC.
+//!
+//! Runs `mcf` (test scale) under a seeded [`FaultPlan`] combining three
+//! fault kinds — forced guard stalls on issue rules, bit flips in the
+//! fetch PC, and dropped interconnect messages — then reruns every seed
+//! and checks the campaign reproduces bit-for-bit:
+//!
+//! * every outcome is a structured `Ok`/[`RunError`] — a panic anywhere
+//!   is a robustness bug;
+//! * the fault log of the rerun is identical to the first run;
+//! * the outcome of the rerun is identical to the first run.
+//!
+//! Exits non-zero on any mismatch, so CI can gate on it.
+
+use cmd_core::chaos::{FaultEngine, FaultPlan, FaultRecord};
+use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
+use riscy_ooo::soc::SocSim;
+use riscy_workloads::spec::{mcf, Scale};
+
+const BUDGET: u64 = 400_000;
+const SEEDS: u64 = 6;
+
+fn campaign(seed: u64) -> (String, Vec<FaultRecord>) {
+    let w = mcf(Scale::Test);
+    let mut sim = SocSim::new(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), 1, &w.program);
+    let plan = FaultPlan::new(seed)
+        .guard_stall("c0.issue*", 0.002)
+        .bit_flip("c0.fetch_pc", 0.0002)
+        .msg_drop("mem.p2c", 0.01)
+        .msg_drop("mem.c2p_req", 0.01);
+    let engine = FaultEngine::new(plan);
+    sim.attach_chaos(&engine);
+    let outcome = match sim.run_to_completion(BUDGET) {
+        Ok(cycles) => format!("completed in {cycles} cycles"),
+        Err(e) => format!("structured error: {e}"),
+    };
+    (outcome, engine.log())
+}
+
+fn main() {
+    let mut failures = 0u32;
+    let mut all_kinds = std::collections::BTreeSet::new();
+    for seed in 0..SEEDS {
+        let (out_a, log_a) = campaign(seed);
+        let (out_b, log_b) = campaign(seed);
+        let kinds: std::collections::BTreeSet<_> =
+            log_a.iter().map(|r| r.kind.to_string()).collect();
+        all_kinds.extend(kinds.iter().cloned());
+        println!(
+            "seed {seed}: {out_a} | {} faults injected ({})",
+            log_a.len(),
+            kinds.into_iter().collect::<Vec<_>>().join(", "),
+        );
+        if log_a != log_b {
+            println!("  FAIL: rerun fault log diverged ({} vs {})", log_a.len(), log_b.len());
+            failures += 1;
+        }
+        if out_a != out_b {
+            println!("  FAIL: rerun outcome diverged: {out_b}");
+            failures += 1;
+        }
+        if log_a.is_empty() {
+            println!("  FAIL: campaign injected nothing");
+            failures += 1;
+        }
+    }
+    for kind in ["guard-stall", "bit-flip", "msg-drop"] {
+        if !all_kinds.contains(kind) {
+            println!("FAIL: campaign never exercised {kind}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        println!("chaos smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("chaos smoke: all {SEEDS} seeds reproducible, zero panics");
+}

@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the CMD kernel and the paper's §III/§IV tutorial
+//! designs — the ablations DESIGN.md calls out:
+//!
+//! * `mkGCD` vs `mkTwoGCD` throughput (paper §III-B);
+//! * bypassed vs non-bypassed RDYB (paper §IV-C);
+//! * `issue<wakeup` vs `wakeup<issue` IQ orderings (paper §IV-D);
+//! * raw scheduler overhead per rule firing.
+//!
+//! A dependency-free harness (simple best-of-N wall-clock timing with
+//! `std::time::Instant`) replaces criterion: the container builds offline,
+//! and the quantities of interest here are architectural cycle counts plus
+//! coarse host-time ratios, not microsecond-precision distributions.
+
+use cmd_core::demo::gcd::{stream_gcd, Gcd, TwoGcd};
+use cmd_core::demo::iq::{dependent_chain, run_iq_demo, IqDemoConfig, IqOrdering, RdybKind};
+use cmd_core::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time for `f`, in nanoseconds per call.
+fn bench<R>(label: &str, reps: usize, iters: u32, mut f: impl FnMut() -> R) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed().as_secs_f64() / f64::from(iters);
+        best = best.min(dt);
+    }
+    println!("{label:<44} {:>12.0} ns/iter", best * 1e9);
+}
+
+fn bench_gcd() {
+    let inputs: Vec<(u32, u32)> = (0..16).map(|i| (5040 + i, 7 + i)).collect();
+    bench("gcd_throughput/mkGCD", 5, 50, || {
+        let clk = Clock::new();
+        let unit = Gcd::new(&clk);
+        stream_gcd(clk, unit, inputs.clone())
+    });
+    bench("gcd_throughput/mkTwoGCD", 5, 50, || {
+        let clk = Clock::new();
+        let unit = TwoGcd::new(&clk);
+        stream_gcd(clk, unit, inputs.clone())
+    });
+}
+
+fn bench_iq_orderings() {
+    let chain = dependent_chain(48);
+    for (label, cfg) in [
+        (
+            "iq_rdyb_cm_ablation/bypassed_issue_before_wakeup",
+            IqDemoConfig {
+                rdyb: RdybKind::Bypassed,
+                ordering: IqOrdering::IssueBeforeWakeup,
+                iq_size: 8,
+            },
+        ),
+        (
+            "iq_rdyb_cm_ablation/bypassed_wakeup_before_issue",
+            IqDemoConfig {
+                rdyb: RdybKind::Bypassed,
+                ordering: IqOrdering::WakeupBeforeIssue,
+                iq_size: 8,
+            },
+        ),
+        (
+            "iq_rdyb_cm_ablation/nonbypassed_issue_before_wakeup",
+            IqDemoConfig {
+                rdyb: RdybKind::NonBypassed,
+                ordering: IqOrdering::IssueBeforeWakeup,
+                iq_size: 8,
+            },
+        ),
+    ] {
+        bench(label, 5, 20, || run_iq_demo(cfg, &chain).unwrap());
+    }
+
+    // Also print the architectural cycle counts (the paper's point is
+    // about *cycles*, not host time).
+    for (label, cfg) in [
+        ("issue<wakeup (IV-C)", IqOrdering::IssueBeforeWakeup),
+        ("wakeup<issue (IV-D)", IqOrdering::WakeupBeforeIssue),
+    ] {
+        let stats = run_iq_demo(
+            IqDemoConfig {
+                ordering: cfg,
+                ..IqDemoConfig::default()
+            },
+            &chain,
+        )
+        .unwrap();
+        println!("[cycles] {label}: {} cycles for 48 dependent ops", stats.cycles);
+    }
+}
+
+fn bench_scheduler_overhead() {
+    struct St {
+        x: Ehr<u64>,
+        q: PipelineFifo<u64>,
+    }
+    let clk = Clock::new();
+    let st = St {
+        x: Ehr::new(&clk, 0),
+        q: PipelineFifo::new(&clk, 4),
+    };
+    let mut sim = Sim::new(clk, st);
+    sim.rule("deq", |s: &mut St| {
+        let v = s.q.deq()?;
+        s.x.update(|x| *x += v);
+        Ok(())
+    });
+    sim.rule("enq", |s: &mut St| s.q.enq(1));
+    bench("scheduler_rule_firing (100 cycles)", 5, 200, || {
+        sim.run(100);
+        sim.state().x.read()
+    });
+}
+
+fn main() {
+    bench_gcd();
+    bench_iq_orderings();
+    bench_scheduler_overhead();
+}

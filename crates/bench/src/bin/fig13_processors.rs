@@ -33,7 +33,7 @@ fn main() {
             "Academic OOO",
         ),
     ];
-    println!("{:<16} {:<62} {}", "Name", "Description", "Category");
+    println!("{:<16} {:<62} Category", "Name", "Description");
     for (n, d, c) in rows {
         println!("{n:<16} {d:<62} {c}");
     }

@@ -4,7 +4,7 @@ use riscy_ooo::config::{mem_riscyoo_c_minus, CoreConfig};
 
 fn main() {
     println!("=== Fig. 14: variants of the RiscyOO-B configuration ===\n");
-    println!("{:<16} {:<18} {}", "Variant", "Difference", "Specifications");
+    println!("{:<16} {:<18} Specifications", "Variant", "Difference");
     let c_minus = mem_riscyoo_c_minus();
     println!(
         "{:<16} {:<18} {}KB L1 I/D, {}KB L2",

@@ -152,6 +152,7 @@ impl<T: Clone + 'static> Ehr<T> {
         if pend.is_none() {
             *pend = Some(self.inner.cur.borrow().clone());
         }
+        // invariant: `pend` was filled two lines up when it was `None`.
         f(pend.as_mut().expect("just filled"))
     }
 }
@@ -212,6 +213,17 @@ impl<T> TxnCell for RegInner<T> {
     fn abort(&self) {
         *self.pend.borrow_mut() = None;
         self.dirty.set(false);
+    }
+
+    fn conflict(&self) -> Option<&'static str> {
+        // A second rule committing a write in the same cycle: the assert in
+        // `commit` above would fire. `Clock::try_commit_rule` probes this
+        // first so the scheduler can abort the rule gracefully instead.
+        if self.pend.borrow().is_some() && self.next.borrow().is_some() {
+            Some(self.name)
+        } else {
+            None
+        }
     }
 }
 

@@ -33,6 +33,13 @@ pub(crate) trait TxnCell {
     fn commit(&self);
     /// Discard the buffered write.
     fn abort(&self);
+    /// Would committing this cell now collide with a write already
+    /// committed this cycle? Returns the cell's name on a collision so the
+    /// scheduler can refuse the commit gracefully instead of panicking
+    /// (only `Reg` can collide; `Ehr` ports serialize writes by design).
+    fn conflict(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// A cell that needs a notification at the end of every cycle (registers
@@ -262,6 +269,36 @@ impl Clock {
             .borrow_mut()
             .extend(self.inner.calls.borrow_mut().drain(..));
         self.inner.in_rule.set(false);
+    }
+
+    /// Like [`Clock::commit_rule`], but refuses gracefully when a buffered
+    /// write would collide with one already committed this cycle (an
+    /// undeclared `Reg` conflict): the rule is aborted instead and the
+    /// offending cell's name is returned. The scheduler uses this to turn
+    /// what would be a panic into a structured
+    /// [`SimError`](crate::sim::SimError).
+    ///
+    /// # Errors
+    ///
+    /// The name of the doubly-written cell; the rule has been aborted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn try_commit_rule(&self) -> Result<(), &'static str> {
+        assert!(self.inner.in_rule.get(), "commit outside of a rule");
+        let collision = self
+            .inner
+            .dirty
+            .borrow()
+            .iter()
+            .find_map(|cell| cell.conflict());
+        if let Some(name) = collision {
+            self.abort_rule();
+            return Err(name);
+        }
+        self.commit_rule();
+        Ok(())
     }
 
     /// Discards the current rule's buffered writes and method calls: the

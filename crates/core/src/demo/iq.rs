@@ -24,7 +24,7 @@ use crate::clock::{Clock, ModuleIfc};
 use crate::cm::ConflictMatrix;
 use crate::fifo::{CfFifo, Fifo};
 use crate::guard::{Guarded, Stall};
-use crate::sim::Sim;
+use crate::sim::{Sim, SimError};
 
 /// Number of (physical) registers in the demo.
 pub const NUM_REGS: usize = 32;
@@ -295,18 +295,22 @@ pub struct IqDemoStats {
 
 /// The design deadlocked: some instruction missed its wakeup and the
 /// program never drained (the failure mode of paper §IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Deadlock {
     /// Instructions completed before progress stopped.
     pub completed: u64,
+    /// The scheduler's structured diagnosis — for a genuine wakeup race
+    /// this is [`SimError::Deadlock`], whose report names the stalled rules
+    /// (`doIssue`, `doRegWrite`, `doRename`) and their blocking guards.
+    pub error: SimError,
 }
 
 impl std::fmt::Display for Deadlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "design deadlocked after completing {} instructions",
-            self.completed
+            "design deadlocked after completing {} instructions: {}",
+            self.completed, self.error
         )
     }
 }
@@ -392,8 +396,9 @@ pub fn run_iq_demo(cfg: IqDemoConfig, program: &[DemoInst]) -> Result<IqDemoStat
             cycles: sim.cycles(),
             completed: n,
         }),
-        Err(_) => Err(Deadlock {
+        Err(error) => Err(Deadlock {
             completed: sim.state().completed.read(),
+            error,
         }),
     }
 }
@@ -494,6 +499,24 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.completed < 3, "some instruction must be stuck: {err}");
+        // The watchdog must diagnose the §IV-A race structurally: a
+        // deadlock (not a mere cycle-budget overrun) whose wait graph names
+        // the stalled rules and the guards they are blocked on.
+        let SimError::Deadlock { report, .. } = &err.error else {
+            panic!("expected SimError::Deadlock, got {:?}", err.error);
+        };
+        assert!(report.names_rule("doIssue"), "{report}");
+        assert!(report.names_rule("doRegWrite"), "{report}");
+        assert!(report.names_rule("doRename"), "{report}");
+        let shown = format!("{report}");
+        assert!(
+            shown.contains("doIssue -> guard \"no ready instruction\""),
+            "doIssue must be reported waiting on a wakeup that never comes:\n{shown}"
+        );
+        assert!(
+            shown.contains("doRegWrite -> guard \"cf fifo empty\""),
+            "doRegWrite must be reported waiting on an empty exec pipe:\n{shown}"
+        );
     }
 
     #[test]

@@ -326,6 +326,8 @@ impl<T: Clone + 'static> Fifo<T> for CfFifo<T> {
             return Err(Stall::new("cf fifo empty"));
         }
         self.deqs.update(|n| *n += 1);
+        // invariant: available_to_deq() > 0 implies the queue is non-empty
+        // (snap_len counts only elements already physically present).
         Ok(self
             .q
             .update(VecDeque::pop_front)
@@ -337,6 +339,7 @@ impl<T: Clone + 'static> Fifo<T> for CfFifo<T> {
         if self.available_to_deq() == 0 {
             return Err(Stall::new("cf fifo empty"));
         }
+        // invariant: same occupancy argument as `deq` above.
         Ok(self
             .q
             .with(|q| q.front().cloned())

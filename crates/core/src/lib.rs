@@ -24,8 +24,12 @@
 //!   register), [`cell::Reg`] (D flip-flop), [`cell::Wire`] (RWire);
 //! * [`cm`] — conflict matrices;
 //! * [`guard`] — guarded methods and rules;
-//! * [`sim`] — the rule scheduler with per-rule firing statistics;
+//! * [`sim`] — the rule scheduler with per-rule firing statistics, a
+//!   liveness watchdog, and structured [`sim::SimError`] diagnostics;
 //! * [`fifo`] — pipeline / bypass / conflict-free FIFOs;
+//! * [`chaos`] — seeded, cycle-deterministic fault injection (forced guard
+//!   stalls, transient rule aborts, bit flips) for resilience campaigns;
+//! * [`rng`] — the in-tree deterministic PRNG backing tests and chaos;
 //! * [`demo`] — the paper's tutorial designs (GCD §III, IQ/RDYB §IV).
 //!
 //! # Examples
@@ -54,20 +58,24 @@
 //! ```
 
 pub mod cell;
+pub mod chaos;
 pub mod clock;
 pub mod cm;
 pub mod demo;
 pub mod fifo;
 pub mod guard;
+pub mod rng;
 pub mod sim;
 
 /// Convenient glob-import of the kernel's core types.
 pub mod prelude {
     pub use crate::cell::{Ehr, Reg, Wire};
+    pub use crate::chaos::{FaultEngine, FaultKind, FaultPlan, FaultRecord, LinkFault, RuleFault};
     pub use crate::clock::{Clock, CmViolation, ModuleIfc};
     pub use crate::cm::{ConflictMatrix, Rel};
     pub use crate::fifo::{BypassFifo, CfFifo, Fifo, PipelineFifo};
     pub use crate::guard::{Guarded, Stall};
     pub use crate::guard_that;
-    pub use crate::sim::{RuleId, RuleStats, Sim};
+    pub use crate::rng::SplitMix64;
+    pub use crate::sim::{DeadlockReport, RuleId, RuleStats, RuleWait, Sim, SimError, WaitCause};
 }

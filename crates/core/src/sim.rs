@@ -15,11 +15,42 @@
 //! paper's atomicity guarantee, and the scheduler records the outcome in
 //! per-rule statistics so CM choices show up as measurable performance
 //! differences (paper §IV-C/D).
+//!
+//! # Watchdog and structured errors
+//!
+//! The scheduler remembers *why* each rule last failed to fire. When no
+//! (non-exempt) rule fires for [`DEFAULT_WATCHDOG_THRESHOLD`] consecutive
+//! cycles, the fallible entry points ([`Sim::try_cycle`], [`Sim::try_run`],
+//! [`Sim::run_until`]) return [`SimError::Deadlock`] carrying a
+//! [`DeadlockReport`] — a wait graph naming every stalled rule and the
+//! guard or CM edge it is waiting on. This turns the classic
+//! "simulation just spins forever" symptom (e.g. the IQ wakeup race of
+//! paper §IV-A) into an actionable diagnostic. The legacy infallible
+//! entry points ([`Sim::cycle`], [`Sim::run`]) are unchanged: a quiescent
+//! design may legitimately idle under them.
+//!
+//! # Fault injection
+//!
+//! Attach a [`FaultEngine`](crate::chaos::FaultEngine) with
+//! [`Sim::attach_chaos`] and the scheduler consults it each cycle: rules
+//! may be force-stalled or transiently aborted, and registered state cells
+//! suffer bit flips at cycle boundaries. With an empty
+//! [`FaultPlan`](crate::chaos::FaultPlan) the instrumented scheduler is
+//! cycle-for-cycle identical to the plain one.
 
+use std::error::Error;
 use std::fmt;
 
+use crate::chaos::{FaultEngine, RuleFault, CHAOS_ABORT_REASON, CHAOS_STALL_REASON};
 use crate::clock::{Clock, CmViolation};
 use crate::guard::Guarded;
+
+/// Consecutive all-quiet cycles before the watchdog declares a deadlock.
+///
+/// 64 cycles is far beyond any legitimate stall in the in-tree designs
+/// (cache misses resolve in ~30 cycles end-to-end) while still triggering
+/// well inside typical cycle budgets.
+pub const DEFAULT_WATCHDOG_THRESHOLD: u64 = 64;
 
 /// Identifier of a registered rule, returned by [`Sim::rule`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -44,10 +75,128 @@ pub struct RuleStats {
     pub cm_stalls: u64,
 }
 
+/// Why a rule most recently failed to fire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitCause {
+    /// A guard stalled, with the designer-supplied reason string.
+    Guard(&'static str),
+    /// A conflict-matrix edge with an already-fired rule.
+    Cm(CmViolation),
+}
+
+impl fmt::Display for WaitCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitCause::Guard(reason) => write!(f, "guard \"{reason}\""),
+            WaitCause::Cm(v) => write!(f, "cm edge [{v}]"),
+        }
+    }
+}
+
+/// One node of the deadlock wait graph: a rule and what it waits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleWait {
+    /// The stalled rule's name.
+    pub rule: String,
+    /// The guard or CM edge it last stalled on.
+    pub cause: WaitCause,
+}
+
+impl fmt::Display for RuleWait {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.rule, self.cause)
+    }
+}
+
+/// Diagnostic produced by the scheduler watchdog: every rule that is
+/// stalled, and the guard/CM edge each waits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// How many consecutive cycles fired no (non-exempt) rule.
+    pub stalled_for: u64,
+    /// The wait graph, in schedule order.
+    pub waits: Vec<RuleWait>,
+}
+
+impl DeadlockReport {
+    /// Does the report name `rule` as stalled?
+    #[must_use]
+    pub fn names_rule(&self, rule: &str) -> bool {
+        self.waits.iter().any(|w| w.rule == rule)
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "no rule fired for {} consecutive cycles; wait graph:", self.stalled_for)?;
+        for w in &self.waits {
+            writeln!(f, "  {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structured failure of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The watchdog saw no rule fire for too many consecutive cycles.
+    Deadlock {
+        /// Total cycles executed when the watchdog tripped.
+        cycle: u64,
+        /// The wait graph at that point.
+        report: DeadlockReport,
+    },
+    /// `run_until`'s predicate never held within the cycle budget (but
+    /// rules were still firing — livelock or simply not enough cycles).
+    CycleLimit {
+        /// The exhausted budget.
+        max_cycles: u64,
+    },
+    /// Two rules wrote the same `Reg` in one cycle without declaring the
+    /// conflict; the second writer was aborted instead of panicking.
+    RegConflict {
+        /// Cycle of the offense.
+        cycle: u64,
+        /// The rule whose commit was refused.
+        rule: String,
+        /// The register both rules wrote.
+        reg: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, report } => {
+                write!(f, "scheduler deadlock at cycle {cycle}: {report}")
+            }
+            SimError::CycleLimit { max_cycles } => {
+                write!(f, "cycle budget of {max_cycles} exhausted before completion")
+            }
+            SimError::RegConflict { cycle, rule, reg } => write!(
+                f,
+                "two rules wrote Reg `{reg}` in the same cycle (undeclared conflict); \
+                 rule `{rule}` aborted at cycle {cycle}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A rule body: mutates the design state or stalls.
+type RuleBody<S> = Box<dyn FnMut(&mut S) -> Guarded<()>>;
+
 struct RuleEntry<S> {
     name: String,
-    body: Box<dyn FnMut(&mut S) -> Guarded<()>>,
+    body: RuleBody<S>,
     stats: RuleStats,
+    /// Why the rule most recently failed to fire (`None` after a fire).
+    last_wait: Option<WaitCause>,
+    /// Exempt rules don't count as activity for the watchdog (e.g. an
+    /// always-firing substrate-tick rule that would mask real deadlocks).
+    exempt: bool,
 }
 
 /// A complete CMD design: user state `S` (the module tree), a [`Clock`], and
@@ -80,6 +229,9 @@ pub struct Sim<S> {
     rules: Vec<RuleEntry<S>>,
     cycles: u64,
     last_violation: Option<CmViolation>,
+    quiet_cycles: u64,
+    watchdog: Option<u64>,
+    chaos: Option<FaultEngine>,
 }
 
 impl<S> Sim<S> {
@@ -93,6 +245,9 @@ impl<S> Sim<S> {
             rules: Vec::new(),
             cycles: 0,
             last_violation: None,
+            quiet_cycles: 0,
+            watchdog: Some(DEFAULT_WATCHDOG_THRESHOLD),
+            chaos: None,
         }
     }
 
@@ -112,40 +267,175 @@ impl<S> Sim<S> {
             name: name.into(),
             body: Box::new(body),
             stats: RuleStats::default(),
+            last_wait: None,
+            exempt: false,
         });
         id
     }
 
+    /// Excludes a rule from the watchdog's notion of forward progress.
+    ///
+    /// Use for substrate rules that fire unconditionally every cycle (e.g.
+    /// a memory-system tick): they would otherwise keep resetting the
+    /// quiet-cycle counter and hide a genuinely deadlocked design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this `Sim`.
+    pub fn exempt_from_watchdog(&mut self, id: RuleId) {
+        self.rules[id.0].exempt = true;
+    }
+
+    /// Sets the watchdog threshold (consecutive all-quiet cycles before
+    /// [`SimError::Deadlock`]); `None` disables the watchdog.
+    pub fn set_watchdog(&mut self, threshold: Option<u64>) {
+        self.watchdog = threshold;
+    }
+
+    /// Attaches a fault-injection engine. The scheduler consults it for
+    /// per-rule faults each cycle and applies registered bit flips at every
+    /// cycle boundary. An engine with an empty plan changes nothing.
+    pub fn attach_chaos(&mut self, engine: &FaultEngine) {
+        engine.bind_clock(&self.clk);
+        self.chaos = Some(engine.clone());
+    }
+
     /// Executes one clock cycle: attempts every rule once, in order.
-    pub fn cycle(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Deadlock`] — the watchdog saw no (non-exempt) rule
+    ///   fire for the threshold number of consecutive cycles. The cycle
+    ///   itself still executed.
+    /// * [`SimError::RegConflict`] — a rule's commit was refused because it
+    ///   double-wrote a `Reg`; the rule was aborted and the cycle finished.
+    pub fn try_cycle(&mut self) -> Result<(), SimError> {
+        let now = self.clk.cycle();
+        let chaos = self.chaos.clone();
+        let mut fired_any = false;
+        let mut conflict: Option<SimError> = None;
         for entry in &mut self.rules {
+            match chaos.as_ref().and_then(|e| e.rule_fault(&entry.name, now)) {
+                Some(RuleFault::ForceStall) => {
+                    entry.stats.guard_stalls += 1;
+                    entry.last_wait = Some(WaitCause::Guard(CHAOS_STALL_REASON));
+                    continue;
+                }
+                Some(RuleFault::Abort) => {
+                    // The body runs (reads propagate, guards evaluate) but
+                    // its effects are vetoed — a transient arbitration loss.
+                    self.clk.begin_rule();
+                    let _ = (entry.body)(&mut self.state);
+                    self.clk.abort_rule();
+                    entry.stats.guard_stalls += 1;
+                    entry.last_wait = Some(WaitCause::Guard(CHAOS_ABORT_REASON));
+                    continue;
+                }
+                None => {}
+            }
             self.clk.begin_rule();
             match (entry.body)(&mut self.state) {
                 Ok(()) => {
                     if let Some(v) = self.clk.check_cm() {
                         self.clk.abort_rule();
                         entry.stats.cm_stalls += 1;
+                        entry.last_wait = Some(WaitCause::Cm(v.clone()));
                         self.last_violation = Some(v);
                     } else {
-                        self.clk.commit_rule();
-                        entry.stats.fired += 1;
+                        match self.clk.try_commit_rule() {
+                            Ok(()) => {
+                                entry.stats.fired += 1;
+                                entry.last_wait = None;
+                                if !entry.exempt {
+                                    fired_any = true;
+                                }
+                            }
+                            Err(reg) => {
+                                entry.stats.guard_stalls += 1;
+                                entry.last_wait = Some(WaitCause::Guard(
+                                    "aborted: undeclared Reg write conflict",
+                                ));
+                                // Remember the first offense but finish the
+                                // schedule so the cycle stays well-formed.
+                                if conflict.is_none() {
+                                    conflict = Some(SimError::RegConflict {
+                                        cycle: self.cycles,
+                                        rule: entry.name.clone(),
+                                        reg,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
-                Err(_stall) => {
+                Err(stall) => {
                     self.clk.abort_rule();
                     entry.stats.guard_stalls += 1;
+                    entry.last_wait = Some(WaitCause::Guard(stall.reason()));
                 }
             }
         }
         self.clk.end_cycle();
+        if let Some(e) = &chaos {
+            e.apply_cycle_faults(now);
+        }
         self.cycles += 1;
+        if let Some(err) = conflict {
+            return Err(err);
+        }
+        if fired_any {
+            self.quiet_cycles = 0;
+        } else if self.rules.iter().any(|r| !r.exempt) {
+            self.quiet_cycles += 1;
+            if let Some(threshold) = self.watchdog {
+                if self.quiet_cycles >= threshold {
+                    return Err(SimError::Deadlock {
+                        cycle: self.cycles,
+                        report: self.wait_graph(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one clock cycle, ignoring watchdog deadlock signals (a
+    /// quiescent design may legitimately idle under manual cycling).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-deadlock errors (e.g. an undeclared `Reg` write
+    /// conflict) — use [`Sim::try_cycle`] for graceful handling.
+    pub fn cycle(&mut self) {
+        match self.try_cycle() {
+            Ok(()) | Err(SimError::Deadlock { .. }) => {}
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Runs `n` cycles.
+    ///
+    /// # Panics
+    ///
+    /// As [`Sim::cycle`].
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
             self.cycle();
         }
+    }
+
+    /// Runs up to `n` cycles, stopping early on the first error.
+    ///
+    /// Returns the number of cycles executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from [`Sim::try_cycle`].
+    pub fn try_run(&mut self, n: u64) -> Result<u64, SimError> {
+        for _ in 0..n {
+            self.try_cycle()?;
+        }
+        Ok(n)
     }
 
     /// Runs until `done` holds (checked between cycles), up to `max_cycles`.
@@ -154,23 +444,51 @@ impl<S> Sim<S> {
     ///
     /// # Errors
     ///
-    /// Returns `Err(max_cycles)` if the predicate never held — the usual
-    /// sign of a deadlocked design (e.g. the IQ wakeup race of paper §IV-A).
+    /// * [`SimError::Deadlock`] — the scheduler watchdog tripped: no rule
+    ///   fired for many consecutive cycles. The report names each stalled
+    ///   rule and its blocking guard/CM edge (e.g. the IQ wakeup race of
+    ///   paper §IV-A).
+    /// * [`SimError::CycleLimit`] — the budget ran out while rules were
+    ///   still firing.
+    /// * Any other error propagated from [`Sim::try_cycle`].
     pub fn run_until(
         &mut self,
         mut done: impl FnMut(&S) -> bool,
         max_cycles: u64,
-    ) -> Result<u64, u64> {
+    ) -> Result<u64, SimError> {
         for c in 0..max_cycles {
             if done(&self.state) {
                 return Ok(c);
             }
-            self.cycle();
+            self.try_cycle()?;
         }
         if done(&self.state) {
             Ok(max_cycles)
         } else {
-            Err(max_cycles)
+            Err(SimError::CycleLimit { max_cycles })
+        }
+    }
+
+    /// The current wait graph: every non-exempt rule that failed to fire
+    /// on its most recent attempt, with its blocking cause. Useful for
+    /// ad-hoc "why is nothing happening?" inspection even before the
+    /// watchdog trips.
+    #[must_use]
+    pub fn wait_graph(&self) -> DeadlockReport {
+        let waits = self
+            .rules
+            .iter()
+            .filter(|r| !r.exempt)
+            .filter_map(|r| {
+                r.last_wait.clone().map(|cause| RuleWait {
+                    rule: r.name.clone(),
+                    cause,
+                })
+            })
+            .collect();
+        DeadlockReport {
+            stalled_for: self.quiet_cycles,
+            waits,
         }
     }
 
@@ -348,7 +666,7 @@ mod tests {
     }
 
     #[test]
-    fn run_until_detects_completion_and_deadlock() {
+    fn run_until_detects_completion_and_cycle_limit() {
         let clk = Clock::new();
         let st = Two {
             a: Ehr::new(&clk, 0),
@@ -360,7 +678,148 @@ mod tests {
             Ok(())
         });
         assert_eq!(sim.run_until(|s| s.a.read() == 4, 100), Ok(4));
-        assert_eq!(sim.run_until(|s| s.a.read() == 0, 10), Err(10));
+        // The rule keeps firing, so the watchdog stays silent and the
+        // budget runs out instead.
+        assert_eq!(
+            sim.run_until(|s| s.a.read() == 0, 10),
+            Err(SimError::CycleLimit { max_cycles: 10 })
+        );
+    }
+
+    #[test]
+    fn watchdog_reports_wait_graph_on_deadlock() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        // Two rules each waiting on a condition only the other could
+        // establish: a circular wait, forever quiet.
+        sim.rule("needs_b", |s: &mut Two| {
+            if s.b.read() == 0 {
+                return Err(Stall::new("b still zero"));
+            }
+            s.a.write(1);
+            Ok(())
+        });
+        sim.rule("needs_a", |s: &mut Two| {
+            if s.a.read() == 0 {
+                return Err(Stall::new("a still zero"));
+            }
+            s.b.write(1);
+            Ok(())
+        });
+        let err = sim.run_until(|s| s.a.read() == 1, 10_000).unwrap_err();
+        match err {
+            SimError::Deadlock { cycle, report } => {
+                assert_eq!(cycle, DEFAULT_WATCHDOG_THRESHOLD);
+                assert_eq!(report.stalled_for, DEFAULT_WATCHDOG_THRESHOLD);
+                assert!(report.names_rule("needs_b"));
+                assert!(report.names_rule("needs_a"));
+                assert_eq!(
+                    report.waits[0].cause,
+                    WaitCause::Guard("b still zero"),
+                    "the report carries each rule's guard reason"
+                );
+                let shown = format!("{report}");
+                assert!(shown.contains("needs_a -> guard \"a still zero\""), "{shown}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_cm_waits_too() {
+        let clk = Clock::new();
+        let ifc = clk.module("m", &["put"], ConflictMatrix::builder(1).build());
+        let st = CmState {
+            ifc,
+            x: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        let winner = sim.rule("winner", |s: &mut CmState| {
+            s.ifc.record(0);
+            Ok(())
+        });
+        sim.rule("loser", |s: &mut CmState| {
+            s.ifc.record(0);
+            Ok(())
+        });
+        // The winner fires every cycle, so there is no deadlock — but the
+        // wait graph still names the loser's CM edge.
+        sim.exempt_from_watchdog(winner);
+        sim.run(3);
+        let graph = sim.wait_graph();
+        assert!(graph.names_rule("loser"));
+        assert!(matches!(graph.waits[0].cause, WaitCause::Cm(_)));
+    }
+
+    #[test]
+    fn exempt_rules_do_not_feed_the_watchdog() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        let tick = sim.rule("substrate_tick", |s: &mut Two| {
+            s.b.update(|v| *v = v.wrapping_add(1));
+            Ok(())
+        });
+        sim.rule("stuck", |_s: &mut Two| Err(Stall::new("stuck forever")));
+        sim.exempt_from_watchdog(tick);
+        let err = sim.run_until(|s| s.a.read() == 1, 10_000).unwrap_err();
+        assert!(
+            matches!(err, SimError::Deadlock { .. }),
+            "the always-firing substrate rule must not mask the deadlock: {err}"
+        );
+    }
+
+    #[test]
+    fn disabled_watchdog_spins_to_cycle_limit() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.rule("stuck", |_s: &mut Two| Err(Stall::new("never")));
+        sim.set_watchdog(None);
+        assert_eq!(
+            sim.run_until(|s| s.a.read() == 1, 200),
+            Err(SimError::CycleLimit { max_cycles: 200 })
+        );
+        assert_eq!(sim.cycles(), 200);
+    }
+
+    #[test]
+    fn undeclared_reg_conflict_degrades_to_error() {
+        struct One {
+            r: Reg<u32>,
+        }
+        let clk = Clock::new();
+        let st = One {
+            r: Reg::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.rule("w1", |s: &mut One| {
+            s.r.write(1);
+            Ok(())
+        });
+        sim.rule("w2", |s: &mut One| {
+            s.r.write(2);
+            Ok(())
+        });
+        let err = sim.try_cycle().unwrap_err();
+        match err {
+            SimError::RegConflict { rule, .. } => assert_eq!(rule, "w2"),
+            other => panic!("expected RegConflict, got {other:?}"),
+        }
+        // The first writer won; the second was aborted, not committed.
+        assert_eq!(sim.state().r.read(), 1);
+        // The design remains usable afterwards.
+        assert!(sim.try_cycle().is_err(), "still conflicting next cycle");
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Property-based tests of the CMD kernel's core invariants:
+//! Property-style tests of the CMD kernel's core invariants, driven by the
+//! in-tree deterministic PRNG (the container builds offline, so `proptest`
+//! is unavailable; each test sweeps a fixed seed range instead — failures
+//! print the seed, which reproduces the case exactly):
 //!
 //! 1. **Atomicity** — an aborted rule leaves no trace, no matter where in
 //!    its body the guard failed.
@@ -12,20 +15,24 @@
 
 use cmd_core::cm::Rel;
 use cmd_core::prelude::*;
-use proptest::prelude::*;
+use cmd_core::rng::SplitMix64;
 
 // ---------------------------------------------------------------------------
 // 1. Atomicity
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// A rule that writes a random subset of cells and then stalls must
-    /// leave every cell untouched.
-    #[test]
-    fn aborted_rules_leave_no_trace(
-        writes in proptest::collection::vec((0usize..8, any::<u64>()), 0..16),
-        fail_at in 0usize..16,
-    ) {
+/// A rule that writes a random subset of cells and then stalls must leave
+/// every cell untouched.
+#[test]
+fn aborted_rules_leave_no_trace() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n_writes = rng.range_usize(0, 16);
+        let writes: Vec<(usize, u64)> = (0..n_writes)
+            .map(|_| (rng.range_usize(0, 8), rng.next_u64()))
+            .collect();
+        let fail_at = rng.range_usize(0, 16);
+
         let clk = Clock::new();
         let cells: Vec<Ehr<u64>> = (0..8).map(|i| Ehr::new(&clk, i as u64)).collect();
         let before: Vec<u64> = cells.iter().map(Ehr::read).collect();
@@ -40,14 +47,20 @@ proptest! {
         clk.abort_rule();
 
         let after: Vec<u64> = cells.iter().map(Ehr::read).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "seed {seed}");
     }
+}
 
-    /// Mixed commit/abort sequences: only committed rules' writes survive.
-    #[test]
-    fn only_committed_writes_survive(
-        ops in proptest::collection::vec((0usize..4, any::<u64>(), any::<bool>()), 1..24),
-    ) {
+/// Mixed commit/abort sequences: only committed rules' writes survive.
+#[test]
+fn only_committed_writes_survive() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n_ops = rng.range_usize(1, 24);
+        let ops: Vec<(usize, u64, bool)> = (0..n_ops)
+            .map(|_| (rng.range_usize(0, 4), rng.next_u64(), rng.chance(0.5)))
+            .collect();
+
         let clk = Clock::new();
         let cells: Vec<Ehr<u64>> = (0..4).map(|_| Ehr::new(&clk, 0)).collect();
         let mut model = [0u64; 4];
@@ -63,7 +76,7 @@ proptest! {
         }
         clk.end_cycle();
         for (i, m) in model.iter().enumerate() {
-            prop_assert_eq!(cells[i].read(), *m);
+            assert_eq!(cells[i].read(), *m, "seed {seed} cell {i}");
         }
     }
 }
@@ -79,12 +92,12 @@ enum RuleKind {
     GuardedDouble(usize, u64),
 }
 
-fn rule_kind() -> impl Strategy<Value = RuleKind> {
-    prop_oneof![
-        (0usize..4, 1u64..100).prop_map(|(i, v)| RuleKind::AddTo(i, v)),
-        (0usize..4, 0usize..4).prop_map(|(a, b)| RuleKind::CopyThenBump(a, b)),
-        (0usize..4, 0u64..50).prop_map(|(i, t)| RuleKind::GuardedDouble(i, t)),
-    ]
+fn rule_kind(rng: &mut SplitMix64) -> RuleKind {
+    match rng.below(3) {
+        0 => RuleKind::AddTo(rng.range_usize(0, 4), rng.range_u64(1, 100)),
+        1 => RuleKind::CopyThenBump(rng.range_usize(0, 4), rng.range_usize(0, 4)),
+        _ => RuleKind::GuardedDouble(rng.range_usize(0, 4), rng.range_u64(0, 50)),
+    }
 }
 
 fn apply_kind(k: RuleKind, state: &mut [u64; 4]) -> bool {
@@ -107,15 +120,18 @@ fn apply_kind(k: RuleKind, state: &mut [u64; 4]) -> bool {
     }
 }
 
-proptest! {
-    /// Running a schedule of random rules for several cycles produces the
-    /// same state as applying the rules one-by-one (in schedule order,
-    /// skipping stalled ones) — the paper's central semantic claim.
-    #[test]
-    fn cycles_linearize_to_sequential_rule_execution(
-        kinds in proptest::collection::vec(rule_kind(), 1..8),
-        cycles in 1u64..6,
-    ) {
+/// Running a schedule of random rules for several cycles produces the same
+/// state as applying the rules one-by-one (in schedule order, skipping
+/// stalled ones) — the paper's central semantic claim.
+#[test]
+fn cycles_linearize_to_sequential_rule_execution() {
+    for seed in 0..150u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let kinds: Vec<RuleKind> = (0..rng.range_usize(1, 8))
+            .map(|_| rule_kind(&mut rng))
+            .collect();
+        let cycles = rng.range_u64(1, 6);
+
         let clk = Clock::new();
         struct St {
             cells: Vec<Ehr<u64>>,
@@ -154,8 +170,8 @@ proptest! {
                 apply_kind(k, &mut model);
             }
         }
-        for i in 0..4 {
-            prop_assert_eq!(sim.state().cells[i].read(), model[i]);
+        for (i, expected) in model.iter().enumerate() {
+            assert_eq!(sim.state().cells[i].read(), *expected, "seed {seed} cell {i}");
         }
     }
 }
@@ -171,15 +187,14 @@ enum FifoOp {
     EndCycle,
 }
 
-fn fifo_ops() -> impl Strategy<Value = Vec<FifoOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            any::<u32>().prop_map(FifoOp::Enq),
-            Just(FifoOp::Deq),
-            Just(FifoOp::EndCycle),
-        ],
-        1..60,
-    )
+fn fifo_ops(rng: &mut SplitMix64) -> Vec<FifoOp> {
+    (0..rng.range_usize(1, 60))
+        .map(|_| match rng.below(3) {
+            0 => FifoOp::Enq(rng.next_u64() as u32),
+            1 => FifoOp::Deq,
+            _ => FifoOp::EndCycle,
+        })
+        .collect()
 }
 
 /// Drives a FIFO with each op in its own rule-cycle (so every flavor's CM
@@ -223,23 +238,36 @@ fn check_fifo_against_model<F: Fifo<u32>>(clk: &Clock, f: &F, ops: &[FifoOp]) {
     }
 }
 
-proptest! {
-    #[test]
-    fn pipeline_fifo_refines_queue(ops in fifo_ops(), cap in 1usize..6) {
+#[test]
+fn pipeline_fifo_refines_queue() {
+    for seed in 0..120u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let cap = rng.range_usize(1, 6);
+        let ops = fifo_ops(&mut rng);
         let clk = Clock::new();
         let f: PipelineFifo<u32> = PipelineFifo::new(&clk, cap);
         check_fifo_against_model(&clk, &f, &ops);
     }
+}
 
-    #[test]
-    fn bypass_fifo_refines_queue(ops in fifo_ops(), cap in 1usize..6) {
+#[test]
+fn bypass_fifo_refines_queue() {
+    for seed in 0..120u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let cap = rng.range_usize(1, 6);
+        let ops = fifo_ops(&mut rng);
         let clk = Clock::new();
         let f: BypassFifo<u32> = BypassFifo::new(&clk, cap);
         check_fifo_against_model(&clk, &f, &ops);
     }
+}
 
-    #[test]
-    fn cf_fifo_refines_queue(ops in fifo_ops(), cap in 1usize..6) {
+#[test]
+fn cf_fifo_refines_queue() {
+    for seed in 0..120u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let cap = rng.range_usize(1, 6);
+        let ops = fifo_ops(&mut rng);
         let clk = Clock::new();
         let f: CfFifo<u32> = CfFifo::new(&clk, cap);
         check_fifo_against_model(&clk, &f, &ops);
@@ -250,17 +278,19 @@ proptest! {
 // 4. Conflict matrices
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Any sequence of builder operations yields a symmetric matrix.
-    #[test]
-    fn built_matrices_are_always_consistent(
-        n in 1usize..8,
-        pairs in proptest::collection::vec((0usize..8, 0usize..8, 0u8..4), 0..20),
-    ) {
+/// Any sequence of builder operations yields a symmetric matrix.
+#[test]
+fn built_matrices_are_always_consistent() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n = rng.range_usize(1, 8);
+        let n_pairs = rng.range_usize(0, 20);
         let mut b = ConflictMatrix::builder(n);
-        for (a, c, r) in pairs {
+        for _ in 0..n_pairs {
+            let (a, c) = (rng.range_usize(0, 8), rng.range_usize(0, 8));
+            let r = rng.below(4) as usize;
             if a < n && c < n {
-                let rel = [Rel::Conflict, Rel::Before, Rel::After, Rel::Free][r as usize];
+                let rel = [Rel::Conflict, Rel::Before, Rel::After, Rel::Free][r];
                 // Directional self-relations are rejected by the builder.
                 if a == c && !matches!(rel, Rel::Conflict | Rel::Free) {
                     continue;
@@ -269,48 +299,52 @@ proptest! {
             }
         }
         let cm = b.build();
-        prop_assert!(cm.validate().is_ok());
+        assert!(cm.validate().is_ok(), "seed {seed}");
         for a in 0..n {
             for c in 0..n {
-                prop_assert_eq!(cm.rel(a, c), cm.rel(c, a).flipped());
+                assert_eq!(cm.rel(a, c), cm.rel(c, a).flipped(), "seed {seed}");
             }
         }
     }
+}
 
-    /// Under the scheduler, two rules calling a conflicting method pair
-    /// never both fire in one cycle, for any declared relation.
-    #[test]
-    fn enforcement_matches_declaration(rel_code in 0u8..4, cycles in 1u64..8) {
-        let rel = [Rel::Conflict, Rel::Before, Rel::After, Rel::Free][rel_code as usize];
-        let clk = Clock::new();
-        let cm = ConflictMatrix::builder(2)
-            .pair(0, 1, rel)
-            .self_free(0)
-            .self_free(1)
-            .build();
-        let ifc = clk.module("m", &["a", "b"], cm);
-        struct St {
-            ifc: ModuleIfc,
-        }
-        let mut sim = Sim::new(clk, St { ifc });
-        let ra = sim.rule("callA", |s: &mut St| {
-            s.ifc.record(0);
-            Ok(())
-        });
-        let rb = sim.rule("callB", |s: &mut St| {
-            s.ifc.record(1);
-            Ok(())
-        });
-        sim.run(cycles);
-        let (fa, fb) = (sim.rule_stats(ra), sim.rule_stats(rb));
-        prop_assert_eq!(fa.fired, cycles, "first rule always fires");
-        match rel {
-            // callA fires first in the schedule; b-after-a is legal iff
-            // rel(a, b) ∈ {<, CF}.
-            Rel::Before | Rel::Free => prop_assert_eq!(fb.fired, cycles),
-            Rel::After | Rel::Conflict => {
-                prop_assert_eq!(fb.fired, 0);
-                prop_assert_eq!(fb.cm_stalls, cycles);
+/// Under the scheduler, two rules calling a conflicting method pair never
+/// both fire in one cycle, for any declared relation.
+#[test]
+fn enforcement_matches_declaration() {
+    for rel_code in 0..4u8 {
+        for cycles in 1..8u64 {
+            let rel = [Rel::Conflict, Rel::Before, Rel::After, Rel::Free][rel_code as usize];
+            let clk = Clock::new();
+            let cm = ConflictMatrix::builder(2)
+                .pair(0, 1, rel)
+                .self_free(0)
+                .self_free(1)
+                .build();
+            let ifc = clk.module("m", &["a", "b"], cm);
+            struct St {
+                ifc: ModuleIfc,
+            }
+            let mut sim = Sim::new(clk, St { ifc });
+            let ra = sim.rule("callA", |s: &mut St| {
+                s.ifc.record(0);
+                Ok(())
+            });
+            let rb = sim.rule("callB", |s: &mut St| {
+                s.ifc.record(1);
+                Ok(())
+            });
+            sim.run(cycles);
+            let (fa, fb) = (sim.rule_stats(ra), sim.rule_stats(rb));
+            assert_eq!(fa.fired, cycles, "first rule always fires");
+            match rel {
+                // callA fires first in the schedule; b-after-a is legal iff
+                // rel(a, b) ∈ {<, CF}.
+                Rel::Before | Rel::Free => assert_eq!(fb.fired, cycles),
+                Rel::After | Rel::Conflict => {
+                    assert_eq!(fb.fired, 0);
+                    assert_eq!(fb.cm_stalls, cycles);
+                }
             }
         }
     }

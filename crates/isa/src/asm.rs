@@ -202,7 +202,7 @@ impl Assembler {
                     let hi = (off - i64::from(lo)) & 0xffff_ffff;
                     Instr::Auipc {
                         rd: *rd,
-                        imm: (hi as i64) << 32 >> 32,
+                        imm: hi << 32 >> 32,
                     }
                 }
                 Slot::LaLo => {

@@ -285,7 +285,7 @@ impl Machine {
                 offset,
             } => {
                 let va = self.harts[id].reg(rs1).wrapping_add(offset as i64 as u64);
-                if va % width.bytes() != 0 {
+                if !va.is_multiple_of(width.bytes()) {
                     trap!(Exception::LoadAddrMisaligned, va);
                 }
                 let pa = match self.translate(&self.harts[id], va, Access::Load) {
@@ -316,7 +316,7 @@ impl Machine {
                 offset,
             } => {
                 let va = self.harts[id].reg(rs1).wrapping_add(offset as i64 as u64);
-                if va % width.bytes() != 0 {
+                if !va.is_multiple_of(width.bytes()) {
                     trap!(Exception::StoreAddrMisaligned, va);
                 }
                 let pa = match self.translate(&self.harts[id], va, Access::Store) {
@@ -359,7 +359,7 @@ impl Machine {
             }
             Instr::Lr { width, rd, rs1 } => {
                 let va = self.harts[id].reg(rs1);
-                if va % width.bytes() != 0 {
+                if !va.is_multiple_of(width.bytes()) {
                     trap!(Exception::LoadAddrMisaligned, va);
                 }
                 let pa = match self.translate(&self.harts[id], va, Access::Load) {
@@ -382,7 +382,7 @@ impl Machine {
                 rs2,
             } => {
                 let va = self.harts[id].reg(rs1);
-                if va % width.bytes() != 0 {
+                if !va.is_multiple_of(width.bytes()) {
                     trap!(Exception::StoreAddrMisaligned, va);
                 }
                 let pa = match self.translate(&self.harts[id], va, Access::Store) {
@@ -408,7 +408,7 @@ impl Machine {
                 rs2,
             } => {
                 let va = self.harts[id].reg(rs1);
-                if va % width.bytes() != 0 {
+                if !va.is_multiple_of(width.bytes()) {
                     trap!(Exception::StoreAddrMisaligned, va);
                 }
                 let pa = match self.translate(&self.harts[id], va, Access::Store) {
@@ -598,13 +598,7 @@ pub fn muldiv_exec(op: MulDivOp, word: bool, a: u64, b: u64) -> u64 {
                     a.wrapping_div(b) as u32
                 }
             }
-            MulDivOp::Divu => {
-                if b32 == 0 {
-                    u32::MAX
-                } else {
-                    a32 / b32
-                }
-            }
+            MulDivOp::Divu => a32.checked_div(b32).unwrap_or(u32::MAX),
             MulDivOp::Rem => {
                 let (a, b) = (a32 as i32, b32 as i32);
                 if b == 0 {
@@ -637,13 +631,7 @@ pub fn muldiv_exec(op: MulDivOp, word: bool, a: u64, b: u64) -> u64 {
                     ai.wrapping_div(bi) as u64
                 }
             }
-            MulDivOp::Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            MulDivOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
             MulDivOp::Rem => {
                 let (ai, bi) = (a as i64, b as i64);
                 if bi == 0 {
@@ -671,7 +659,8 @@ pub fn amo_exec(op: AmoOp, width: MemWidth, old: u64, src: u64) -> u64 {
     } else {
         (old, src)
     };
-    let v = match op {
+    
+    match op {
         AmoOp::Swap => b,
         AmoOp::Add => a.wrapping_add(b),
         AmoOp::Xor => a ^ b,
@@ -697,8 +686,7 @@ pub fn amo_exec(op: AmoOp, width: MemWidth, old: u64, src: u64) -> u64 {
         }
         AmoOp::Minu => a.min(b),
         AmoOp::Maxu => a.max(b),
-    };
-    v
+    }
 }
 
 #[cfg(test)]

@@ -162,11 +162,11 @@ pub fn walk_sv39(
     }
     let vpn = vpns(va);
     let mut table_ppn = root_ppn;
-    let mut steps = 0;
     for level in (0..LEVELS).rev() {
         let pte_pa = (table_ppn << PAGE_SHIFT) + vpn[level] * 8;
         let p = read_pte(pte_pa);
-        steps += 1;
+        // PTE reads so far: one per visited level, root-down.
+        let steps = LEVELS - level;
         if p & pte::V == 0 {
             return Err(fault);
         }
@@ -232,9 +232,9 @@ mod tests {
         // root at ppn 1, second level at ppn 2, third at ppn 3,
         // mapping va 0x0040_0000.. (vpn2=0, vpn1=2, vpn0=0) to ppn 0x80.
         let mut m = HashMap::new();
-        m.insert((1 << 12) + 0 * 8, make_pointer(2));
+        m.insert(1 << 12, make_pointer(2));
         m.insert((2 << 12) + 2 * 8, make_pointer(3));
-        m.insert((3 << 12) + 0 * 8, make_leaf(0x80, RWX));
+        m.insert(3 << 12, make_leaf(0x80, RWX));
         PteMem(m)
     }
 
@@ -258,7 +258,7 @@ mod tests {
     fn write_to_readonly_faults() {
         let mut m = two_level_setup();
         m.0.insert(
-            (3 << 12) + 1 * 8,
+            (3 << 12) + 8,
             make_leaf(0x81, pte::R | pte::A),
         );
         let ok = walk_sv39(1, 0x0040_1000, Access::Load, Priv::S, m.read());

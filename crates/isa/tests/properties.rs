@@ -1,7 +1,9 @@
-//! Property-based tests of the ISA layer: encode/decode round trips,
-//! decoder totality, `li` correctness, and TLB-vs-walk agreement.
+//! Property-style tests of the ISA layer: encode/decode round trips,
+//! decoder totality, and `li` correctness. Randomized cases come from the
+//! in-tree deterministic PRNG (`cmd_core::rng`); each loop iteration is
+//! reproducible from its printed seed.
 
-use proptest::prelude::*;
+use cmd_core::rng::SplitMix64;
 use riscy_isa::asm::Assembler;
 use riscy_isa::inst::{
     decode, AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Rhs,
@@ -10,133 +12,128 @@ use riscy_isa::interp::Machine;
 use riscy_isa::mem::{DRAM_BASE, MMIO_EXIT};
 use riscy_isa::reg::Gpr;
 
-fn gpr() -> impl Strategy<Value = Gpr> {
-    (0u8..32).prop_map(Gpr::new)
+fn gpr(rng: &mut SplitMix64) -> Gpr {
+    Gpr::new(rng.below(32) as u8)
 }
 
-fn mem_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![
-        Just(MemWidth::B),
-        Just(MemWidth::H),
-        Just(MemWidth::W),
-        Just(MemWidth::D)
-    ]
+fn mem_width(rng: &mut SplitMix64) -> MemWidth {
+    *rng.pick(&[MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D])
 }
 
-/// A strategy over (almost) every representable instruction.
-fn instr() -> impl Strategy<Value = Instr> {
-    let alu_op = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
+/// Generates (almost) every representable instruction, uniformly over the
+/// same variant families the old proptest strategy covered.
+fn instr(rng: &mut SplitMix64) -> Instr {
+    const ALU_OPS: [AluOp; 9] = [
+        AluOp::Add,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
     ];
-    let muldiv_op = prop_oneof![
-        Just(MulDivOp::Mul),
-        Just(MulDivOp::Mulh),
-        Just(MulDivOp::Mulhsu),
-        Just(MulDivOp::Mulhu),
-        Just(MulDivOp::Div),
-        Just(MulDivOp::Divu),
-        Just(MulDivOp::Rem),
-        Just(MulDivOp::Remu),
+    const MULDIV_OPS: [MulDivOp; 8] = [
+        MulDivOp::Mul,
+        MulDivOp::Mulh,
+        MulDivOp::Mulhsu,
+        MulDivOp::Mulhu,
+        MulDivOp::Div,
+        MulDivOp::Divu,
+        MulDivOp::Rem,
+        MulDivOp::Remu,
     ];
-    let amo_op = prop_oneof![
-        Just(AmoOp::Swap),
-        Just(AmoOp::Add),
-        Just(AmoOp::Xor),
-        Just(AmoOp::And),
-        Just(AmoOp::Or),
-        Just(AmoOp::Min),
-        Just(AmoOp::Max),
-        Just(AmoOp::Minu),
-        Just(AmoOp::Maxu),
+    const AMO_OPS: [AmoOp; 9] = [
+        AmoOp::Swap,
+        AmoOp::Add,
+        AmoOp::Xor,
+        AmoOp::And,
+        AmoOp::Or,
+        AmoOp::Min,
+        AmoOp::Max,
+        AmoOp::Minu,
+        AmoOp::Maxu,
     ];
-    prop_oneof![
-        (gpr(), (-(1i64 << 19)..(1 << 19)))
-            .prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
-        (gpr(), (-(1i64 << 19)..(1 << 19)))
-            .prop_map(|(rd, v)| Instr::Auipc { rd, imm: v << 12 }),
-        (gpr(), (-(1i32 << 19)..(1 << 19)))
-            .prop_map(|(rd, o)| Instr::Jal { rd, offset: o * 2 }),
-        (gpr(), gpr(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (
-            prop_oneof![
-                Just(BranchCond::Eq),
-                Just(BranchCond::Ne),
-                Just(BranchCond::Lt),
-                Just(BranchCond::Ge),
-                Just(BranchCond::Ltu),
-                Just(BranchCond::Geu)
-            ],
-            gpr(),
-            gpr(),
-            -2048i32..2047
-        )
-            .prop_map(|(cond, rs1, rs2, o)| Instr::Branch {
-                cond,
-                rs1,
-                rs2,
-                offset: o * 2,
-            }),
-        (mem_width(), any::<bool>(), gpr(), gpr(), -2048i32..2048).prop_map(
-            |(width, signed, rd, rs1, offset)| Instr::Load {
+    match rng.below(14) {
+        0 => Instr::Lui {
+            rd: gpr(rng),
+            imm: rng.range_i64(-(1 << 19), 1 << 19) << 12,
+        },
+        1 => Instr::Auipc {
+            rd: gpr(rng),
+            imm: rng.range_i64(-(1 << 19), 1 << 19) << 12,
+        },
+        2 => Instr::Jal {
+            rd: gpr(rng),
+            offset: rng.range_i64(-(1 << 19), 1 << 19) as i32 * 2,
+        },
+        3 => Instr::Jalr {
+            rd: gpr(rng),
+            rs1: gpr(rng),
+            offset: rng.range_i64(-2048, 2048) as i32,
+        },
+        4 => Instr::Branch {
+            cond: *rng.pick(&[
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ]),
+            rs1: gpr(rng),
+            rs2: gpr(rng),
+            offset: rng.range_i64(-2048, 2047) as i32 * 2,
+        },
+        5 => {
+            let width = mem_width(rng);
+            Instr::Load {
                 width,
-                signed: signed || width == MemWidth::D,
-                rd,
-                rs1,
-                offset,
+                signed: rng.chance(0.5) || width == MemWidth::D,
+                rd: gpr(rng),
+                rs1: gpr(rng),
+                offset: rng.range_i64(-2048, 2048) as i32,
             }
-        ),
-        (mem_width(), gpr(), gpr(), -2048i32..2048).prop_map(|(width, rs2, rs1, offset)| {
-            Instr::Store {
-                width,
-                rs2,
-                rs1,
-                offset,
+        }
+        6 => Instr::Store {
+            width: mem_width(rng),
+            rs2: gpr(rng),
+            rs1: gpr(rng),
+            offset: rng.range_i64(-2048, 2048) as i32,
+        },
+        7 => {
+            let op = *rng.pick(&ALU_OPS);
+            let word = rng.chance(0.5)
+                && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
+            Instr::Alu {
+                op,
+                word,
+                rd: gpr(rng),
+                rs1: gpr(rng),
+                rhs: Rhs::Reg(gpr(rng)),
             }
-        }),
-        (alu_op.clone(), any::<bool>(), gpr(), gpr(), gpr()).prop_filter_map(
-            "word forms exist only for add/sll/srl/sra",
-            |(op, word, rd, rs1, rs2)| {
-                let word = word
-                    && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
-                Some(Instr::Alu {
-                    op,
-                    word,
-                    rd,
-                    rs1,
-                    rhs: Rhs::Reg(rs2),
-                })
+        }
+        8 => {
+            let op = *rng.pick(&ALU_OPS);
+            let word = rng.chance(0.5)
+                && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
+            let imm = rng.range_i64(-2048, 2048) as i32;
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(if word { 32 } else { 64 }),
+                _ => imm,
+            };
+            Instr::Alu {
+                op,
+                word,
+                rd: gpr(rng),
+                rs1: gpr(rng),
+                rhs: Rhs::Imm(imm),
             }
-        ),
-        (alu_op, any::<bool>(), gpr(), gpr(), -2048i32..2048).prop_map(
-            |(op, word, rd, rs1, imm)| {
-                let word = word
-                    && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
-                let imm = match op {
-                    AluOp::Sll | AluOp::Srl | AluOp::Sra => {
-                        imm.rem_euclid(if word { 32 } else { 64 })
-                    }
-                    _ => imm,
-                };
-                Instr::Alu {
-                    op,
-                    word,
-                    rd,
-                    rs1,
-                    rhs: Rhs::Imm(imm),
-                }
-            }
-        ),
-        (muldiv_op, any::<bool>(), gpr(), gpr(), gpr()).prop_map(|(op, word, rd, rs1, rs2)| {
-            let word = word
+        }
+        9 => {
+            let op = *rng.pick(&MULDIV_OPS);
+            let word = rng.chance(0.5)
                 && matches!(
                     op,
                     MulDivOp::Mul | MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
@@ -144,55 +141,68 @@ fn instr() -> impl Strategy<Value = Instr> {
             Instr::MulDiv {
                 op,
                 word,
-                rd,
-                rs1,
-                rs2,
+                rd: gpr(rng),
+                rs1: gpr(rng),
+                rs2: gpr(rng),
             }
-        }),
-        (amo_op, prop_oneof![Just(MemWidth::W), Just(MemWidth::D)], gpr(), gpr(), gpr())
-            .prop_map(|(op, width, rd, rs1, rs2)| Instr::Amo {
-                op,
-                width,
-                rd,
-                rs1,
-                rs2
-            }),
-        (
-            prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)],
-            gpr(),
-            prop_oneof![gpr().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm)],
-            0u16..4096
-        )
-            .prop_map(|(op, rd, src, csr)| Instr::Csr { op, rd, src, csr }),
-        Just(Instr::Fence),
-        Just(Instr::Ecall),
-        Just(Instr::Mret),
-    ]
+        }
+        10 => Instr::Amo {
+            op: *rng.pick(&AMO_OPS),
+            width: *rng.pick(&[MemWidth::W, MemWidth::D]),
+            rd: gpr(rng),
+            rs1: gpr(rng),
+            rs2: gpr(rng),
+        },
+        11 => Instr::Csr {
+            op: *rng.pick(&[CsrOp::Rw, CsrOp::Rs, CsrOp::Rc]),
+            rd: gpr(rng),
+            src: if rng.chance(0.5) {
+                CsrSrc::Reg(gpr(rng))
+            } else {
+                CsrSrc::Imm(rng.below(32) as u8)
+            },
+            csr: rng.below(4096) as u16,
+        },
+        12 => Instr::Fence,
+        _ => *rng.pick(&[Instr::Ecall, Instr::Mret]),
+    }
 }
 
-proptest! {
-    /// decode(encode(i)) == i for every representable instruction.
-    #[test]
-    fn encode_decode_roundtrip(i in instr()) {
+/// decode(encode(i)) == i for every representable instruction.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0x15a_0001);
+    for case in 0..4096 {
+        let i = instr(&mut rng);
         let w = i.encode();
-        prop_assert_eq!(decode(w), Ok(i));
+        assert_eq!(decode(w), Ok(i), "case {case}: {i:?}");
     }
+}
 
-    /// The decoder is total: any 32-bit word either decodes or errors —
-    /// and re-encoding a successful decode reproduces semantics (checked
-    /// via a second decode; encodings may differ only in don't-care bits).
-    #[test]
-    fn decoder_never_panics_and_is_stable(w in any::<u32>()) {
+/// The decoder is total: any 32-bit word either decodes or errors — and
+/// re-encoding a successful decode reproduces semantics (checked via a
+/// second decode; encodings may differ only in don't-care bits).
+#[test]
+fn decoder_never_panics_and_is_stable() {
+    let mut rng = SplitMix64::seed_from_u64(0x15a_0002);
+    for case in 0..16384 {
+        let w = rng.next_u64() as u32;
         if let Ok(i) = decode(w) {
             let w2 = i.encode();
-            prop_assert_eq!(decode(w2), Ok(i));
+            assert_eq!(decode(w2), Ok(i), "case {case}: {w:#010x}");
         }
     }
+}
 
-    /// The `li` pseudo-instruction materializes exactly its operand, for
-    /// any 64-bit value (executed on the golden interpreter).
-    #[test]
-    fn li_materializes_any_constant(v in any::<i64>()) {
+/// The `li` pseudo-instruction materializes exactly its operand, for any
+/// 64-bit value (executed on the golden interpreter).
+#[test]
+fn li_materializes_any_constant() {
+    let mut rng = SplitMix64::seed_from_u64(0x15a_0003);
+    // Edge values plus a uniform sweep.
+    let mut cases = vec![0i64, 1, -1, i64::MAX, i64::MIN, 0x7ff, -0x800, 1 << 31, -(1 << 31)];
+    cases.extend((0..192).map(|_| rng.next_u64() as i64));
+    for v in cases {
         let mut a = Assembler::new(DRAM_BASE);
         a.li(Gpr::a(0), v);
         a.li(Gpr::t(6), MMIO_EXIT as i64);
@@ -200,7 +210,6 @@ proptest! {
         let p = a.assemble();
         let mut m = Machine::with_program(1, &p);
         m.run(100).expect("halts");
-        prop_assert_eq!(m.hart(0).reg(Gpr::a(0)), v as u64);
+        assert_eq!(m.hart(0).reg(Gpr::a(0)), v as u64, "value {v:#x}");
     }
 }
-

@@ -619,6 +619,23 @@ impl L1Cache {
     }
 }
 
+impl L1Cache {
+    /// Debug occupancy: `(room, mshrs, to_req, to_msg, from_resp, from_down, evict_notes, resp_q)`.
+    #[must_use]
+    pub fn debug_occupancy(&self) -> (usize, usize, usize, usize, usize, usize, usize, usize) {
+        (
+            self.room.len(),
+            self.mshrs.len(),
+            self.to_parent_req.len(),
+            self.to_parent_msg.len(),
+            self.from_parent.len(),
+            self.deferred_downs.len(),
+            self.evict_notes.len(),
+            self.resp_q.len(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -873,22 +890,5 @@ mod tests {
         ));
         assert!(l1.evict_notes.contains(&0x1000), "TSO eviction note");
         assert_eq!(l1.stats.writebacks, 1);
-    }
-}
-
-impl L1Cache {
-    /// Debug occupancy: `(room, mshrs, to_req, to_msg, from_resp, from_down, evict_notes, resp_q)`.
-    #[must_use]
-    pub fn debug_occupancy(&self) -> (usize, usize, usize, usize, usize, usize, usize, usize) {
-        (
-            self.room.len(),
-            self.mshrs.len(),
-            self.to_parent_req.len(),
-            self.to_parent_msg.len(),
-            self.from_parent.len(),
-            self.deferred_downs.len(),
-            self.evict_notes.len(),
-            self.resp_q.len(),
-        )
     }
 }

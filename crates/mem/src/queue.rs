@@ -42,6 +42,21 @@ impl<T> TimedQueue<T> {
         Ok(())
     }
 
+    /// Enqueues `v` at time `now` with `extra` cycles of additional latency
+    /// on top of the queue's own — used by fault injection to model
+    /// congested or retried messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` when the queue is full.
+    pub fn push_delayed(&mut self, now: u64, extra: u64, v: T) -> Result<(), T> {
+        if self.q.len() >= self.cap {
+            return Err(v);
+        }
+        self.q.push_back((now + self.latency + extra, v));
+        Ok(())
+    }
+
     /// Removes the head if it has arrived by `now`.
     pub fn pop_ready(&mut self, now: u64) -> Option<T> {
         if matches!(self.q.front(), Some((t, _)) if *t <= now) {

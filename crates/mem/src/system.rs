@@ -1,6 +1,7 @@
 //! The assembled memory system: per-core L1 I/D caches, crossbars, the
 //! shared L2, DRAM, and the page-walk crossbar (paper Fig. 11).
 
+use cmd_core::chaos::{FaultEngine, LinkFault};
 use riscy_isa::mem::SparseMem;
 
 use crate::cache::{L1Cache, L1Config};
@@ -55,6 +56,33 @@ pub struct MemSystem {
     walk_req: TimedQueue<UncachedReq>,
     walk_resp: TimedQueue<(usize, UncachedResp)>,
     now: u64,
+    chaos: Option<FaultEngine>,
+}
+
+/// Pushes `v` onto `q`, first consulting the fault engine: the message may
+/// be dropped, delayed, or duplicated. The named `site` keys the
+/// deterministic fault decision and appears in the campaign log.
+fn chaos_push<T: Clone>(
+    chaos: Option<&FaultEngine>,
+    q: &mut TimedQueue<T>,
+    site: &str,
+    now: u64,
+    v: T,
+) {
+    match chaos.and_then(|e| e.link_fault(site, now)) {
+        Some(LinkFault::Drop) => {}
+        Some(LinkFault::Delay(extra)) => {
+            let _ = q.push_delayed(now, extra, v);
+        }
+        Some(LinkFault::Dup) => {
+            // Best effort: the duplicate is silently lost on a full queue.
+            let _ = q.push(now, v.clone());
+            let _ = q.push(now, v);
+        }
+        None => {
+            let _ = q.push(now, v);
+        }
+    }
 }
 
 impl MemSystem {
@@ -75,7 +103,24 @@ impl MemSystem {
             walk_req: TimedQueue::new(cfg.xbar_latency, 1024),
             walk_resp: TimedQueue::new(cfg.xbar_latency + cfg.l2_pipe_latency, 1024),
             now: 0,
+            chaos: None,
         }
+    }
+
+    /// Attaches a fault-injection engine to the interconnect queues.
+    ///
+    /// Instrumented sites (usable as `FaultPlan` patterns, e.g.
+    /// `msg_drop("mem.p2c", rate)` or `msg_delay("mem.*", rate, extra)`):
+    ///
+    /// * `mem.c2p_req` — L1→L2 cache requests
+    /// * `mem.c2p_msg` — L1→L2 coherence messages (writebacks, downgrade acks)
+    /// * `mem.p2c` — L2→L1 grants and downgrade requests
+    /// * `mem.walk_req` / `mem.walk_resp` — page-walker traffic
+    ///
+    /// Dropped coherence traffic typically wedges the affected miss, which
+    /// surfaces as a cycle-budget error at the SoC level — never a panic.
+    pub fn set_chaos(&mut self, engine: &FaultEngine) {
+        self.chaos = Some(engine.clone());
     }
 
     /// Current cycle.
@@ -109,7 +154,8 @@ impl MemSystem {
     /// Submits a page-walker PTE load.
     pub fn push_walker_req(&mut self, req: UncachedReq) {
         let now = self.now;
-        let _ = self.walk_req.push(now, req);
+        let chaos = self.chaos.clone();
+        chaos_push(chaos.as_ref(), &mut self.walk_req, "mem.walk_req", now, req);
     }
 
     /// Pops a page-walker PTE response for `core`.
@@ -126,13 +172,14 @@ impl MemSystem {
     pub fn tick(&mut self) {
         let now = self.now;
         // L1s tick and emit.
+        let chaos = self.chaos.clone();
         for l1 in self.l1d.iter_mut().chain(self.l1i.iter_mut()) {
             l1.tick(now);
             while let Some(r) = l1.to_parent_req.pop_front() {
-                let _ = self.c2p_req.push(now, r);
+                chaos_push(chaos.as_ref(), &mut self.c2p_req, "mem.c2p_req", now, r);
             }
             while let Some(m) = l1.to_parent_msg.pop_front() {
-                let _ = self.c2p_msg.push(now, m);
+                chaos_push(chaos.as_ref(), &mut self.c2p_msg, "mem.c2p_msg", now, m);
             }
         }
         // Deliver to L2.
@@ -149,15 +196,33 @@ impl MemSystem {
         self.l2.tick(now, &mut self.mem);
         for child in 0..self.l1d.len() * 2 {
             while let Some(r) = self.l2.resp_out[child].pop_front() {
-                let _ = self.p2c.push(now, (child, ParentToChild::Grant(r)));
+                chaos_push(
+                    chaos.as_ref(),
+                    &mut self.p2c,
+                    "mem.p2c",
+                    now,
+                    (child, ParentToChild::Grant(r)),
+                );
             }
             while let Some(d) = self.l2.down_out[child].pop_front() {
-                let _ = self.p2c.push(now, (child, ParentToChild::Down(d)));
+                chaos_push(
+                    chaos.as_ref(),
+                    &mut self.p2c,
+                    "mem.p2c",
+                    now,
+                    (child, ParentToChild::Down(d)),
+                );
             }
         }
         for core in 0..self.l1d.len() {
             while let Some(u) = self.l2.uncached_out[core].pop_front() {
-                let _ = self.walk_resp.push(now, (core, u));
+                chaos_push(
+                    chaos.as_ref(),
+                    &mut self.walk_resp,
+                    "mem.walk_resp",
+                    now,
+                    (core, u),
+                );
             }
         }
         // Deliver to L1s, preserving per-child order.
@@ -168,7 +233,7 @@ impl MemSystem {
     }
 
     fn child_mut(&mut self, child: usize) -> &mut L1Cache {
-        if child % 2 == 0 {
+        if child.is_multiple_of(2) {
             &mut self.l1d[child / 2]
         } else {
             &mut self.l1i[child / 2]

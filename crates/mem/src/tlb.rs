@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 
+use cmd_core::guard::{Guarded, Stall};
 use riscy_isa::csr::Priv;
 use riscy_isa::vm::{self, Access, PageFault, Translation};
 
@@ -403,7 +404,7 @@ impl PageWalker {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when the walker is at its concurrency limit.
+    /// Stalls when the walker is at its concurrency limit.
     pub fn start(
         &mut self,
         tag: u64,
@@ -411,9 +412,9 @@ impl PageWalker {
         root_ppn: u64,
         access: Access,
         priv_mode: Priv,
-    ) -> Result<(), ()> {
+    ) -> Guarded<()> {
         if !self.can_start() {
-            return Err(());
+            return Err(Stall::new("walker at concurrency limit"));
         }
         if !vm::va_canonical(va) {
             self.results.push_back(WalkResult {
@@ -664,9 +665,9 @@ mod tests {
     #[test]
     fn walker_three_level_walk_and_cache_reuse() {
         let mut ptes = std::collections::HashMap::new();
-        ptes.insert((1u64 << 12) + 0, make_pointer(2));
-        ptes.insert((2u64 << 12) + 0, make_pointer(3));
-        ptes.insert((3u64 << 12) + 0, make_leaf(0x80, RWX));
+        ptes.insert(1u64 << 12, make_pointer(2));
+        ptes.insert(2u64 << 12, make_pointer(3));
+        ptes.insert(3u64 << 12, make_leaf(0x80, RWX));
         ptes.insert((3u64 << 12) + 8, make_leaf(0x81, RWX));
 
         let mut w = PageWalker::new(0, 2, Some(WalkCache::new(8)));

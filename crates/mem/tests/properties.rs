@@ -1,8 +1,9 @@
-//! Property-based tests of the memory substrate: TLB-vs-walk agreement,
+//! Property-style tests of the memory substrate: TLB-vs-walk agreement,
 //! queue timing, and cache-hierarchy equivalence with flat memory under
-//! random request streams.
+//! random request streams — randomized with the in-tree deterministic PRNG
+//! (each loop iteration reproduces from its printed seed).
 
-use proptest::prelude::*;
+use cmd_core::rng::SplitMix64;
 use riscy_isa::csr::Priv;
 use riscy_isa::mem::{SparseMem, DRAM_BASE};
 use riscy_isa::vm::{self, make_leaf, make_pointer, pte, Access};
@@ -12,14 +13,17 @@ use riscy_mem::system::{MemConfig, MemSystem};
 use riscy_mem::tlb::Tlb;
 use std::collections::HashMap;
 
-proptest! {
-    /// A TLB filled from walks translates exactly as the walk does, for
-    /// every offset within a page.
-    #[test]
-    fn tlb_agrees_with_walk(
-        ppns in proptest::collection::vec(1u64..0x1000, 4..16),
-        probe_off in 0u64..4096,
-    ) {
+/// A TLB filled from walks translates exactly as the walk does, for every
+/// offset within a page.
+#[test]
+fn tlb_agrees_with_walk() {
+    for seed in 0..60u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let ppns: Vec<u64> = (0..rng.range_usize(4, 16))
+            .map(|_| rng.range_u64(1, 0x1000))
+            .collect();
+        let probe_off = rng.below(4096);
+
         let mut mem: HashMap<u64, u64> = HashMap::new();
         mem.insert(1 << 12, make_pointer(2));
         mem.insert(2 << 12, make_pointer(3));
@@ -47,24 +51,29 @@ proptest! {
             })
             .unwrap()
             .pa;
-            prop_assert_eq!(via_tlb, via_walk);
-            prop_assert_eq!(via_tlb, (*ppn << 12) | probe_off);
+            assert_eq!(via_tlb, via_walk, "seed {seed}");
+            assert_eq!(via_tlb, (*ppn << 12) | probe_off, "seed {seed}");
         }
     }
+}
 
-    /// TimedQueue delivers in FIFO order, never before `latency` cycles.
-    #[test]
-    fn timed_queue_orders_and_delays(
-        latency in 0u64..10,
-        pushes in proptest::collection::vec(any::<u32>(), 1..32),
-    ) {
+/// TimedQueue delivers in FIFO order, never before `latency` cycles.
+#[test]
+fn timed_queue_orders_and_delays() {
+    for seed in 0..100u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let latency = rng.below(10);
+        let pushes: Vec<u32> = (0..rng.range_usize(1, 32))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
+
         let mut q = TimedQueue::new(latency, pushes.len());
         for (t, v) in pushes.iter().enumerate() {
             q.push(t as u64, *v).unwrap();
         }
         // Nothing may be delivered before the first entry's due time.
         if latency > 0 {
-            prop_assert!(q.pop_ready(latency.saturating_sub(1)).is_none());
+            assert!(q.pop_ready(latency.saturating_sub(1)).is_none(), "seed {seed}");
         }
         let mut out = Vec::new();
         let mut now = 0;
@@ -73,9 +82,12 @@ proptest! {
                 out.push(v);
             }
             now += 1;
-            prop_assert!(now < pushes.len() as u64 + latency + 2, "delivery overdue");
+            assert!(
+                now < pushes.len() as u64 + latency + 2,
+                "seed {seed}: delivery overdue"
+            );
         }
-        prop_assert_eq!(out, pushes);
+        assert_eq!(out, pushes, "seed {seed}");
     }
 }
 
@@ -87,26 +99,30 @@ enum MemOp {
     Store { off: u64, val: u64 },
 }
 
-fn mem_op() -> impl Strategy<Value = MemOp> {
-    prop_oneof![
-        (0u64..0x4000, prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])
-            .prop_map(|(off, bytes)| MemOp::Load {
-                off: off & !(bytes as u64 - 1),
-                bytes
-            }),
-        (0u64..0x4000, any::<u64>()).prop_map(|(off, val)| MemOp::Store {
-            off: off & !7,
-            val
-        }),
-    ]
+fn mem_op(rng: &mut SplitMix64) -> MemOp {
+    if rng.chance(0.5) {
+        let bytes = *rng.pick(&[1u8, 2, 4, 8]);
+        let off = rng.below(0x4000);
+        MemOp::Load {
+            off: off & !(u64::from(bytes) - 1),
+            bytes,
+        }
+    } else {
+        MemOp::Store {
+            off: rng.below(0x4000) & !7,
+            val: rng.next_u64(),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn hierarchy_equals_flat_memory_serialized(
-        ops in proptest::collection::vec(mem_op(), 1..60),
-    ) {
+#[test]
+fn hierarchy_equals_flat_memory_serialized() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let ops: Vec<MemOp> = (0..rng.range_usize(1, 60))
+            .map(|_| mem_op(&mut rng))
+            .collect();
+
         let mut flat = SparseMem::new();
         let mut sys = MemSystem::new(MemConfig::default(), 1, SparseMem::new());
         for (i, op) in ops.iter().enumerate() {
@@ -130,16 +146,13 @@ proptest! {
                         sys.tick();
                     }
                     let expect = flat.read_le(addr, u64::from(bytes));
-                    prop_assert_eq!(got, Some(expect), "load @{:#x}", addr);
+                    assert_eq!(got, Some(expect), "seed {seed}: load @{addr:#x}");
                 }
                 MemOp::Store { off, val } => {
                     let addr = DRAM_BASE + off;
                     let line = addr & !63;
                     sys.dcache(0)
-                        .request(CoreReq::St {
-                            sb_idx: 0,
-                            line,
-                        })
+                        .request(CoreReq::St { sb_idx: 0, line })
                         .unwrap();
                     let mut granted = false;
                     for _ in 0..2000 {
@@ -150,7 +163,7 @@ proptest! {
                         }
                         sys.tick();
                     }
-                    prop_assert!(granted);
+                    assert!(granted, "seed {seed}");
                     let mut data = [0u8; 64];
                     let mut en = [false; 64];
                     let o = (addr - line) as usize;

@@ -628,7 +628,12 @@ impl Soc {
         if wrong_path {
             return Ok(());
         }
-        let entry = entry_before.expect("live entry for in-flight load");
+        // invariant: `resp_ld` reported a live, non-zombie entry, so the
+        // snapshot taken just above must be populated — but a spurious
+        // response is still cheaper to drop than to crash on.
+        let Some(entry) = entry_before else {
+            return Ok(());
+        };
         if let Some(dst) = entry.dst {
             let v = if is_atomic {
                 data // the cache already width-extended atomics
@@ -898,7 +903,7 @@ impl Soc {
         //    without an outstanding miss. Under the blocking configuration
         //    (RiscyOO-B) nothing proceeds while a miss is pending.
         let hum = self.cores[c].tlb.hit_under_miss();
-        if !(!hum && self.cores[c].tlb.d_miss_pending()) {
+        if hum || !self.cores[c].tlb.d_miss_pending() {
             let next = self.cores[c]
                 .mem_wait_tlb
                 .with(|v| v.iter().enumerate().find(|(_, t)| t.tlb_id.is_none()).map(|(i, t)| (i, *t)));
@@ -1154,20 +1159,30 @@ impl Soc {
         };
         match self.cfg.mem_model {
             MemModel::Wmm => {
-                let e = self.cores[c].sb.deq(sb_idx as usize);
+                // A response for an already-drained slot (a duplicate under
+                // fault injection) is dropped rather than crashing the core.
+                let Some(e) = self.cores[c].sb.try_deq(sb_idx as usize) else {
+                    return Ok(());
+                };
                 self.mem.dcache(c).write_data(e.line, &e.data, &e.byte_en);
                 self.cores[c].lsq.wakeup_by_sb_deq(sb_idx as usize);
             }
             MemModel::Tso => {
                 let idx = sb_idx as u16;
-                let e = self.cores[c].lsq.sq_entry(idx).expect("issued store");
-                let addr = e.addr.expect("translated");
+                // Same: ignore responses for stores that already drained,
+                // or that have not actually issued (no bound address/data).
+                let Some(e) = self.cores[c].lsq.sq_entry(idx) else {
+                    return Ok(());
+                };
+                let (Some(addr), Some(data_v)) = (e.addr, e.data) else {
+                    return Ok(());
+                };
                 let line = line_of(addr);
                 let mut data = [0u8; 64];
                 let mut en = [false; 64];
                 let off = (addr - line) as usize;
                 for k in 0..e.bytes as usize {
-                    data[off + k] = (e.data.expect("data") >> (8 * k)) as u8;
+                    data[off + k] = (data_v >> (8 * k)) as u8;
                     en[off + k] = true;
                 }
                 self.mem.dcache(c).write_data(line, &data, &en);
@@ -1189,7 +1204,10 @@ impl Soc {
         if core.lsq.resp_ld(idx, data) {
             return Ok(());
         }
-        let entry = entry_before.expect("live entry");
+        // invariant: mirrors `rule_resp_ld` — drop rather than crash.
+        let Some(entry) = entry_before else {
+            return Ok(());
+        };
         if let Some(dst) = entry.dst {
             let v = if is_atomic {
                 data
@@ -1531,7 +1549,7 @@ impl Soc {
         }
         let pc = self.cores[c].fetch_pc.read();
         let epoch = self.cores[c].epoch.read();
-        let n = if pc % 8 == 0 { self.cfg.width.min(2) } else { 1 };
+        let n = if pc.is_multiple_of(8) { self.cfg.width.min(2) } else { 1 };
         let (satp, pm) = {
             let core = &self.cores[c];
             (core.csr.satp, core.priv_mode)

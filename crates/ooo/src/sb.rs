@@ -114,9 +114,16 @@ impl StoreBuffer {
     ///
     /// Panics if the slot is empty.
     pub fn deq(&self, idx: usize) -> SbEntry {
-        let e = self.slots[idx].read().expect("deq of empty SB slot");
+        self.try_deq(idx).expect("deq of empty SB slot")
+    }
+
+    /// Removes the entry at `idx` if it is live — the fault-tolerant
+    /// variant of [`deq`](Self::deq): a duplicated or spurious store
+    /// response must be droppable without crashing the core.
+    pub fn try_deq(&self, idx: usize) -> Option<SbEntry> {
+        let e = self.slots.get(idx)?.read()?;
         self.slots[idx].write(None);
-        e
+        Some(e)
     }
 
     /// Searches for load bytes `[addr, addr+bytes)` (paper's `search`).

@@ -2,8 +2,9 @@
 //! system (paper Figs. 9 and 11), plus the MMIO devices and the run loop.
 
 use cmd_core::cell::Ehr;
+use cmd_core::chaos::FaultEngine;
 use cmd_core::clock::Clock;
-use cmd_core::sim::Sim;
+use cmd_core::sim::{Sim, SimError};
 use riscy_isa::asm::Program;
 use riscy_isa::csr::{CsrFile, Priv};
 use riscy_isa::interp::Machine;
@@ -141,6 +142,48 @@ impl Soc {
     }
 }
 
+/// Why a [`SocSim`] run stopped before every core exited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The CMD scheduler failed: a diagnosed deadlock (with wait graph) or
+    /// an undeclared register conflict.
+    Sim(SimError),
+    /// The golden model disagreed with a committed instruction.
+    Cosim(String),
+    /// The cycle budget ran out while rules were still firing.
+    Budget {
+        /// The exhausted budget.
+        max_cycles: u64,
+        /// Instructions committed per core when the budget expired.
+        committed: Vec<u64>,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "{e}"),
+            RunError::Cosim(e) => write!(f, "co-simulation mismatch: {e}"),
+            RunError::Budget {
+                max_cycles,
+                committed,
+            } => write!(
+                f,
+                "cycle budget {max_cycles} exhausted; committed {committed:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
 /// A fully wired simulation of a [`Soc`]: builds the rule schedule in the
 /// canonical order and runs it.
 pub struct SocSim {
@@ -155,11 +198,20 @@ impl SocSim {
         let soc = Soc::new(&clk, cfg, mem_cfg, num_cores, program);
         let mut sim = Sim::new(clk, soc);
         // Substrate first: cache/TLB/DRAM responses become visible to the
-        // core rules of the same cycle.
-        sim.rule("substrate", |s: &mut Soc| {
+        // core rules of the same cycle. It always fires (it is the clock of
+        // the memory system, not a guarded pipeline stage), so it must not
+        // count as forward progress for the scheduler watchdog.
+        let substrate = sim.rule("substrate", |s: &mut Soc| {
             s.rule_substrate();
             Ok(())
         });
+        sim.exempt_from_watchdog(substrate);
+        // A full miss chain (DTLB walk → L2 miss → DRAM, 120-cycle DRAM
+        // latency, bandwidth-queued behind other cores) can legitimately
+        // silence every core rule for hundreds of cycles, so the SoC uses a
+        // far larger quiet window than the kernel default before declaring
+        // deadlock.
+        sim.set_watchdog(Some(10_000));
         let ncores = num_cores;
         for c in 0..ncores {
             let w = cfg.width;
@@ -237,33 +289,63 @@ impl SocSim {
         self.sim.cycles()
     }
 
+    /// Attaches a fault-injection engine to the whole SoC: scheduler-level
+    /// faults (forced guard stalls, rule aborts) on every core rule,
+    /// bit flips on each core's architectural anchor cells (`c{c}.fetch_pc`,
+    /// `c{c}.epoch`), and drop/delay/duplicate faults on the memory
+    /// interconnect (`mem.*` sites, see
+    /// [`MemSystem::set_chaos`](riscy_mem::system::MemSystem::set_chaos)).
+    pub fn attach_chaos(&mut self, engine: &FaultEngine) {
+        for (c, core) in self.sim.state().cores.iter().enumerate() {
+            engine.register_ehr_u64(format!("c{c}.fetch_pc"), &core.fetch_pc);
+            engine.register_ehr_u64(format!("c{c}.epoch"), &core.epoch);
+        }
+        self.sim.state_mut().mem.set_chaos(engine);
+        self.sim.attach_chaos(engine);
+    }
+
+    /// Overrides the scheduler watchdog's quiet-cycle threshold
+    /// (`None` disables it).
+    pub fn set_watchdog(&mut self, threshold: Option<u64>) {
+        self.sim.set_watchdog(threshold);
+    }
+
+    /// The current wait graph (what every stalled rule is waiting on).
+    #[must_use]
+    pub fn wait_graph(&self) -> cmd_core::sim::DeadlockReport {
+        self.sim.wait_graph()
+    }
+
     /// Runs until every core exits.
     ///
     /// # Errors
     ///
-    /// Returns the cycle budget when it is exhausted first, or a
-    /// co-simulation mismatch description.
-    pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<u64, String> {
+    /// Returns [`RunError::Budget`] when the cycle budget is exhausted
+    /// first, [`RunError::Cosim`] on a golden-model mismatch, and
+    /// [`RunError::Sim`] when the scheduler watchdog diagnoses a deadlock
+    /// or a rule commits an undeclared register conflict.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> Result<u64, RunError> {
         for _ in 0..max_cycles {
             if self.soc().all_exited() {
                 return Ok(self.cycles());
             }
             if let Some(e) = self.soc().cosim_errors.first() {
-                return Err(e.clone());
+                return Err(RunError::Cosim(e.clone()));
             }
-            self.cycle();
+            self.sim.try_cycle()?;
         }
         if self.soc().all_exited() {
             Ok(self.cycles())
         } else {
-            Err(format!(
-                "cycle budget {max_cycles} exhausted; committed {:?}",
-                self.soc()
+            Err(RunError::Budget {
+                max_cycles,
+                committed: self
+                    .soc()
                     .cores
                     .iter()
                     .map(|c| c.stats.committed)
-                    .collect::<Vec<_>>()
-            ))
+                    .collect(),
+            })
         }
     }
 

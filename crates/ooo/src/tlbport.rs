@@ -300,8 +300,8 @@ mod tests {
     /// A page table mapping VA 0..2 MiB identity-ish to PPNs 0x100+.
     fn page_table() -> (HashMap<u64, u64>, u64) {
         let mut m = HashMap::new();
-        m.insert((1u64 << 12) + 0, make_pointer(2));
-        m.insert((2u64 << 12) + 0, make_pointer(3));
+        m.insert(1u64 << 12, make_pointer(2));
+        m.insert(2u64 << 12, make_pointer(3));
         for i in 0..16u64 {
             m.insert((3u64 << 12) + i * 8, make_leaf(0x100 + i, RWX));
         }

@@ -254,7 +254,7 @@ fn atomics_lr_sc_amo() {
     a.add(Gpr::s(0), Gpr::s(0), Gpr::s(3));
     exit_reg(&mut a, Gpr::s(0));
     let (sim, _) = run_cosim(a, 100_000);
-    assert_eq!(exit_code(&sim), 10 + 0 + 16);
+    assert_eq!(exit_code(&sim), 10 + 16);
 }
 
 #[test]

@@ -1,12 +1,13 @@
-//! Property-based tests of the core's bookkeeping invariants: ROB
+//! Property-style tests of the core's bookkeeping invariants: ROB
 //! suffix-kill correctness, physical-register conservation under
-//! speculation, and LSQ forwarding against a naive model.
+//! speculation, and LSQ forwarding against a naive model — randomized with
+//! the in-tree deterministic PRNG (each case reproduces from its seed).
 
 use cmd_core::clock::Clock;
-use proptest::prelude::*;
+use cmd_core::rng::SplitMix64;
 use riscy_isa::reg::Gpr;
-use riscy_ooo::frontend::{Ras, Tournament};
 use riscy_ooo::config::BpConfig;
+use riscy_ooo::frontend::{Ras, Tournament};
 use riscy_ooo::lsq::{LdIssue, Lsq};
 use riscy_ooo::rename::{RenameTable, SpecManager, SpecSnapshot};
 use riscy_ooo::rob::{Rob, RobEntry};
@@ -52,20 +53,25 @@ enum RobOp {
     CorrectSpec,
 }
 
-fn rob_op() -> impl Strategy<Value = RobOp> {
-    prop_oneof![
-        any::<bool>().prop_map(RobOp::Enq),
-        Just(RobOp::Deq),
-        Just(RobOp::WrongSpec),
-        Just(RobOp::CorrectSpec),
-    ]
+fn rob_op(rng: &mut SplitMix64) -> RobOp {
+    match rng.below(4) {
+        0 => RobOp::Enq(rng.chance(0.5)),
+        1 => RobOp::Deq,
+        2 => RobOp::WrongSpec,
+        _ => RobOp::CorrectSpec,
+    }
 }
 
-proptest! {
-    /// The ROB behaves as a FIFO whose `wrongSpec` removes exactly the
-    /// tagged suffix, against a Vec model, for any operation sequence.
-    #[test]
-    fn rob_refines_model(ops in proptest::collection::vec(rob_op(), 1..80)) {
+/// The ROB behaves as a FIFO whose `wrongSpec` removes exactly the tagged
+/// suffix, against a Vec model, for any operation sequence.
+#[test]
+fn rob_refines_model() {
+    for seed in 0..150u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let ops: Vec<RobOp> = (0..rng.range_usize(1, 80))
+            .map(|_| rob_op(&mut rng))
+            .collect();
+
         let clk = Clock::new();
         let rob = Rob::new(&clk, 16);
         let tag = SpecTag(3);
@@ -78,26 +84,28 @@ proptest! {
                     // unresolved branch carries its mask, so tagged entries
                     // always form a suffix.
                     let tagged = tagged || model.last().is_some_and(|(_, t)| *t);
-                    let mask = if tagged { SpecMask::EMPTY.with(tag) } else { SpecMask::EMPTY };
+                    let mask = if tagged {
+                        SpecMask::EMPTY.with(tag)
+                    } else {
+                        SpecMask::EMPTY
+                    };
                     if model.len() < 16 {
                         rob.enq(RobEntry::new(uop(next_pc, mask))).unwrap();
                         model.push((next_pc, tagged));
                     } else {
-                        prop_assert!(rob.enq(RobEntry::new(uop(next_pc, mask))).is_err());
+                        assert!(rob.enq(RobEntry::new(uop(next_pc, mask))).is_err());
                     }
                     next_pc += 4;
-                    Ok::<(), proptest::test_runner::TestCaseError>(())
-                })?,
+                }),
                 RobOp::Deq => in_rule(&clk, || {
                     if model.is_empty() {
-                        prop_assert!(rob.deq().is_err());
+                        assert!(rob.deq().is_err());
                     } else {
                         let e = rob.deq().unwrap();
                         let (pc, _) = model.remove(0);
-                        prop_assert_eq!(e.uop.pc, pc);
+                        assert_eq!(e.uop.pc, pc, "seed {seed}");
                     }
-                    Ok(())
-                })?,
+                }),
                 RobOp::WrongSpec => in_rule(&clk, || {
                     rob.wrong_spec(tag);
                     while model.last().is_some_and(|(_, t)| *t) {
@@ -111,7 +119,7 @@ proptest! {
                     }
                 }),
             }
-            prop_assert_eq!(rob.len(), model.len());
+            assert_eq!(rob.len(), model.len(), "seed {seed}");
         }
     }
 }
@@ -130,23 +138,28 @@ enum RenOp {
     Flush,
 }
 
-fn ren_op() -> impl Strategy<Value = RenOp> {
-    prop_oneof![
-        (1u8..32).prop_map(RenOp::Alloc),
-        Just(RenOp::CommitOldest),
-        Just(RenOp::Branch),
-        Just(RenOp::Mispredict),
-        Just(RenOp::Resolve),
-        Just(RenOp::Flush),
-    ]
+fn ren_op(rng: &mut SplitMix64) -> RenOp {
+    match rng.below(6) {
+        0 => RenOp::Alloc(rng.range_i64(1, 32) as u8),
+        1 => RenOp::CommitOldest,
+        2 => RenOp::Branch,
+        3 => RenOp::Mispredict,
+        4 => RenOp::Resolve,
+        _ => RenOp::Flush,
+    }
 }
 
-proptest! {
-    /// Under any interleaving of renames, commits, branch snapshots,
-    /// mispredict restores, and full flushes, no physical register is ever
-    /// lost or duplicated: free + architecturally-mapped + in-flight = all.
-    #[test]
-    fn physical_registers_are_conserved(ops in proptest::collection::vec(ren_op(), 1..60)) {
+/// Under any interleaving of renames, commits, branch snapshots, mispredict
+/// restores, and full flushes, no physical register is ever lost or
+/// duplicated: free + architecturally-mapped + in-flight = all.
+#[test]
+fn physical_registers_are_conserved() {
+    for seed in 0..150u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let ops: Vec<RenOp> = (0..rng.range_usize(1, 60))
+            .map(|_| ren_op(&mut rng))
+            .collect();
+
         const PHYS: usize = 48;
         let clk = Clock::new();
         let rt = RenameTable::new(&clk, PHYS);
@@ -217,7 +230,7 @@ proptest! {
             });
             // Conservation check: every phys reg is either free or reachable
             // via the speculative RAT or is an in-flight old mapping.
-            let mut seen = vec![false; PHYS];
+            let mut seen = [false; PHYS];
             for r in 0..32 {
                 seen[rt.lookup(Gpr::new(r)).index()] = true;
             }
@@ -225,10 +238,10 @@ proptest! {
                 seen[old.index()] = true;
             }
             let mapped = seen.iter().filter(|&&b| b).count();
-            prop_assert_eq!(
+            assert_eq!(
                 rt.free_count() + mapped,
                 PHYS,
-                "free {} + mapped {} != {}",
+                "seed {seed}: free {} + mapped {} != {}",
                 rt.free_count(),
                 mapped,
                 PHYS
@@ -241,16 +254,22 @@ proptest! {
 // LSQ forwarding vs naive model
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// For one load among a set of older stores with known addresses, the
-    /// LSQ's issue decision matches a naive youngest-covering-store model.
-    #[test]
-    fn lsq_forwarding_matches_naive_model(
-        stores in proptest::collection::vec((0u64..24, 1u8..3, any::<u64>()), 0..6),
-        ld_off in 0u64..24,
-        ld_sz in 1u8..3,
-    ) {
-        let to_bytes = |c: u8| match c { 1 => 4u8, _ => 8 };
+/// For one load among a set of older stores with known addresses, the LSQ's
+/// issue decision matches a naive youngest-covering-store model.
+#[test]
+fn lsq_forwarding_matches_naive_model() {
+    for seed in 0..300u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let stores: Vec<(u64, u8, u64)> = (0..rng.range_usize(0, 6))
+            .map(|_| (rng.below(24), rng.range_i64(1, 3) as u8, rng.next_u64()))
+            .collect();
+        let ld_off = rng.below(24);
+        let ld_sz = rng.range_i64(1, 3) as u8;
+
+        let to_bytes = |c: u8| match c {
+            1 => 4u8,
+            _ => 8,
+        };
         let clk = Clock::new();
         let lsq = Lsq::new(&clk, 4, 8);
         let base = 0x9000u64;
@@ -272,30 +291,29 @@ proptest! {
             for (i, (off, szc, data)) in stores.iter().enumerate() {
                 let sz = to_bytes(*szc);
                 let addr = base + (off * 4) / u64::from(sz) * u64::from(sz);
-                let overlap = addr < laddr + u64::from(lsz)
-                    && laddr < addr + u64::from(sz);
+                let overlap =
+                    addr < laddr + u64::from(lsz) && laddr < addr + u64::from(sz);
                 if overlap {
                     best = Some((i, addr, sz, *data));
                 }
             }
             match best {
-                None => prop_assert_eq!(result, LdIssue::ToCache),
+                None => assert_eq!(result, LdIssue::ToCache, "seed {seed}"),
                 Some((_, sa, ss, data)) => {
-                    let covers = sa <= laddr
-                        && laddr + u64::from(lsz) <= sa + u64::from(ss);
+                    let covers =
+                        sa <= laddr && laddr + u64::from(lsz) <= sa + u64::from(ss);
                     if covers {
                         let shift = 8 * (laddr - sa);
                         let mut v = data >> shift;
                         if lsz < 8 {
                             v &= (1u64 << (8 * lsz)) - 1;
                         }
-                        prop_assert_eq!(result, LdIssue::Forward(v));
+                        assert_eq!(result, LdIssue::Forward(v), "seed {seed}");
                     } else {
-                        prop_assert_eq!(result, LdIssue::Stalled);
+                        assert_eq!(result, LdIssue::Stalled, "seed {seed}");
                     }
                 }
             }
-            Ok(())
-        })?;
+        });
     }
 }

@@ -65,16 +65,16 @@ pub fn build_page_tables(n_pages: usize, flags: u64) -> Paging {
         root[vpn2] = make_pointer(l1_pa >> 12);
         let n_l0 = n_pages.div_ceil(512);
         let mut l0_tables = Vec::new();
-        for t in 0..n_l0 {
+        for (t, l1_slot) in l1.iter_mut().take(n_l0).enumerate() {
             let (l0_pa, mut l0) = alloc();
-            l1[t] = make_pointer(l0_pa >> 12);
-            for i in 0..512 {
+            *l1_slot = make_pointer(l0_pa >> 12);
+            for (i, l0_slot) in l0.iter_mut().enumerate() {
                 let page = t * 512 + i;
                 if page >= n_pages {
                     break;
                 }
                 let pa = PAGED_PA_BASE + (page as u64) * 4096;
-                l0[i] = make_leaf(pa >> 12, flags);
+                *l0_slot = make_leaf(pa >> 12, flags);
             }
             l0_tables.push((l0_pa, l0));
         }

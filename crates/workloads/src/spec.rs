@@ -22,8 +22,7 @@
 //! 4 KiB-paged region so TLB behavior is real (gigapage-mapped code keeps
 //! I-TLB quiet, as in the originals).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cmd_core::rng::SplitMix64;
 use riscy_isa::asm::{Assembler, Program};
 use riscy_isa::mem::DRAM_BASE;
 use riscy_isa::reg::Gpr;
@@ -116,7 +115,7 @@ fn build_chain(seed: u64, n_nodes: usize, stride: u64) -> Vec<(u64, Vec<u8>)> {
 /// `PAGED_VA_BASE + k * chain_bytes`. `extra_work` ALU ops dilute the
 /// misses; results accumulate into `s0`.
 fn emit_chase(a: &mut Assembler, iters: i64, chains: usize, chain_bytes: u64, extra_work: usize) {
-    assert!(chains >= 1 && chains <= 4);
+    assert!((1..=4).contains(&chains));
     for k in 0..chains {
         a.li(Gpr::s(1 + k as u8), (PAGED_VA_BASE + k as u64 * chain_bytes) as i64);
     }
@@ -161,10 +160,10 @@ fn build_chain_at(
     stride: u64,
     base_off: u64,
 ) -> Vec<(u64, Vec<u8>)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut order: Vec<usize> = (1..n_nodes).collect();
     for i in (1..order.len()).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.range_usize(0, i + 1);
         order.swap(i, j);
     }
     let line_off = |n: usize| -> u64 {
@@ -244,7 +243,7 @@ pub fn mcf(scale: Scale) -> Workload {
     let pages = 3072;
     let (mut a, paging) = prologue(pages);
     emit_chase(&mut a, 400 * scale.factor(), 4, 768 * 4096, 28);
-    let chain = build_chains(0x6d63_66, 4, 768, 4096);
+    let chain = build_chains(0x006d_6366, 4, 768, 4096);
     Workload {
         name: "mcf",
         program: epilogue(a, paging, chain),
@@ -478,8 +477,8 @@ pub fn gobmk(scale: Scale) -> Workload {
     a.addi(Gpr::s(2), Gpr::s(2), -1);
     a.bnez(Gpr::s(2), "gb");
     // Random small table.
-    let mut rng = StdRng::seed_from_u64(0x60b);
-    let table: Vec<u64> = (0..pages * 512).map(|_| rng.gen()).collect();
+    let mut rng = SplitMix64::seed_from_u64(0x60b);
+    let table: Vec<u64> = (0..pages * 512).map(|_| rng.next_u64()).collect();
     Workload {
         name: "gobmk",
         program: epilogue(a, paging, vec![(PAGED_PA_BASE, words_segment(&table))]),
@@ -583,15 +582,15 @@ pub fn bzip2(scale: Scale) -> Workload {
     a.addi(Gpr::s(2), Gpr::s(2), -1);
     a.bnez(Gpr::s(2), "bz");
     // Random bytes with some runs.
-    let mut rng = StdRng::seed_from_u64(0xb21b);
+    let mut rng = SplitMix64::seed_from_u64(0xb21b);
     let mut bytes = vec![0u8; 256 * 1024];
     let mut i = 0;
     while i < bytes.len() {
-        let b: u8 = rng.gen_range(0..3);
-        let run = if rng.gen_range(0..8) == 0 {
-            rng.gen_range(4..12)
+        let b = rng.below(3) as u8;
+        let run = if rng.below(8) == 0 {
+            rng.range_usize(4, 12)
         } else {
-            rng.gen_range(2..5)
+            rng.range_usize(2, 5)
         };
         for _ in 0..run.min(bytes.len() - i) {
             bytes[i] = b;
@@ -618,7 +617,7 @@ mod tests {
                 .run(60_000_000)
                 .unwrap_or_else(|n| panic!("{} did not halt after {n} steps", w.name));
             assert!(steps > 1_000, "{} too small: {steps} instructions", w.name);
-            assert_eq!(m.hart(0).halted.is_some(), true, "{}", w.name);
+            assert!(m.hart(0).halted.is_some(), "{}", w.name);
             assert!(
                 m.hart(0).roi_insts > 500,
                 "{} ROI too small: {}",

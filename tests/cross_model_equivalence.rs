@@ -86,9 +86,8 @@ fn parsec_proxies_agree_between_golden_and_quad_core() {
             // differ under weak ordering only for racy programs, which
             // these are not.
             for h in 0..2 {
-                assert_eq!(
+                assert!(
                     sim.soc().devices.exited[h].is_some(),
-                    true,
                     "{} {model:?} hart {h}",
                     w.name
                 );

@@ -5,8 +5,7 @@
 //! This is the workhorse correctness test for the pipeline: renaming,
 //! speculation, forwarding, kills, and the memory system all get fuzzed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cmd_core::rng::SplitMix64;
 use riscy_isa::asm::Assembler;
 use riscy_isa::inst::{AluOp, MemWidth, MulDivOp};
 use riscy_isa::mem::{DRAM_BASE, MMIO_EXIT};
@@ -20,14 +19,14 @@ const SCRATCH_MASK: i32 = 0x7f8; // 256 aligned dwords
 /// Registers the generator plays with (s0 holds the scratch base).
 const POOL: [u8; 10] = [10, 11, 12, 13, 14, 15, 16, 17, 5, 6]; // a0-a7, t0, t1
 
-fn reg(rng: &mut StdRng) -> Gpr {
-    Gpr::new(POOL[rng.gen_range(0..POOL.len())])
+fn reg(rng: &mut SplitMix64) -> Gpr {
+    Gpr::new(*rng.pick(&POOL))
 }
 
 /// Emits one random instruction (straight-line, memory confined to the
 /// scratch region, occasional short forward branches).
-fn emit_random(a: &mut Assembler, rng: &mut StdRng, label_seq: &mut u32) {
-    match rng.gen_range(0..100) {
+fn emit_random(a: &mut Assembler, rng: &mut SplitMix64, label_seq: &mut u32) {
+    match rng.below(100) {
         0..=39 => {
             let op = [
                 AluOp::Add,
@@ -40,11 +39,11 @@ fn emit_random(a: &mut Assembler, rng: &mut StdRng, label_seq: &mut u32) {
                 AluOp::Sll,
                 AluOp::Srl,
                 AluOp::Sra,
-            ][rng.gen_range(0..10)];
+            ][rng.range_usize(0, 10)];
             a.alu(op, reg(rng), reg(rng), reg(rng));
         }
         40..=54 => {
-            a.alui(AluOp::Add, reg(rng), reg(rng), rng.gen_range(-512..512));
+            a.alui(AluOp::Add, reg(rng), reg(rng), rng.range_i64(-512, 512) as i32);
         }
         55..=64 => {
             // Address = scratch base + masked random register.
@@ -52,10 +51,10 @@ fn emit_random(a: &mut Assembler, rng: &mut StdRng, label_seq: &mut u32) {
             a.andi(addr_r, reg(rng), SCRATCH_MASK);
             a.add(addr_r, addr_r, Gpr::s(0));
             let width = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D]
-                [rng.gen_range(0..4)];
-            let off = rng.gen_range(0..4) * 8;
-            if rng.gen_bool(0.5) {
-                a.load(width, rng.gen_bool(0.7), reg(rng), off, addr_r);
+                [rng.range_usize(0, 4)];
+            let off = rng.range_i64(0, 4) as i32 * 8;
+            if rng.chance(0.5) {
+                a.load(width, rng.chance(0.7), reg(rng), off, addr_r);
             } else {
                 a.store(width, reg(rng), off, addr_r);
             }
@@ -68,7 +67,7 @@ fn emit_random(a: &mut Assembler, rng: &mut StdRng, label_seq: &mut u32) {
                 MulDivOp::Divu,
                 MulDivOp::Rem,
                 MulDivOp::Remu,
-            ][rng.gen_range(0..6)];
+            ][rng.range_usize(0, 6)];
             a.muldiv(op, reg(rng), reg(rng), reg(rng));
         }
         73..=82 => {
@@ -76,13 +75,13 @@ fn emit_random(a: &mut Assembler, rng: &mut StdRng, label_seq: &mut u32) {
             let l = format!("rnd_{}", *label_seq);
             *label_seq += 1;
             a.bnez(reg(rng), &l);
-            for _ in 0..rng.gen_range(1..=3) {
+            for _ in 0..rng.range_i64(1, 4) {
                 a.alui(AluOp::Add, reg(rng), reg(rng), 1);
             }
             a.label(&l);
         }
         83..=90 => {
-            a.li(reg(rng), rng.gen_range(-100_000..100_000));
+            a.li(reg(rng), rng.range_i64(-100_000, 100_000));
         }
         91..=94 => {
             a.amoadd_d(reg(rng), reg(rng), Gpr::s(0));
@@ -94,7 +93,7 @@ fn emit_random(a: &mut Assembler, rng: &mut StdRng, label_seq: &mut u32) {
 }
 
 fn random_program(seed: u64, len: usize) -> riscy_isa::asm::Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut a = Assembler::new(DRAM_BASE);
     a.li(Gpr::s(0), SCRATCH);
     // Seed the register pool.
