@@ -6,21 +6,47 @@
 //! and checks the campaign reproduces bit-for-bit:
 //!
 //! * every outcome is a structured `Ok`/[`RunError`] — a panic anywhere
-//!   is a robustness bug;
+//!   is a robustness bug — *and* classifies into a known bucket
+//!   (`completed`, `budget-exhausted`, `deadlock`, `reg-conflict`,
+//!   `cycle-limit`); anything else is a hard failure;
 //! * the fault log of the rerun is identical to the first run;
 //! * the outcome of the rerun is identical to the first run.
+//!
+//! Also prints a per-fault-kind injection tally across the whole campaign,
+//! so a plan change that silently stops exercising a fault kind shows up
+//! in the output even before the coverage check trips.
 //!
 //! Exits non-zero on any mismatch, so CI can gate on it.
 
 use cmd_core::chaos::{FaultEngine, FaultPlan, FaultRecord};
+use cmd_core::sim::SimError;
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
-use riscy_ooo::soc::SocSim;
+use riscy_ooo::soc::{RunError, SocSim};
 use riscy_workloads::spec::{mcf, Scale};
+use std::collections::BTreeMap;
 
 const BUDGET: u64 = 400_000;
 const SEEDS: u64 = 6;
 
-fn campaign(seed: u64) -> (String, Vec<FaultRecord>) {
+/// Buckets an outcome into the campaign's known failure taxonomy.
+///
+/// `None` means the outcome is *outside* the taxonomy — under fault
+/// injection the SoC may fail, but only in ways the error model names.
+/// An unclassifiable error (e.g. a cosim divergence report) means a fault
+/// corrupted architectural state in a way the structured errors were
+/// supposed to rule out, and the campaign treats it as a hard failure.
+fn classify(outcome: &Result<u64, RunError>) -> Option<&'static str> {
+    match outcome {
+        Ok(_) => Some("completed"),
+        Err(RunError::Budget { .. }) => Some("budget-exhausted"),
+        Err(RunError::Sim(SimError::Deadlock { .. })) => Some("deadlock"),
+        Err(RunError::Sim(SimError::RegConflict { .. })) => Some("reg-conflict"),
+        Err(RunError::Sim(SimError::CycleLimit { .. })) => Some("cycle-limit"),
+        Err(_) => None,
+    }
+}
+
+fn campaign(seed: u64) -> (String, Option<&'static str>, Vec<FaultRecord>) {
     let w = mcf(Scale::Test);
     let mut sim = SocSim::new(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), 1, &w.program);
     let plan = FaultPlan::new(seed)
@@ -30,27 +56,43 @@ fn campaign(seed: u64) -> (String, Vec<FaultRecord>) {
         .msg_drop("mem.c2p_req", 0.01);
     let engine = FaultEngine::new(plan);
     sim.attach_chaos(&engine);
-    let outcome = match sim.run_to_completion(BUDGET) {
+    let result = sim.run_to_completion(BUDGET);
+    let class = classify(&result);
+    let outcome = match result {
         Ok(cycles) => format!("completed in {cycles} cycles"),
         Err(e) => format!("structured error: {e}"),
     };
-    (outcome, engine.log())
+    (outcome, class, engine.log())
 }
 
 fn main() {
     let mut failures = 0u32;
     let mut all_kinds = std::collections::BTreeSet::new();
+    let mut tally: BTreeMap<String, u64> = BTreeMap::new();
+    let mut outcomes: BTreeMap<&'static str, u64> = BTreeMap::new();
     for seed in 0..SEEDS {
-        let (out_a, log_a) = campaign(seed);
-        let (out_b, log_b) = campaign(seed);
+        let (out_a, class_a, log_a) = campaign(seed);
+        let (out_b, _, log_b) = campaign(seed);
         let kinds: std::collections::BTreeSet<_> =
             log_a.iter().map(|r| r.kind.to_string()).collect();
         all_kinds.extend(kinds.iter().cloned());
-        println!(
-            "seed {seed}: {out_a} | {} faults injected ({})",
-            log_a.len(),
-            kinds.into_iter().collect::<Vec<_>>().join(", "),
-        );
+        for r in &log_a {
+            *tally.entry(r.kind.to_string()).or_default() += 1;
+        }
+        match class_a {
+            Some(class) => {
+                *outcomes.entry(class).or_default() += 1;
+                println!(
+                    "seed {seed}: [{class}] {out_a} | {} faults injected ({})",
+                    log_a.len(),
+                    kinds.into_iter().collect::<Vec<_>>().join(", "),
+                );
+            }
+            None => {
+                println!("seed {seed}: FAIL: unclassifiable outcome: {out_a}");
+                failures += 1;
+            }
+        }
         if log_a != log_b {
             println!("  FAIL: rerun fault log diverged ({} vs {})", log_a.len(), log_b.len());
             failures += 1;
@@ -69,6 +111,14 @@ fn main() {
             println!("FAIL: campaign never exercised {kind}");
             failures += 1;
         }
+    }
+    println!("\nper-fault injection tally ({SEEDS} seeds):");
+    for (kind, n) in &tally {
+        println!("  {kind:<14} {n:>8}");
+    }
+    println!("outcome histogram:");
+    for (class, n) in &outcomes {
+        println!("  {class:<18} {n:>4}");
     }
     if failures > 0 {
         println!("chaos smoke: {failures} failure(s)");

@@ -14,6 +14,7 @@
 use cmd_core::demo::gcd::{stream_gcd, Gcd, TwoGcd};
 use cmd_core::demo::iq::{dependent_chain, run_iq_demo, IqDemoConfig, IqOrdering, RdybKind};
 use cmd_core::prelude::*;
+use riscy_bench::{metrics_json, stats_json_path, write_artifact};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -121,4 +122,26 @@ fn main() {
     bench_gcd();
     bench_iq_orderings();
     bench_scheduler_overhead();
+    if let Some(path) = stats_json_path() {
+        // Only the architectural cycle counts go into the artifact:
+        // wall-clock numbers vary run to run and would make the JSON
+        // useless for regression comparison.
+        let chain = dependent_chain(48);
+        let cycles = |ordering| {
+            run_iq_demo(
+                IqDemoConfig {
+                    ordering,
+                    ..IqDemoConfig::default()
+                },
+                &chain,
+            )
+            .unwrap()
+            .cycles as f64
+        };
+        let json = metrics_json(&[
+            ("iq_issue_before_wakeup_cycles", cycles(IqOrdering::IssueBeforeWakeup)),
+            ("iq_wakeup_before_issue_cycles", cycles(IqOrdering::WakeupBeforeIssue)),
+        ]);
+        write_artifact(&path, &json);
+    }
 }

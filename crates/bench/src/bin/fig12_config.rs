@@ -1,5 +1,6 @@
 //! Regenerates paper Fig. 12: the RiscyOO-B configuration table.
 
+use riscy_bench::{metrics_json, stats_json_path, write_artifact};
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
 
 fn main() {
@@ -48,4 +49,23 @@ fn main() {
         "Memory       {}-cycle latency, max {} req (one line per {} cycles)",
         m.l2.dram.latency, m.l2.dram.max_outstanding, m.l2.dram.cycles_per_line
     );
+    if let Some(path) = stats_json_path() {
+        let json = metrics_json(&[
+            ("width", c.width as f64),
+            ("btb_entries", c.bp.btb_entries as f64),
+            ("ras_entries", c.bp.ras_entries as f64),
+            ("rob_entries", c.rob_entries as f64),
+            ("alu_pipes", c.alu_pipes as f64),
+            ("iq_entries", c.iq_entries as f64),
+            ("lq_entries", c.lq_entries as f64),
+            ("sq_entries", c.sq_entries as f64),
+            ("sb_entries", c.sb_entries as f64),
+            ("tlb_l1_entries", c.tlb.l1_entries as f64),
+            ("tlb_l2_entries", c.tlb.l2_entries as f64),
+            ("l1d_bytes", m.l1d.size_bytes as f64),
+            ("l2_bytes", m.l2.size_bytes as f64),
+            ("dram_latency", m.l2.dram.latency as f64),
+        ]);
+        write_artifact(&path, &json);
+    }
 }

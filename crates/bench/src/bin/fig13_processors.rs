@@ -2,6 +2,7 @@
 //! instantiated by this reproduction (substitutions documented in
 //! DESIGN.md).
 
+use riscy_bench::{metrics_json, stats_json_path, write_artifact};
 use riscy_ooo::config::CoreConfig;
 
 fn main() {
@@ -48,5 +49,31 @@ fn main() {
             cfg.width, cfg.rob_entries, cfg.iq_entries, cfg.lq_entries, cfg.sq_entries,
             cfg.phys_regs
         );
+    }
+    if let Some(path) = stats_json_path() {
+        let mut metrics = Vec::new();
+        let mut names = Vec::new();
+        for (name, cfg) in [
+            ("a57", CoreConfig::a57_proxy()),
+            ("denver", CoreConfig::denver_proxy()),
+            ("boom", CoreConfig::boom_proxy()),
+        ] {
+            names.push([
+                format!("{name}_width"),
+                format!("{name}_rob_entries"),
+                format!("{name}_phys_regs"),
+            ]);
+            metrics.push([
+                cfg.width as f64,
+                cfg.rob_entries as f64,
+                cfg.phys_regs as f64,
+            ]);
+        }
+        let flat: Vec<(&str, f64)> = names
+            .iter()
+            .zip(&metrics)
+            .flat_map(|(ns, vs)| ns.iter().map(String::as_str).zip(vs.iter().copied()))
+            .collect();
+        write_artifact(&path, &metrics_json(&flat));
     }
 }

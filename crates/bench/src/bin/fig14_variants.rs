@@ -1,5 +1,6 @@
 //! Regenerates paper Fig. 14: the RiscyOO variant table.
 
+use riscy_bench::{metrics_json, stats_json_path, write_artifact};
 use riscy_ooo::config::{mem_riscyoo_c_minus, CoreConfig};
 
 fn main() {
@@ -27,4 +28,15 @@ fn main() {
         "{:<16} {:<18} RiscyOO-T+ with {}-entry ROB",
         "RiscyOO-T+R+", "Larger ROB", tr.rob_entries
     );
+    if let Some(path) = stats_json_path() {
+        let json = metrics_json(&[
+            ("c_minus_l1d_bytes", c_minus.l1d.size_bytes as f64),
+            ("c_minus_l2_bytes", c_minus.l2.size_bytes as f64),
+            ("t_plus_l1d_miss_slots", t.tlb.l1d_miss_slots as f64),
+            ("t_plus_l2_miss_slots", t.tlb.l2_miss_slots as f64),
+            ("t_plus_walk_cache_entries", t.tlb.walk_cache_entries as f64),
+            ("t_plus_r_plus_rob_entries", tr.rob_entries as f64),
+        ]);
+        write_artifact(&path, &json);
+    }
 }

@@ -5,7 +5,9 @@
 //! (non-blocking miss handling vs the translation cache) — the ablation
 //! DESIGN.md calls out.
 
-use riscy_bench::{geomean, run_ooo, scale_from_args};
+use riscy_bench::{
+    geomean, results_json, run_ooo, scale_from_args, stats_json_path, write_artifact,
+};
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, TlbConfig};
 use riscy_workloads::spec::spec_suite;
 
@@ -38,6 +40,7 @@ fn main() {
     };
 
     let mut ratios = Vec::new();
+    let (mut bs, mut tps) = (Vec::new(), Vec::new());
     for w in &suite {
         let b = run_ooo(CoreConfig::riscyoo_b(), mem_riscyoo_b(), w);
         let t = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), w);
@@ -57,6 +60,12 @@ fn main() {
             );
         }
         println!("{line}");
+        bs.push(b);
+        tps.push(t);
     }
     println!("{:<14}{:>12}{:>12}{:>12.3}", "geo-mean", "", "", geomean(&ratios));
+    if let Some(path) = stats_json_path() {
+        let json = results_json(&[("RiscyOO-B", &bs), ("RiscyOO-T+", &tps)]);
+        write_artifact(&path, &json);
+    }
 }

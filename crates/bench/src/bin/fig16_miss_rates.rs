@@ -2,7 +2,7 @@
 //! mispredictions, L1 D misses, and L2 misses per thousand instructions on
 //! RiscyOO-T+.
 
-use riscy_bench::{run_ooo, scale_from_args};
+use riscy_bench::{results_json, run_ooo, scale_from_args, stats_json_path, write_artifact};
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
 use riscy_workloads::spec::spec_suite;
 
@@ -13,6 +13,7 @@ fn main() {
         "{:<14}{:>8}{:>8}{:>8}{:>8}{:>8}{:>10}",
         "benchmark", "DTLB", "L2TLB", "BrPred", "D$", "L2$", "IPC"
     );
+    let mut runs = Vec::new();
     for w in spec_suite(scale) {
         let r = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), &w);
         println!(
@@ -20,6 +21,10 @@ fn main() {
             r.name, r.dtlb_pki, r.l2tlb_pki, r.brpred_pki, r.dcache_pki, r.l2_pki,
             r.ipc()
         );
+        runs.push(r);
+    }
+    if let Some(path) = stats_json_path() {
+        write_artifact(&path, &results_json(&[("RiscyOO-T+", &runs)]));
     }
     println!(
         "\n(paper shape: mcf/astar/omnetpp TLB-heavy; libquantum D$/L2$-heavy;\n\

@@ -2,7 +2,10 @@
 //! normalized to RiscyOO-T+ (the out-of-order vs in-order comparison).
 
 use riscy_baseline::InOrderConfig;
-use riscy_bench::{geomean, run_inorder, run_ooo, scale_from_args};
+use riscy_bench::{
+    geomean, results_json, run_inorder, run_ooo, scale_from_args, stats_json_path,
+    write_artifact,
+};
 use riscy_ooo::config::{mem_riscyoo_b, mem_riscyoo_c_minus, CoreConfig};
 use riscy_workloads::spec::spec_suite;
 
@@ -15,6 +18,7 @@ fn main() {
         "benchmark", "RiscyOO-C-", "Rocket-10", "Rocket-120"
     );
     let (mut rc, mut r10, mut r120) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut ts, mut cs, mut k10s, mut k120s) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for w in spec_suite(scale) {
         let t = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), &w);
         let c = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_c_minus(), &w);
@@ -26,6 +30,10 @@ fn main() {
         r10.push(b);
         r120.push(cc);
         println!("{:<14}{:>14.3}{:>14.3}{:>14.3}", w.name, a, b, cc);
+        ts.push(t);
+        cs.push(c);
+        k10s.push(k10);
+        k120s.push(k120);
     }
     println!(
         "{:<14}{:>14.3}{:>14.3}{:>14.3}",
@@ -34,4 +42,13 @@ fn main() {
         geomean(&r10),
         geomean(&r120)
     );
+    if let Some(path) = stats_json_path() {
+        let json = results_json(&[
+            ("RiscyOO-T+", &ts),
+            ("RiscyOO-C-", &cs),
+            ("Rocket-10", &k10s),
+            ("Rocket-120", &k120s),
+        ]);
+        write_artifact(&path, &json);
+    }
 }

@@ -6,7 +6,9 @@
 //! on average, but RiscyOO-T+ catches up or wins on the TLB-bound
 //! benchmarks (mcf, astar, omnetpp) thanks to its TLB optimizations.
 
-use riscy_bench::{geomean, run_ooo, scale_from_args};
+use riscy_bench::{
+    geomean, results_json, run_ooo, scale_from_args, stats_json_path, write_artifact,
+};
 use riscy_ooo::config::{mem_arm_proxy, mem_riscyoo_b, CoreConfig};
 use riscy_workloads::spec::spec_suite;
 
@@ -16,6 +18,7 @@ fn main() {
     println!("(paper: A57 ≈ +34%, Denver ≈ +45% on average; T+ wins mcf/astar/omnetpp)\n");
     println!("{:<14}{:>12}{:>12}", "benchmark", "A57", "Denver");
     let (mut a57s, mut denvers) = (Vec::new(), Vec::new());
+    let (mut ts, mut ars, mut drs) = (Vec::new(), Vec::new(), Vec::new());
     for w in spec_suite(scale) {
         let t = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), &w);
         let a57 = run_ooo(CoreConfig::a57_proxy(), mem_arm_proxy(), &w);
@@ -25,6 +28,9 @@ fn main() {
         a57s.push(ra);
         denvers.push(rd);
         println!("{:<14}{:>12.3}{:>12.3}", w.name, ra, rd);
+        ts.push(t);
+        ars.push(a57);
+        drs.push(den);
     }
     println!(
         "{:<14}{:>12.3}{:>12.3}",
@@ -32,4 +38,8 @@ fn main() {
         geomean(&a57s),
         geomean(&denvers)
     );
+    if let Some(path) = stats_json_path() {
+        let json = results_json(&[("RiscyOO-T+", &ts), ("A57", &ars), ("Denver", &drs)]);
+        write_artifact(&path, &json);
+    }
 }

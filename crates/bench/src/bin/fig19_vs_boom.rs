@@ -4,7 +4,9 @@
 //! The paper's shape: similar harmonic-mean IPC, RiscyOO-T+R+ ahead on the
 //! TLB-bound mcf, BOOM ahead on sjeng (better branch prediction there).
 
-use riscy_bench::{harmean, run_ooo, scale_from_args};
+use riscy_bench::{
+    harmean, results_json, run_ooo, scale_from_args, stats_json_path, write_artifact,
+};
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
 use riscy_workloads::spec::spec_suite;
 
@@ -19,6 +21,7 @@ fn main() {
     println!("=== Fig. 19: IPC of BOOM (proxy) and RiscyOO-T+R+ ===\n");
     println!("{:<14}{:>10}{:>14}", "benchmark", "BOOM", "RiscyOO-T+R+");
     let (mut boom_ipcs, mut riscy_ipcs) = (Vec::new(), Vec::new());
+    let (mut booms, mut riscys) = (Vec::new(), Vec::new());
     for w in spec_suite(scale) {
         if !BOOM_SET.contains(&w.name) {
             continue;
@@ -28,6 +31,8 @@ fn main() {
         boom_ipcs.push(boom.ipc());
         riscy_ipcs.push(riscy.ipc());
         println!("{:<14}{:>10.3}{:>14.3}", w.name, boom.ipc(), riscy.ipc());
+        booms.push(boom);
+        riscys.push(riscy);
     }
     println!(
         "{:<14}{:>10.3}{:>14.3}",
@@ -35,4 +40,8 @@ fn main() {
         harmean(&boom_ipcs),
         harmean(&riscy_ipcs)
     );
+    if let Some(path) = stats_json_path() {
+        let json = results_json(&[("BOOM", &booms), ("RiscyOO-T+R+", &riscys)]);
+        write_artifact(&path, &json);
+    }
 }

@@ -5,7 +5,7 @@
 //! of TSO and WMM"; TSO's speculative-load kills are ≤0.25 per 1K
 //! instructions.
 
-use riscy_bench::scale_from_args;
+use riscy_bench::{scale_from_args, stats_json_path, trace_path, write_artifact};
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, MemModel};
 use riscy_ooo::soc::SocSim;
 use riscy_workloads::parsec::parsec_suite;
@@ -62,5 +62,33 @@ fn main() {
             print!("{c:>8.2}");
         }
         println!("{max_kills:>12.3}");
+    }
+
+    // Observability artifacts: one dedicated 2-thread TSO run of the first
+    // PARSEC proxy, with the pipeline trace enabled if `--trace` asks for
+    // it. (Tracing never changes cycle counts — see docs/OBSERVABILITY.md —
+    // but the figure rows above stay untraced so the artifact run cannot
+    // perturb them even in principle.)
+    let stats_path = stats_json_path();
+    let trace_out = trace_path();
+    if stats_path.is_some() || trace_out.is_some() {
+        let w = parsec_suite(scale, 2).remove(0);
+        let mut sim = SocSim::new(
+            CoreConfig::multicore(MemModel::Tso),
+            mem_riscyoo_b(),
+            2,
+            &w.program,
+        );
+        if trace_out.is_some() {
+            sim.enable_pipe_trace();
+        }
+        sim.run_to_completion(w.max_cycles * 4)
+            .unwrap_or_else(|e| panic!("{} (artifact run): {e}", w.name));
+        if let Some(path) = &trace_out {
+            write_artifact(path, &sim.pipe_trace());
+        }
+        if let Some(path) = &stats_path {
+            write_artifact(path, &sim.stats_json());
+        }
     }
 }

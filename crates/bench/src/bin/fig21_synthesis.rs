@@ -2,6 +2,7 @@
 //! NAND2-equivalent gates) for RiscyOO-T+ and RiscyOO-T+R+, via the
 //! calibrated analytic model in `riscy-synth`.
 
+use riscy_bench::{metrics_json, stats_json_path, write_artifact};
 use riscy_ooo::config::CoreConfig;
 use riscy_synth::{fig21_table, synthesize};
 
@@ -42,5 +43,19 @@ fn main() {
             "  ROB {rob:>3}: {:>5.2} GHz, {:>5.2} M gates",
             s.max_freq_ghz, s.nand2_gates_m
         );
+    }
+    if let Some(path) = stats_json_path() {
+        let tr = synthesize(&CoreConfig::riscyoo_t_plus_r_plus());
+        let json = metrics_json(&[
+            ("t_plus_max_freq_ghz", r.max_freq_ghz),
+            ("t_plus_nand2_gates_m", r.nand2_gates_m),
+            ("t_plus_r_plus_max_freq_ghz", tr.max_freq_ghz),
+            ("t_plus_r_plus_nand2_gates_m", tr.nand2_gates_m),
+            ("t_plus_rob_gates", r.rob_gates),
+            ("t_plus_iq_gates", r.iq_gates),
+            ("t_plus_lsq_gates", r.lsq_gates),
+            ("t_plus_tlb_gates", r.tlb_gates),
+        ]);
+        write_artifact(&path, &json);
     }
 }

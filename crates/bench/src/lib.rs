@@ -141,6 +141,96 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// The value following `flag` on the command line, if present.
+#[must_use]
+pub fn path_arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--stats-json <path>`: where the binary should dump its
+/// machine-readable stats snapshot (see `docs/OBSERVABILITY.md`).
+#[must_use]
+pub fn stats_json_path() -> Option<String> {
+    path_arg("--stats-json")
+}
+
+/// Parses `--trace <path>`: where to dump a Konata/O3PipeView pipeline
+/// trace.
+#[must_use]
+pub fn trace_path() -> Option<String> {
+    path_arg("--trace")
+}
+
+/// Writes an artifact file requested on the command line.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — the operator asked for the
+/// artifact, so a silent miss would be worse than an abort.
+pub fn write_artifact(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// Serializes per-configuration [`RunResult`] sets as a stats-JSON
+/// document: a top-level `ipc` (geometric mean over every run), plus one
+/// object per configuration with its per-benchmark metrics.
+#[must_use]
+pub fn results_json(configs: &[(&str, &[RunResult])]) -> String {
+    use cmd_core::trace::json::JsonWriter;
+    let ipcs: Vec<f64> = configs
+        .iter()
+        .flat_map(|(_, rs)| rs.iter().map(RunResult::ipc))
+        .filter(|x| *x > 0.0)
+        .collect();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_f64("ipc", if ipcs.is_empty() { 0.0 } else { geomean(&ipcs) });
+    w.key("configs");
+    w.begin_array();
+    for (label, runs) in configs {
+        w.begin_object();
+        w.field_str("label", label);
+        w.key("runs");
+        w.begin_array();
+        for r in *runs {
+            w.begin_object();
+            w.field_str("name", r.name);
+            w.field_f64("ipc", r.ipc());
+            w.field_u64("roi_cycles", r.roi_cycles);
+            w.field_u64("roi_insts", r.roi_insts);
+            w.field_f64("dtlb_pki", r.dtlb_pki);
+            w.field_f64("l2tlb_pki", r.l2tlb_pki);
+            w.field_f64("brpred_pki", r.brpred_pki);
+            w.field_f64("dcache_pki", r.dcache_pki);
+            w.field_f64("l2_pki", r.l2_pki);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Serializes flat scalar metrics as a JSON object — the stats-JSON shape
+/// of table-style binaries that run no simulation.
+#[must_use]
+pub fn metrics_json(metrics: &[(&str, f64)]) -> String {
+    use cmd_core::trace::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    for (k, v) in metrics {
+        w.field_f64(k, *v);
+    }
+    w.end_object();
+    w.finish()
+}
+
 /// Prints a normalized-performance table: one row per benchmark, one
 /// column per configuration, last row the geometric mean.
 pub fn print_normalized_table(
@@ -182,5 +272,29 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert!((harmean(&[1.0, 1.0]) - 1.0).abs() < 1e-9);
         assert!((harmean(&[2.0, 6.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn results_json_has_top_level_ipc() {
+        let r = RunResult {
+            name: "mcf",
+            roi_cycles: 200,
+            roi_insts: 100,
+            dtlb_pki: 1.0,
+            l2tlb_pki: 0.5,
+            brpred_pki: 2.0,
+            dcache_pki: 3.0,
+            l2_pki: 0.25,
+        };
+        let json = results_json(&[("T+", &[r])]);
+        assert!(json.starts_with("{\"ipc\":0.5,"), "{json}");
+        assert!(json.contains("\"label\":\"T+\""), "{json}");
+        assert!(json.contains("\"roi_cycles\":200"), "{json}");
+    }
+
+    #[test]
+    fn metrics_json_is_flat() {
+        let json = metrics_json(&[("rob_entries", 64.0), ("width", 2.0)]);
+        assert_eq!(json, "{\"rob_entries\":64,\"width\":2}");
     }
 }

@@ -23,6 +23,7 @@ use std::fmt;
 use std::rc::{Rc, Weak};
 
 use crate::cm::{ConflictMatrix, Rel};
+use crate::trace::{TraceEvent, Tracer};
 
 /// A state cell participating in the current rule's transaction.
 ///
@@ -124,6 +125,10 @@ pub(crate) struct ClockInner {
     fired_calls: RefCell<Vec<MethodCall>>,
     modules: RefCell<Vec<ModuleInfo>>,
     eoc_hooks: RefCell<Vec<Rc<dyn Fn()>>>,
+    // `tracing` mirrors `tracer.is_enabled()` so the commit hot path pays a
+    // single Cell read when tracing is off.
+    tracing: Cell<bool>,
+    tracer: RefCell<Tracer>,
 }
 
 impl Clock {
@@ -148,6 +153,8 @@ impl Clock {
                 fired_calls: RefCell::new(Vec::new()),
                 modules: RefCell::new(Vec::new()),
                 eoc_hooks: RefCell::new(Vec::new()),
+                tracing: Cell::new(false),
+                tracer: RefCell::new(Tracer::disabled()),
             }),
         }
     }
@@ -253,6 +260,17 @@ impl Clock {
         None
     }
 
+    /// Attaches `tracer` to this clock. Every subsequent committed method
+    /// call emits a [`TraceEvent::MethodCalled`] event. Pass
+    /// [`Tracer::disabled`] to detach.
+    ///
+    /// [`crate::sim::Sim::set_tracer`] calls this automatically; use it
+    /// directly only when driving a clock by hand.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.tracing.set(tracer.is_enabled());
+        *self.inner.tracer.borrow_mut() = tracer;
+    }
+
     /// Atomically publishes the current rule's buffered writes and records
     /// its method calls as fired-this-cycle.
     ///
@@ -263,6 +281,21 @@ impl Clock {
         assert!(self.inner.in_rule.get(), "commit outside of a rule");
         for cell in self.inner.dirty.borrow_mut().drain(..) {
             cell.commit();
+        }
+        if self.inner.tracing.get() {
+            let tracer = self.inner.tracer.borrow();
+            let modules = self.inner.modules.borrow();
+            let cycle = self.cycle();
+            for call in self.inner.calls.borrow().iter() {
+                let info = &modules[call.module as usize];
+                tracer.emit(
+                    cycle,
+                    &TraceEvent::MethodCalled {
+                        module: &info.name,
+                        method: info.methods[call.method as usize],
+                    },
+                );
+            }
         }
         self.inner
             .fired_calls
@@ -508,6 +541,34 @@ mod tests {
         ifc.record(0);
         assert!(clk.check_cm().is_none());
         clk.commit_rule();
+    }
+
+    #[test]
+    fn committed_calls_emit_method_events_aborted_ones_do_not() {
+        use crate::trace::VecSink;
+
+        let clk = Clock::new();
+        let ifc = clk.module("fifo", &["enq", "deq"], ConflictMatrix::all_free(2));
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        clk.set_tracer(Tracer::new(sink.clone()));
+
+        clk.begin_rule();
+        ifc.record(0);
+        clk.commit_rule();
+
+        clk.begin_rule();
+        ifc.record(1);
+        clk.abort_rule();
+
+        let r = sink.borrow().rendered();
+        assert_eq!(r, vec!["[0] method fifo.enq".to_string()]);
+
+        // Detaching stops emission.
+        clk.set_tracer(Tracer::disabled());
+        clk.begin_rule();
+        ifc.record(1);
+        clk.commit_rule();
+        assert_eq!(sink.borrow().events.len(), 1);
     }
 
     #[test]

@@ -72,6 +72,16 @@ pub trait Fifo<T> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Whether the canonical state is at capacity.
+    ///
+    /// Like [`Fifo::len`], this observes the canonical (start-of-cycle)
+    /// state and is intended for statistics — e.g. attributing an upstream
+    /// stall to "queue full" in a counter — not for guarding: the flavor's
+    /// `enq` already carries the authoritative same-cycle full check.
+    fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
 }
 
 fn base_state<T: Clone + 'static>(clk: &Clock, capacity: usize) -> Ehr<VecDeque<T>> {
@@ -577,5 +587,22 @@ mod tests {
             f.enq(2).unwrap();
             assert!(f.enq(3).is_err());
         });
+    }
+
+    #[test]
+    fn is_full_tracks_canonical_occupancy() {
+        let clk = Clock::new();
+        let f: PipelineFifo<u32> = PipelineFifo::new(&clk, 2);
+        assert!(!f.is_full());
+        for v in 0..2 {
+            one_cycle(&clk, || f.enq(v).unwrap());
+            clk.end_cycle();
+        }
+        assert!(f.is_full());
+        one_cycle(&clk, || {
+            let _ = f.deq().unwrap();
+        });
+        clk.end_cycle();
+        assert!(!f.is_full());
     }
 }

@@ -30,6 +30,9 @@
 //! * [`chaos`] — seeded, cycle-deterministic fault injection (forced guard
 //!   stalls, transient rule aborts, bit flips) for resilience campaigns;
 //! * [`rng`] — the in-tree deterministic PRNG backing tests and chaos;
+//! * [`trace`] — structured event tracing, named perf counters, and the
+//!   dependency-free JSON writer behind `--stats-json` (see
+//!   `docs/OBSERVABILITY.md`);
 //! * [`demo`] — the paper's tutorial designs (GCD §III, IQ/RDYB §IV).
 //!
 //! # Examples
@@ -57,6 +60,8 @@
 //! assert_eq!(sim.state().got.read(), vec![7, 7, 7]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cell;
 pub mod chaos;
 pub mod clock;
@@ -66,6 +71,7 @@ pub mod fifo;
 pub mod guard;
 pub mod rng;
 pub mod sim;
+pub mod trace;
 
 /// Convenient glob-import of the kernel's core types.
 pub mod prelude {
@@ -78,4 +84,5 @@ pub mod prelude {
     pub use crate::guard_that;
     pub use crate::rng::SplitMix64;
     pub use crate::sim::{DeadlockReport, RuleId, RuleStats, RuleWait, Sim, SimError, WaitCause};
+    pub use crate::trace::{Counter, Counters, Gauge, TraceEvent, TraceSink, Tracer};
 }

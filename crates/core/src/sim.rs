@@ -38,12 +38,14 @@
 //! [`FaultPlan`](crate::chaos::FaultPlan) the instrumented scheduler is
 //! cycle-for-cycle identical to the plain one.
 
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
 use crate::chaos::{FaultEngine, RuleFault, CHAOS_ABORT_REASON, CHAOS_STALL_REASON};
 use crate::clock::{Clock, CmViolation};
 use crate::guard::Guarded;
+use crate::trace::{Counter, Counters, TraceEvent, Tracer};
 
 /// Consecutive all-quiet cycles before the watchdog declares a deadlock.
 ///
@@ -197,6 +199,11 @@ struct RuleEntry<S> {
     /// Exempt rules don't count as activity for the watchdog (e.g. an
     /// always-firing substrate-tick rule that would mask real deadlocks).
     exempt: bool,
+    /// Per-guard-reason stall histogram. Guard reasons are `&'static str`
+    /// by construction, so counting them costs no allocation.
+    guard_reasons: BTreeMap<&'static str, u64>,
+    /// Per-CM-edge stall histogram, keyed by the rendered violation.
+    cm_reasons: BTreeMap<String, u64>,
 }
 
 /// A complete CMD design: user state `S` (the module tree), a [`Clock`], and
@@ -232,6 +239,11 @@ pub struct Sim<S> {
     quiet_cycles: u64,
     watchdog: Option<u64>,
     chaos: Option<FaultEngine>,
+    tracer: Tracer,
+    counters: Counters,
+    ctr_fired: Counter,
+    ctr_guard: Counter,
+    ctr_cm: Counter,
 }
 
 impl<S> Sim<S> {
@@ -239,6 +251,10 @@ impl<S> Sim<S> {
     /// must have been created from `clk`.
     #[must_use]
     pub fn new(clk: Clock, state: S) -> Self {
+        let counters = Counters::default();
+        let ctr_fired = counters.counter("sim.rules_fired");
+        let ctr_guard = counters.counter("sim.guard_stalls");
+        let ctr_cm = counters.counter("sim.cm_stalls");
         Sim {
             clk,
             state,
@@ -248,7 +264,35 @@ impl<S> Sim<S> {
             quiet_cycles: 0,
             watchdog: Some(DEFAULT_WATCHDOG_THRESHOLD),
             chaos: None,
+            tracer: Tracer::disabled(),
+            counters,
+            ctr_fired,
+            ctr_guard,
+            ctr_cm,
         }
+    }
+
+    /// Attaches a tracer: the scheduler emits [`TraceEvent::RuleFired`],
+    /// [`TraceEvent::GuardStalled`], and [`TraceEvent::CmOrdering`] events,
+    /// and the clock emits [`TraceEvent::MethodCalled`] for every committed
+    /// method call. Pass [`Tracer::disabled`] to turn tracing back off.
+    ///
+    /// Tracing is strictly observational: a traced run executes the same
+    /// rules in the same cycles as an untraced one.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.clk.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The counter registry shared by this scheduler.
+    ///
+    /// The scheduler itself maintains `sim.rules_fired`, `sim.guard_stalls`,
+    /// and `sim.cm_stalls`; design code may register additional counters and
+    /// gauges on the same registry (clones share storage, see
+    /// [`Counters`]).
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// Registers a rule at the end of the canonical schedule.
@@ -269,6 +313,8 @@ impl<S> Sim<S> {
             stats: RuleStats::default(),
             last_wait: None,
             exempt: false,
+            guard_reasons: BTreeMap::new(),
+            cm_reasons: BTreeMap::new(),
         });
         id
     }
@@ -314,11 +360,23 @@ impl<S> Sim<S> {
         let chaos = self.chaos.clone();
         let mut fired_any = false;
         let mut conflict: Option<SimError> = None;
+        let tracing = self.tracer.is_enabled();
         for entry in &mut self.rules {
             match chaos.as_ref().and_then(|e| e.rule_fault(&entry.name, now)) {
                 Some(RuleFault::ForceStall) => {
                     entry.stats.guard_stalls += 1;
+                    *entry.guard_reasons.entry(CHAOS_STALL_REASON).or_insert(0) += 1;
+                    self.ctr_guard.inc();
                     entry.last_wait = Some(WaitCause::Guard(CHAOS_STALL_REASON));
+                    if tracing {
+                        self.tracer.emit(
+                            now,
+                            &TraceEvent::GuardStalled {
+                                rule: &entry.name,
+                                reason: CHAOS_STALL_REASON,
+                            },
+                        );
+                    }
                     continue;
                 }
                 Some(RuleFault::Abort) => {
@@ -328,7 +386,18 @@ impl<S> Sim<S> {
                     let _ = (entry.body)(&mut self.state);
                     self.clk.abort_rule();
                     entry.stats.guard_stalls += 1;
+                    *entry.guard_reasons.entry(CHAOS_ABORT_REASON).or_insert(0) += 1;
+                    self.ctr_guard.inc();
                     entry.last_wait = Some(WaitCause::Guard(CHAOS_ABORT_REASON));
+                    if tracing {
+                        self.tracer.emit(
+                            now,
+                            &TraceEvent::GuardStalled {
+                                rule: &entry.name,
+                                reason: CHAOS_ABORT_REASON,
+                            },
+                        );
+                    }
                     continue;
                 }
                 None => {}
@@ -339,22 +408,53 @@ impl<S> Sim<S> {
                     if let Some(v) = self.clk.check_cm() {
                         self.clk.abort_rule();
                         entry.stats.cm_stalls += 1;
+                        *entry.cm_reasons.entry(v.to_string()).or_insert(0) += 1;
+                        self.ctr_cm.inc();
                         entry.last_wait = Some(WaitCause::Cm(v.clone()));
+                        if tracing {
+                            self.tracer.emit(
+                                now,
+                                &TraceEvent::CmOrdering {
+                                    rule: &entry.name,
+                                    module: &v.module,
+                                    earlier: &v.earlier_method,
+                                    later: &v.later_method,
+                                },
+                            );
+                        }
                         self.last_violation = Some(v);
                     } else {
                         match self.clk.try_commit_rule() {
                             Ok(()) => {
                                 entry.stats.fired += 1;
+                                self.ctr_fired.inc();
                                 entry.last_wait = None;
                                 if !entry.exempt {
                                     fired_any = true;
                                 }
+                                if tracing {
+                                    self.tracer.emit(
+                                        now,
+                                        &TraceEvent::RuleFired { rule: &entry.name },
+                                    );
+                                }
                             }
                             Err(reg) => {
+                                const REG_CONFLICT_REASON: &str =
+                                    "aborted: undeclared Reg write conflict";
                                 entry.stats.guard_stalls += 1;
-                                entry.last_wait = Some(WaitCause::Guard(
-                                    "aborted: undeclared Reg write conflict",
-                                ));
+                                *entry.guard_reasons.entry(REG_CONFLICT_REASON).or_insert(0) += 1;
+                                self.ctr_guard.inc();
+                                entry.last_wait = Some(WaitCause::Guard(REG_CONFLICT_REASON));
+                                if tracing {
+                                    self.tracer.emit(
+                                        now,
+                                        &TraceEvent::GuardStalled {
+                                            rule: &entry.name,
+                                            reason: REG_CONFLICT_REASON,
+                                        },
+                                    );
+                                }
                                 // Remember the first offense but finish the
                                 // schedule so the cycle stays well-formed.
                                 if conflict.is_none() {
@@ -371,7 +471,18 @@ impl<S> Sim<S> {
                 Err(stall) => {
                     self.clk.abort_rule();
                     entry.stats.guard_stalls += 1;
+                    *entry.guard_reasons.entry(stall.reason()).or_insert(0) += 1;
+                    self.ctr_guard.inc();
                     entry.last_wait = Some(WaitCause::Guard(stall.reason()));
+                    if tracing {
+                        self.tracer.emit(
+                            now,
+                            &TraceEvent::GuardStalled {
+                                rule: &entry.name,
+                                reason: stall.reason(),
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -548,13 +659,17 @@ impl<S> Sim<S> {
         self.last_violation.as_ref()
     }
 
-    /// A formatted multi-line scheduling report (rule name, fire rate,
-    /// stall breakdown).
+    /// A formatted multi-line scheduling report: rules sorted by fire count
+    /// (busiest first; ties keep schedule order), each followed by its
+    /// stall-reason histogram so a deadlocked or underperforming rule shows
+    /// *what* it was waiting on, not just how often.
     #[must_use]
     pub fn report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("cycles: {}\n", self.cycles));
-        for r in &self.rules {
+        let mut order: Vec<&RuleEntry<S>> = self.rules.iter().collect();
+        order.sort_by_key(|r| std::cmp::Reverse(r.stats.fired));
+        for r in order {
             let total = r.stats.fired + r.stats.guard_stalls + r.stats.cm_stalls;
             let pct = if total == 0 {
                 0.0
@@ -565,6 +680,16 @@ impl<S> Sim<S> {
                 "  {:<24} fired {:>10} ({:5.1}%)  guard-stall {:>10}  cm-stall {:>10}\n",
                 r.name, r.stats.fired, pct, r.stats.guard_stalls, r.stats.cm_stalls
             ));
+            let mut reasons: Vec<(String, u64)> = r
+                .guard_reasons
+                .iter()
+                .map(|(k, v)| (format!("guard \"{k}\""), *v))
+                .chain(r.cm_reasons.iter().map(|(k, v)| (format!("cm [{k}]"), *v)))
+                .collect();
+            reasons.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (reason, count) in reasons {
+                out.push_str(&format!("      {count:>10} × {reason}\n"));
+            }
         }
         out
     }
@@ -861,5 +986,118 @@ mod tests {
         let rep = sim.report();
         assert!(rep.contains("nop"));
         assert!(rep.contains("cycles: 2"));
+    }
+
+    #[test]
+    fn report_sorts_by_fire_count_and_shows_stall_reasons() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        // Registered first but never fires; `busy` fires every cycle and
+        // must be listed first in the sorted report.
+        sim.rule("idle", |s: &mut Two| {
+            if s.a.read() < 2 {
+                return Err(Stall::new("warming up"));
+            }
+            Err(Stall::new("queue empty"))
+        });
+        sim.rule("busy", |s: &mut Two| {
+            s.a.update(|v| *v += 1);
+            Ok(())
+        });
+        sim.run(6);
+        let rep = sim.report();
+        let busy_at = rep.find("busy").expect("busy listed");
+        let idle_at = rep.find("idle").expect("idle listed");
+        assert!(busy_at < idle_at, "sorted by fire count:\n{rep}");
+        // Both distinct guard reasons appear with their counts.
+        assert!(rep.contains("2 × guard \"warming up\""), "{rep}");
+        assert!(rep.contains("4 × guard \"queue empty\""), "{rep}");
+    }
+
+    #[test]
+    fn report_includes_cm_stall_histogram() {
+        let clk = Clock::new();
+        let ifc = clk.module("m", &["bump"], ConflictMatrix::builder(1).build());
+        let st = CmState {
+            ifc,
+            x: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.rule("first", |s: &mut CmState| {
+            s.ifc.record(0);
+            Ok(())
+        });
+        sim.rule("second", |s: &mut CmState| {
+            s.ifc.record(0);
+            Ok(())
+        });
+        sim.run(3);
+        let rep = sim.report();
+        assert!(rep.contains("3 × cm [m.bump"), "{rep}");
+    }
+
+    #[test]
+    fn scheduler_emits_structured_events() {
+        use crate::trace::VecSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let clk = Clock::new();
+        let ifc = clk.module("m", &["bump"], ConflictMatrix::builder(1).build());
+        let st = CmState {
+            ifc,
+            x: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.rule("winner", |s: &mut CmState| {
+            s.ifc.record(0);
+            Ok(())
+        });
+        sim.rule("loser", |s: &mut CmState| {
+            s.ifc.record(0);
+            Ok(())
+        });
+        sim.rule("stuck", |_s: &mut CmState| Err(Stall::new("never ready")));
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        sim.set_tracer(Tracer::new(sink.clone()));
+        sim.run(1);
+        let r = sink.borrow().rendered();
+        assert_eq!(
+            r,
+            vec![
+                "[0] method m.bump".to_string(),
+                "[0] rule-fired winner".to_string(),
+                "[0] cm-blocked loser: m.bump already fired, m.bump must come first".to_string(),
+                "[0] guard-stalled stuck: never ready".to_string(),
+            ]
+        );
+        // Detach: no further events.
+        sim.set_tracer(Tracer::disabled());
+        sim.run(1);
+        assert_eq!(sink.borrow().events.len(), 4);
+    }
+
+    #[test]
+    fn scheduler_counters_track_outcomes() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.rule("fires", |s: &mut Two| {
+            s.a.update(|v| *v += 1);
+            Ok(())
+        });
+        sim.rule("stalls", |_s: &mut Two| Err(Stall::new("no")));
+        sim.run(4);
+        let snap = sim.counters().snapshot();
+        assert!(snap.contains(&("sim.rules_fired".to_string(), 4)));
+        assert!(snap.contains(&("sim.guard_stalls".to_string(), 4)));
+        assert!(snap.contains(&("sim.cm_stalls".to_string(), 0)));
     }
 }

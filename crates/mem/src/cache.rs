@@ -620,6 +620,13 @@ impl L1Cache {
 }
 
 impl L1Cache {
+    /// Outstanding line misses (live MSHRs) — an observability gauge for
+    /// memory-level-parallelism studies.
+    #[must_use]
+    pub fn mshrs_in_use(&self) -> usize {
+        self.mshrs.len()
+    }
+
     /// Debug occupancy: `(room, mshrs, to_req, to_msg, from_resp, from_down, evict_notes, resp_q)`.
     #[must_use]
     pub fn debug_occupancy(&self) -> (usize, usize, usize, usize, usize, usize, usize, usize) {

@@ -203,14 +203,31 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Total requests observed (hits + misses).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Misses per access, or 0 when idle.
     #[must_use]
     pub fn miss_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.accesses();
         if total == 0 {
             0.0
         } else {
             self.misses as f64 / total as f64
+        }
+    }
+
+    /// Hits per access, or 0 when idle.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
         }
     }
 }

@@ -162,6 +162,17 @@ impl Tlb {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Misses per lookup, or 0 when idle.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
 }
 
 /// A set-associative L2 TLB (the paper's 2048-entry, 4-way). Caches only
@@ -253,6 +264,17 @@ impl L2Tlb {
     /// Flushes every entry.
     pub fn flush(&mut self) {
         self.entries.iter_mut().for_each(|e| *e = None);
+    }
+
+    /// Misses per lookup, or 0 when idle.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
     }
 }
 

@@ -23,6 +23,7 @@ use crate::config::{CoreConfig, MemModel};
 use crate::frontend::{branch_taken, predict_next, Btb, Ras, Tournament};
 use crate::iq::IssueQueue;
 use crate::lsq::{LdIssue, LdState, Lsq};
+use crate::pipetrace::PipeTrace;
 use crate::prf::{Bypass, Prf};
 use crate::rename::{RenameTable, SpecManager, SpecSnapshot};
 use crate::rob::{LsqDeqResult, Rob, RobEntry};
@@ -53,6 +54,8 @@ pub struct FetchReq {
     pub guess_next: u64,
     /// Fetch faulted at translation: packet carries the fault.
     pub fault: bool,
+    /// Cycle the request was issued (pipeline-trace fetch stamp).
+    pub at: u64,
 }
 
 /// A decoded instruction awaiting rename.
@@ -70,6 +73,10 @@ pub struct DecInst {
     pub ghist: crate::frontend::GhistSnapshot,
     /// RAS state after this instruction's decode-time push/pop.
     pub ras: crate::frontend::RasSnapshot,
+    /// Cycle the enclosing packet was fetched (pipeline-trace stamp).
+    pub fetched_at: u64,
+    /// Cycle decode ran (pipeline-trace stamp).
+    pub decoded_at: u64,
 }
 
 /// A memory instruction between address calculation and LSQ update.
@@ -157,6 +164,8 @@ pub struct CoreState {
     pub roi_start: Option<(u64, u64)>,
     /// Performance counters.
     pub stats: CoreStats,
+    /// Per-instruction pipeline trace collector (disabled by default).
+    pub pipe: PipeTrace,
 }
 
 /// Sign/zero extension of a loaded value.
@@ -262,6 +271,13 @@ impl Soc {
             // Fetch retries via the (now filled) I TLB; the response queue
             // itself is not consumed anywhere else.
             while core.tlb.pop_i_resp().is_some() {}
+            // Occupancy sampling for CoreStats (sampled every cycle whether
+            // or not tracing is enabled, so traced and untraced runs report
+            // byte-identical statistics).
+            core.stats.rob_occ_sum += core.rob.len() as u64;
+            core.stats.iq_occ_sum +=
+                core.iqs.iter().map(IssueQueue::len).sum::<usize>() as u64;
+            core.stats.occ_cycles += 1;
         }
         self.mem.tick();
     }
@@ -489,7 +505,9 @@ impl Soc {
         Ok(())
     }
 
-    fn count_commit(&mut self, c: usize, _e: &RobEntry) {
+    fn count_commit(&mut self, c: usize, e: &RobEntry) {
+        let now = self.mem.now();
+        self.cores[c].pipe.retire(e.uop.rob, now);
         self.cores[c].stats.committed += 1;
         if self.cores[c].roi_start.is_some() {
             self.cores[c].stats.roi_insts += 1;
@@ -589,6 +607,7 @@ impl Soc {
         core.alu_wb[p].write(None);
         core.writeback(p, uop.dst.expect("wb implies dst"), value);
         core.rob.set_non_mem_completed(uop.rob);
+        core.pipe.complete(uop.rob, self.mem.now());
         Ok(())
     }
 
@@ -600,6 +619,7 @@ impl Soc {
         let lane = core.cfg.alu_pipes;
         core.writeback(lane, uop.dst.expect("muldiv has dst"), value);
         core.rob.set_non_mem_completed(uop.rob);
+        core.pipe.complete(uop.rob, self.mem.now());
         Ok(())
     }
 
@@ -644,6 +664,7 @@ impl Soc {
             core.writeback(lane, dst, v);
         }
         core.lsq.mark_wb_done(idx);
+        core.pipe.complete(entry.rob, now);
         Ok(())
     }
 
@@ -669,6 +690,7 @@ impl Soc {
             core.writeback(lane, dst, v);
         }
         core.lsq.mark_wb_done(idx);
+        core.pipe.complete(entry.rob, self.mem.now());
         Ok(())
     }
 
@@ -724,6 +746,7 @@ impl Soc {
                 core.alu_wb[p].write(Some((uop, v)));
             } else {
                 core.rob.set_non_mem_completed(uop.rob);
+                core.pipe.complete(uop.rob, self.mem.now());
             }
             if let Some((target, _, _)) = resolved {
                 core.rob.set_next_pc(uop.rob, target);
@@ -844,6 +867,7 @@ impl Soc {
         if uop.mem_kind == Some(MemKind::Fence) {
             core.mem_ex.write(None);
             core.rob.set_non_mem_completed(uop.rob);
+            core.pipe.complete(uop.rob, self.mem.now());
             return Ok(());
         }
         let base = core
@@ -1001,6 +1025,9 @@ impl Soc {
                 core.lsq.update_st(idx, res, bytes, t.data, mmio);
                 core.rob
                     .set_after_translation(uop.rob, false, mmio, true, res.err());
+                // Stores are ROB-complete once translated; the actual write
+                // drains post-commit.
+                core.pipe.complete(uop.rob, self.mem.now());
             }
             _ => unreachable!("fences do not translate"),
         }
@@ -1035,7 +1062,11 @@ impl Soc {
                     .expect("can_accept checked");
                 Ok(())
             }
-            LdIssue::Stalled => Ok(()),
+            LdIssue::Stalled => {
+                // The load will retry from the LQ on a later cycle.
+                self.cores[c].stats.lsq_replays += 1;
+                Ok(())
+            }
         }
     }
 
@@ -1164,6 +1195,7 @@ impl Soc {
                 let Some(e) = self.cores[c].sb.try_deq(sb_idx as usize) else {
                     return Ok(());
                 };
+                self.cores[c].stats.sb_drains += 1;
                 self.mem.dcache(c).write_data(e.line, &e.data, &e.byte_en);
                 self.cores[c].lsq.wakeup_by_sb_deq(sb_idx as usize);
             }
@@ -1218,6 +1250,7 @@ impl Soc {
             core.writeback(lane, dst, v);
         }
         core.lsq.mark_wb_done(idx);
+        core.pipe.complete(entry.rob, self.mem.now());
         Ok(())
     }
 
@@ -1233,6 +1266,7 @@ impl Soc {
             return Err(Stall::new("exec latch full"));
         }
         let uop = core.iqs[p].issue()?;
+        core.pipe.issue(uop.rob, self.mem.now());
         if let Some(dst) = uop.dst {
             // Optimistic scoreboard wakeup (paper §V): single-cycle ALU
             // producers wake dependents at issue; the value reaches them
@@ -1253,6 +1287,7 @@ impl Soc {
             return Err(Stall::new("md unit busy"));
         }
         let uop = core.iq_md().issue()?;
+        core.pipe.issue(uop.rob, self.mem.now());
         // Marker state: operands read on the first exec cycle.
         core.md_unit.write(Some((uop, u64::MAX, u64::MAX)));
         Ok(())
@@ -1265,6 +1300,7 @@ impl Soc {
             return Err(Stall::new("mem exec latch full"));
         }
         let uop = core.iq_mem().issue()?;
+        core.pipe.issue(uop.rob, self.mem.now());
         core.mem_ex.write(Some(uop));
         Ok(())
     }
@@ -1277,6 +1313,7 @@ impl Soc {
     /// superscalar way).
     #[allow(clippy::too_many_lines)]
     pub(crate) fn rule_rename(&mut self, c: usize) -> Guarded<()> {
+        let now = self.mem.now();
         let core = &self.cores[c];
         if core.serialize.read() {
             return Err(Stall::new("serialized instruction in flight"));
@@ -1292,12 +1329,18 @@ impl Soc {
             Err(x) => {
                 // Illegal instruction / fetch fault: a completed ROB entry
                 // carrying the exception.
-                let uop = bare_uop(&dec, core.rob.enq_index(), mask);
+                let rob_idx = core.rob.enq_index();
+                let uop = bare_uop(&dec, rob_idx, mask);
                 let mut e = RobEntry::new(uop);
                 e.completed = true;
                 e.exception = Some(x);
                 e.tval = if x == Exception::InstPageFault { dec.pc } else { 0 };
-                core.rob.enq(e)?;
+                if let Err(stall) = core.rob.enq(e) {
+                    self.cores[c].stats.rob_full_stalls += 1;
+                    return Err(stall);
+                }
+                core.pipe
+                    .rename(rob_idx, dec.pc, None, dec.fetched_at, dec.decoded_at, now);
                 core.fetch_q.update(|q| {
                     q.pop_front();
                 });
@@ -1334,6 +1377,8 @@ impl Soc {
                 e.tval = if x == Exception::Breakpoint { dec.pc } else { 0 };
             }
             core.rob.enq(e)?;
+            core.pipe
+                .rename(uop.rob, dec.pc, Some(&instr), dec.fetched_at, dec.decoded_at, now);
             core.serialize.write(true);
             core.fetch_q.update(|q| {
                 q.pop_front();
@@ -1403,18 +1448,18 @@ impl Soc {
 
         // Enter the right issue queue.
         let pipe = pipe_of(&instr);
-        match pipe {
+        let entered = match pipe {
             ExecPipe::Alu => {
                 // Round-robin over ALU IQs by ROB index.
                 let p = rob_idx as usize % core.cfg.alu_pipes;
-                core.iqs[p].enter(uop, rdy1, rdy2)?;
+                core.iqs[p].enter(uop, rdy1, rdy2)
             }
-            ExecPipe::Mem => {
-                core.iq_mem().enter(uop, rdy1, rdy2)?;
-            }
-            ExecPipe::MulDiv => {
-                core.iq_md().enter(uop, rdy1, rdy2)?;
-            }
+            ExecPipe::Mem => core.iq_mem().enter(uop, rdy1, rdy2),
+            ExecPipe::MulDiv => core.iq_md().enter(uop, rdy1, rdy2),
+        };
+        if let Err(stall) = entered {
+            self.cores[c].stats.iq_full_stalls += 1;
+            return Err(stall);
         }
         // Destination becomes not-ready only after the source ready bits
         // were read (paper Fig. 8's ordering in doRename).
@@ -1427,7 +1472,12 @@ impl Soc {
         }
 
         let e = RobEntry::new(uop);
-        core.rob.enq(e)?;
+        if let Err(stall) = core.rob.enq(e) {
+            self.cores[c].stats.rob_full_stalls += 1;
+            return Err(stall);
+        }
+        core.pipe
+            .rename(rob_idx, dec.pc, Some(&instr), dec.fetched_at, dec.decoded_at, now);
         core.fetch_q.update(|q| {
             q.pop_front();
         });
@@ -1442,6 +1492,7 @@ impl Soc {
     /// next PCs, and redirects the fetch stream when its BTB guess was
     /// wrong.
     pub(crate) fn rule_decode(&mut self, c: usize) -> Guarded<()> {
+        let now = self.mem.now();
         let core = &mut self.cores[c];
         let expect = core.fetch_expect.read();
         let epoch = core.epoch.read();
@@ -1469,6 +1520,8 @@ impl Soc {
                     pred_taken: false,
                     ghist: core.tour.snapshot(),
                     ras: core.ras.snapshot(),
+                    fetched_at: req.at,
+                    decoded_at: now,
                 })
             });
             return Ok(());
@@ -1492,6 +1545,8 @@ impl Soc {
                             pred_taken: p.taken,
                             ghist,
                             ras: core.ras.snapshot(),
+                            fetched_at: req.at,
+                            decoded_at: now,
                         })
                     });
                     next = p.target;
@@ -1505,6 +1560,8 @@ impl Soc {
                             pred_taken: false,
                             ghist,
                             ras: core.ras.snapshot(),
+                            fetched_at: req.at,
+                            decoded_at: now,
                         })
                     });
                     next = pc + 4;
@@ -1566,6 +1623,7 @@ impl Soc {
                     n: 1,
                     guess_next: pc.wrapping_add(4),
                     fault: true,
+                    at: now,
                 };
                 let core = &self.cores[c];
                 core.fetch_seq.write(seq + 1);
@@ -1601,6 +1659,7 @@ impl Soc {
             n: eff_n,
             guess_next: guess,
             fault: false,
+            at: now,
         };
         self.mem
             .icache(c)

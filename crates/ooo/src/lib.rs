@@ -16,6 +16,7 @@
 //! * [`iq`] — issue queues;
 //! * [`lsq`] — split load/store queue (TSO and WMM);
 //! * [`sb`] — store buffer;
+//! * [`pipetrace`] — Konata/O3PipeView pipeline trace export;
 //! * [`tlbport`] — per-core TLB hierarchy (blocking and non-blocking);
 //! * [`core`] — the core's state and top-level rules;
 //! * [`soc`] — the SoC, devices, and the runnable [`soc::SocSim`].
@@ -56,6 +57,7 @@ pub mod core;
 pub mod frontend;
 pub mod iq;
 pub mod lsq;
+pub mod pipetrace;
 pub mod prf;
 pub mod rename;
 pub mod rob;

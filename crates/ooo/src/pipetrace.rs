@@ -1,0 +1,258 @@
+//! Per-instruction pipeline lifecycle tracing in the gem5 O3PipeView text
+//! format, which Konata renders as a scrolling pipeline diagram.
+//!
+//! Each retired instruction is exported as one seven-line record:
+//!
+//! ```text
+//! O3PipeView:fetch:<cycle>:0x<pc>:0:<seq>:<mnemonic>
+//! O3PipeView:decode:<cycle>
+//! O3PipeView:rename:<cycle>
+//! O3PipeView:dispatch:<cycle>
+//! O3PipeView:issue:<cycle>
+//! O3PipeView:complete:<cycle>
+//! O3PipeView:retire:<cycle>:store:0
+//! ```
+//!
+//! Stamps are collected as plain (non-transactional) side notes keyed by ROB
+//! slot: a rename overwrite reclaims the slot of any squashed predecessor,
+//! and a record is only emitted when its instruction actually retires, so
+//! wrong-path work never reaches the trace. Stages an instruction skipped
+//! (e.g. `issue` for an exception placeholder) are clamped forward so the
+//! trace stays monotonic and Konata-parsable. Tracing is disabled by
+//! default; a disabled [`PipeTrace`] reduces every call to one `RefCell`
+//! borrow and an `Option` check, and never allocates.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+
+use riscy_isa::inst::Instr;
+
+/// Stamps of one in-flight instruction, keyed by its ROB slot.
+#[derive(Debug, Clone, Copy)]
+struct Rec {
+    pc: u64,
+    mnemonic: &'static str,
+    fetch: u64,
+    decode: u64,
+    rename: u64,
+    issue: Option<u64>,
+    complete: Option<u64>,
+}
+
+#[derive(Debug)]
+struct PtInner {
+    /// One slot per ROB entry; rename overwrites reclaim squashed slots.
+    records: Vec<Option<Rec>>,
+    /// Next sequence number (Konata requires unique, increasing ids).
+    seq: u64,
+    /// Emitted trace text.
+    out: String,
+}
+
+/// A per-core O3PipeView trace collector. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct PipeTrace {
+    inner: RefCell<Option<PtInner>>,
+}
+
+impl PipeTrace {
+    /// A disabled collector (every method is a no-op).
+    #[must_use]
+    pub fn disabled() -> Self {
+        PipeTrace::default()
+    }
+
+    /// Starts collecting, with `rob_entries` record slots. `seq_base`
+    /// offsets sequence numbers so traces of different cores can be
+    /// concatenated without id collisions.
+    pub fn enable(&self, rob_entries: usize, seq_base: u64) {
+        *self.inner.borrow_mut() = Some(PtInner {
+            records: vec![None; rob_entries],
+            seq: seq_base,
+            out: String::new(),
+        });
+    }
+
+    /// Whether the collector is recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().is_some()
+    }
+
+    /// Opens the record for ROB slot `rob` at rename time (which is also
+    /// the dispatch stamp), carrying the earlier fetch/decode stamps.
+    pub fn rename(&self, rob: u16, pc: u64, instr: Option<&Instr>, fetch: u64, decode: u64, now: u64) {
+        if let Some(pt) = self.inner.borrow_mut().as_mut() {
+            pt.records[rob as usize] = Some(Rec {
+                pc,
+                mnemonic: instr.map_or("illegal", mnemonic),
+                fetch,
+                decode,
+                rename: now,
+                issue: None,
+                complete: None,
+            });
+        }
+    }
+
+    /// Stamps issue (IQ → functional unit) for ROB slot `rob`.
+    pub fn issue(&self, rob: u16, now: u64) {
+        if let Some(pt) = self.inner.borrow_mut().as_mut() {
+            if let Some(r) = pt.records[rob as usize].as_mut() {
+                r.issue.get_or_insert(now);
+            }
+        }
+    }
+
+    /// Stamps completion (result written back / ROB entry completed).
+    pub fn complete(&self, rob: u16, now: u64) {
+        if let Some(pt) = self.inner.borrow_mut().as_mut() {
+            if let Some(r) = pt.records[rob as usize].as_mut() {
+                r.complete.get_or_insert(now);
+            }
+        }
+    }
+
+    /// Retires ROB slot `rob`: emits the seven O3PipeView lines and clears
+    /// the slot. Missing stage stamps are clamped to the preceding stage.
+    pub fn retire(&self, rob: u16, now: u64) {
+        if let Some(pt) = self.inner.borrow_mut().as_mut() {
+            let Some(r) = pt.records[rob as usize].take() else {
+                return; // renamed before tracing was enabled
+            };
+            let decode = r.decode.max(r.fetch);
+            let rename = r.rename.max(decode);
+            let issue = r.issue.unwrap_or(rename).max(rename);
+            let complete = r.complete.unwrap_or(issue).max(issue);
+            let retire = now.max(complete);
+            let seq = pt.seq;
+            pt.seq += 1;
+            let _ = write!(
+                pt.out,
+                "O3PipeView:fetch:{}:0x{:016x}:0:{}:{}\n\
+                 O3PipeView:decode:{}\n\
+                 O3PipeView:rename:{}\n\
+                 O3PipeView:dispatch:{}\n\
+                 O3PipeView:issue:{}\n\
+                 O3PipeView:complete:{}\n\
+                 O3PipeView:retire:{}:store:0\n",
+                r.fetch, r.pc, seq, r.mnemonic, decode, rename, rename, issue, complete, retire
+            );
+        }
+    }
+
+    /// The trace text collected so far (empty when disabled).
+    #[must_use]
+    pub fn text(&self) -> String {
+        self.inner
+            .borrow()
+            .as_ref()
+            .map_or_else(String::new, |pt| pt.out.clone())
+    }
+}
+
+/// A colon-free mnemonic for the O3PipeView disassembly field (the format
+/// uses `:` as its separator, so operands are omitted).
+#[must_use]
+pub fn mnemonic(i: &Instr) -> &'static str {
+    match i {
+        Instr::Lui { .. } => "lui",
+        Instr::Auipc { .. } => "auipc",
+        Instr::Jal { .. } => "jal",
+        Instr::Jalr { .. } => "jalr",
+        Instr::Branch { .. } => "branch",
+        Instr::Load { .. } => "load",
+        Instr::Store { .. } => "store",
+        Instr::Alu { .. } => "alu",
+        Instr::MulDiv { .. } => "muldiv",
+        Instr::Lr { .. } => "lr",
+        Instr::Sc { .. } => "sc",
+        Instr::Amo { .. } => "amo",
+        Instr::Csr { .. } => "csr",
+        Instr::Fence => "fence",
+        Instr::FenceI => "fence.i",
+        Instr::Ecall => "ecall",
+        Instr::Ebreak => "ebreak",
+        Instr::Mret => "mret",
+        Instr::Sret => "sret",
+        Instr::Wfi => "wfi",
+        Instr::SfenceVma { .. } => "sfence.vma",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_is_a_no_op() {
+        let pt = PipeTrace::disabled();
+        assert!(!pt.is_enabled());
+        pt.rename(0, 0x8000_0000, None, 1, 2, 3);
+        pt.issue(0, 4);
+        pt.complete(0, 5);
+        pt.retire(0, 6);
+        assert_eq!(pt.text(), "");
+    }
+
+    #[test]
+    fn retired_instruction_emits_seven_monotonic_lines() {
+        let pt = PipeTrace::disabled();
+        pt.enable(4, 100);
+        let addi = Instr::Alu {
+            op: riscy_isa::inst::AluOp::Add,
+            word: false,
+            rd: riscy_isa::reg::Gpr::new(5),
+            rs1: riscy_isa::reg::Gpr::new(0),
+            rhs: riscy_isa::inst::Rhs::Imm(5),
+        };
+        pt.rename(2, 0x8000_0000, Some(&addi), 10, 12, 15);
+        pt.issue(2, 16);
+        pt.complete(2, 18);
+        pt.retire(2, 20);
+        let text = pt.text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "O3PipeView:fetch:10:0x0000000080000000:0:100:alu",
+                "O3PipeView:decode:12",
+                "O3PipeView:rename:15",
+                "O3PipeView:dispatch:15",
+                "O3PipeView:issue:16",
+                "O3PipeView:complete:18",
+                "O3PipeView:retire:20:store:0",
+            ]
+        );
+        // The slot is reclaimed after retire.
+        pt.retire(2, 30);
+        assert_eq!(pt.text(), text);
+    }
+
+    #[test]
+    fn missing_stamps_clamp_forward() {
+        let pt = PipeTrace::disabled();
+        pt.enable(2, 0);
+        // Exception placeholder: never issues or completes.
+        pt.rename(0, 0x8000_0004, None, 3, 4, 7);
+        pt.retire(0, 9);
+        let text = pt.text();
+        assert!(text.contains("O3PipeView:issue:7\n"), "{text}");
+        assert!(text.contains("O3PipeView:complete:7\n"), "{text}");
+        assert!(text.contains("O3PipeView:retire:9:store:0\n"), "{text}");
+        assert!(text.contains(":illegal\n"), "{text}");
+    }
+
+    #[test]
+    fn rename_overwrite_reclaims_squashed_slot() {
+        let pt = PipeTrace::disabled();
+        pt.enable(2, 0);
+        pt.rename(1, 0x8000_0000, None, 1, 2, 3); // squashed later
+        pt.rename(1, 0x8000_0008, None, 5, 6, 7); // same slot, new inst
+        pt.retire(1, 9);
+        let text = pt.text();
+        assert!(text.contains("0x0000000080000008"), "{text}");
+        assert!(!text.contains("0x0000000080000000"), "{text}");
+        assert_eq!(text.lines().count(), 7, "{text}");
+    }
+}

@@ -16,6 +16,7 @@ use crate::core::{CoreState, DecInst, MemTrans};
 use crate::frontend::{Btb, Ras, Tournament};
 use crate::iq::IssueQueue;
 use crate::lsq::Lsq;
+use crate::pipetrace::PipeTrace;
 use crate::prf::{Bypass, Prf};
 use crate::rename::{RenameTable, SpecManager};
 use crate::rob::Rob;
@@ -24,7 +25,10 @@ use crate::tlbport::TlbHier;
 use crate::types::SpecMask;
 
 /// Per-core performance counters (sources for Figs. 15–20).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// `PartialEq`/`Eq` let tests assert the observability invariant: a traced
+/// run and an untraced run produce identical counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions committed.
     pub committed: u64,
@@ -44,6 +48,44 @@ pub struct CoreStats {
     pub roi_cycles: u64,
     /// Instructions committed inside the region of interest.
     pub roi_insts: u64,
+    /// Rename stalls because the target issue queue was full.
+    pub iq_full_stalls: u64,
+    /// Rename stalls because the ROB was full.
+    pub rob_full_stalls: u64,
+    /// Load issues that stayed in the LQ to retry later (blocked by the
+    /// store buffer / unknown older store data — paper Fig. 10's stalled
+    /// loads).
+    pub lsq_replays: u64,
+    /// Store-buffer entries drained to the L1 D cache (WMM).
+    pub sb_drains: u64,
+    /// Sum of start-of-cycle ROB occupancy over `occ_cycles` samples.
+    pub rob_occ_sum: u64,
+    /// Sum of start-of-cycle total-IQ occupancy over `occ_cycles` samples.
+    pub iq_occ_sum: u64,
+    /// Occupancy samples taken (one per cycle).
+    pub occ_cycles: u64,
+}
+
+impl CoreStats {
+    /// Mean ROB occupancy per cycle.
+    #[must_use]
+    pub fn rob_occ_avg(&self) -> f64 {
+        if self.occ_cycles == 0 {
+            0.0
+        } else {
+            self.rob_occ_sum as f64 / self.occ_cycles as f64
+        }
+    }
+
+    /// Mean total issue-queue occupancy per cycle.
+    #[must_use]
+    pub fn iq_occ_avg(&self) -> f64 {
+        if self.occ_cycles == 0 {
+            0.0
+        } else {
+            self.iq_occ_sum as f64 / self.occ_cycles as f64
+        }
+    }
 }
 
 /// Memory-mapped devices shared by all cores (HTIF substitute).
@@ -349,10 +391,198 @@ impl SocSim {
         }
     }
 
-    /// The scheduling report of the underlying CMD simulation.
+    /// The scheduling report of the underlying CMD simulation, followed by
+    /// a per-core microarchitectural summary (IPC, occupancies, TLB and
+    /// cache miss rates).
     #[must_use]
     pub fn report(&self) -> String {
-        self.sim.report()
+        let mut out = self.sim.report();
+        let soc = self.soc();
+        let cycles = self.cycles().max(1);
+        for core in &soc.cores {
+            let s = &core.stats;
+            out.push_str(&format!(
+                "core {}: committed {} (ipc {:.3})  branches {}  mispredicts {}  \
+                 rob-occ {:.1}  iq-occ {:.1}\n",
+                core.id,
+                s.committed,
+                s.committed as f64 / cycles as f64,
+                s.branches,
+                s.mispredicts,
+                s.rob_occ_avg(),
+                s.iq_occ_avg(),
+            ));
+            out.push_str(&format!(
+                "  stalls: iq-full {}  rob-full {}  lsq-replays {}  sb-drains {}\n",
+                s.iq_full_stalls, s.rob_full_stalls, s.lsq_replays, s.sb_drains
+            ));
+            let i1 = &soc.mem.icache_ref(core.id).stats;
+            let d1 = &soc.mem.dcache_ref(core.id).stats;
+            out.push_str(&format!(
+                "  l1i {}/{} miss {:.4}  l1d {}/{} miss {:.4}  \
+                 itlb {}/{}  dtlb {}/{}  l2tlb {}/{}  walks {}\n",
+                i1.misses,
+                i1.hits + i1.misses,
+                i1.miss_rate(),
+                d1.misses,
+                d1.hits + d1.misses,
+                d1.miss_rate(),
+                core.tlb.itlb.misses,
+                core.tlb.itlb.hits + core.tlb.itlb.misses,
+                core.tlb.dtlb.misses,
+                core.tlb.dtlb.hits + core.tlb.dtlb.misses,
+                core.tlb.l2.misses,
+                core.tlb.l2.hits + core.tlb.l2.misses,
+                core.tlb.walks,
+            ));
+        }
+        let l2 = &soc.mem.l2.stats;
+        out.push_str(&format!(
+            "l2: {}/{} miss {:.4}  writebacks {}  downgrades {}\n",
+            l2.misses,
+            l2.hits + l2.misses,
+            l2.miss_rate(),
+            l2.writebacks,
+            l2.downgrades
+        ));
+        out
+    }
+
+    /// Attaches a structured-event tracer (scheduler + clock events, see
+    /// [`cmd_core::trace`]). Purely observational.
+    pub fn set_tracer(&mut self, tracer: cmd_core::trace::Tracer) {
+        self.sim.set_tracer(tracer);
+    }
+
+    /// The scheduler's counter registry ([`cmd_core::trace::Counters`]).
+    #[must_use]
+    pub fn counters(&self) -> &cmd_core::trace::Counters {
+        self.sim.counters()
+    }
+
+    /// Enables per-instruction pipeline tracing on every core. Retired
+    /// instructions are exported in the O3PipeView format; collect the text
+    /// with [`SocSim::pipe_trace`]. Sequence numbers of different cores are
+    /// offset so the concatenated trace stays Konata-loadable.
+    pub fn enable_pipe_trace(&mut self) {
+        let rob_entries = self.soc().cfg.rob_entries;
+        for core in &mut self.sim.state_mut().cores {
+            core.pipe.enable(rob_entries, core.id as u64 * 1_000_000_000);
+        }
+    }
+
+    /// The concatenated O3PipeView trace of every core (empty unless
+    /// [`SocSim::enable_pipe_trace`] was called before running).
+    #[must_use]
+    pub fn pipe_trace(&self) -> String {
+        let mut out = String::new();
+        for core in &self.soc().cores {
+            out.push_str(&core.pipe.text());
+        }
+        out
+    }
+
+    /// A machine-readable stats snapshot: top-level `ipc` and `cycles`,
+    /// one object per core (IPC, occupancies, stall counters, TLB and L1
+    /// hit/miss counts), the shared L2, and the scheduler counters. Written
+    /// by every `fig*` binary's `--stats-json`; see `docs/OBSERVABILITY.md`
+    /// for the schema.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        use cmd_core::trace::json::JsonWriter;
+        let soc = self.soc();
+        let cycles = self.cycles();
+        let total_committed: u64 = soc.cores.iter().map(|c| c.stats.committed).sum();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_f64(
+            "ipc",
+            if cycles == 0 {
+                0.0
+            } else {
+                total_committed as f64 / cycles as f64
+            },
+        );
+        w.field_u64("cycles", cycles);
+        w.field_u64("committed", total_committed);
+        w.key("cores");
+        w.begin_array();
+        for core in &soc.cores {
+            let s = &core.stats;
+            w.begin_object();
+            w.field_u64("id", core.id as u64);
+            w.field_u64("committed", s.committed);
+            w.field_f64(
+                "ipc",
+                if cycles == 0 {
+                    0.0
+                } else {
+                    s.committed as f64 / cycles as f64
+                },
+            );
+            w.field_u64("roi_insts", s.roi_insts);
+            w.field_u64("roi_cycles", s.roi_cycles);
+            w.field_u64("branches", s.branches);
+            w.field_u64("mispredicts", s.mispredicts);
+            w.field_u64("ld_kill_flushes", s.ld_kill_flushes);
+            w.field_u64("system_flushes", s.system_flushes);
+            w.field_f64("rob_occ_avg", s.rob_occ_avg());
+            w.field_f64("iq_occ_avg", s.iq_occ_avg());
+            w.field_u64("iq_full_stalls", s.iq_full_stalls);
+            w.field_u64("rob_full_stalls", s.rob_full_stalls);
+            w.field_u64("lsq_replays", s.lsq_replays);
+            w.field_u64("sb_drains", s.sb_drains);
+            for (name, hits, misses) in [
+                ("itlb", core.tlb.itlb.hits, core.tlb.itlb.misses),
+                ("dtlb", core.tlb.dtlb.hits, core.tlb.dtlb.misses),
+                ("l2tlb", core.tlb.l2.hits, core.tlb.l2.misses),
+            ] {
+                w.key(name);
+                w.begin_object();
+                w.field_u64("hits", hits);
+                w.field_u64("misses", misses);
+                w.field_f64(
+                    "miss_rate",
+                    if hits + misses == 0 {
+                        0.0
+                    } else {
+                        misses as f64 / (hits + misses) as f64
+                    },
+                );
+                w.end_object();
+            }
+            w.field_u64("page_walks", core.tlb.walks);
+            for (name, st) in [
+                ("l1i", &soc.mem.icache_ref(core.id).stats),
+                ("l1d", &soc.mem.dcache_ref(core.id).stats),
+            ] {
+                w.key(name);
+                w.begin_object();
+                w.field_u64("hits", st.hits);
+                w.field_u64("misses", st.misses);
+                w.field_f64("miss_rate", st.miss_rate());
+                w.field_u64("writebacks", st.writebacks);
+                w.end_object();
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("l2");
+        w.begin_object();
+        let l2 = &soc.mem.l2.stats;
+        w.field_u64("hits", l2.hits);
+        w.field_u64("misses", l2.misses);
+        w.field_f64("miss_rate", l2.miss_rate());
+        w.field_u64("writebacks", l2.writebacks);
+        w.end_object();
+        w.key("scheduler");
+        w.begin_object();
+        for (name, value) in self.sim.counters().snapshot() {
+            w.field_u64(&name, value);
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -399,6 +629,7 @@ impl CoreState {
             next_tlb_id: 1,
             roi_start: None,
             stats: CoreStats::default(),
+            pipe: PipeTrace::disabled(),
         }
     }
 }
