@@ -546,6 +546,9 @@ mod tests {
         a.sd(Gpr::ZERO, 0, Gpr::t(6));
         let mut sim = InOrderSim::new(InOrderConfig::rocket(10), &a.assemble());
         sim.run(400_000).expect("halts");
-        assert!(sim.stats.mispredicts > 30, "random branches must mispredict");
+        assert!(
+            sim.stats.mispredicts > 30,
+            "random branches must mispredict"
+        );
     }
 }

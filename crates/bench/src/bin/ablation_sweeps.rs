@@ -11,7 +11,11 @@ use riscy_workloads::spec::{hmmer, mcf, Scale};
 
 fn main() {
     let scale = scale_from_args();
-    let scale = if scale == Scale::Ref { Scale::Ref } else { Scale::Test };
+    let scale = if scale == Scale::Ref {
+        Scale::Ref
+    } else {
+        Scale::Test
+    };
 
     let mut sweep_metrics: Vec<(String, f64)> = Vec::new();
 

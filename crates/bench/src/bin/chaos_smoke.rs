@@ -94,7 +94,11 @@ fn main() {
             }
         }
         if log_a != log_b {
-            println!("  FAIL: rerun fault log diverged ({} vs {})", log_a.len(), log_b.len());
+            println!(
+                "  FAIL: rerun fault log diverged ({} vs {})",
+                log_a.len(),
+                log_b.len()
+            );
             failures += 1;
         }
         if out_a != out_b {

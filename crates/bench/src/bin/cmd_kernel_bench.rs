@@ -4,7 +4,10 @@
 //! * `mkGCD` vs `mkTwoGCD` throughput (paper §III-B);
 //! * bypassed vs non-bypassed RDYB (paper §IV-C);
 //! * `issue<wakeup` vs `wakeup<issue` IQ orderings (paper §IV-D);
-//! * raw scheduler overhead per rule firing.
+//! * raw scheduler overhead per rule firing;
+//! * the ring-of-64 wakeup benchmark: fast scheduler vs the reference
+//!   one-rule-at-a-time oracle (see `docs/SCHEDULING.md`), the workload
+//!   behind the CI perf gate's `--bench-json` artifact.
 //!
 //! A dependency-free harness (simple best-of-N wall-clock timing with
 //! `std::time::Instant`) replaces criterion: the container builds offline,
@@ -14,7 +17,7 @@
 use cmd_core::demo::gcd::{stream_gcd, Gcd, TwoGcd};
 use cmd_core::demo::iq::{dependent_chain, run_iq_demo, IqDemoConfig, IqOrdering, RdybKind};
 use cmd_core::prelude::*;
-use riscy_bench::{metrics_json, stats_json_path, write_artifact};
+use riscy_bench::{bench_json_path, metrics_json, stats_json_path, write_artifact};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -91,7 +94,10 @@ fn bench_iq_orderings() {
             &chain,
         )
         .unwrap();
-        println!("[cycles] {label}: {} cycles for 48 dependent ops", stats.cycles);
+        println!(
+            "[cycles] {label}: {} cycles for 48 dependent ops",
+            stats.cycles
+        );
     }
 }
 
@@ -118,10 +124,106 @@ fn bench_scheduler_overhead() {
     });
 }
 
+/// The ring-of-64 wakeup benchmark: one token circulates through 64
+/// slots, each slot guarded by its *own* mailbox cell (a shared token
+/// cell would republish every cycle and wake all 64 sleepers). Per
+/// cycle exactly one rule can fire, so the reference scheduler evaluates
+/// 64 guards per cycle while the fast scheduler's wakeup layer evaluates
+/// ~2 (the firing rule plus the freshly woken successor) — the sparse
+/// schedule the wakeup layer exists for.
+const RING: usize = 64;
+const RING_CYCLES: u64 = 20_000;
+
+struct Ring {
+    slots: Vec<Ehr<u64>>,
+}
+
+fn build_ring(mode: SchedulerMode) -> Sim<Ring> {
+    let clk = Clock::new();
+    let slots = (0..RING)
+        .map(|i| Ehr::new(&clk, u64::from(i == 0)))
+        .collect();
+    let mut sim = Sim::new(clk, Ring { slots });
+    sim.set_scheduler(mode);
+    // Register consumers before their producers (descending slot order) so
+    // a slot's mailbox write only becomes readable the following cycle and
+    // the token advances exactly one slot per cycle (the slot63→slot0
+    // wraparound bypasses within the cycle, identically in both modes).
+    for i in (0..RING).rev() {
+        let next = (i + 1) % RING;
+        let id = sim.rule(format!("slot{i}"), move |s: &mut Ring| {
+            let tokens = s.slots[i].read();
+            if tokens == 0 {
+                return Err(Stall::new("no token"));
+            }
+            s.slots[i].write(0);
+            s.slots[next].update(|t| *t += tokens);
+            Ok(())
+        });
+        sim.set_wakeup(id, Wakeup::Inferred);
+    }
+    sim
+}
+
+/// Best-of-`reps` wall seconds for a `RING_CYCLES`-cycle ring run, plus
+/// the total rule firings (the cross-mode equivalence checksum).
+fn time_ring(mode: SchedulerMode, reps: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut fires = 0;
+    for _ in 0..reps {
+        let mut sim = build_ring(mode);
+        let t0 = Instant::now();
+        sim.run(RING_CYCLES);
+        best = best.min(t0.elapsed().as_secs_f64());
+        fires = sim.all_rule_stats().map(|(_, s)| s.fired).sum();
+    }
+    (best, fires)
+}
+
+fn bench_ring() -> Vec<(&'static str, f64)> {
+    let (fast_s, fast_fires) = time_ring(SchedulerMode::Fast, 5);
+    let (ref_s, ref_fires) = time_ring(SchedulerMode::Reference, 5);
+    assert_eq!(
+        fast_fires, ref_fires,
+        "ring benchmark diverged between schedulers"
+    );
+    let cps = |s: f64| RING_CYCLES as f64 / s;
+    let speedup = ref_s / fast_s;
+    println!(
+        "{:<44} {:>12.0} ns/cycle ({:.2e} cycles/s)",
+        "ring64_wakeup/reference",
+        ref_s * 1e9 / RING_CYCLES as f64,
+        cps(ref_s)
+    );
+    println!(
+        "{:<44} {:>12.0} ns/cycle ({:.2e} cycles/s)",
+        "ring64_wakeup/fast",
+        fast_s * 1e9 / RING_CYCLES as f64,
+        cps(fast_s)
+    );
+    println!("[speedup] ring64_wakeup fast vs reference: {speedup:.2}x");
+    vec![
+        ("ring_sim_cycles", RING_CYCLES as f64),
+        ("ring_fires", fast_fires as f64),
+        ("ring_reference_wall_ms", ref_s * 1e3),
+        ("ring_fast_wall_ms", fast_s * 1e3),
+        ("ring_reference_cps", cps(ref_s)),
+        ("ring_fast_cps", cps(fast_s)),
+        ("ring_speedup", speedup),
+    ]
+}
+
 fn main() {
     bench_gcd();
     bench_iq_orderings();
     bench_scheduler_overhead();
+    let ring_metrics = bench_ring();
+    if let Some(path) = bench_json_path() {
+        // Wall-clock numbers go into the *bench* artifact (not the stats
+        // one): the perf gate compares the host-neutral speedup ratio and
+        // the exact firing counts, not raw nanoseconds.
+        write_artifact(&path, &metrics_json(&ring_metrics));
+    }
     if let Some(path) = stats_json_path() {
         // Only the architectural cycle counts go into the artifact:
         // wall-clock numbers vary run to run and would make the JSON
@@ -139,8 +241,14 @@ fn main() {
             .cycles as f64
         };
         let json = metrics_json(&[
-            ("iq_issue_before_wakeup_cycles", cycles(IqOrdering::IssueBeforeWakeup)),
-            ("iq_wakeup_before_issue_cycles", cycles(IqOrdering::WakeupBeforeIssue)),
+            (
+                "iq_issue_before_wakeup_cycles",
+                cycles(IqOrdering::IssueBeforeWakeup),
+            ),
+            (
+                "iq_wakeup_before_issue_cycles",
+                cycles(IqOrdering::WakeupBeforeIssue),
+            ),
         ]);
         write_artifact(&path, &json);
     }

@@ -46,7 +46,11 @@ fn main() {
     ] {
         println!(
             "  {name:<8} width={} rob={} iq={} lq/sq={}/{} phys={}",
-            cfg.width, cfg.rob_entries, cfg.iq_entries, cfg.lq_entries, cfg.sq_entries,
+            cfg.width,
+            cfg.rob_entries,
+            cfg.iq_entries,
+            cfg.lq_entries,
+            cfg.sq_entries,
             cfg.phys_regs
         );
     }

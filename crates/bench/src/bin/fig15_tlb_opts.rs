@@ -18,7 +18,10 @@ fn main() {
 
     println!("=== Fig. 15: RiscyOO-T+ normalized to RiscyOO-B ===");
     println!("(higher is better; paper: geo-mean ≈ 1.29, astar ≈ 2.0)\n");
-    let mut header = format!("{:<14}{:>12}{:>12}{:>12}", "benchmark", "B cycles", "T+ cycles", "T+/B");
+    let mut header = format!(
+        "{:<14}{:>12}{:>12}{:>12}",
+        "benchmark", "B cycles", "T+ cycles", "T+/B"
+    );
     if ablate {
         header += &format!("{:>14}{:>14}", "nonblk only", "walk$ only");
     }
@@ -63,7 +66,13 @@ fn main() {
         bs.push(b);
         tps.push(t);
     }
-    println!("{:<14}{:>12}{:>12}{:>12.3}", "geo-mean", "", "", geomean(&ratios));
+    println!(
+        "{:<14}{:>12}{:>12}{:>12.3}",
+        "geo-mean",
+        "",
+        "",
+        geomean(&ratios)
+    );
     if let Some(path) = stats_json_path() {
         let json = results_json(&[("RiscyOO-B", &bs), ("RiscyOO-T+", &tps)]);
         write_artifact(&path, &json);

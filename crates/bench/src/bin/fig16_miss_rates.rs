@@ -18,7 +18,12 @@ fn main() {
         let r = run_ooo(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), &w);
         println!(
             "{:<14}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>8.1}{:>10.3}",
-            r.name, r.dtlb_pki, r.l2tlb_pki, r.brpred_pki, r.dcache_pki, r.l2_pki,
+            r.name,
+            r.dtlb_pki,
+            r.l2tlb_pki,
+            r.brpred_pki,
+            r.dcache_pki,
+            r.l2_pki,
             r.ipc()
         );
         runs.push(r);

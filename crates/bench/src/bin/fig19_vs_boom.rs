@@ -13,7 +13,14 @@ use riscy_workloads::spec::spec_suite;
 /// The eight benchmarks BOOM reported (the paper omits gobmk, hmmer,
 /// libquantum).
 const BOOM_SET: [&str; 8] = [
-    "bzip2", "gcc", "mcf", "sjeng", "h264ref", "omnetpp", "astar", "xalancbmk",
+    "bzip2",
+    "gcc",
+    "mcf",
+    "sjeng",
+    "h264ref",
+    "omnetpp",
+    "astar",
+    "xalancbmk",
 ];
 
 fn main() {

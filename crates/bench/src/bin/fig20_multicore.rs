@@ -22,13 +22,12 @@ fn run(model: MemModel, nthreads: usize, w: &Workload) -> (u64, f64) {
         .unwrap_or_else(|e| panic!("{} ({model:?}, {nthreads}t): {e}", w.name));
     let soc = sim.soc();
     let st = soc.cores[0].stats;
-    let kills: u64 = soc
-        .cores
-        .iter()
-        .map(|c| c.lsq.evict_kills.read())
-        .sum();
+    let kills: u64 = soc.cores.iter().map(|c| c.lsq.evict_kills.read()).sum();
     let total_insts: u64 = soc.cores.iter().map(|c| c.stats.committed).sum();
-    (st.roi_cycles, 1000.0 * kills as f64 / total_insts.max(1) as f64)
+    (
+        st.roi_cycles,
+        1000.0 * kills as f64 / total_insts.max(1) as f64,
+    )
 }
 
 fn main() {

@@ -10,10 +10,11 @@
 //! Pass `--scale ref` for benchmark-sized runs (the default `test` scale
 //! keeps CI fast).
 
+use cmd_core::sched::SchedulerMode;
 use riscy_baseline::{InOrderConfig, InOrderSim};
+use riscy_mem::system::MemConfig;
 use riscy_ooo::config::CoreConfig;
 use riscy_ooo::soc::SocSim;
-use riscy_mem::system::MemConfig;
 use riscy_workloads::spec::{Scale, Workload};
 
 /// Measured result of one benchmark run on one configuration.
@@ -66,7 +67,25 @@ impl RunResult {
 /// Panics if the workload fails to complete (a simulator bug).
 #[must_use]
 pub fn run_ooo(cfg: CoreConfig, mem: MemConfig, w: &Workload) -> RunResult {
+    run_ooo_with_scheduler(cfg, mem, w, SchedulerMode::default())
+}
+
+/// Runs one workload on the out-of-order core under an explicit rule
+/// scheduler (see `docs/SCHEDULING.md`). Both modes are cycle-identical by
+/// construction; the choice only affects host throughput.
+///
+/// # Panics
+///
+/// Panics if the workload fails to complete (a simulator bug).
+#[must_use]
+pub fn run_ooo_with_scheduler(
+    cfg: CoreConfig,
+    mem: MemConfig,
+    w: &Workload,
+    mode: SchedulerMode,
+) -> RunResult {
     let mut sim = SocSim::new(cfg, mem, 1, &w.program);
+    sim.set_scheduler(mode);
     sim.run_to_completion(w.max_cycles)
         .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let soc = sim.soc();
@@ -162,6 +181,31 @@ pub fn stats_json_path() -> Option<String> {
 #[must_use]
 pub fn trace_path() -> Option<String> {
     path_arg("--trace")
+}
+
+/// Parses `--scheduler reference|fast` (default: the kernel default,
+/// [`SchedulerMode::Fast`]). `reference` re-enables the one-rule-at-a-time
+/// oracle scheduler for cross-checking.
+///
+/// # Panics
+///
+/// Panics on an unrecognized mode name — a silently ignored typo would
+/// invalidate whatever comparison the operator was running.
+#[must_use]
+pub fn scheduler_from_args() -> SchedulerMode {
+    match path_arg("--scheduler").as_deref() {
+        None | Some("fast") => SchedulerMode::Fast,
+        Some("reference") => SchedulerMode::Reference,
+        Some(other) => panic!("--scheduler {other}: expected `reference` or `fast`"),
+    }
+}
+
+/// Parses `--bench-json <path>`: where a benchmark binary should write
+/// its machine-readable throughput metrics (host wall time, simulated
+/// cycles per second) for the CI perf gate; see `scripts/perf_gate.py`.
+#[must_use]
+pub fn bench_json_path() -> Option<String> {
+    path_arg("--bench-json")
 }
 
 /// Writes an artifact file requested on the command line.

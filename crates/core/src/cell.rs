@@ -26,7 +26,7 @@ use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
-use crate::clock::{Clock, EndOfCycle, TxnCell};
+use crate::clock::{CellId, Clock, EndOfCycle, TxnCell};
 use crate::guard::{Guarded, Stall};
 
 // ---------------------------------------------------------------------------
@@ -34,17 +34,22 @@ use crate::guard::{Guarded, Stall};
 // ---------------------------------------------------------------------------
 
 struct EhrInner<T> {
+    id: u32,
     cur: RefCell<T>,
     pend: RefCell<Option<T>>,
     dirty: Cell<bool>,
 }
 
 impl<T> TxnCell for EhrInner<T> {
-    fn commit(&self) {
+    fn commit(&self) -> Option<u32> {
+        self.dirty.set(false);
         if let Some(v) = self.pend.borrow_mut().take() {
             *self.cur.borrow_mut() = v;
+            // An Ehr publish is visible to later rules in the same cycle.
+            Some(self.id)
+        } else {
+            None
         }
-        self.dirty.set(false);
     }
 
     fn abort(&self) {
@@ -96,6 +101,7 @@ impl<T: Clone + 'static> Ehr<T> {
     pub fn new(clk: &Clock, init: T) -> Self {
         Ehr {
             inner: Rc::new(EhrInner {
+                id: clk.alloc_cell(),
                 cur: RefCell::new(init),
                 pend: RefCell::new(None),
                 dirty: Cell::new(false),
@@ -104,11 +110,19 @@ impl<T: Clone + 'static> Ehr<T> {
         }
     }
 
+    /// This cell's identity for the scheduler's wakeup layer (see
+    /// [`crate::sched::Wakeup::Watch`]).
+    #[must_use]
+    pub fn watch_id(&self) -> CellId {
+        CellId(self.inner.id)
+    }
+
     /// Reads the latest value: this rule's own buffered write if any,
     /// otherwise the value committed by earlier rules (this cycle or
     /// before).
     #[must_use]
     pub fn read(&self) -> T {
+        self.clk.note_read(self.inner.id);
         if let Some(v) = self.inner.pend.borrow().as_ref() {
             return v.clone();
         }
@@ -117,6 +131,7 @@ impl<T: Clone + 'static> Ehr<T> {
 
     /// Applies `f` to a borrow of the latest value without cloning.
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.clk.note_read(self.inner.id);
         if let Some(v) = self.inner.pend.borrow().as_ref() {
             return f(v);
         }
@@ -135,6 +150,7 @@ impl<T: Clone + 'static> Ehr<T> {
     pub fn write(&self, v: T) {
         if !self.clk.in_rule() {
             *self.inner.cur.borrow_mut() = v;
+            self.clk.mark_poked(self.inner.id);
             return;
         }
         self.ensure_dirty();
@@ -144,8 +160,11 @@ impl<T: Clone + 'static> Ehr<T> {
     /// Read-modify-write without cloning twice: the buffered copy is created
     /// at most once per rule and then mutated in place.
     pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.clk.note_read(self.inner.id);
         if !self.clk.in_rule() {
-            return f(&mut self.inner.cur.borrow_mut());
+            let r = f(&mut self.inner.cur.borrow_mut());
+            self.clk.mark_poked(self.inner.id);
+            return r;
         }
         self.ensure_dirty();
         let mut pend = self.inner.pend.borrow_mut();
@@ -189,6 +208,7 @@ impl<T: Clone + fmt::Debug + 'static> fmt::Debug for Ehr<T> {
 // ---------------------------------------------------------------------------
 
 struct RegInner<T> {
+    id: u32,
     name: &'static str,
     at_start: RefCell<T>,
     next: RefCell<Option<T>>,
@@ -197,7 +217,7 @@ struct RegInner<T> {
 }
 
 impl<T> TxnCell for RegInner<T> {
-    fn commit(&self) {
+    fn commit(&self) -> Option<u32> {
         if let Some(v) = self.pend.borrow_mut().take() {
             let mut next = self.next.borrow_mut();
             assert!(
@@ -208,6 +228,10 @@ impl<T> TxnCell for RegInner<T> {
             *next = Some(v);
         }
         self.dirty.set(false);
+        // A committed Reg write is *not* observable until the end-of-cycle
+        // latch — publishing it now would wake sleeping rules a cycle
+        // early. `EndOfCycle::end_cycle` publishes instead.
+        None
     }
 
     fn abort(&self) {
@@ -228,9 +252,12 @@ impl<T> TxnCell for RegInner<T> {
 }
 
 impl<T> EndOfCycle for RegInner<T> {
-    fn end_cycle(&self) {
+    fn end_cycle(&self) -> Option<u32> {
         if let Some(v) = self.next.borrow_mut().take() {
             *self.at_start.borrow_mut() = v;
+            Some(self.id)
+        } else {
+            None
         }
     }
 }
@@ -280,6 +307,7 @@ impl<T: Clone + 'static> Reg<T> {
     #[must_use]
     pub fn named(clk: &Clock, name: &'static str, init: T) -> Self {
         let inner = Rc::new(RegInner {
+            id: clk.alloc_cell(),
             name,
             at_start: RefCell::new(init),
             next: RefCell::new(None),
@@ -293,14 +321,23 @@ impl<T: Clone + 'static> Reg<T> {
         }
     }
 
+    /// This cell's identity for the scheduler's wakeup layer (see
+    /// [`crate::sched::Wakeup::Watch`]).
+    #[must_use]
+    pub fn watch_id(&self) -> CellId {
+        CellId(self.inner.id)
+    }
+
     /// Reads the start-of-cycle value.
     #[must_use]
     pub fn read(&self) -> T {
+        self.clk.note_read(self.inner.id);
         self.inner.at_start.borrow().clone()
     }
 
     /// Applies `f` to a borrow of the start-of-cycle value without cloning.
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.clk.note_read(self.inner.id);
         f(&self.inner.at_start.borrow())
     }
 
@@ -314,15 +351,12 @@ impl<T: Clone + 'static> Reg<T> {
     pub fn write(&self, v: T) {
         if !self.clk.in_rule() {
             *self.inner.at_start.borrow_mut() = v;
+            self.clk.mark_poked(self.inner.id);
             return;
         }
         {
             let mut pend = self.inner.pend.borrow_mut();
-            assert!(
-                pend.is_none(),
-                "rule wrote Reg `{}` twice",
-                self.inner.name
-            );
+            assert!(pend.is_none(), "rule wrote Reg `{}` twice", self.inner.name);
             *pend = Some(v);
         }
         if !self.inner.dirty.get() {
@@ -343,17 +377,21 @@ impl<T: Clone + fmt::Debug + 'static> fmt::Debug for Reg<T> {
 // ---------------------------------------------------------------------------
 
 struct WireInner<T> {
+    id: u32,
     val: RefCell<Option<T>>,
     pend: RefCell<Option<T>>,
     dirty: Cell<bool>,
 }
 
 impl<T> TxnCell for WireInner<T> {
-    fn commit(&self) {
+    fn commit(&self) -> Option<u32> {
+        self.dirty.set(false);
         if let Some(v) = self.pend.borrow_mut().take() {
             *self.val.borrow_mut() = Some(v);
+            Some(self.id)
+        } else {
+            None
         }
-        self.dirty.set(false);
     }
 
     fn abort(&self) {
@@ -363,8 +401,10 @@ impl<T> TxnCell for WireInner<T> {
 }
 
 impl<T> EndOfCycle for WireInner<T> {
-    fn end_cycle(&self) {
-        *self.val.borrow_mut() = None;
+    fn end_cycle(&self) -> Option<u32> {
+        // Clearing a driven wire is an observable change (a `get` that
+        // succeeded this cycle would stall next cycle).
+        self.val.borrow_mut().take().map(|_| self.id)
     }
 }
 
@@ -416,6 +456,7 @@ impl<T: Clone + 'static> Wire<T> {
     #[must_use]
     pub fn new(clk: &Clock) -> Self {
         let inner = Rc::new(WireInner {
+            id: clk.alloc_cell(),
             val: RefCell::new(None),
             pend: RefCell::new(None),
             dirty: Cell::new(false),
@@ -427,10 +468,18 @@ impl<T: Clone + 'static> Wire<T> {
         }
     }
 
+    /// This cell's identity for the scheduler's wakeup layer (see
+    /// [`crate::sched::Wakeup::Watch`]).
+    #[must_use]
+    pub fn watch_id(&self) -> CellId {
+        CellId(self.inner.id)
+    }
+
     /// Drives the wire for the remainder of this cycle.
     pub fn set(&self, v: T) {
         if !self.clk.in_rule() {
             *self.inner.val.borrow_mut() = Some(v);
+            self.clk.mark_poked(self.inner.id);
             return;
         }
         if !self.inner.dirty.get() {
@@ -446,6 +495,7 @@ impl<T: Clone + 'static> Wire<T> {
     ///
     /// Stalls if nothing drove the wire this cycle.
     pub fn get(&self) -> Guarded<T> {
+        self.clk.note_read(self.inner.id);
         if let Some(v) = self.inner.pend.borrow().as_ref() {
             return Ok(v.clone());
         }
@@ -459,6 +509,7 @@ impl<T: Clone + 'static> Wire<T> {
     /// Reads the wire as an `Option` (no stall).
     #[must_use]
     pub fn peek(&self) -> Option<T> {
+        self.clk.note_read(self.inner.id);
         if let Some(v) = self.inner.pend.borrow().as_ref() {
             return Some(v.clone());
         }

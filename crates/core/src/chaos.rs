@@ -126,7 +126,11 @@ pub struct FaultRecord {
 
 impl fmt::Display for FaultRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cycle {:>8}  {:<11} {}", self.cycle, self.kind, self.site)?;
+        write!(
+            f,
+            "cycle {:>8}  {:<11} {}",
+            self.cycle, self.kind, self.site
+        )?;
         match self.kind {
             FaultKind::BitFlip => write!(f, " (bit {})", self.detail),
             FaultKind::MsgDelay => write!(f, " (+{} cycles)", self.detail),
@@ -340,7 +344,13 @@ impl FaultEngine {
             if e.kind != kind || !pattern_matches(&e.pattern, site) {
                 continue;
             }
-            let h = mix(&[self.inner.plan.seed, kind.tag(), i as u64, site_hash(site), cycle]);
+            let h = mix(&[
+                self.inner.plan.seed,
+                kind.tag(),
+                i as u64,
+                site_hash(site),
+                cycle,
+            ]);
             let p = (h >> 11) as f64 / (1u64 << 53) as f64;
             if p < e.rate {
                 return Some((h, e.param));

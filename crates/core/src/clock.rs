@@ -25,13 +25,34 @@ use std::rc::{Rc, Weak};
 use crate::cm::{ConflictMatrix, Rel};
 use crate::trace::{TraceEvent, Tracer};
 
+/// Identity of a state cell, assigned by its clock at construction.
+///
+/// Cell ids key the scheduler's wakeup layer: every committed write to a
+/// cell *publishes* the id to the clock's publish log, and a rule sleeping
+/// on a watched set of ids is only re-evaluated once one of them publishes
+/// (see [`crate::sched::Wakeup`]). [`crate::cell::Ehr::watch_id`] and friends
+/// expose the id of a cell; FIFOs expose the id of their backing storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// The raw index of this cell in its clock's registry.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A state cell participating in the current rule's transaction.
 ///
 /// Implemented by the inner storage of [`crate::cell::Ehr`],
 /// [`crate::cell::Reg`], and [`crate::cell::Wire`].
 pub(crate) trait TxnCell {
-    /// Publish the buffered write.
-    fn commit(&self);
+    /// Publish the buffered write. Returns the cell's id when the publish
+    /// changed *observable* state this cycle (so the clock can log it for
+    /// the wakeup layer); a `Reg` commit returns `None` because its write
+    /// only becomes visible at the end-of-cycle latch.
+    fn commit(&self) -> Option<u32>;
     /// Discard the buffered write.
     fn abort(&self);
     /// Would committing this cell now collide with a write already
@@ -44,9 +65,10 @@ pub(crate) trait TxnCell {
 }
 
 /// A cell that needs a notification at the end of every cycle (registers
-/// canonicalize, wires clear).
+/// canonicalize, wires clear). Returns the cell's id when the boundary
+/// changed observable state (a register latched, a driven wire cleared).
 pub(crate) trait EndOfCycle {
-    fn end_cycle(&self);
+    fn end_cycle(&self) -> Option<u32>;
 }
 
 /// A same-cycle concurrency violation: firing the current rule would require
@@ -86,6 +108,10 @@ struct ModuleInfo {
     name: String,
     methods: Vec<&'static str>,
     cm: ConflictMatrix,
+    /// First global method index of this module (see
+    /// [`Clock::calls_global`]): method `m` of this module has global index
+    /// `base + m`, unique across every module on the clock.
+    base: u32,
 }
 
 /// Shared clock/transaction state. See the module docs.
@@ -129,6 +155,35 @@ pub(crate) struct ClockInner {
     // single Cell read when tracing is off.
     tracing: Cell<bool>,
     tracer: RefCell<Tracer>,
+    // --- wakeup layer (see crate::sim) ---
+    // Publish log: ids of cells whose observable state changed, in publish
+    // order, awaiting a scheduler drain. `publishes` counts entries ever
+    // pushed (monotonic, never reset), so "did the count change?" is a
+    // one-Cell-read test for "anything published since I last drained".
+    // Only maintained while `wake_log` is set: the fast scheduler enables
+    // it, while the reference oracle never sleeps a rule and logging for it
+    // would only grow a buffer nobody reads.
+    publish_log: RefCell<Vec<u32>>,
+    publishes: Cell<u64>,
+    wake_log: Cell<bool>,
+    next_cell: Cell<u32>,
+    // Read tracing: while enabled, every cell read logs its id so the
+    // scheduler can infer a stalling rule's watch set.
+    read_trace: Cell<bool>,
+    read_log: RefCell<Vec<u32>>,
+    total_methods: Cell<u32>,
+}
+
+impl ClockInner {
+    /// Appends `id` to the publish log — a no-op unless logging is enabled
+    /// (see [`Clock::set_wake_log`]).
+    #[inline]
+    fn publish(&self, id: u32) {
+        if self.wake_log.get() {
+            self.publish_log.borrow_mut().push(id);
+            self.publishes.set(self.publishes.get() + 1);
+        }
+    }
 }
 
 impl Clock {
@@ -155,8 +210,81 @@ impl Clock {
                 eoc_hooks: RefCell::new(Vec::new()),
                 tracing: Cell::new(false),
                 tracer: RefCell::new(Tracer::disabled()),
+                publish_log: RefCell::new(Vec::new()),
+                publishes: Cell::new(0),
+                wake_log: Cell::new(false),
+                next_cell: Cell::new(0),
+                read_trace: Cell::new(false),
+                read_log: RefCell::new(Vec::new()),
+                total_methods: Cell::new(0),
             }),
         }
+    }
+
+    /// Allocates a fresh cell id (every `Ehr`/`Reg`/`Wire` takes one at
+    /// construction). The id keys the wakeup layer's publish log and the
+    /// scheduler's per-cell watcher lists.
+    pub(crate) fn alloc_cell(&self) -> u32 {
+        let id = self.inner.next_cell.get();
+        self.inner
+            .next_cell
+            .set(id.checked_add(1).expect("too many state cells"));
+        id
+    }
+
+    /// Logs a cell read while read tracing is enabled (a no-op otherwise —
+    /// one branch on a `Cell<bool>`).
+    #[inline]
+    pub(crate) fn note_read(&self, id: u32) {
+        if self.inner.read_trace.get() {
+            self.inner.read_log.borrow_mut().push(id);
+        }
+    }
+
+    /// Starts logging cell reads (scheduler use, around a rule body whose
+    /// watch set is being inferred).
+    pub(crate) fn begin_read_trace(&self) {
+        self.inner.read_log.borrow_mut().clear();
+        self.inner.read_trace.set(true);
+    }
+
+    /// Stops logging and moves the logged ids (duplicates included) into
+    /// `out`.
+    pub(crate) fn end_read_trace(&self, out: &mut Vec<u32>) {
+        self.inner.read_trace.set(false);
+        out.clear();
+        out.append(&mut self.inner.read_log.borrow_mut());
+    }
+
+    /// Total publish-log entries ever pushed (monotonic, survives drains).
+    /// One `Cell` read: the scheduler compares this against its drained-up-to
+    /// mark to decide whether a drain is needed at all.
+    pub(crate) fn publish_count(&self) -> u64 {
+        self.inner.publishes.get()
+    }
+
+    /// Drains the publish log, calling `f` with each published cell id in
+    /// publish order (duplicates included).
+    pub(crate) fn drain_publishes(&self, mut f: impl FnMut(u32)) {
+        for id in self.inner.publish_log.borrow_mut().drain(..) {
+            f(id);
+        }
+    }
+
+    /// Enables or disables publish logging (and empties the log either way).
+    /// The fast scheduler turns logging on; while off — the default, and the
+    /// reference oracle — committed writes skip the log entirely so it
+    /// cannot grow unread.
+    pub(crate) fn set_wake_log(&self, on: bool) {
+        self.inner.wake_log.set(on);
+        self.inner.publish_log.borrow_mut().clear();
+    }
+
+    /// Records an observable change of cell `id` outside any rule commit
+    /// (an initialization write or test poke) so any sleeping observer sees
+    /// the change.
+    pub(crate) fn mark_poked(&self, id: u32) {
+        self.inner.publish(id);
     }
 
     /// Current cycle number.
@@ -189,14 +317,77 @@ impl Clock {
             .unwrap_or_else(|(a, b)| panic!("inconsistent CM for {name}: methods {a},{b}"));
         let mut modules = self.inner.modules.borrow_mut();
         let id = u32::try_from(modules.len()).expect("too many modules");
+        let base = self.inner.total_methods.get();
+        let count = u32::try_from(methods.len()).expect("too many methods");
+        self.inner.total_methods.set(base + count);
         modules.push(ModuleInfo {
             name: name.to_string(),
             methods: methods.to_vec(),
             cm,
+            base,
         });
         ModuleIfc {
             clk: self.clone(),
             id,
+        }
+    }
+
+    /// Total CM-checked methods registered across every module — the size of
+    /// the global method index space used by [`Clock::calls_global`].
+    pub(crate) fn total_methods(&self) -> u32 {
+        self.inner.total_methods.get()
+    }
+
+    /// Writes the *global* method indices (module base + method) recorded by
+    /// the current rule into `out`. Scheduler use: footprint inference.
+    pub(crate) fn calls_global(&self, out: &mut Vec<u32>) {
+        out.clear();
+        let modules = self.inner.modules.borrow();
+        for call in self.inner.calls.borrow().iter() {
+            out.push(modules[call.module as usize].base + u32::from(call.method));
+        }
+    }
+
+    /// Calls `f` with every global method index whose earlier firing would
+    /// forbid a later call of global method `c` — i.e. the conflict row the
+    /// fast scheduler folds into a rule's `bad_earlier` mask. Only methods
+    /// of `c`'s own module can qualify (cross-module methods are CM-free).
+    pub(crate) fn for_each_bad_earlier(&self, c: u32, mut f: impl FnMut(u32)) {
+        let modules = self.inner.modules.borrow();
+        for info in modules.iter() {
+            let count = u32::try_from(info.methods.len()).expect("method count");
+            if !(info.base..info.base + count).contains(&c) {
+                continue;
+            }
+            let local = (c - info.base) as usize;
+            for m in 0..count {
+                if !info.cm.rel(m as usize, local).allows_earlier_first() {
+                    f(info.base + m);
+                }
+            }
+            return;
+        }
+    }
+
+    /// Calls `f` with every global method index that can no longer be
+    /// called this cycle once global method `m` has fired — the forward
+    /// conflict row the fast scheduler folds into its fired-forbidden set
+    /// at commit time. Only methods of `m`'s own module can qualify
+    /// (cross-module methods are CM-free).
+    pub(crate) fn for_each_bad_later(&self, m: u32, mut f: impl FnMut(u32)) {
+        let modules = self.inner.modules.borrow();
+        for info in modules.iter() {
+            let count = u32::try_from(info.methods.len()).expect("method count");
+            if !(info.base..info.base + count).contains(&m) {
+                continue;
+            }
+            let local = (m - info.base) as usize;
+            for c in 0..count {
+                if !info.cm.rel(local, c as usize).allows_earlier_first() {
+                    f(info.base + c);
+                }
+            }
+            return;
         }
     }
 
@@ -279,8 +470,17 @@ impl Clock {
     /// Panics if no transaction is open.
     pub fn commit_rule(&self) {
         assert!(self.inner.in_rule.get(), "commit outside of a rule");
-        for cell in self.inner.dirty.borrow_mut().drain(..) {
-            cell.commit();
+        {
+            // Every observable change publishes the written cell's id so
+            // sleeping observers get re-evaluated (see the wakeup layer in
+            // `crate::sim`); `publish` is a no-op unless a fast scheduler
+            // is draining the log.
+            let mut dirty = self.inner.dirty.borrow_mut();
+            for cell in dirty.drain(..) {
+                if let Some(id) = cell.commit() {
+                    self.inner.publish(id);
+                }
+            }
         }
         if self.inner.tracing.get() {
             let tracer = self.inner.tracer.borrow();
@@ -362,10 +562,15 @@ impl Clock {
         );
         self.inner.fired_calls.borrow_mut().clear();
         {
+            // The cycle boundary publishes too: registers latch (their
+            // writes become visible *now*, not at rule commit) and driven
+            // wires clear back to their idle value.
             let mut eoc = self.inner.eoc.borrow_mut();
             eoc.retain(|w| {
                 if let Some(cell) = w.upgrade() {
-                    cell.end_cycle();
+                    if let Some(id) = cell.end_cycle() {
+                        self.inner.publish(id);
+                    }
                     true
                 } else {
                     false
@@ -421,6 +626,18 @@ impl ModuleIfc {
     #[must_use]
     pub fn clock(&self) -> &Clock {
         &self.clk
+    }
+
+    /// The global index of local method `method` (module base + offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is out of range for this module.
+    pub(crate) fn global_method(&self, method: usize) -> u32 {
+        let modules = self.clk.inner.modules.borrow();
+        let info = &modules[self.id as usize];
+        assert!(method < info.methods.len(), "method index out of range");
+        info.base + u32::try_from(method).expect("method index too large")
     }
 }
 

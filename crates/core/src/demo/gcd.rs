@@ -212,7 +212,10 @@ pub fn stream_gcd<G: GcdIfc + Clone + 'static>(
     });
     let u = unit;
     sim.rule("feed", move |s: &mut Driver| {
-        let (a, b) = s.pending.with(|p| p.first().copied()).ok_or(Stall::new("done"))?;
+        let (a, b) = s
+            .pending
+            .with(|p| p.first().copied())
+            .ok_or(Stall::new("done"))?;
         u.start(a, b)?;
         s.pending.update(|p| {
             p.remove(0);

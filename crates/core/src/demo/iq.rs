@@ -24,6 +24,7 @@ use crate::clock::{Clock, ModuleIfc};
 use crate::cm::ConflictMatrix;
 use crate::fifo::{CfFifo, Fifo};
 use crate::guard::{Guarded, Stall};
+use crate::sched::{SchedulerMode, Wakeup};
 use crate::sim::{Sim, SimError};
 
 /// Number of (physical) registers in the demo.
@@ -86,7 +87,15 @@ impl Rdyb {
         };
         let bits = r.bits.clone();
         let snap = r.snapshot.clone();
-        clk.at_end_of_cycle(move || snap.write(bits.read()));
+        clk.at_end_of_cycle(move || {
+            // Write only on change: an unconditional write would republish
+            // the snapshot cell every cycle and defeat the scheduler's
+            // wakeup layer (see crate::sched).
+            let b = bits.read();
+            if snap.read() != b {
+                snap.write(b);
+            }
+        });
         r
     }
 
@@ -249,7 +258,8 @@ impl Iq {
     /// Current number of occupied slots.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.with(|s| s.iter().filter(|e| e.is_some()).count())
+        self.slots
+            .with(|s| s.iter().filter(|e| e.is_some()).count())
     }
 
     /// Whether the queue is empty.
@@ -341,6 +351,22 @@ struct DemoState {
 /// exactly for [`RdybKind::BrokenClaimsBypass`] on programs with the
 /// §IV-A race.
 pub fn run_iq_demo(cfg: IqDemoConfig, program: &[DemoInst]) -> Result<IqDemoStats, Deadlock> {
+    run_iq_demo_with_scheduler(cfg, program, SchedulerMode::default())
+}
+
+/// [`run_iq_demo`] under an explicit scheduler mode — the equivalence
+/// property tests run every configuration under both
+/// [`SchedulerMode::Reference`] and [`SchedulerMode::Fast`] and assert
+/// identical results.
+///
+/// # Errors
+///
+/// As [`run_iq_demo`].
+pub fn run_iq_demo_with_scheduler(
+    cfg: IqDemoConfig,
+    program: &[DemoInst],
+    mode: SchedulerMode,
+) -> Result<IqDemoStats, Deadlock> {
     let clk = Clock::new();
     let st = DemoState {
         rdyb: Rdyb::new(&clk, cfg.rdyb),
@@ -365,17 +391,18 @@ pub fn run_iq_demo(cfg: IqDemoConfig, program: &[DemoInst]) -> Result<IqDemoStat
         Ok(())
     };
 
-    match cfg.ordering {
-        IqOrdering::IssueBeforeWakeup => {
-            sim.rule("doIssue", do_issue);
-            sim.rule("doRegWrite", do_reg_write);
-        }
-        IqOrdering::WakeupBeforeIssue => {
-            sim.rule("doRegWrite", do_reg_write);
-            sim.rule("doIssue", do_issue);
-        }
-    }
-    sim.rule("doRename", |s: &mut DemoState| {
+    sim.set_scheduler(mode);
+    let (ra, rb) = match cfg.ordering {
+        IqOrdering::IssueBeforeWakeup => (
+            sim.rule("doIssue", do_issue),
+            sim.rule("doRegWrite", do_reg_write),
+        ),
+        IqOrdering::WakeupBeforeIssue => (
+            sim.rule("doRegWrite", do_reg_write),
+            sim.rule("doIssue", do_issue),
+        ),
+    };
+    let rc = sim.rule("doRename", |s: &mut DemoState| {
         let idx = s.next.read();
         let inst = s
             .program
@@ -388,6 +415,13 @@ pub fn run_iq_demo(cfg: IqDemoConfig, program: &[DemoInst]) -> Result<IqDemoStat
         s.next.write(idx + 1);
         Ok(())
     });
+    // All three rule bodies are pure functions of clocked cell state
+    // (Ehr-backed modules only), so their stalled guards can sleep until a
+    // watched cell publishes a write — the demo doubles as the wakeup
+    // layer's dogfood.
+    for r in [ra, rb, rc] {
+        sim.set_wakeup(r, Wakeup::Inferred);
+    }
 
     let n = program.len() as u64;
     let budget = 1_000 + 20 * n;

@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use crate::cell::Ehr;
-use crate::clock::{Clock, ModuleIfc};
+use crate::clock::{CellId, Clock, ModuleIfc};
 use crate::cm::ConflictMatrix;
 use crate::guard::{Guarded, Stall};
 
@@ -120,6 +120,14 @@ impl<T: Clone + 'static> PipelineFifo<T> {
             cap: capacity,
         }
     }
+
+    /// Cell id of the backing queue, for explicit
+    /// [`Wakeup::Watch`](crate::sched::Wakeup) declarations: every guard of
+    /// this FIFO is a function of the queue alone.
+    #[must_use]
+    pub fn watch_id(&self) -> CellId {
+        self.q.watch_id()
+    }
 }
 
 impl<T: Clone + 'static> Fifo<T> for PipelineFifo<T> {
@@ -201,6 +209,14 @@ impl<T: Clone + 'static> BypassFifo<T> {
             q: base_state(clk, capacity),
             cap: capacity,
         }
+    }
+
+    /// Cell id of the backing queue, for explicit
+    /// [`Wakeup::Watch`](crate::sched::Wakeup) declarations: every guard of
+    /// this FIFO is a function of the queue alone.
+    #[must_use]
+    pub fn watch_id(&self) -> CellId {
+        self.q.watch_id()
     }
 }
 
@@ -307,15 +323,39 @@ impl<T: Clone + 'static> CfFifo<T> {
         let deqs = f.deqs.clone();
         let enqs = f.enqs.clone();
         clk.at_end_of_cycle(move || {
-            snap.write(q.with(VecDeque::len));
-            deqs.write(0);
-            enqs.write(0);
+            // Conditional writes: an idle cycle must not republish these
+            // cells to the wakeup layer, or rules sleeping on this FIFO
+            // (see crate::sched) would be woken every cycle for nothing.
+            let len = q.with(VecDeque::len);
+            if snap.read() != len {
+                snap.write(len);
+            }
+            if deqs.read() != 0 {
+                deqs.write(0);
+            }
+            if enqs.read() != 0 {
+                enqs.write(0);
+            }
         });
         f
     }
 
     fn available_to_deq(&self) -> usize {
         self.snap_len.read().saturating_sub(self.deqs.read())
+    }
+
+    /// Cell ids of every cell the guards of this FIFO read, for explicit
+    /// [`Wakeup::Watch`](crate::sched::Wakeup) declarations (the CF flavor
+    /// judges fullness/emptiness from its cycle-boundary bookkeeping cells,
+    /// not just the queue).
+    #[must_use]
+    pub fn watch_ids(&self) -> [CellId; 4] {
+        [
+            self.q.watch_id(),
+            self.snap_len.watch_id(),
+            self.deqs.watch_id(),
+            self.enqs.watch_id(),
+        ]
     }
 }
 

@@ -26,6 +26,10 @@
 //! * [`guard`] — guarded methods and rules;
 //! * [`sim`] — the rule scheduler with per-rule firing statistics, a
 //!   liveness watchdog, and structured [`sim::SimError`] diagnostics;
+//! * [`sched`] — the fast-path scheduling machinery: conflict-mask
+//!   footprints and the wakeup layer behind [`sched::SchedulerMode::Fast`]
+//!   (the reference one-rule-at-a-time loop stays available as the
+//!   correctness oracle, see `docs/SCHEDULING.md`);
 //! * [`fifo`] — pipeline / bypass / conflict-free FIFOs;
 //! * [`chaos`] — seeded, cycle-deterministic fault injection (forced guard
 //!   stalls, transient rule aborts, bit flips) for resilience campaigns;
@@ -70,6 +74,7 @@ pub mod demo;
 pub mod fifo;
 pub mod guard;
 pub mod rng;
+pub mod sched;
 pub mod sim;
 pub mod trace;
 
@@ -77,12 +82,13 @@ pub mod trace;
 pub mod prelude {
     pub use crate::cell::{Ehr, Reg, Wire};
     pub use crate::chaos::{FaultEngine, FaultKind, FaultPlan, FaultRecord, LinkFault, RuleFault};
-    pub use crate::clock::{Clock, CmViolation, ModuleIfc};
+    pub use crate::clock::{CellId, Clock, CmViolation, ModuleIfc};
     pub use crate::cm::{ConflictMatrix, Rel};
     pub use crate::fifo::{BypassFifo, CfFifo, Fifo, PipelineFifo};
     pub use crate::guard::{Guarded, Stall};
     pub use crate::guard_that;
     pub use crate::rng::SplitMix64;
+    pub use crate::sched::{SchedulerMode, Wakeup};
     pub use crate::sim::{DeadlockReport, RuleId, RuleStats, RuleWait, Sim, SimError, WaitCause};
     pub use crate::trace::{Counter, Counters, Gauge, TraceEvent, TraceSink, Tracer};
 }

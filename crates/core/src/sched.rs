@@ -1,0 +1,196 @@
+//! Fast-path scheduling machinery: method footprints, conflict masks, and
+//! the wakeup/dirty-set layer.
+//!
+//! The reference scheduler ([`crate::sim::Sim`] in
+//! [`SchedulerMode::Reference`]) realizes the paper's §III semantics in the
+//! most literal way possible: every cycle it evaluates every rule's guard
+//! and runs a full conflict-matrix scan against everything that already
+//! fired. That is the correctness oracle — and the slowest possible
+//! implementation. This module holds the data structures behind the two
+//! optimizations of [`SchedulerMode::Fast`]:
+//!
+//! 1. **Static conflict scheduling** — each rule accumulates a *footprint*:
+//!    the set of CM-checked methods (as global indices, see
+//!    [`crate::clock::Clock`]) it has ever called, seeded by
+//!    [`crate::sim::Sim::declare_footprint`] and extended automatically on
+//!    the first evaluation that calls something new. From the footprint and
+//!    the registered [`crate::cm::ConflictMatrix`] entries the kernel derives
+//!    a `bad_earlier` bitmask: every method whose earlier firing could forbid
+//!    one of this rule's calls. A rule whose mask misses everything fired so
+//!    far this cycle is *conflict-free by construction* and commits without
+//!    any dynamic CM scan; rules whose footprints never overlap form the
+//!    conflict-free waves reported by [`crate::sim::Sim::schedule_waves`].
+//!    The mask is conservative (a superset of the methods actually called in
+//!    a given cycle), so a mask hit merely falls back to the full scan — the
+//!    scan, not the mask, decides whether a violation exists.
+//!
+//! 2. **Wakeup-driven guard evaluation** — a rule registered with
+//!    [`Wakeup::Inferred`] or [`Wakeup::Watch`] that stalls goes to *sleep*
+//!    on the set of state cells its guard read: the scheduler registers it
+//!    in a per-cell watcher list. Every committed write appends the written
+//!    cell's [`CellId`] to the clock's publish log, which the scheduler
+//!    drains into wake flags; the sleeping rule is skipped — but accounted
+//!    exactly as a guard stall with its cached reason, so statistics,
+//!    counters, and traces stay identical to the reference — until one of
+//!    its watched cells publishes.
+//!
+//! Wakeup eligibility is a contract: the rule body must be a pure function
+//! of clocked cell state (`Ehr`/`Reg`/`Wire` and the FIFOs built on them).
+//! Rules that read plain Rust state, the cycle counter, or any other
+//! side channel must stay on [`Wakeup::EveryCycle`] (the default), which is
+//! always sound. See `docs/SCHEDULING.md` for the equivalence argument.
+
+use crate::clock::CellId;
+
+/// Which per-cycle loop [`crate::sim::Sim`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// The literal one-rule-at-a-time loop: every guard evaluated every
+    /// cycle, every Ok-rule fully CM-scanned. The correctness oracle.
+    Reference,
+    /// Footprint/mask conflict checking plus the wakeup layer. Produces
+    /// cycle-, counter-, and trace-identical results to `Reference` (the
+    /// equivalence property tests in `tests/` assert this).
+    #[default]
+    Fast,
+}
+
+/// When a stalled rule's guard is re-evaluated (fast scheduler only).
+#[derive(Debug, Clone, Default)]
+pub enum Wakeup {
+    /// Re-evaluate every cycle. Always sound; the only choice for rules
+    /// whose bodies read anything besides clocked cells.
+    #[default]
+    EveryCycle,
+    /// Infer the watch set from the cells the body actually reads (the
+    /// kernel read-traces the evaluation that stalls). Requires the body to
+    /// be a pure function of cell state.
+    Inferred,
+    /// Sleep on an explicit cell set. Requires the body's guard to depend
+    /// only on these cells.
+    Watch(Vec<CellId>),
+}
+
+/// A sleeping rule: skipped (but accounted with `reason`) until one of the
+/// cells it watches publishes a committed write. The watch set itself lives
+/// in the scheduler's per-cell watcher lists, registered when the sleep
+/// begins.
+pub(crate) struct Sleep {
+    pub reason: &'static str,
+}
+
+/// A plain bit set over `u32` indices (global method ids or cell ids).
+#[derive(Default)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// Clears every bit and ensures capacity for `bits` indices.
+    pub fn reset(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+    }
+
+    pub fn set(&mut self, i: u32) {
+        let w = (i / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (i % 64);
+    }
+
+    pub fn contains(&self, i: u32) -> bool {
+        self.words
+            .get((i / 64) as usize)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Sets every bit that is set in `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+}
+
+/// Per-rule fast-path state.
+pub(crate) struct RuleSched {
+    pub wakeup: Wakeup,
+    pub sleep: Option<Sleep>,
+    /// Global method indices this rule is known to call.
+    pub footprint: BitSet,
+    /// Methods whose earlier firing could forbid one of the footprint's
+    /// calls (conservative: derived from the whole footprint).
+    pub bad_earlier: BitSet,
+}
+
+impl RuleSched {
+    pub fn new() -> Self {
+        RuleSched {
+            wakeup: Wakeup::EveryCycle,
+            sleep: None,
+            footprint: BitSet::new(),
+            bad_earlier: BitSet::new(),
+        }
+    }
+
+    /// Adds global method `c` to the footprint, folding its conflict row
+    /// into `bad_earlier`.
+    pub fn add_method(&mut self, clk: &crate::clock::Clock, c: u32) {
+        if self.footprint.contains(c) {
+            return;
+        }
+        self.footprint.set(c);
+        let bad = &mut self.bad_earlier;
+        clk.for_each_bad_earlier(c, |m| bad.set(m));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_contains_intersects() {
+        let mut a = BitSet::new();
+        let mut b = BitSet::new();
+        a.set(3);
+        a.set(130);
+        assert!(a.contains(3) && a.contains(130));
+        assert!(!a.contains(4) && !a.contains(131));
+        b.set(64);
+        assert!(!a.intersects(&b));
+        b.set(130);
+        assert!(a.intersects(&b));
+        a.reset(8);
+        assert!(!a.contains(3), "reset clears");
+    }
+
+    #[test]
+    fn bitset_intersects_handles_length_mismatch() {
+        let mut a = BitSet::new();
+        let mut b = BitSet::new();
+        a.set(1);
+        b.set(500);
+        assert!(!a.intersects(&b));
+        assert!(!b.intersects(&a));
+        b.set(1);
+        assert!(a.intersects(&b));
+    }
+}

@@ -16,6 +16,26 @@
 //! per-rule statistics so CM choices show up as measurable performance
 //! differences (paper §IV-C/D).
 //!
+//! # Two schedulers, one semantics
+//!
+//! [`Sim`] ships two per-cycle loops selected by [`Sim::set_scheduler`]:
+//!
+//! * [`SchedulerMode::Reference`] — the literal loop described above:
+//!   every guard evaluated every cycle, every successful rule fully
+//!   CM-scanned against everything fired before it. Slow, obviously
+//!   correct; kept as the oracle.
+//! * [`SchedulerMode::Fast`] (default) — the same observable behavior via
+//!   two short-circuits: a per-rule *footprint/conflict-mask* check that
+//!   lets rules whose methods cannot conflict with anything fired so far
+//!   commit without a dynamic CM scan, and a *wakeup layer*
+//!   ([`Sim::set_wakeup`]) that skips re-evaluating a stalled guard until
+//!   one of the state cells it read publishes a committed write. Skipped
+//!   evaluations are accounted as guard stalls with the cached reason, so
+//!   statistics, counters, and trace streams are identical to the
+//!   reference scheduler (property-tested in `tests/sched_equivalence.rs`).
+//!
+//! See `docs/SCHEDULING.md` for the full design and equivalence argument.
+//!
 //! # Watchdog and structured errors
 //!
 //! The scheduler remembers *why* each rule last failed to fire. When no
@@ -31,7 +51,7 @@
 //!
 //! # Fault injection
 //!
-//! Attach a [`FaultEngine`](crate::chaos::FaultEngine) with
+//! Attach a [`FaultEngine`] with
 //! [`Sim::attach_chaos`] and the scheduler consults it each cycle: rules
 //! may be force-stalled or transiently aborted, and registered state cells
 //! suffer bit flips at cycle boundaries. With an empty
@@ -43,9 +63,14 @@ use std::error::Error;
 use std::fmt;
 
 use crate::chaos::{FaultEngine, RuleFault, CHAOS_ABORT_REASON, CHAOS_STALL_REASON};
-use crate::clock::{Clock, CmViolation};
+use crate::clock::{Clock, CmViolation, ModuleIfc};
 use crate::guard::Guarded;
+use crate::sched::{BitSet, RuleSched, SchedulerMode, Sleep, Wakeup};
 use crate::trace::{Counter, Counters, TraceEvent, Tracer};
+
+/// Guard-stall reason recorded when a commit is refused over an undeclared
+/// `Reg` write conflict (see [`SimError::RegConflict`]).
+const REG_CONFLICT_REASON: &str = "aborted: undeclared Reg write conflict";
 
 /// Consecutive all-quiet cycles before the watchdog declares a deadlock.
 ///
@@ -130,7 +155,11 @@ impl DeadlockReport {
 
 impl fmt::Display for DeadlockReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "no rule fired for {} consecutive cycles; wait graph:", self.stalled_for)?;
+        writeln!(
+            f,
+            "no rule fired for {} consecutive cycles; wait graph:",
+            self.stalled_for
+        )?;
         for w in &self.waits {
             writeln!(f, "  {w}")?;
         }
@@ -174,7 +203,10 @@ impl fmt::Display for SimError {
                 write!(f, "scheduler deadlock at cycle {cycle}: {report}")
             }
             SimError::CycleLimit { max_cycles } => {
-                write!(f, "cycle budget of {max_cycles} exhausted before completion")
+                write!(
+                    f,
+                    "cycle budget of {max_cycles} exhausted before completion"
+                )
             }
             SimError::RegConflict { cycle, rule, reg } => write!(
                 f,
@@ -200,10 +232,158 @@ struct RuleEntry<S> {
     /// always-firing substrate-tick rule that would mask real deadlocks).
     exempt: bool,
     /// Per-guard-reason stall histogram. Guard reasons are `&'static str`
-    /// by construction, so counting them costs no allocation.
+    /// by construction, so counting them costs no allocation. Only
+    /// maintained after [`Sim::enable_stall_histograms`].
     guard_reasons: BTreeMap<&'static str, u64>,
-    /// Per-CM-edge stall histogram, keyed by the rendered violation.
+    /// Per-CM-edge stall histogram, keyed by the rendered violation. Only
+    /// maintained after [`Sim::enable_stall_histograms`].
     cm_reasons: BTreeMap<String, u64>,
+    /// Fast-scheduler state: footprint, conflict mask, wakeup/sleep.
+    sched: RuleSched,
+}
+
+/// Records one failed firing exactly as the reference scheduler does:
+/// stats, optional histogram, counter, wait cause, trace event.
+fn account_guard_stall<S>(
+    entry: &mut RuleEntry<S>,
+    tracer: &Tracer,
+    tracing: bool,
+    hist: bool,
+    ctr: &Counter,
+    now: u64,
+    reason: &'static str,
+) {
+    entry.stats.guard_stalls += 1;
+    if hist {
+        *entry.guard_reasons.entry(reason).or_insert(0) += 1;
+    }
+    ctr.inc();
+    entry.last_wait = Some(WaitCause::Guard(reason));
+    if tracing {
+        tracer.emit(
+            now,
+            &TraceEvent::GuardStalled {
+                rule: &entry.name,
+                reason,
+            },
+        );
+    }
+}
+
+fn account_cm_stall<S>(
+    entry: &mut RuleEntry<S>,
+    tracer: &Tracer,
+    tracing: bool,
+    hist: bool,
+    ctr: &Counter,
+    now: u64,
+    v: &CmViolation,
+) {
+    entry.stats.cm_stalls += 1;
+    if hist {
+        *entry.cm_reasons.entry(v.to_string()).or_insert(0) += 1;
+    }
+    ctr.inc();
+    entry.last_wait = Some(WaitCause::Cm(v.clone()));
+    if tracing {
+        tracer.emit(
+            now,
+            &TraceEvent::CmOrdering {
+                rule: &entry.name,
+                module: &v.module,
+                earlier: &v.earlier_method,
+                later: &v.later_method,
+            },
+        );
+    }
+}
+
+fn account_fired<S>(
+    entry: &mut RuleEntry<S>,
+    tracer: &Tracer,
+    tracing: bool,
+    ctr: &Counter,
+    now: u64,
+) {
+    entry.stats.fired += 1;
+    ctr.inc();
+    entry.last_wait = None;
+    if tracing {
+        tracer.emit(now, &TraceEvent::RuleFired { rule: &entry.name });
+    }
+}
+
+/// Moves freshly published cell ids into wake flags: every watcher whose
+/// sleep generation is still current is marked awake and its entry
+/// consumed. Costs one `Cell` read when nothing has been published since
+/// the previous drain — the common case on the sleeping-rule hot path.
+fn drain_wakeups(
+    clk: &Clock,
+    watchers: &mut [Vec<(u32, u32)>],
+    sleep_gens: &[u32],
+    wake_flags: &mut [bool],
+    pub_seen: &mut u64,
+) {
+    let count = clk.publish_count();
+    if count == *pub_seen {
+        return;
+    }
+    *pub_seen = count;
+    clk.drain_publishes(|id| {
+        if let Some(ws) = watchers.get_mut(id as usize) {
+            for (rule, gen) in ws.drain(..) {
+                if sleep_gens[rule as usize] == gen {
+                    wake_flags[rule as usize] = true;
+                }
+            }
+        }
+    });
+}
+
+/// The cached forward conflict row of global method `m` as a bitmask:
+/// every method that can no longer fire this cycle once `m` has. Built
+/// lazily on first use (rows are static per
+/// [`crate::cm::ConflictMatrix`]).
+fn forbid_mask<'a>(rows: &'a mut Vec<Option<BitSet>>, clk: &Clock, m: u32) -> &'a BitSet {
+    let idx = m as usize;
+    if idx >= rows.len() {
+        rows.resize_with(idx + 1, || None);
+    }
+    rows[idx].get_or_insert_with(|| {
+        let mut bs = BitSet::new();
+        clk.for_each_bad_later(m, |c| bs.set(c));
+        bs
+    })
+}
+
+/// Registers rule `rule` (at sleep generation `gen`) as a watcher of
+/// `cell`. Entries from earlier sleeps go stale when the generation bumps;
+/// they are compacted away once a cell's list outgrows the rule count, so
+/// pathological sleep/wake churn cannot grow the lists without bound.
+fn add_watcher(
+    watchers: &mut Vec<Vec<(u32, u32)>>,
+    sleep_gens: &[u32],
+    cap: usize,
+    cell: u32,
+    rule: u32,
+    gen: u32,
+) {
+    let idx = cell as usize;
+    if idx >= watchers.len() {
+        watchers.resize_with(idx + 1, Vec::new);
+    }
+    let ws = &mut watchers[idx];
+    if ws.len() > cap {
+        ws.retain(|&(r, g)| sleep_gens[r as usize] == g);
+    }
+    ws.push((rule, gen));
+}
+
+/// Could these two rules ever conflict in a cycle, judging by their
+/// footprints? Used by [`Sim::schedule_waves`].
+fn rules_conflict<S>(a: &RuleEntry<S>, b: &RuleEntry<S>) -> bool {
+    a.sched.bad_earlier.intersects(&b.sched.footprint)
+        || b.sched.bad_earlier.intersects(&a.sched.footprint)
 }
 
 /// A complete CMD design: user state `S` (the module tree), a [`Clock`], and
@@ -244,6 +424,32 @@ pub struct Sim<S> {
     ctr_fired: Counter,
     ctr_guard: Counter,
     ctr_cm: Counter,
+    mode: SchedulerMode,
+    /// Whether per-rule stall-reason histograms are maintained (off the hot
+    /// path by default; see [`Sim::enable_stall_histograms`]).
+    collect_hist: bool,
+    /// Union of the forward conflict rows of every method committed so far
+    /// this cycle (fast mode): a rule's calls are violation-free iff none
+    /// of them is in this set, making the per-rule conflict check one bit
+    /// test per call. Precise, not conservative — it encodes exactly the
+    /// condition [`Clock::check_cm`] scans for.
+    fired_forbidden: BitSet,
+    /// Lazily cached per-method forward conflict rows (see [`forbid_mask`]).
+    forbid_rows: Vec<Option<BitSet>>,
+    calls_scratch: Vec<u32>,
+    reads_scratch: Vec<u32>,
+    /// Per-cell watcher lists, indexed by cell id: `(rule index, sleep
+    /// generation)` pairs registered when a rule goes to sleep.
+    watchers: Vec<Vec<(u32, u32)>>,
+    /// Set when a drained publish hits a current-generation watcher;
+    /// consumed at the sleeping rule's next schedule slot.
+    wake_flags: Vec<bool>,
+    /// Bumped whenever a rule's sleep is cleared, invalidating watcher
+    /// entries registered for the previous sleep.
+    sleep_gens: Vec<u32>,
+    /// Publish-log entries drained so far (compared against
+    /// [`Clock::publish_count`] to skip no-op drains).
+    pub_seen: u64,
 }
 
 impl<S> Sim<S> {
@@ -269,6 +475,16 @@ impl<S> Sim<S> {
             ctr_fired,
             ctr_guard,
             ctr_cm,
+            mode: SchedulerMode::default(),
+            collect_hist: false,
+            fired_forbidden: BitSet::new(),
+            forbid_rows: Vec::new(),
+            calls_scratch: Vec::new(),
+            reads_scratch: Vec::new(),
+            watchers: Vec::new(),
+            wake_flags: Vec::new(),
+            sleep_gens: Vec::new(),
+            pub_seen: 0,
         }
     }
 
@@ -315,8 +531,118 @@ impl<S> Sim<S> {
             exempt: false,
             guard_reasons: BTreeMap::new(),
             cm_reasons: BTreeMap::new(),
+            sched: RuleSched::new(),
         });
+        self.wake_flags.push(false);
+        self.sleep_gens.push(0);
         id
+    }
+
+    /// Selects which per-cycle loop runs (see the module docs). Switching
+    /// modes clears every rule's sleep state, so the wakeup layer restarts
+    /// from a clean slate and the oracle never skips an evaluation.
+    pub fn set_scheduler(&mut self, mode: SchedulerMode) {
+        self.mode = mode;
+        self.sync_wake_log();
+        for i in 0..self.rules.len() {
+            self.clear_sleep(i);
+        }
+    }
+
+    /// Keeps the clock's publish logging in sync with whether anyone could
+    /// consume it: only the fast loop drains the log, and only rules with a
+    /// non-default wakeup policy can sleep on it. In every other
+    /// configuration logging would tax each committed write to grow a
+    /// buffer nobody reads.
+    fn sync_wake_log(&mut self) {
+        let on = matches!(self.mode, SchedulerMode::Fast)
+            && self
+                .rules
+                .iter()
+                .any(|r| !matches!(r.sched.wakeup, Wakeup::EveryCycle));
+        self.clk.set_wake_log(on);
+        self.pub_seen = self.clk.publish_count();
+    }
+
+    /// Wakes rule `i` (if asleep) and invalidates its registered watcher
+    /// entries by bumping its sleep generation.
+    fn clear_sleep(&mut self, i: usize) {
+        self.rules[i].sched.sleep = None;
+        self.sleep_gens[i] = self.sleep_gens[i].wrapping_add(1);
+        self.wake_flags[i] = false;
+    }
+
+    /// The active scheduler mode.
+    #[must_use]
+    pub fn scheduler(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    /// Turns on per-rule stall-reason histograms (the `N × guard "…"` lines
+    /// of [`Sim::report`]). Off by default: maintaining them puts a map
+    /// insert on the hot path of every stall, which is pure overhead for
+    /// runs that never ask for a report.
+    pub fn enable_stall_histograms(&mut self) {
+        self.collect_hist = true;
+    }
+
+    /// Declares when a stalled `rule` is re-evaluated (fast scheduler only;
+    /// the reference oracle evaluates every rule every cycle regardless).
+    ///
+    /// [`Wakeup::Inferred`] and [`Wakeup::Watch`] require the rule body to
+    /// be a pure function of clocked cell state — see the contract in
+    /// [`crate::sched`]. Clears any current sleep of the rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this `Sim`.
+    pub fn set_wakeup(&mut self, id: RuleId, wakeup: Wakeup) {
+        self.rules[id.0].sched.wakeup = wakeup;
+        self.clear_sleep(id.0);
+        self.sync_wake_log();
+    }
+
+    /// Seeds `rule`'s static footprint with `methods` of `ifc`, so its very
+    /// first firing can already use the conflict-mask fast path instead of a
+    /// full CM scan. Purely a hint: the kernel extends footprints
+    /// automatically the first time a rule calls a method not yet declared,
+    /// and a call outside the footprint always falls back to the full scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this `Sim` or a method index is out
+    /// of range for `ifc`.
+    pub fn declare_footprint(&mut self, id: RuleId, ifc: &ModuleIfc, methods: &[usize]) {
+        let entry = &mut self.rules[id.0];
+        for &m in methods {
+            entry.sched.add_method(&self.clk, ifc.global_method(m));
+        }
+    }
+
+    /// Groups the schedule into conflict-free waves: consecutive rules whose
+    /// footprints can never produce a CM violation against each other, so
+    /// within a wave every rule takes the no-scan commit path regardless of
+    /// what the others do. Reflects current footprint knowledge (seeded via
+    /// [`Sim::declare_footprint`] plus everything observed so far), so it is
+    /// most meaningful after a warm-up run. Diagnostic: the fast scheduler
+    /// derives the same information per-cycle from the conflict masks.
+    #[must_use]
+    pub fn schedule_waves(&self) -> Vec<Vec<String>> {
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        for (i, r) in self.rules.iter().enumerate() {
+            let fits = waves
+                .last()
+                .is_some_and(|w| w.iter().all(|&j| !rules_conflict(r, &self.rules[j])));
+            if fits {
+                waves.last_mut().expect("non-empty").push(i);
+            } else {
+                waves.push(vec![i]);
+            }
+        }
+        waves
+            .into_iter()
+            .map(|w| w.into_iter().map(|i| self.rules[i].name.clone()).collect())
+            .collect()
     }
 
     /// Excludes a rule from the watchdog's notion of forward progress.
@@ -356,27 +682,33 @@ impl<S> Sim<S> {
     /// * [`SimError::RegConflict`] — a rule's commit was refused because it
     ///   double-wrote a `Reg`; the rule was aborted and the cycle finished.
     pub fn try_cycle(&mut self) -> Result<(), SimError> {
+        match self.mode {
+            SchedulerMode::Reference => self.cycle_reference(),
+            SchedulerMode::Fast => self.cycle_fast(),
+        }
+    }
+
+    /// The oracle loop: every guard evaluated, every Ok-rule fully
+    /// CM-scanned, every cycle.
+    fn cycle_reference(&mut self) -> Result<(), SimError> {
         let now = self.clk.cycle();
         let chaos = self.chaos.clone();
         let mut fired_any = false;
         let mut conflict: Option<SimError> = None;
         let tracing = self.tracer.is_enabled();
+        let hist = self.collect_hist;
         for entry in &mut self.rules {
             match chaos.as_ref().and_then(|e| e.rule_fault(&entry.name, now)) {
                 Some(RuleFault::ForceStall) => {
-                    entry.stats.guard_stalls += 1;
-                    *entry.guard_reasons.entry(CHAOS_STALL_REASON).or_insert(0) += 1;
-                    self.ctr_guard.inc();
-                    entry.last_wait = Some(WaitCause::Guard(CHAOS_STALL_REASON));
-                    if tracing {
-                        self.tracer.emit(
-                            now,
-                            &TraceEvent::GuardStalled {
-                                rule: &entry.name,
-                                reason: CHAOS_STALL_REASON,
-                            },
-                        );
-                    }
+                    account_guard_stall(
+                        entry,
+                        &self.tracer,
+                        tracing,
+                        hist,
+                        &self.ctr_guard,
+                        now,
+                        CHAOS_STALL_REASON,
+                    );
                     continue;
                 }
                 Some(RuleFault::Abort) => {
@@ -385,19 +717,15 @@ impl<S> Sim<S> {
                     self.clk.begin_rule();
                     let _ = (entry.body)(&mut self.state);
                     self.clk.abort_rule();
-                    entry.stats.guard_stalls += 1;
-                    *entry.guard_reasons.entry(CHAOS_ABORT_REASON).or_insert(0) += 1;
-                    self.ctr_guard.inc();
-                    entry.last_wait = Some(WaitCause::Guard(CHAOS_ABORT_REASON));
-                    if tracing {
-                        self.tracer.emit(
-                            now,
-                            &TraceEvent::GuardStalled {
-                                rule: &entry.name,
-                                reason: CHAOS_ABORT_REASON,
-                            },
-                        );
-                    }
+                    account_guard_stall(
+                        entry,
+                        &self.tracer,
+                        tracing,
+                        hist,
+                        &self.ctr_guard,
+                        now,
+                        CHAOS_ABORT_REASON,
+                    );
                     continue;
                 }
                 None => {}
@@ -407,54 +735,26 @@ impl<S> Sim<S> {
                 Ok(()) => {
                     if let Some(v) = self.clk.check_cm() {
                         self.clk.abort_rule();
-                        entry.stats.cm_stalls += 1;
-                        *entry.cm_reasons.entry(v.to_string()).or_insert(0) += 1;
-                        self.ctr_cm.inc();
-                        entry.last_wait = Some(WaitCause::Cm(v.clone()));
-                        if tracing {
-                            self.tracer.emit(
-                                now,
-                                &TraceEvent::CmOrdering {
-                                    rule: &entry.name,
-                                    module: &v.module,
-                                    earlier: &v.earlier_method,
-                                    later: &v.later_method,
-                                },
-                            );
-                        }
+                        account_cm_stall(entry, &self.tracer, tracing, hist, &self.ctr_cm, now, &v);
                         self.last_violation = Some(v);
                     } else {
                         match self.clk.try_commit_rule() {
                             Ok(()) => {
-                                entry.stats.fired += 1;
-                                self.ctr_fired.inc();
-                                entry.last_wait = None;
+                                account_fired(entry, &self.tracer, tracing, &self.ctr_fired, now);
                                 if !entry.exempt {
                                     fired_any = true;
                                 }
-                                if tracing {
-                                    self.tracer.emit(
-                                        now,
-                                        &TraceEvent::RuleFired { rule: &entry.name },
-                                    );
-                                }
                             }
                             Err(reg) => {
-                                const REG_CONFLICT_REASON: &str =
-                                    "aborted: undeclared Reg write conflict";
-                                entry.stats.guard_stalls += 1;
-                                *entry.guard_reasons.entry(REG_CONFLICT_REASON).or_insert(0) += 1;
-                                self.ctr_guard.inc();
-                                entry.last_wait = Some(WaitCause::Guard(REG_CONFLICT_REASON));
-                                if tracing {
-                                    self.tracer.emit(
-                                        now,
-                                        &TraceEvent::GuardStalled {
-                                            rule: &entry.name,
-                                            reason: REG_CONFLICT_REASON,
-                                        },
-                                    );
-                                }
+                                account_guard_stall(
+                                    entry,
+                                    &self.tracer,
+                                    tracing,
+                                    hist,
+                                    &self.ctr_guard,
+                                    now,
+                                    REG_CONFLICT_REASON,
+                                );
                                 // Remember the first offense but finish the
                                 // schedule so the cycle stays well-formed.
                                 if conflict.is_none() {
@@ -470,24 +770,268 @@ impl<S> Sim<S> {
                 }
                 Err(stall) => {
                     self.clk.abort_rule();
+                    account_guard_stall(
+                        entry,
+                        &self.tracer,
+                        tracing,
+                        hist,
+                        &self.ctr_guard,
+                        now,
+                        stall.reason(),
+                    );
+                }
+            }
+        }
+        self.finish_cycle(fired_any, conflict, chaos.as_ref(), now)
+    }
+
+    /// The fast loop: same observable behavior as [`Sim::cycle_reference`]
+    /// via the conflict-mask and wakeup short-circuits (see module docs and
+    /// `docs/SCHEDULING.md` for the equivalence argument).
+    fn cycle_fast(&mut self) -> Result<(), SimError> {
+        let now = self.clk.cycle();
+        let chaos = self.chaos.clone();
+        let mut fired_any = false;
+        let mut conflict: Option<SimError> = None;
+        let tracing = self.tracer.is_enabled();
+        let hist = self.collect_hist;
+        self.fired_forbidden
+            .reset(self.clk.total_methods() as usize);
+        let mut calls = std::mem::take(&mut self.calls_scratch);
+        let mut reads = std::mem::take(&mut self.reads_scratch);
+        let nrules = self.rules.len();
+        // Drain once per cycle regardless of sleepers, so the publish log
+        // stays bounded even in designs where no rule ever sleeps.
+        drain_wakeups(
+            &self.clk,
+            &mut self.watchers,
+            &self.sleep_gens,
+            &mut self.wake_flags,
+            &mut self.pub_seen,
+        );
+        for (i, entry) in self.rules.iter_mut().enumerate() {
+            // Chaos verdicts come first so an injected fault lands on the
+            // same cycle whether or not the rule is asleep.
+            match chaos.as_ref().and_then(|e| e.rule_fault(&entry.name, now)) {
+                Some(RuleFault::ForceStall) => {
+                    account_guard_stall(
+                        entry,
+                        &self.tracer,
+                        tracing,
+                        hist,
+                        &self.ctr_guard,
+                        now,
+                        CHAOS_STALL_REASON,
+                    );
+                    continue;
+                }
+                Some(RuleFault::Abort) => {
+                    // The oracle runs the body and vetoes its effects. A
+                    // sleeping rule's body is a pure function of cells that
+                    // have not changed, so skipping it is unobservable; an
+                    // awake rule may touch plain state and must run exactly
+                    // like the oracle.
+                    if entry.sched.sleep.is_none() {
+                        self.clk.begin_rule();
+                        let _ = (entry.body)(&mut self.state);
+                        self.clk.abort_rule();
+                    }
+                    account_guard_stall(
+                        entry,
+                        &self.tracer,
+                        tracing,
+                        hist,
+                        &self.ctr_guard,
+                        now,
+                        CHAOS_ABORT_REASON,
+                    );
+                    continue;
+                }
+                None => {}
+            }
+            if let Some(sleep) = &entry.sched.sleep {
+                let reason = sleep.reason;
+                // Lazy drain: an earlier rule may have committed a watched
+                // write *this* cycle (a schedule-order bypass the reference
+                // loop would observe), so re-check the publish count — one
+                // Cell read in the common nothing-new case.
+                drain_wakeups(
+                    &self.clk,
+                    &mut self.watchers,
+                    &self.sleep_gens,
+                    &mut self.wake_flags,
+                    &mut self.pub_seen,
+                );
+                if self.wake_flags[i] {
+                    self.wake_flags[i] = false;
+                    self.sleep_gens[i] = self.sleep_gens[i].wrapping_add(1);
+                    entry.sched.sleep = None;
+                } else {
+                    // Still asleep: nothing the guard read has published, so
+                    // it would stall with the same reason. Account exactly
+                    // as the reference does — minus the `last_wait` rewrite,
+                    // which was set when the rule fell asleep and would be
+                    // rewritten with the identical value.
                     entry.stats.guard_stalls += 1;
-                    *entry.guard_reasons.entry(stall.reason()).or_insert(0) += 1;
+                    if hist {
+                        *entry.guard_reasons.entry(reason).or_insert(0) += 1;
+                    }
                     self.ctr_guard.inc();
-                    entry.last_wait = Some(WaitCause::Guard(stall.reason()));
                     if tracing {
                         self.tracer.emit(
                             now,
                             &TraceEvent::GuardStalled {
                                 rule: &entry.name,
-                                reason: stall.reason(),
+                                reason,
                             },
                         );
+                    }
+                    continue;
+                }
+            }
+            let infer = matches!(entry.sched.wakeup, Wakeup::Inferred);
+            self.clk.begin_rule();
+            if infer {
+                self.clk.begin_read_trace();
+            }
+            let outcome = (entry.body)(&mut self.state);
+            if infer {
+                self.clk.end_read_trace(&mut reads);
+            }
+            match outcome {
+                Ok(()) => {
+                    self.clk.calls_global(&mut calls);
+                    // Footprint learning feeds [`Sim::schedule_waves`]; the
+                    // firing decision below no longer depends on it.
+                    for &c in &calls {
+                        entry.sched.add_method(&self.clk, c);
+                    }
+                    // Precise conflict test, one bit probe per call: a
+                    // violation exists iff some call is in the forbidden
+                    // set accumulated from everything committed earlier
+                    // this cycle — exactly the condition `check_cm` scans
+                    // for, so the O(calls × fired) scan only runs to *name*
+                    // a violation that certainly exists.
+                    let violation = if calls.iter().any(|&c| self.fired_forbidden.contains(c)) {
+                        self.clk.check_cm()
+                    } else {
+                        None
+                    };
+                    if let Some(v) = violation {
+                        self.clk.abort_rule();
+                        account_cm_stall(entry, &self.tracer, tracing, hist, &self.ctr_cm, now, &v);
+                        self.last_violation = Some(v);
+                    } else {
+                        match self.clk.try_commit_rule() {
+                            Ok(()) => {
+                                for &c in &calls {
+                                    self.fired_forbidden.union_with(forbid_mask(
+                                        &mut self.forbid_rows,
+                                        &self.clk,
+                                        c,
+                                    ));
+                                }
+                                account_fired(entry, &self.tracer, tracing, &self.ctr_fired, now);
+                                if !entry.exempt {
+                                    fired_any = true;
+                                }
+                            }
+                            Err(reg) => {
+                                account_guard_stall(
+                                    entry,
+                                    &self.tracer,
+                                    tracing,
+                                    hist,
+                                    &self.ctr_guard,
+                                    now,
+                                    REG_CONFLICT_REASON,
+                                );
+                                if conflict.is_none() {
+                                    conflict = Some(SimError::RegConflict {
+                                        cycle: self.cycles,
+                                        rule: entry.name.clone(),
+                                        reg,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(stall) => {
+                    self.clk.abort_rule();
+                    account_guard_stall(
+                        entry,
+                        &self.tracer,
+                        tracing,
+                        hist,
+                        &self.ctr_guard,
+                        now,
+                        stall.reason(),
+                    );
+                    if !matches!(entry.sched.wakeup, Wakeup::EveryCycle) {
+                        // Drain *before* registering the watchers: publishes
+                        // that predate this evaluation were already visible
+                        // to the guard and must not wake it.
+                        drain_wakeups(
+                            &self.clk,
+                            &mut self.watchers,
+                            &self.sleep_gens,
+                            &mut self.wake_flags,
+                            &mut self.pub_seen,
+                        );
+                        let gen = self.sleep_gens[i];
+                        let rule = u32::try_from(i).expect("rule index");
+                        match &entry.sched.wakeup {
+                            Wakeup::EveryCycle => unreachable!(),
+                            Wakeup::Inferred => {
+                                reads.sort_unstable();
+                                reads.dedup();
+                                for &c in &reads {
+                                    add_watcher(
+                                        &mut self.watchers,
+                                        &self.sleep_gens,
+                                        nrules,
+                                        c,
+                                        rule,
+                                        gen,
+                                    );
+                                }
+                            }
+                            Wakeup::Watch(ids) => {
+                                for c in ids {
+                                    add_watcher(
+                                        &mut self.watchers,
+                                        &self.sleep_gens,
+                                        nrules,
+                                        c.0,
+                                        rule,
+                                        gen,
+                                    );
+                                }
+                            }
+                        }
+                        entry.sched.sleep = Some(Sleep {
+                            reason: stall.reason(),
+                        });
                     }
                 }
             }
         }
+        self.calls_scratch = calls;
+        self.reads_scratch = reads;
+        self.finish_cycle(fired_any, conflict, chaos.as_ref(), now)
+    }
+
+    /// Shared cycle tail: boundary publish, chaos bit flips, watchdog.
+    fn finish_cycle(
+        &mut self,
+        fired_any: bool,
+        conflict: Option<SimError>,
+        chaos: Option<&FaultEngine>,
+        now: u64,
+    ) -> Result<(), SimError> {
         self.clk.end_cycle();
-        if let Some(e) = &chaos {
+        if let Some(e) = chaos {
             e.apply_cycle_faults(now);
         }
         self.cycles += 1;
@@ -708,8 +1252,8 @@ impl<S> fmt::Debug for Sim<S> {
 mod tests {
     use super::*;
     use crate::cell::{Ehr, Reg};
-    use crate::cm::ConflictMatrix;
     use crate::clock::ModuleIfc;
+    use crate::cm::ConflictMatrix;
     use crate::guard::Stall;
 
     struct Two {
@@ -848,7 +1392,10 @@ mod tests {
                     "the report carries each rule's guard reason"
                 );
                 let shown = format!("{report}");
-                assert!(shown.contains("needs_a -> guard \"a still zero\""), "{shown}");
+                assert!(
+                    shown.contains("needs_a -> guard \"a still zero\""),
+                    "{shown}"
+                );
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
@@ -996,6 +1543,7 @@ mod tests {
             b: Ehr::new(&clk, 0),
         };
         let mut sim = Sim::new(clk, st);
+        sim.enable_stall_histograms();
         // Registered first but never fires; `busy` fires every cycle and
         // must be listed first in the sorted report.
         sim.rule("idle", |s: &mut Two| {
@@ -1027,6 +1575,7 @@ mod tests {
             x: Ehr::new(&clk, 0),
         };
         let mut sim = Sim::new(clk, st);
+        sim.enable_stall_histograms();
         sim.rule("first", |s: &mut CmState| {
             s.ifc.record(0);
             Ok(())
@@ -1038,6 +1587,24 @@ mod tests {
         sim.run(3);
         let rep = sim.report();
         assert!(rep.contains("3 × cm [m.bump"), "{rep}");
+    }
+
+    #[test]
+    fn histograms_are_off_by_default() {
+        let clk = Clock::new();
+        let st = Two {
+            a: Ehr::new(&clk, 0),
+            b: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        let r = sim.rule("stuck", |_s: &mut Two| Err(Stall::new("never")));
+        sim.set_watchdog(None);
+        sim.run(3);
+        // Stats and wait causes are always maintained; only the report's
+        // reason histogram is gated.
+        assert_eq!(sim.rule_stats(r).guard_stalls, 3);
+        assert!(sim.wait_graph().names_rule("stuck"));
+        assert!(!sim.report().contains("× guard"), "{}", sim.report());
     }
 
     #[test]
@@ -1079,6 +1646,185 @@ mod tests {
         sim.set_tracer(Tracer::disabled());
         sim.run(1);
         assert_eq!(sink.borrow().events.len(), 4);
+    }
+
+    fn build_mixed_sim(mode: SchedulerMode) -> (Sim<CmState>, [RuleId; 3]) {
+        let clk = Clock::new();
+        let ifc = clk.module("m", &["bump"], ConflictMatrix::builder(1).build());
+        let st = CmState {
+            ifc,
+            x: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        sim.set_scheduler(mode);
+        let r1 = sim.rule("first", |s: &mut CmState| {
+            s.ifc.record(0);
+            s.x.update(|v| *v += 1);
+            Ok(())
+        });
+        let r2 = sim.rule("second", |s: &mut CmState| {
+            s.ifc.record(0);
+            s.x.update(|v| *v += 1);
+            Ok(())
+        });
+        let r3 = sim.rule("gated", |s: &mut CmState| {
+            if s.x.read() < 5 {
+                return Err(Stall::new("x too small"));
+            }
+            Ok(())
+        });
+        sim.set_wakeup(r3, Wakeup::Inferred);
+        (sim, [r1, r2, r3])
+    }
+
+    #[test]
+    fn fast_scheduler_matches_reference() {
+        let (mut fast, fr) = build_mixed_sim(SchedulerMode::Fast);
+        let (mut reference, rr) = build_mixed_sim(SchedulerMode::Reference);
+        fast.run(10);
+        reference.run(10);
+        assert_eq!(fast.cycles(), reference.cycles());
+        assert_eq!(fast.state().x.read(), reference.state().x.read());
+        for (f, r) in fr.iter().zip(rr.iter()) {
+            assert_eq!(
+                fast.rule_stats(*f),
+                reference.rule_stats(*r),
+                "stats diverge for {}",
+                fast.rule_name(*f)
+            );
+        }
+        assert_eq!(fast.counters().snapshot(), reference.counters().snapshot());
+    }
+
+    #[test]
+    fn sleeping_rule_skips_evaluation_until_watched_write() {
+        use std::cell::Cell as StdCell;
+        use std::rc::Rc;
+
+        struct Gated {
+            gate: Ehr<u32>,
+        }
+        let clk = Clock::new();
+        let st = Gated {
+            gate: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        let evals = Rc::new(StdCell::new(0u32));
+        let evals2 = evals.clone();
+        let r = sim.rule("waiter", move |s: &mut Gated| {
+            evals2.set(evals2.get() + 1);
+            if s.gate.read() == 0 {
+                return Err(Stall::new("gate closed"));
+            }
+            Ok(())
+        });
+        sim.set_wakeup(r, Wakeup::Inferred);
+        sim.run(5);
+        // One real evaluation, then four skipped-but-accounted cycles.
+        assert_eq!(evals.get(), 1, "sleeping guard must not be re-evaluated");
+        assert_eq!(sim.rule_stats(r).guard_stalls, 5);
+        assert_eq!(
+            sim.wait_graph().waits[0].cause,
+            WaitCause::Guard("gate closed")
+        );
+        // An out-of-rule poke to the watched cell wakes the rule.
+        sim.state_mut().gate.write(1);
+        sim.run(1);
+        assert_eq!(evals.get(), 2);
+        assert_eq!(sim.rule_stats(r).fired, 1);
+    }
+
+    #[test]
+    fn explicit_watch_set_wakes_rule() {
+        struct Gated {
+            gate: Ehr<u32>,
+        }
+        let clk = Clock::new();
+        let st = Gated {
+            gate: Ehr::new(&clk, 0),
+        };
+        let watch = vec![st.gate.watch_id()];
+        let mut sim = Sim::new(clk, st);
+        let r = sim.rule("waiter", |s: &mut Gated| {
+            if s.gate.read() == 0 {
+                return Err(Stall::new("gate closed"));
+            }
+            Ok(())
+        });
+        sim.set_wakeup(r, Wakeup::Watch(watch));
+        sim.run(3);
+        assert_eq!(sim.rule_stats(r).guard_stalls, 3);
+        sim.state_mut().gate.write(7);
+        sim.run(1);
+        assert_eq!(sim.rule_stats(r).fired, 1);
+    }
+
+    #[test]
+    fn set_scheduler_clears_sleep_state() {
+        struct Gated {
+            gate: Ehr<u32>,
+        }
+        let clk = Clock::new();
+        let st = Gated {
+            gate: Ehr::new(&clk, 0),
+        };
+        let mut sim = Sim::new(clk, st);
+        assert_eq!(sim.scheduler(), SchedulerMode::Fast, "fast is the default");
+        let r = sim.rule("waiter", |s: &mut Gated| {
+            if s.gate.read() == 0 {
+                return Err(Stall::new("gate closed"));
+            }
+            Ok(())
+        });
+        sim.set_wakeup(r, Wakeup::Inferred);
+        sim.run(2);
+        sim.set_scheduler(SchedulerMode::Reference);
+        // The oracle re-evaluates every cycle — no stale sleep may linger.
+        sim.state_mut().gate.write(1);
+        sim.run(1);
+        assert_eq!(sim.rule_stats(r).fired, 1);
+    }
+
+    #[test]
+    fn schedule_waves_groups_conflict_free_rules() {
+        struct TwoMods {
+            m1: ModuleIfc,
+            m2: ModuleIfc,
+        }
+        let clk = Clock::new();
+        let m1 = clk.module("m1", &["a"], ConflictMatrix::builder(1).build());
+        let m2 = clk.module("m2", &["b"], ConflictMatrix::builder(1).build());
+        let st = TwoMods { m1, m2 };
+        let mut sim = Sim::new(clk, st);
+        let a = sim.rule("on_m1", |s: &mut TwoMods| {
+            s.m1.record(0);
+            Ok(())
+        });
+        let b = sim.rule("on_m2", |s: &mut TwoMods| {
+            s.m2.record(0);
+            Ok(())
+        });
+        let c = sim.rule("on_m1_too", |s: &mut TwoMods| {
+            s.m1.record(0);
+            Ok(())
+        });
+        // Footprints can be declared up front instead of learned.
+        let (ifc1, ifc2) = {
+            let s = sim.state();
+            (s.m1.clone(), s.m2.clone())
+        };
+        sim.declare_footprint(a, &ifc1, &[0]);
+        sim.declare_footprint(b, &ifc2, &[0]);
+        sim.declare_footprint(c, &ifc1, &[0]);
+        let waves = sim.schedule_waves();
+        assert_eq!(
+            waves,
+            vec![
+                vec!["on_m1".to_string(), "on_m2".to_string()],
+                vec!["on_m1_too".to_string()]
+            ],
+            "different-module rules share a wave; same-module conflicts split"
+        );
     }
 
     #[test]

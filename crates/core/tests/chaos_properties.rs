@@ -34,7 +34,8 @@ fn build(seed: u64) -> (Sim<Pipe>, [RuleId; 3]) {
     let produce = sim.rule("produce", |s: &mut Pipe| {
         let v = s.src.read();
         s.q.enq(v)?;
-        s.src.write(v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1));
+        s.src
+            .write(v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1));
         Ok(())
     });
     let consume = sim.rule("consume", |s: &mut Pipe| {
@@ -120,8 +121,7 @@ fn same_seed_reproduces_identical_campaign() {
 fn different_seeds_diverge() {
     let campaign = |chaos_seed: u64| {
         let (mut sim, _) = build(1);
-        let engine =
-            FaultEngine::new(FaultPlan::new(chaos_seed).guard_stall("*", 0.2));
+        let engine = FaultEngine::new(FaultPlan::new(chaos_seed).guard_stall("*", 0.2));
         sim.attach_chaos(&engine);
         sim.run(300);
         engine.log()

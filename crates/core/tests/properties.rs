@@ -171,7 +171,11 @@ fn cycles_linearize_to_sequential_rule_execution() {
             }
         }
         for (i, expected) in model.iter().enumerate() {
-            assert_eq!(sim.state().cells[i].read(), *expected, "seed {seed} cell {i}");
+            assert_eq!(
+                sim.state().cells[i].read(),
+                *expected,
+                "seed {seed} cell {i}"
+            );
         }
     }
 }

@@ -1,0 +1,278 @@
+//! Property test: the fast scheduler ([`SchedulerMode::Fast`]) is
+//! observably identical to the reference one-rule-at-a-time oracle
+//! ([`SchedulerMode::Reference`]) — same cycle counts, same per-rule
+//! statistics, same counters, same trace event stream, same final state —
+//! across randomized "rule soup" designs (cells, all three FIFO flavors, a
+//! conflicting arbiter, gated rules), with and without an active chaos
+//! [`FaultPlan`], and across the IQ demo configurations of paper §IV.
+//!
+//! See `docs/SCHEDULING.md` for the equivalence argument these tests pin
+//! down executable evidence for.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cmd_core::demo::iq::{
+    dependent_chain, independent_program, race_program, run_iq_demo_with_scheduler, DemoInst,
+    IqDemoConfig, IqOrdering, RdybKind, NUM_REGS,
+};
+use cmd_core::prelude::*;
+use cmd_core::trace::VecSink;
+
+const NUM_CELLS: usize = 4;
+const CYCLES: u64 = 300;
+
+struct Soup {
+    arb: ModuleIfc,
+    cells: Vec<Ehr<u64>>,
+    pipe: PipelineFifo<u64>,
+    byp: BypassFifo<u64>,
+    cf: CfFifo<u64>,
+}
+
+/// One randomly drawn rule body. Every kind is a pure function of clocked
+/// cell state, so any of them may legally run with `Wakeup::Inferred`.
+#[derive(Clone, Copy)]
+enum Kind {
+    /// Bump a cell, optionally grabbing the (self-conflicting) arbiter.
+    Bump { cell: usize, arb: bool },
+    /// Stall unless a cell's value passes a threshold, then bump another.
+    Gate {
+        cell: usize,
+        threshold: u64,
+        bump: usize,
+    },
+    /// Enqueue a cell's value into a FIFO.
+    Produce { fifo: usize, cell: usize },
+    /// Dequeue from a FIFO into a cell.
+    Consume { fifo: usize, cell: usize },
+    /// Move an element between two FIFOs.
+    Move { from: usize, to: usize },
+}
+
+fn fifo_enq(s: &Soup, which: usize, v: u64) -> Guarded<()> {
+    match which % 3 {
+        0 => s.pipe.enq(v),
+        1 => s.byp.enq(v),
+        _ => s.cf.enq(v),
+    }
+}
+
+fn fifo_deq(s: &Soup, which: usize) -> Guarded<u64> {
+    match which % 3 {
+        0 => s.pipe.deq(),
+        1 => s.byp.deq(),
+        _ => s.cf.deq(),
+    }
+}
+
+fn apply(spec: Kind, s: &mut Soup) -> Guarded<()> {
+    match spec {
+        Kind::Bump { cell, arb } => {
+            if arb {
+                s.arb.record(0);
+            }
+            s.cells[cell].update(|v| *v = v.wrapping_add(1));
+            Ok(())
+        }
+        Kind::Gate {
+            cell,
+            threshold,
+            bump,
+        } => {
+            if s.cells[cell].read() % 16 < threshold {
+                return Err(Stall::new("gate closed"));
+            }
+            s.cells[bump].update(|v| *v = v.wrapping_add(3));
+            Ok(())
+        }
+        Kind::Produce { fifo, cell } => {
+            let v = s.cells[cell].read();
+            fifo_enq(s, fifo, v)
+        }
+        Kind::Consume { fifo, cell } => {
+            let v = fifo_deq(s, fifo)?;
+            s.cells[cell].update(|c| *c = c.wrapping_add(v));
+            Ok(())
+        }
+        Kind::Move { from, to } => {
+            let v = fifo_deq(s, from)?;
+            fifo_enq(s, to, v)
+        }
+    }
+}
+
+/// Everything observable about one run, for exact comparison.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    result: Result<u64, SimError>,
+    cycles: u64,
+    cells: Vec<u64>,
+    fifo_lens: (usize, usize, usize),
+    stats: Vec<(String, RuleStats)>,
+    counters: Vec<(String, u64)>,
+    trace: Vec<String>,
+    faults: usize,
+}
+
+fn run_soup(seed: u64, mode: SchedulerMode, with_chaos: bool) -> Outcome {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let clk = Clock::new();
+    let arb = clk.module("arb", &["grab"], ConflictMatrix::builder(1).build());
+    let st = Soup {
+        arb,
+        cells: (0..NUM_CELLS)
+            .map(|_| Ehr::new(&clk, rng.next_u64() % 8))
+            .collect(),
+        pipe: PipelineFifo::new(&clk, 2),
+        byp: BypassFifo::new(&clk, 2),
+        cf: CfFifo::new(&clk, 2),
+    };
+    let flip_target = st.cells[0].clone();
+    let mut sim = Sim::new(clk, st);
+    sim.set_scheduler(mode);
+    sim.enable_stall_histograms();
+
+    let n_rules = 6 + (rng.next_u64() % 5) as usize;
+    for i in 0..n_rules {
+        let kind = match rng.next_u64() % 5 {
+            0 => Kind::Bump {
+                cell: (rng.next_u64() as usize) % NUM_CELLS,
+                arb: rng.next_u64().is_multiple_of(2),
+            },
+            1 => Kind::Gate {
+                cell: (rng.next_u64() as usize) % NUM_CELLS,
+                threshold: rng.next_u64() % 12,
+                bump: (rng.next_u64() as usize) % NUM_CELLS,
+            },
+            2 => Kind::Produce {
+                fifo: (rng.next_u64() as usize) % 3,
+                cell: (rng.next_u64() as usize) % NUM_CELLS,
+            },
+            3 => Kind::Consume {
+                fifo: (rng.next_u64() as usize) % 3,
+                cell: (rng.next_u64() as usize) % NUM_CELLS,
+            },
+            _ => Kind::Move {
+                from: (rng.next_u64() as usize) % 3,
+                to: (rng.next_u64() as usize) % 3,
+            },
+        };
+        let id = sim.rule(format!("r{i}"), move |s: &mut Soup| apply(kind, s));
+        // Half the rules exercise the wakeup layer, half stay on the
+        // always-sound EveryCycle default — mixed schedules must agree too.
+        if rng.next_u64().is_multiple_of(2) {
+            sim.set_wakeup(id, Wakeup::Inferred);
+        }
+    }
+
+    let sink = Rc::new(RefCell::new(VecSink::default()));
+    sim.set_tracer(Tracer::new(sink.clone()));
+
+    let engine = if with_chaos {
+        let plan = FaultPlan::new(seed ^ 0x9e37_79b9)
+            .guard_stall("r*", 0.04)
+            .rule_abort("r*", 0.04)
+            .bit_flip("cell0", 0.05);
+        let e = FaultEngine::new(plan);
+        e.register_ehr_u64("cell0", &flip_target);
+        sim.attach_chaos(&e);
+        Some(e)
+    } else {
+        None
+    };
+
+    let result = sim.try_run(CYCLES);
+    let trace = sink.borrow().rendered();
+    Outcome {
+        result,
+        cycles: sim.cycles(),
+        cells: sim.state().cells.iter().map(Ehr::read).collect(),
+        fifo_lens: (
+            sim.state().pipe.len(),
+            sim.state().byp.len(),
+            sim.state().cf.len(),
+        ),
+        stats: sim
+            .all_rule_stats()
+            .map(|(n, s)| (n.to_string(), s))
+            .collect(),
+        counters: sim.counters().snapshot(),
+        trace,
+        faults: engine.map_or(0, |e| e.fault_count()),
+    }
+}
+
+fn assert_equivalent(seed: u64, with_chaos: bool) {
+    let fast = run_soup(seed, SchedulerMode::Fast, with_chaos);
+    let reference = run_soup(seed, SchedulerMode::Reference, with_chaos);
+    assert_eq!(
+        fast, reference,
+        "fast scheduler diverged from reference oracle (seed {seed}, chaos {with_chaos})"
+    );
+}
+
+#[test]
+fn random_rule_soups_match_reference() {
+    for seed in 0..24 {
+        assert_equivalent(seed, false);
+    }
+}
+
+#[test]
+fn random_rule_soups_match_reference_under_chaos() {
+    for seed in 0..24 {
+        assert_equivalent(seed, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IQ demo equivalence (paper §IV designs)
+// ---------------------------------------------------------------------------
+
+fn random_program(rng: &mut SplitMix64, len: usize) -> Vec<DemoInst> {
+    (0..len)
+        .map(|_| DemoInst {
+            dst: 4 + (rng.next_u64() as usize) % (NUM_REGS - 4),
+            src1: 1 + (rng.next_u64() as usize) % (NUM_REGS - 1),
+            src2: 1 + (rng.next_u64() as usize) % (NUM_REGS - 1),
+        })
+        .collect()
+}
+
+fn assert_iq_demo_equivalent(cfg: IqDemoConfig, program: &[DemoInst]) {
+    let fast = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Fast);
+    let reference = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Reference);
+    assert_eq!(fast, reference, "IQ demo diverged under {cfg:?}");
+}
+
+#[test]
+fn iq_demo_matches_reference_across_configs_and_programs() {
+    let mut rng = SplitMix64::seed_from_u64(7);
+    let configs = [
+        IqDemoConfig::default(),
+        IqDemoConfig {
+            rdyb: RdybKind::NonBypassed,
+            ..IqDemoConfig::default()
+        },
+        IqDemoConfig {
+            ordering: IqOrdering::WakeupBeforeIssue,
+            ..IqDemoConfig::default()
+        },
+        // The mis-declared module must deadlock identically in both modes.
+        IqDemoConfig {
+            rdyb: RdybKind::BrokenClaimsBypass,
+            ..IqDemoConfig::default()
+        },
+    ];
+    for cfg in configs {
+        assert_iq_demo_equivalent(cfg, &race_program());
+        assert_iq_demo_equivalent(cfg, &dependent_chain(24));
+        assert_iq_demo_equivalent(cfg, &independent_program(24));
+        for _ in 0..4 {
+            let len = 8 + (rng.next_u64() as usize) % 25;
+            let program = random_program(&mut rng, len);
+            assert_iq_demo_equivalent(cfg, &program);
+        }
+    }
+}

@@ -26,9 +26,7 @@
 
 use std::collections::HashMap;
 
-use crate::inst::{
-    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Rhs,
-};
+use crate::inst::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Rhs};
 use crate::mem::SparseMem;
 use crate::reg::Gpr;
 
@@ -160,7 +158,8 @@ impl Assembler {
         let addr_of = |target: &str| -> u64 {
             base + 4 * *labels
                 .get(target)
-                .unwrap_or_else(|| panic!("undefined label `{target}`")) as u64
+                .unwrap_or_else(|| panic!("undefined label `{target}`"))
+                as u64
         };
         let mut text = Vec::with_capacity(slots.len());
         for (idx, slot) in slots.iter().enumerate() {

@@ -367,7 +367,10 @@ fn imm_j(w: u32) -> i32 {
 // Encoding helpers ----------------------------------------------------------
 
 fn enc_r(op: u32, f3: u32, f7: u32, rd: Gpr, rs1: Gpr, rs2: Gpr) -> u32 {
-    op | (u32::from(rd) << 7) | (f3 << 12) | (u32::from(rs1) << 15) | (u32::from(rs2) << 20)
+    op | (u32::from(rd) << 7)
+        | (f3 << 12)
+        | (u32::from(rs1) << 15)
+        | (u32::from(rs2) << 20)
         | (f7 << 25)
 }
 
@@ -597,16 +600,20 @@ impl Instr {
                     CsrOp::Rc => 3,
                 };
                 match src {
-                    CsrSrc::Reg(rs1) => OP_SYSTEM
-                        | (u32::from(rd) << 7)
-                        | (base << 12)
-                        | (u32::from(rs1) << 15)
-                        | (u32::from(csr) << 20),
-                    CsrSrc::Imm(z) => OP_SYSTEM
-                        | (u32::from(rd) << 7)
-                        | ((base + 4) << 12)
-                        | ((u32::from(z) & 0x1f) << 15)
-                        | (u32::from(csr) << 20),
+                    CsrSrc::Reg(rs1) => {
+                        OP_SYSTEM
+                            | (u32::from(rd) << 7)
+                            | (base << 12)
+                            | (u32::from(rs1) << 15)
+                            | (u32::from(csr) << 20)
+                    }
+                    CsrSrc::Imm(z) => {
+                        OP_SYSTEM
+                            | (u32::from(rd) << 7)
+                            | ((base + 4) << 12)
+                            | ((u32::from(z) & 0x1f) << 15)
+                            | (u32::from(csr) << 20)
+                    }
                 }
             }
             Fence => OP_MISC_MEM | (0x0ff0 << 20),
@@ -616,9 +623,7 @@ impl Instr {
             Mret => OP_SYSTEM | (0x302 << 20),
             Sret => OP_SYSTEM | (0x102 << 20),
             Wfi => OP_SYSTEM | (0x105 << 20),
-            SfenceVma { rs1, rs2 } => {
-                enc_r(OP_SYSTEM, 0, 0x09, Gpr::ZERO, rs1, rs2)
-            }
+            SfenceVma { rs1, rs2 } => enc_r(OP_SYSTEM, 0, 0x09, Gpr::ZERO, rs1, rs2),
         }
     }
 
@@ -941,12 +946,15 @@ mod tests {
         let a0 = Gpr::a(0);
         let a1 = Gpr::a(1);
         let t0 = Gpr::t(0);
-        roundtrip(Instr::Lui { rd: a0, imm: 0x12345 << 12 });
         roundtrip(Instr::Lui {
             rd: a0,
-            imm: -4096,
+            imm: 0x12345 << 12,
         });
-        roundtrip(Instr::Auipc { rd: t0, imm: 0x1000 });
+        roundtrip(Instr::Lui { rd: a0, imm: -4096 });
+        roundtrip(Instr::Auipc {
+            rd: t0,
+            imm: 0x1000,
+        });
         roundtrip(Instr::Jal {
             rd: Gpr::RA,
             offset: -2048,
@@ -1082,7 +1090,13 @@ mod tests {
                 rs2: c,
             });
         }
-        for op in [MulDivOp::Mul, MulDivOp::Div, MulDivOp::Divu, MulDivOp::Rem, MulDivOp::Remu] {
+        for op in [
+            MulDivOp::Mul,
+            MulDivOp::Div,
+            MulDivOp::Divu,
+            MulDivOp::Rem,
+            MulDivOp::Remu,
+        ] {
             roundtrip(Instr::MulDiv {
                 op,
                 word: true,

@@ -6,14 +6,12 @@
 //! this repository are checked against it instruction-by-instruction
 //! (lock-step co-simulation at commit).
 
+use crate::asm::Program;
 use crate::csr::{CsrFile, Exception, Priv};
 use crate::inst::{
     decode, AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Rhs,
 };
-use crate::mem::{
-    is_mmio, SparseMem, MMIO_EXIT, MMIO_PUTCHAR, MMIO_ROI,
-};
-use crate::asm::Program;
+use crate::mem::{is_mmio, SparseMem, MMIO_EXIT, MMIO_PUTCHAR, MMIO_ROI};
 use crate::reg::Gpr;
 use crate::vm::{self, Access};
 
@@ -251,10 +249,7 @@ impl Machine {
                 next_pc = pc.wrapping_add(offset as i64 as u64);
             }
             Instr::Jalr { rd, rs1, offset } => {
-                let t = self.harts[id]
-                    .reg(rs1)
-                    .wrapping_add(offset as i64 as u64)
-                    & !1;
+                let t = self.harts[id].reg(rs1).wrapping_add(offset as i64 as u64) & !1;
                 rd_write = Some((rd, next_pc));
                 next_pc = t;
             }
@@ -659,7 +654,7 @@ pub fn amo_exec(op: AmoOp, width: MemWidth, old: u64, src: u64) -> u64 {
     } else {
         (old, src)
     };
-    
+
     match op {
         AmoOp::Swap => b,
         AmoOp::Add => a.wrapping_add(b),
@@ -691,9 +686,9 @@ pub fn amo_exec(op: AmoOp, width: MemWidth, old: u64, src: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
-    use crate::csr::addr as csr_addr;
     use super::*;
     use crate::asm::Assembler;
+    use crate::csr::addr as csr_addr;
     use crate::mem::DRAM_BASE;
 
     fn exit_seq(a: &mut Assembler, code: i64) {

@@ -100,11 +100,7 @@ pub fn satp_sv39_enabled(satp: u64) -> bool {
 /// Virtual page numbers of `va` (index 0 = lowest level).
 #[must_use]
 pub fn vpns(va: u64) -> [u64; LEVELS] {
-    [
-        (va >> 12) & 0x1ff,
-        (va >> 21) & 0x1ff,
-        (va >> 30) & 0x1ff,
-    ]
+    [(va >> 12) & 0x1ff, (va >> 21) & 0x1ff, (va >> 30) & 0x1ff]
 }
 
 /// Checks that the upper bits of `va` are the sign extension of bit 38.
@@ -257,10 +253,7 @@ mod tests {
     #[test]
     fn write_to_readonly_faults() {
         let mut m = two_level_setup();
-        m.0.insert(
-            (3 << 12) + 8,
-            make_leaf(0x81, pte::R | pte::A),
-        );
+        m.0.insert((3 << 12) + 8, make_leaf(0x81, pte::R | pte::A));
         let ok = walk_sv39(1, 0x0040_1000, Access::Load, Priv::S, m.read());
         assert!(ok.is_ok());
         let bad = walk_sv39(1, 0x0040_1000, Access::Store, Priv::S, m.read());

@@ -104,8 +104,8 @@ fn instr(rng: &mut SplitMix64) -> Instr {
         },
         7 => {
             let op = *rng.pick(&ALU_OPS);
-            let word = rng.chance(0.5)
-                && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
+            let word =
+                rng.chance(0.5) && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
             Instr::Alu {
                 op,
                 word,
@@ -116,8 +116,8 @@ fn instr(rng: &mut SplitMix64) -> Instr {
         }
         8 => {
             let op = *rng.pick(&ALU_OPS);
-            let word = rng.chance(0.5)
-                && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
+            let word =
+                rng.chance(0.5) && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
             let imm = rng.range_i64(-2048, 2048) as i32;
             let imm = match op {
                 AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(if word { 32 } else { 64 }),
@@ -200,7 +200,17 @@ fn decoder_never_panics_and_is_stable() {
 fn li_materializes_any_constant() {
     let mut rng = SplitMix64::seed_from_u64(0x15a_0003);
     // Edge values plus a uniform sweep.
-    let mut cases = vec![0i64, 1, -1, i64::MAX, i64::MIN, 0x7ff, -0x800, 1 << 31, -(1 << 31)];
+    let mut cases = vec![
+        0i64,
+        1,
+        -1,
+        i64::MAX,
+        i64::MIN,
+        0x7ff,
+        -0x800,
+        1 << 31,
+        -(1 << 31),
+    ];
     cases.extend((0..192).map(|_| rng.next_u64() as i64));
     for v in cases {
         let mut a = Assembler::new(DRAM_BASE);

@@ -11,8 +11,8 @@ use riscy_isa::inst::MemWidth;
 use riscy_isa::interp::amo_exec;
 
 use crate::msg::{
-    line_of, AtomicOp, CacheStats, ChildReq, ChildToParent, CoreReq, CoreResp, DownReq, Line,
-    Msi, ParentToChild, LINE_BYTES,
+    line_of, AtomicOp, CacheStats, ChildReq, ChildToParent, CoreReq, CoreResp, DownReq, Line, Msi,
+    ParentToChild, LINE_BYTES,
 };
 use crate::queue::TimedQueue;
 
@@ -322,7 +322,10 @@ impl L1Cache {
     pub fn write_data(&mut self, line: u64, data: &Line, byte_en: &[bool; 64]) {
         let idx = self.array.lookup(line).expect("locked line present");
         let slot = self.array.slot_mut(idx);
-        assert!(slot.state == Msi::M && slot.locked, "writeData protocol violation");
+        assert!(
+            slot.state == Msi::M && slot.locked,
+            "writeData protocol violation"
+        );
         for (i, &en) in byte_en.iter().enumerate() {
             if en {
                 slot.data[i] = data[i];
@@ -598,7 +601,9 @@ impl L1Cache {
                             }
                         };
                         self.stats.hits += 1;
-                        let _ = self.resp_q.push(now, CoreResp::Atomic { tag, data: result });
+                        let _ = self
+                            .resp_q
+                            .push(now, CoreResp::Atomic { tag, data: result });
                         true
                     }
                     _ => {
@@ -709,12 +714,15 @@ mod tests {
 
     #[test]
     fn load_miss_then_hit() {
-        let mut l1 = L1Cache::new(0, L1Config {
-            size_bytes: 4096,
-            ways: 2,
-            mshrs: 4,
-            hit_latency: 1,
-        });
+        let mut l1 = L1Cache::new(
+            0,
+            L1Config {
+                size_bytes: 4096,
+                ways: 2,
+                mshrs: 4,
+                hit_latency: 1,
+            },
+        );
         l1.request(CoreReq::Ld {
             tag: 7,
             addr: 0x1000,
@@ -750,12 +758,15 @@ mod tests {
 
     #[test]
     fn store_needs_m_then_locks_until_write_data() {
-        let mut l1 = L1Cache::new(0, L1Config {
-            size_bytes: 4096,
-            ways: 2,
-            mshrs: 4,
-            hit_latency: 1,
-        });
+        let mut l1 = L1Cache::new(
+            0,
+            L1Config {
+                size_bytes: 4096,
+                ways: 2,
+                mshrs: 4,
+                hit_latency: 1,
+            },
+        );
         l1.request(CoreReq::St {
             sb_idx: 3,
             line: 0x2000,
@@ -775,7 +786,10 @@ mod tests {
             to: Msi::I,
         }));
         l1.tick(2);
-        assert!(l1.to_parent_msg.is_empty(), "downgrade deferred while locked");
+        assert!(
+            l1.to_parent_msg.is_empty(),
+            "downgrade deferred while locked"
+        );
         let mut data = [0u8; 64];
         data[0] = 0x5a;
         let mut en = [false; 64];
@@ -805,18 +819,18 @@ mod tests {
         })
         .unwrap();
         l1.tick(0);
-        assert_eq!(
-            l1.pop_resp(10),
-            Some(CoreResp::Atomic { tag: 1, data: 1 })
-        );
+        assert_eq!(l1.pop_resp(10), Some(CoreResp::Atomic { tag: 1, data: 1 }));
     }
 
     #[test]
     fn lr_then_sc_succeeds_and_amo_applies() {
-        let mut l1 = L1Cache::new(0, L1Config {
-            hit_latency: 0,
-            ..L1Config::default()
-        });
+        let mut l1 = L1Cache::new(
+            0,
+            L1Config {
+                hit_latency: 0,
+                ..L1Config::default()
+            },
+        );
         l1.request(CoreReq::Atomic {
             tag: 1,
             addr: 0x3000,
@@ -863,12 +877,15 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_line() {
         // 1-set, 1-way cache: the second line evicts the first.
-        let mut l1 = L1Cache::new(0, L1Config {
-            size_bytes: 64,
-            ways: 1,
-            mshrs: 2,
-            hit_latency: 0,
-        });
+        let mut l1 = L1Cache::new(
+            0,
+            L1Config {
+                size_bytes: 64,
+                ways: 1,
+                mshrs: 2,
+                hit_latency: 0,
+            },
+        );
         l1.request(CoreReq::St {
             sb_idx: 0,
             line: 0x1000,

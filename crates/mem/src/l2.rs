@@ -574,7 +574,13 @@ mod tests {
         });
         run(&mut l2, &mut mem, 0, 20);
         let r = l2.uncached_out[0].pop_front().expect("walker data");
-        assert_eq!(r, UncachedResp { tag: 9, data: 0xabcd });
+        assert_eq!(
+            r,
+            UncachedResp {
+                tag: 9,
+                data: 0xabcd
+            }
+        );
     }
 
     #[test]
@@ -632,7 +638,9 @@ mod tests {
             to: Msi::I,
         });
         run(&mut l2, &mut mem, 20, 10);
-        let g = l2.resp_out[1].pop_front().expect("second granted after ack");
+        let g = l2.resp_out[1]
+            .pop_front()
+            .expect("second granted after ack");
         assert_eq!(g.state, Msi::M);
         assert_eq!(g.data[0], 1, "sees child 0's data");
     }

@@ -42,13 +42,15 @@ pub enum ChildReq {
         /// requesting child id
         child: usize,
         /// line address
-        line: u64 },
+        line: u64,
+    },
     /// Request the line in M (write permission).
     GetM {
         /// requesting child id
         child: usize,
         /// line address
-        line: u64 },
+        line: u64,
+    },
 }
 
 impl ChildReq {

@@ -5,7 +5,7 @@ use cmd_core::chaos::{FaultEngine, LinkFault};
 use riscy_isa::mem::SparseMem;
 
 use crate::cache::{L1Cache, L1Config};
-use crate::l2::{UncachedReq, UncachedResp, L2, L2Config};
+use crate::l2::{L2Config, UncachedReq, UncachedResp, L2};
 use crate::msg::{ChildReq, ChildToParent, ParentToChild};
 use crate::queue::TimedQueue;
 
@@ -92,7 +92,9 @@ impl MemSystem {
         let children = 2 * num_cores;
         MemSystem {
             mem,
-            l1d: (0..num_cores).map(|c| L1Cache::new(2 * c, cfg.l1d)).collect(),
+            l1d: (0..num_cores)
+                .map(|c| L1Cache::new(2 * c, cfg.l1d))
+                .collect(),
             l1i: (0..num_cores)
                 .map(|c| L1Cache::new(2 * c + 1, cfg.l1i))
                 .collect(),
@@ -439,7 +441,13 @@ mod tests {
             })
             .unwrap();
         let r = wait_resp(&mut s, 0, 500);
-        assert_eq!(r, CoreResp::Ld { tag: 1, data: 0xa1a0 });
+        assert_eq!(
+            r,
+            CoreResp::Ld {
+                tag: 1,
+                data: 0xa1a0
+            }
+        );
     }
 
     #[test]
@@ -581,7 +589,13 @@ mod tests {
         });
         for _ in 0..300 {
             if let Some(r) = s.pop_walker_resp(0) {
-                assert_eq!(r, UncachedResp { tag: 4, data: 0xfeed });
+                assert_eq!(
+                    r,
+                    UncachedResp {
+                        tag: 4,
+                        data: 0xfeed
+                    }
+                );
                 return;
             }
             s.tick();

@@ -105,7 +105,12 @@ impl Tlb {
     }
 
     /// Same-cycle lookup: `None` = miss; `Some(Err)` = permission fault.
-    pub fn lookup(&mut self, va: u64, access: Access, priv_mode: Priv) -> Option<Result<u64, PageFault>> {
+    pub fn lookup(
+        &mut self,
+        va: u64,
+        access: Access,
+        priv_mode: Priv,
+    ) -> Option<Result<u64, PageFault>> {
         self.tick += 1;
         let tick = self.tick;
         match self.entries.iter_mut().find(|e| e.matches(va)) {
@@ -137,11 +142,7 @@ impl Tlb {
         e.lru = self.tick;
         if self.entries.len() < self.capacity {
             self.entries.push(e);
-        } else if let Some(victim) = self
-            .entries
-            .iter_mut()
-            .min_by_key(|e| e.lru)
-        {
+        } else if let Some(victim) = self.entries.iter_mut().min_by_key(|e| e.lru) {
             *victim = e;
         }
     }
@@ -466,7 +467,10 @@ impl PageWalker {
     pub fn tick(&mut self) {
         // Consume responses.
         while let Some(resp) = self.from_l2.pop_front() {
-            let Some(wi) = self.walks.iter().position(|w| w.outstanding && w.tag == resp.tag)
+            let Some(wi) = self
+                .walks
+                .iter()
+                .position(|w| w.outstanding && w.tag == resp.tag)
             else {
                 continue;
             };
@@ -675,7 +679,9 @@ mod tests {
             walker.tick();
             while let Some(req) = walker.to_l2.pop_front() {
                 let data = *ptes.get(&req.addr).unwrap_or(&0);
-                walker.from_l2.push_back(UncachedResp { tag: req.tag, data });
+                walker
+                    .from_l2
+                    .push_back(UncachedResp { tag: req.tag, data });
             }
             if let Some(r) = walker.pop_result() {
                 return r;

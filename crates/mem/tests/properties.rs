@@ -73,7 +73,10 @@ fn timed_queue_orders_and_delays() {
         }
         // Nothing may be delivered before the first entry's due time.
         if latency > 0 {
-            assert!(q.pop_ready(latency.saturating_sub(1)).is_none(), "seed {seed}");
+            assert!(
+                q.pop_ready(latency.saturating_sub(1)).is_none(),
+                "seed {seed}"
+            );
         }
         let mut out = Vec::new();
         let mut now = 0;

@@ -30,9 +30,7 @@ use crate::rob::{LsqDeqResult, Rob, RobEntry};
 use crate::sb::{SbSearch, StoreBuffer};
 use crate::soc::{CoreStats, Soc};
 use crate::tlbport::TlbHier;
-use crate::types::{
-    ExecPipe, MemKind, PhysReg, SpecMask, SystemOp, Uop,
-};
+use crate::types::{ExecPipe, MemKind, PhysReg, SpecMask, SystemOp, Uop};
 
 /// Divide latency in cycles (iterative unit).
 const DIV_LATENCY: u64 = 16;
@@ -275,8 +273,7 @@ impl Soc {
             // or not tracing is enabled, so traced and untraced runs report
             // byte-identical statistics).
             core.stats.rob_occ_sum += core.rob.len() as u64;
-            core.stats.iq_occ_sum +=
-                core.iqs.iter().map(IssueQueue::len).sum::<usize>() as u64;
+            core.stats.iq_occ_sum += core.iqs.iter().map(IssueQueue::len).sum::<usize>() as u64;
             core.stats.occ_cycles += 1;
         }
         self.mem.tick();
@@ -379,7 +376,9 @@ impl Soc {
                     op,
                 })
                 .map_err(|_| Stall::new("dcache rejected"))?;
-            self.cores[c].rob.with_entry(e.uop.rob, |e| e.started = true);
+            self.cores[c]
+                .rob
+                .with_entry(e.uop.rob, |e| e.started = true);
             return Ok(());
         }
         Err(Stall::new("unexpected non-spec entry"))
@@ -574,9 +573,7 @@ impl Soc {
         if gpc != e.uop.pc {
             self.cosim_errors.push(format!(
                 "pc mismatch: core committed {:#x}, golden at {:#x} (inst #{})",
-                e.uop.pc,
-                gpc,
-                self.cores[c].stats.committed
+                e.uop.pc, gpc, self.cores[c].stats.committed
             ));
             return;
         }
@@ -705,12 +702,8 @@ impl Soc {
             .ok_or(Stall::new("alu exec empty"))?;
         let (wb, resolved): (Option<u64>, Option<(u64, bool, bool)>) = {
             let core = &self.cores[c];
-            let a = core
-                .operand(uop.src1)
-                .ok_or(Stall::new("src1 not ready"))?;
-            let b = core
-                .operand(uop.src2)
-                .ok_or(Stall::new("src2 not ready"))?;
+            let a = core.operand(uop.src1).ok_or(Stall::new("src1 not ready"))?;
+            let b = core.operand(uop.src2).ok_or(Stall::new("src2 not ready"))?;
             match uop.instr {
                 Instr::Alu { op, word, rhs, .. } => {
                     let rhs_v = match rhs {
@@ -822,12 +815,8 @@ impl Soc {
         let (uop, done, mut value) = core.md_unit.read().ok_or(Stall::new("md idle"))?;
         if value == u64::MAX && done == u64::MAX {
             // Operands read on the first execution cycle.
-            let a = core
-                .operand(uop.src1)
-                .ok_or(Stall::new("src1 not ready"))?;
-            let b = core
-                .operand(uop.src2)
-                .ok_or(Stall::new("src2 not ready"))?;
+            let a = core.operand(uop.src1).ok_or(Stall::new("src1 not ready"))?;
+            let b = core.operand(uop.src2).ok_or(Stall::new("src2 not ready"))?;
             let Instr::MulDiv { op, word, .. } = uop.instr else {
                 unreachable!("non-muldiv in md unit")
             };
@@ -870,12 +859,8 @@ impl Soc {
             core.pipe.complete(uop.rob, self.mem.now());
             return Ok(());
         }
-        let base = core
-            .operand(uop.src1)
-            .ok_or(Stall::new("base not ready"))?;
-        let data = core
-            .operand(uop.src2)
-            .ok_or(Stall::new("data not ready"))?;
+        let base = core.operand(uop.src1).ok_or(Stall::new("base not ready"))?;
+        let data = core.operand(uop.src2).ok_or(Stall::new("data not ready"))?;
         let va = match uop.instr {
             Instr::Load { offset, .. } | Instr::Store { offset, .. } => {
                 base.wrapping_add(offset as i64 as u64)
@@ -928,9 +913,12 @@ impl Soc {
         //    (RiscyOO-B) nothing proceeds while a miss is pending.
         let hum = self.cores[c].tlb.hit_under_miss();
         if hum || !self.cores[c].tlb.d_miss_pending() {
-            let next = self.cores[c]
-                .mem_wait_tlb
-                .with(|v| v.iter().enumerate().find(|(_, t)| t.tlb_id.is_none()).map(|(i, t)| (i, *t)));
+            let next = self.cores[c].mem_wait_tlb.with(|v| {
+                v.iter()
+                    .enumerate()
+                    .find(|(_, t)| t.tlb_id.is_none())
+                    .map(|(i, t)| (i, *t))
+            });
             if let Some((slot, t)) = next {
                 let access = match t.uop.mem_kind {
                     Some(MemKind::Load) => Access::Load,
@@ -1007,13 +995,8 @@ impl Soc {
         match uop.mem_kind {
             Some(MemKind::Load) => {
                 core.lsq.update_ld(idx, res, bytes, signed, mmio, None);
-                core.rob.set_after_translation(
-                    uop.rob,
-                    mmio,
-                    mmio,
-                    false,
-                    res.err(),
-                );
+                core.rob
+                    .set_after_translation(uop.rob, mmio, mmio, false, res.err());
             }
             Some(MemKind::Atomic) => {
                 let op = atomic_op(&uop.instr, t.data);
@@ -1334,7 +1317,11 @@ impl Soc {
                 let mut e = RobEntry::new(uop);
                 e.completed = true;
                 e.exception = Some(x);
-                e.tval = if x == Exception::InstPageFault { dec.pc } else { 0 };
+                e.tval = if x == Exception::InstPageFault {
+                    dec.pc
+                } else {
+                    0
+                };
                 if let Err(stall) = core.rob.enq(e) {
                     self.cores[c].stats.rob_full_stalls += 1;
                     return Err(stall);
@@ -1374,11 +1361,21 @@ impl Soc {
             e.system = Some(op);
             if let Some(x) = trap_exception(&instr, core.priv_mode) {
                 e.exception = Some(x);
-                e.tval = if x == Exception::Breakpoint { dec.pc } else { 0 };
+                e.tval = if x == Exception::Breakpoint {
+                    dec.pc
+                } else {
+                    0
+                };
             }
             core.rob.enq(e)?;
-            core.pipe
-                .rename(uop.rob, dec.pc, Some(&instr), dec.fetched_at, dec.decoded_at, now);
+            core.pipe.rename(
+                uop.rob,
+                dec.pc,
+                Some(&instr),
+                dec.fetched_at,
+                dec.decoded_at,
+                now,
+            );
             core.serialize.write(true);
             core.fetch_q.update(|q| {
                 q.pop_front();
@@ -1397,7 +1394,10 @@ impl Soc {
         let mem_kind = mem_class(&instr);
         let lsq_idx = match mem_kind {
             Some(kind @ (MemKind::Load | MemKind::Atomic)) => {
-                Some(core.lsq.enq_ld(rob_idx, mask, None, kind == MemKind::Atomic)?)
+                Some(
+                    core.lsq
+                        .enq_ld(rob_idx, mask, None, kind == MemKind::Atomic)?,
+                )
             }
             Some(MemKind::Store) => Some(core.lsq.enq_st(rob_idx, mask, false)?),
             Some(MemKind::Fence) => Some(core.lsq.enq_st(rob_idx, mask, true)?),
@@ -1476,8 +1476,14 @@ impl Soc {
             self.cores[c].stats.rob_full_stalls += 1;
             return Err(stall);
         }
-        core.pipe
-            .rename(rob_idx, dec.pc, Some(&instr), dec.fetched_at, dec.decoded_at, now);
+        core.pipe.rename(
+            rob_idx,
+            dec.pc,
+            Some(&instr),
+            dec.fetched_at,
+            dec.decoded_at,
+            now,
+        );
         core.fetch_q.update(|q| {
             q.pop_front();
         });
@@ -1606,7 +1612,11 @@ impl Soc {
         }
         let pc = self.cores[c].fetch_pc.read();
         let epoch = self.cores[c].epoch.read();
-        let n = if pc.is_multiple_of(8) { self.cfg.width.min(2) } else { 1 };
+        let n = if pc.is_multiple_of(8) {
+            self.cfg.width.min(2)
+        } else {
+            1
+        };
         let (satp, pm) = {
             let core = &self.cores[c];
             (core.csr.satp, core.priv_mode)

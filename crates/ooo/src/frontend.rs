@@ -66,9 +66,9 @@ impl Btb {
 #[derive(Debug, Clone)]
 pub struct Tournament {
     local_hist: Vec<u16>,
-    local_pred: Vec<u8>, // 3-bit
+    local_pred: Vec<u8>,  // 3-bit
     global_pred: Vec<u8>, // 2-bit
-    choice: Vec<u8>,     // 2-bit: ≥2 = use global
+    choice: Vec<u8>,      // 2-bit: ≥2 = use global
     ghist: u64,
     cfg: BpConfig,
 }
@@ -111,7 +111,8 @@ impl Tournament {
     /// Pure prediction without history effects.
     #[must_use]
     pub fn predict(&self, pc: u64) -> bool {
-        let lh = self.local_hist[self.lh_index(pc)] as usize & ((1 << self.cfg.local_hist_bits) - 1);
+        let lh =
+            self.local_hist[self.lh_index(pc)] as usize & ((1 << self.cfg.local_hist_bits) - 1);
         let local_taken = self.local_pred[lh] >= 4;
         let gi = ((self.ghist ^ (pc >> 2)) & self.gmask()) as usize;
         let global_taken = self.global_pred[gi] >= 2;
@@ -265,7 +266,10 @@ pub fn predict_next(
             if call_ret_kind(instr) == CallRet::Call {
                 ras.push(pc + 4);
             }
-            NextPc { target, taken: true }
+            NextPc {
+                target,
+                taken: true,
+            }
         }
         Instr::Jalr { .. } => match call_ret_kind(instr) {
             CallRet::Ret => NextPc {
@@ -277,7 +281,10 @@ pub fn predict_next(
                 if kind == CallRet::Call {
                     ras.push(pc + 4);
                 }
-                NextPc { target, taken: true }
+                NextPc {
+                    target,
+                    taken: true,
+                }
             }
         },
         Instr::Branch { offset, .. } => {

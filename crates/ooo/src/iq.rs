@@ -89,11 +89,7 @@ impl IssueQueue {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| {
-                s.with(|e| {
-                    e.as_ref()
-                        .filter(|e| e.rdy1 && e.rdy2)
-                        .map(|e| (i, e.age))
-                })
+                s.with(|e| e.as_ref().filter(|e| e.rdy1 && e.rdy2).map(|e| (i, e.age)))
             })
             .min_by_key(|&(_, age)| age)
             .map(|(i, _)| i)
@@ -135,7 +131,10 @@ impl IssueQueue {
     /// Occupancy.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.with(Option::is_some)).count()
+        self.slots
+            .iter()
+            .filter(|s| s.with(Option::is_some))
+            .count()
     }
 
     /// Whether the queue is empty.

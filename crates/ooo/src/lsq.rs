@@ -341,9 +341,7 @@ impl Lsq {
                 s.with(|e| {
                     e.as_ref()
                         .filter(|e| {
-                            !e.zombie
-                                && (e.atomic_class || e.mmio)
-                                && e.state != LdState::Done
+                            !e.zombie && (e.atomic_class || e.mmio) && e.state != LdState::Done
                         })
                         .map(|e| e.age)
                 })
@@ -400,9 +398,7 @@ impl Lsq {
                         return;
                     }
                     let Some(sa) = s.addr else { return };
-                    if overlaps(la, lb, sa, s.bytes)
-                        && best.is_none_or(|(bage, _)| s.age > bage)
-                    {
+                    if overlaps(la, lb, sa, s.bytes) && best.is_none_or(|(bage, _)| s.age > bage) {
                         best = Some((s.age, *s));
                     }
                 }
@@ -533,10 +529,7 @@ impl Lsq {
                         return;
                     }
                     let Some(a) = e.addr else { return };
-                    if line_of(a) == line
-                        && e.state == LdState::Done
-                        && e.fwd_src_age.is_none()
-                    {
+                    if line_of(a) == line && e.state == LdState::Done && e.fwd_src_age.is_none() {
                         e.killed = true;
                         kills += 1;
                     }
@@ -998,7 +991,10 @@ mod tests {
 
     #[test]
     fn extract_subword_from_store_data() {
-        assert_eq!(extract(0x1122_3344_5566_7788, 0x100, 0x100, 8), 0x1122_3344_5566_7788);
+        assert_eq!(
+            extract(0x1122_3344_5566_7788, 0x100, 0x100, 8),
+            0x1122_3344_5566_7788
+        );
         assert_eq!(extract(0x1122_3344_5566_7788, 0x100, 0x102, 2), 0x5566);
         assert_eq!(extract(0x1122_3344_5566_7788, 0x100, 0x107, 1), 0x11);
     }

@@ -81,7 +81,15 @@ impl PipeTrace {
 
     /// Opens the record for ROB slot `rob` at rename time (which is also
     /// the dispatch stamp), carrying the earlier fetch/decode stamps.
-    pub fn rename(&self, rob: u16, pc: u64, instr: Option<&Instr>, fetch: u64, decode: u64, now: u64) {
+    pub fn rename(
+        &self,
+        rob: u16,
+        pc: u64,
+        instr: Option<&Instr>,
+        fetch: u64,
+        decode: u64,
+        now: u64,
+    ) {
         if let Some(pt) = self.inner.borrow_mut().as_mut() {
             pt.records[rob as usize] = Some(Rec {
                 pc,

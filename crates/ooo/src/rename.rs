@@ -241,7 +241,8 @@ impl SpecManager {
 
     /// Frees every tag (full flush).
     pub fn flush(&self) {
-        self.snapshots.update(|s| s.iter_mut().for_each(|e| *e = None));
+        self.snapshots
+            .update(|s| s.iter_mut().for_each(|e| *e = None));
     }
 
     /// Number of live tags.
@@ -260,8 +261,8 @@ impl SpecManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frontend::{Ras, Tournament};
     use crate::config::BpConfig;
+    use crate::frontend::{Ras, Tournament};
 
     fn fixture() -> (Clock, RenameTable, SpecManager) {
         let clk = Clock::new();
@@ -387,9 +388,7 @@ mod tests {
         let (clk, rt, sm) = fixture();
         clk.begin_rule();
         let t0 = sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
-        let t1 = sm
-            .allocate(snap(&rt, SpecMask::EMPTY.with(t0)))
-            .unwrap();
+        let t1 = sm.allocate(snap(&rt, SpecMask::EMPTY.with(t0))).unwrap();
         sm.correct(t0);
         assert_eq!(sm.live(), 1);
         // t1 no longer depends on t0: wrong(t0-reuse) must not kill it.
@@ -406,9 +405,7 @@ mod tests {
         let (clk, rt, sm) = fixture();
         clk.begin_rule();
         let t0 = sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
-        let _t1 = sm
-            .allocate(snap(&rt, SpecMask::EMPTY.with(t0)))
-            .unwrap();
+        let _t1 = sm.allocate(snap(&rt, SpecMask::EMPTY.with(t0))).unwrap();
         let _t2 = sm.allocate(snap(&rt, SpecMask::EMPTY)).unwrap();
         sm.wrong(t0);
         assert_eq!(sm.live(), 1, "t1 dies with t0; independent t2 survives");

@@ -162,9 +162,7 @@ impl Rob {
     ///
     /// Panics if the slot is empty (stale index — a scheduling bug).
     pub fn with_entry(&self, idx: u16, f: impl FnOnce(&mut RobEntry)) {
-        self.entries[idx as usize].update(|e| {
-            f(e.as_mut().expect("rob index must be live"))
-        });
+        self.entries[idx as usize].update(|e| f(e.as_mut().expect("rob index must be live")));
     }
 
     /// Reads the entry at `idx`, if live.

@@ -161,7 +161,10 @@ impl StoreBuffer {
     /// Occupancy.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.with(Option::is_some)).count()
+        self.slots
+            .iter()
+            .filter(|s| s.with(Option::is_some))
+            .count()
     }
 
     /// Whether the buffer is drained.

@@ -4,6 +4,7 @@
 use cmd_core::cell::Ehr;
 use cmd_core::chaos::FaultEngine;
 use cmd_core::clock::Clock;
+use cmd_core::sched::SchedulerMode;
 use cmd_core::sim::{Sim, SimError};
 use riscy_isa::asm::Program;
 use riscy_isa::csr::{CsrFile, Priv};
@@ -258,7 +259,9 @@ impl SocSim {
         for c in 0..ncores {
             let w = cfg.width;
             for k in 0..w {
-                sim.rule(format!("c{c}.commit{k}"), move |s: &mut Soc| s.rule_commit(c));
+                sim.rule(format!("c{c}.commit{k}"), move |s: &mut Soc| {
+                    s.rule_commit(c)
+                });
             }
             sim.rule(format!("c{c}.cacheEvict"), move |s: &mut Soc| {
                 s.rule_cache_evict(c)
@@ -268,9 +271,13 @@ impl SocSim {
                     s.rule_alu_writeback(c, p)
                 });
             }
-            sim.rule(format!("c{c}.mdWb"), move |s: &mut Soc| s.rule_md_writeback(c));
+            sim.rule(format!("c{c}.mdWb"), move |s: &mut Soc| {
+                s.rule_md_writeback(c)
+            });
             sim.rule(format!("c{c}.respLd"), move |s: &mut Soc| s.rule_resp_ld(c));
-            sim.rule(format!("c{c}.forward"), move |s: &mut Soc| s.rule_forward(c));
+            sim.rule(format!("c{c}.forward"), move |s: &mut Soc| {
+                s.rule_forward(c)
+            });
             for p in 0..cfg.alu_pipes {
                 sim.rule(format!("c{c}.aluExec{p}"), move |s: &mut Soc| {
                     s.rule_alu_exec(c, p)
@@ -283,22 +290,30 @@ impl SocSim {
             sim.rule(format!("c{c}.updateLsq"), move |s: &mut Soc| {
                 s.rule_update_lsq(c)
             });
-            sim.rule(format!("c{c}.issueLd"), move |s: &mut Soc| s.rule_issue_ld(c));
+            sim.rule(format!("c{c}.issueLd"), move |s: &mut Soc| {
+                s.rule_issue_ld(c)
+            });
             sim.rule(format!("c{c}.deqLd"), move |s: &mut Soc| s.rule_deq_ld(c));
             sim.rule(format!("c{c}.deqSt"), move |s: &mut Soc| s.rule_deq_st(c));
-            sim.rule(format!("c{c}.sbIssue"), move |s: &mut Soc| s.rule_sb_issue(c));
+            sim.rule(format!("c{c}.sbIssue"), move |s: &mut Soc| {
+                s.rule_sb_issue(c)
+            });
             sim.rule(format!("c{c}.respSt"), move |s: &mut Soc| s.rule_resp_st(c));
             for p in 0..cfg.alu_pipes {
                 sim.rule(format!("c{c}.issueAlu{p}"), move |s: &mut Soc| {
                     s.rule_issue_alu(c, p)
                 });
             }
-            sim.rule(format!("c{c}.issueMd"), move |s: &mut Soc| s.rule_issue_md(c));
+            sim.rule(format!("c{c}.issueMd"), move |s: &mut Soc| {
+                s.rule_issue_md(c)
+            });
             sim.rule(format!("c{c}.issueMem"), move |s: &mut Soc| {
                 s.rule_issue_mem(c)
             });
             for k in 0..w {
-                sim.rule(format!("c{c}.rename{k}"), move |s: &mut Soc| s.rule_rename(c));
+                sim.rule(format!("c{c}.rename{k}"), move |s: &mut Soc| {
+                    s.rule_rename(c)
+                });
             }
             sim.rule(format!("c{c}.fetchResp"), move |s: &mut Soc| {
                 s.rule_fetch_resp(c)
@@ -346,6 +361,28 @@ impl SocSim {
         self.sim.attach_chaos(engine);
     }
 
+    /// Selects the rule scheduler (see [`cmd_core::sched`] and
+    /// `docs/SCHEDULING.md`). The default is [`SchedulerMode::Fast`];
+    /// [`SchedulerMode::Reference`] re-enables the one-rule-at-a-time
+    /// oracle for equivalence checking.
+    ///
+    /// SoC rules stay on the always-sound `Wakeup::EveryCycle` policy:
+    /// their bodies read plain Rust state (caches, TLBs, branch
+    /// predictors) that the clocked-cell wakeup layer cannot observe, so
+    /// sleeping them on cell publishes would miss wakeups. The fast path
+    /// still pays off here through the static conflict-footprint masks,
+    /// which skip the dynamic conflict-matrix scan for the common
+    /// conflict-free case.
+    pub fn set_scheduler(&mut self, mode: SchedulerMode) {
+        self.sim.set_scheduler(mode);
+    }
+
+    /// The active scheduler mode.
+    #[must_use]
+    pub fn scheduler(&self) -> SchedulerMode {
+        self.sim.scheduler()
+    }
+
     /// Overrides the scheduler watchdog's quiet-cycle threshold
     /// (`None` disables it).
     pub fn set_watchdog(&mut self, threshold: Option<u64>) {
@@ -381,12 +418,7 @@ impl SocSim {
         } else {
             Err(RunError::Budget {
                 max_cycles,
-                committed: self
-                    .soc()
-                    .cores
-                    .iter()
-                    .map(|c| c.stats.committed)
-                    .collect(),
+                committed: self.soc().cores.iter().map(|c| c.stats.committed).collect(),
             })
         }
     }
@@ -467,7 +499,8 @@ impl SocSim {
     pub fn enable_pipe_trace(&mut self) {
         let rob_entries = self.soc().cfg.rob_entries;
         for core in &mut self.sim.state_mut().cores {
-            core.pipe.enable(rob_entries, core.id as u64 * 1_000_000_000);
+            core.pipe
+                .enable(rob_entries, core.id as u64 * 1_000_000_000);
         }
     }
 

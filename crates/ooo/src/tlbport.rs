@@ -215,7 +215,11 @@ impl TlbHier {
             } else {
                 (&mut self.i_parked, &mut self.i_resps, true)
             };
-            let l1 = if l1_is_i { &mut self.itlb } else { &mut self.dtlb };
+            let l1 = if l1_is_i {
+                &mut self.itlb
+            } else {
+                &mut self.dtlb
+            };
 
             let mut i = 0;
             while i < parked.len() {
@@ -228,8 +232,7 @@ impl TlbHier {
                                 l1.fill(p.va, t);
                                 self.l2.fill(p.va, t);
                                 // Re-check permissions via the L1 entry.
-                                l1.lookup(p.va, p.access, p.priv_mode)
-                                    .expect("just filled")
+                                l1.lookup(p.va, p.access, p.priv_mode).expect("just filled")
                             }
                             Err(_) => Err(PageFault {
                                 va: p.va,
@@ -248,7 +251,10 @@ impl TlbHier {
                     if t <= now {
                         // Another parked entry's fill may already cover us.
                         if let Some(r) = l1.lookup(p.va, p.access, p.priv_mode) {
-                            resps.push_back(TlbResp { id: p.id, result: r });
+                            resps.push_back(TlbResp {
+                                id: p.id,
+                                result: r,
+                            });
                             parked.swap_remove(i);
                             continue;
                         }
@@ -261,9 +267,8 @@ impl TlbHier {
                                 steps: 0,
                             };
                             l1.fill(p.va, &t);
-                            let result = l1
-                                .lookup(p.va, p.access, p.priv_mode)
-                                .expect("just filled");
+                            let result =
+                                l1.lookup(p.va, p.access, p.priv_mode).expect("just filled");
                             resps.push_back(TlbResp { id: p.id, result });
                             parked.swap_remove(i);
                             continue;

@@ -28,12 +28,7 @@ fn exit_reg(a: &mut Assembler, reg: Gpr) {
 
 fn run_cosim(a: Assembler, max_cycles: u64) -> (SocSim, u64) {
     let prog = a.assemble();
-    let mut sim = SocSim::new(
-        CoreConfig::riscyoo_t_plus(),
-        mem_riscyoo_b(),
-        1,
-        &prog,
-    );
+    let mut sim = SocSim::new(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), 1, &prog);
     sim.soc_mut().enable_cosim(&prog);
     let cycles = sim
         .run_to_completion(max_cycles)
@@ -229,11 +224,7 @@ fn muldiv_complete_set() {
     let d = (-1234i64 / 77) as u64;
     let r = (-1234i64 % 77) as u64;
     let h = ((u128::from((-1234i64) as u64) * 77) >> 64) as u64;
-    let expect = m
-        .wrapping_add(d)
-        .wrapping_add(r)
-        .wrapping_add(h)
-        & 0x7ff;
+    let expect = m.wrapping_add(d).wrapping_add(r).wrapping_add(h) & 0x7ff;
     assert_eq!(exit_code(&sim), expect);
 }
 
@@ -326,7 +317,7 @@ fn memory_dependence_speculation_recovers() {
     a.li(Gpr::t(0), addr);
     a.li(Gpr::t(1), 99);
     a.sd(Gpr::t(1), 0, Gpr::t(0)); // arr[0] = 99
-    // Long-latency address computation (div chain).
+                                   // Long-latency address computation (div chain).
     a.li(Gpr::t(2), 1000);
     a.li(Gpr::t(3), 10);
     a.div(Gpr::t(2), Gpr::t(2), Gpr::t(3)); // 100
@@ -562,12 +553,7 @@ fn mesi_extension_is_architecturally_equivalent() {
 
     // Multicore with locks under MESI.
     let prog = spinlock_prog(30);
-    let mut sim = SocSim::new(
-        CoreConfig::multicore(MemModel::Tso),
-        mem_cfg,
-        2,
-        &prog,
-    );
+    let mut sim = SocSim::new(CoreConfig::multicore(MemModel::Tso), mem_cfg, 2, &prog);
     sim.run_to_completion(6_000_000)
         .unwrap_or_else(|e| panic!("mesi spinlock: {e}"));
     assert_eq!(sim.soc().devices.exited[0], Some(60));

@@ -291,8 +291,7 @@ fn lsq_forwarding_matches_naive_model() {
             for (i, (off, szc, data)) in stores.iter().enumerate() {
                 let sz = to_bytes(*szc);
                 let addr = base + (off * 4) / u64::from(sz) * u64::from(sz);
-                let overlap =
-                    addr < laddr + u64::from(lsz) && laddr < addr + u64::from(sz);
+                let overlap = addr < laddr + u64::from(lsz) && laddr < addr + u64::from(sz);
                 if overlap {
                     best = Some((i, addr, sz, *data));
                 }
@@ -300,8 +299,7 @@ fn lsq_forwarding_matches_naive_model() {
             match best {
                 None => assert_eq!(result, LdIssue::ToCache, "seed {seed}"),
                 Some((_, sa, ss, data)) => {
-                    let covers =
-                        sa <= laddr && laddr + u64::from(lsz) <= sa + u64::from(ss);
+                    let covers = sa <= laddr && laddr + u64::from(lsz) <= sa + u64::from(ss);
                     if covers {
                         let shift = 8 * (laddr - sa);
                         let mut v = data >> shift;

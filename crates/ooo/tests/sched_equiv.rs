@@ -1,0 +1,152 @@
+//! SoC-level scheduler equivalence (see `docs/SCHEDULING.md`): a full
+//! RiscyOO run under [`SchedulerMode::Fast`] must be observably identical
+//! to the one-rule-at-a-time reference oracle — same cycle count, same
+//! [`CoreStats`], same exit codes, same scheduler counters, same trace
+//! event stream — on single-core and 2-core SoCs, with and without an
+//! active chaos [`FaultPlan`].
+//!
+//! SoC rules stay on the always-sound `Wakeup::EveryCycle` policy (their
+//! bodies read plain Rust state the wakeup layer cannot observe), so what
+//! these tests pin down is the static conflict-footprint fast path on a
+//! design with tens of rules per core and real conflict-matrix traffic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cmd_core::chaos::{FaultEngine, FaultPlan, FaultRecord};
+use cmd_core::sched::SchedulerMode;
+use cmd_core::trace::{Tracer, VecSink};
+use riscy_isa::asm::{Assembler, Program};
+use riscy_isa::mem::{DRAM_BASE, MMIO_EXIT};
+use riscy_isa::reg::Gpr;
+use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, MemModel};
+use riscy_ooo::soc::{CoreStats, RunError, SocSim};
+
+const BUDGET: u64 = 2_000_000;
+
+/// A load/store/branch-heavy loop: touches the D$, the store buffer, and
+/// the branch predictor so most rules fire and most counters move.
+fn busy_prog(iters: i64) -> Program {
+    let mut a = Assembler::new(DRAM_BASE);
+    let buf = (DRAM_BASE + 0x1_0000) as i64;
+    a.li(Gpr::s(0), buf);
+    a.li(Gpr::s(1), iters);
+    a.li(Gpr::s(2), 0);
+    a.label("loop");
+    a.andi(Gpr::t(0), Gpr::s(1), 63);
+    a.slli(Gpr::t(0), Gpr::t(0), 3);
+    a.add(Gpr::t(0), Gpr::t(0), Gpr::s(0));
+    a.ld(Gpr::t(1), 0, Gpr::t(0));
+    a.add(Gpr::s(2), Gpr::s(2), Gpr::t(1));
+    a.sd(Gpr::s(1), 0, Gpr::t(0));
+    a.addi(Gpr::s(1), Gpr::s(1), -1);
+    a.bnez(Gpr::s(1), "loop");
+    a.li(Gpr::t(6), MMIO_EXIT as i64);
+    a.li(Gpr::t(5), 7);
+    a.sd(Gpr::t(5), 0, Gpr::t(6));
+    a.label("hang");
+    a.j("hang");
+    a.assemble()
+}
+
+/// An AMO-counter loop with a per-hart exit, so it terminates on any
+/// number of cores while keeping the L2 busy with coherence traffic.
+fn multicore_prog(iters: i64) -> Program {
+    let mut a = Assembler::new(DRAM_BASE);
+    let ctr = (DRAM_BASE + 0x2_0000) as i64;
+    a.li(Gpr::t(0), ctr);
+    a.li(Gpr::t(1), iters);
+    a.label("loop");
+    a.li(Gpr::t(2), 1);
+    a.amoadd_d(Gpr::ZERO, Gpr::t(2), Gpr::t(0));
+    a.addi(Gpr::t(1), Gpr::t(1), -1);
+    a.bnez(Gpr::t(1), "loop");
+    a.csrr(Gpr::t(3), riscy_isa::csr::addr::MHARTID);
+    a.slli(Gpr::t(3), Gpr::t(3), 3);
+    a.li(Gpr::t(6), MMIO_EXIT as i64);
+    a.add(Gpr::t(6), Gpr::t(6), Gpr::t(3));
+    a.li(Gpr::t(5), 1);
+    a.sd(Gpr::t(5), 0, Gpr::t(6));
+    a.label("hang");
+    a.j("hang");
+    a.assemble()
+}
+
+/// Everything observable about one SoC run, for exact comparison.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    result: Result<u64, RunError>,
+    cycles: u64,
+    stats: Vec<CoreStats>,
+    exited: Vec<Option<u64>>,
+    counters: Vec<(String, u64)>,
+    trace: Vec<String>,
+    faults: Vec<FaultRecord>,
+}
+
+fn run_soc(
+    prog: &Program,
+    num_cores: usize,
+    mode: SchedulerMode,
+    chaos_seed: Option<u64>,
+) -> Outcome {
+    let cfg = if num_cores > 1 {
+        CoreConfig::multicore(MemModel::Tso)
+    } else {
+        CoreConfig::riscyoo_t_plus()
+    };
+    let mut sim = SocSim::new(cfg, mem_riscyoo_b(), num_cores, prog);
+    sim.set_scheduler(mode);
+    let sink = Rc::new(RefCell::new(VecSink::default()));
+    sim.set_tracer(Tracer::new(sink.clone()));
+    let engine = chaos_seed.map(|seed| {
+        let plan = FaultPlan::new(seed)
+            .guard_stall("c0.issue*", 0.002)
+            .rule_abort("c0.alu*", 0.001)
+            .bit_flip("c0.fetch_pc", 0.0002)
+            .msg_drop("mem.p2c", 0.005);
+        let e = FaultEngine::new(plan);
+        sim.attach_chaos(&e);
+        e
+    });
+    let result = sim.run_to_completion(BUDGET);
+    let trace = sink.borrow().rendered();
+    Outcome {
+        result,
+        cycles: sim.cycles(),
+        stats: sim.soc().cores.iter().map(|c| c.stats).collect(),
+        exited: sim.soc().devices.exited.clone(),
+        counters: sim.counters().snapshot(),
+        trace,
+        faults: engine.map_or_else(Vec::new, |e| e.log()),
+    }
+}
+
+fn assert_equivalent(prog: &Program, num_cores: usize, chaos_seed: Option<u64>) {
+    let fast = run_soc(prog, num_cores, SchedulerMode::Fast, chaos_seed);
+    let reference = run_soc(prog, num_cores, SchedulerMode::Reference, chaos_seed);
+    assert_eq!(fast.result, reference.result, "run outcome diverged");
+    assert_eq!(fast.cycles, reference.cycles, "cycle count diverged");
+    assert_eq!(fast.stats, reference.stats, "CoreStats diverged");
+    assert_eq!(fast.exited, reference.exited, "exit codes diverged");
+    assert_eq!(fast.faults, reference.faults, "chaos fault log diverged");
+    assert_eq!(fast.counters, reference.counters, "counters diverged");
+    assert_eq!(fast.trace, reference.trace, "trace event stream diverged");
+}
+
+#[test]
+fn single_core_soc_matches_reference() {
+    assert_equivalent(&busy_prog(80), 1, None);
+}
+
+#[test]
+fn two_core_soc_matches_reference() {
+    assert_equivalent(&multicore_prog(16), 2, None);
+}
+
+#[test]
+fn soc_matches_reference_under_chaos() {
+    for seed in 0..3 {
+        assert_equivalent(&busy_prog(60), 1, Some(seed));
+    }
+}

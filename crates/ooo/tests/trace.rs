@@ -103,7 +103,10 @@ fn golden_konata_trace_for_tiny_program() {
         assert_eq!(recs[i].seq, i as u64, "record {i} seq");
     }
     // Everything after the store is the hang loop's jal.
-    assert!(recs[4..].iter().all(|r| r.mnemonic == "jal"), "tail is the hang loop");
+    assert!(
+        recs[4..].iter().all(|r| r.mnemonic == "jal"),
+        "tail is the hang loop"
+    );
 
     // Konata-parsability invariants over the whole trace: stamps monotonic
     // within each record, retire order monotonic across records.
@@ -172,7 +175,10 @@ fn tracing_never_perturbs_the_simulation() {
     };
     let (plain_cycles, plain_stats) = run(false);
     let (traced_cycles, traced_stats) = run(true);
-    assert_eq!(plain_cycles, traced_cycles, "tracing changed the cycle count");
+    assert_eq!(
+        plain_cycles, traced_cycles,
+        "tracing changed the cycle count"
+    );
     assert_eq!(plain_stats, traced_stats, "tracing changed a statistic");
 }
 
@@ -203,7 +209,12 @@ fn multicore_prog(iters: i64) -> riscy_isa::asm::Program {
 fn multicore_tracing_is_also_identity_preserving() {
     let prog = multicore_prog(64);
     let run = |traced: bool| {
-        let mut sim = SocSim::new(CoreConfig::multicore(MemModel::Tso), mem_riscyoo_b(), 2, &prog);
+        let mut sim = SocSim::new(
+            CoreConfig::multicore(MemModel::Tso),
+            mem_riscyoo_b(),
+            2,
+            &prog,
+        );
         if traced {
             sim.enable_pipe_trace();
         }
@@ -220,13 +231,21 @@ fn multicore_tracing_is_also_identity_preserving() {
     // sequence ids start at its 1e9 base so concatenation cannot collide.
     let recs = parse_trace(&trace);
     assert!(recs.iter().any(|r| r.seq < 1_000_000_000), "core 0 missing");
-    assert!(recs.iter().any(|r| r.seq >= 1_000_000_000), "core 1 missing");
+    assert!(
+        recs.iter().any(|r| r.seq >= 1_000_000_000),
+        "core 1 missing"
+    );
 }
 
 #[test]
 fn stats_json_has_documented_keys() {
     let prog = multicore_prog(32);
-    let mut sim = SocSim::new(CoreConfig::multicore(MemModel::Tso), mem_riscyoo_b(), 2, &prog);
+    let mut sim = SocSim::new(
+        CoreConfig::multicore(MemModel::Tso),
+        mem_riscyoo_b(),
+        2,
+        &prog,
+    );
     sim.run_to_completion(3_000_000).unwrap();
     let json = sim.stats_json();
     for key in [

@@ -73,8 +73,7 @@ fn bp_bits(cfg: &CoreConfig) -> f64 {
 pub fn synthesize(cfg: &CoreConfig) -> SynthesisResult {
     // --- Area: structural gate estimates (flop ≈ 8 NAND2 + mux ≈ 2). ---
     let bp_gates = bp_bits(cfg) * 10.0;
-    let rob_gates = cfg.rob_entries as f64 * 5_500.0
-        + (cfg.rob_entries * cfg.width) as f64 * 180.0;
+    let rob_gates = cfg.rob_entries as f64 * 5_500.0 + (cfg.rob_entries * cfg.width) as f64 * 180.0;
     let n_iqs = cfg.alu_pipes + 2;
     let iq_gates = (n_iqs * cfg.iq_entries) as f64 * 4_000.0;
     let rename_gates = cfg.width as f64 * 25_000.0 + cfg.spec_tags as f64 * 3_000.0;

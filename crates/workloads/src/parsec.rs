@@ -75,7 +75,14 @@ fn prologue(n_pages: usize, nthreads: usize) -> (Assembler, crate::runtime::Pagi
     a.csrr(Gpr::s(8), csr::MHARTID);
     a.li(Gpr::s(10), 0);
     a.li(Gpr::s(0), 0);
-    emit_barrier(&mut a, Gpr::s(4), Gpr::s(5), Gpr::s(10), nthreads as i64, "start");
+    emit_barrier(
+        &mut a,
+        Gpr::s(4),
+        Gpr::s(5),
+        Gpr::s(10),
+        nthreads as i64,
+        "start",
+    );
     // Only hart 0 writes the ROI markers.
     a.bnez(Gpr::s(8), "no_roi_begin");
     emit_roi_begin(&mut a);
@@ -91,7 +98,14 @@ fn epilogue(
     name: &'static str,
     scale: Scale,
 ) -> Workload {
-    emit_barrier(&mut a, Gpr::s(4), Gpr::s(5), Gpr::s(10), nthreads as i64, "end");
+    emit_barrier(
+        &mut a,
+        Gpr::s(4),
+        Gpr::s(5),
+        Gpr::s(10),
+        nthreads as i64,
+        "end",
+    );
     a.bnez(Gpr::s(8), "no_roi_end");
     emit_roi_end(&mut a);
     a.label("no_roi_end");
@@ -168,7 +182,14 @@ pub fn streamcluster(scale: Scale, nthreads: usize) -> Workload {
     a.addi(Gpr::s(2), Gpr::s(2), -1);
     a.bnez(Gpr::s(2), "pts");
     a.addi(Gpr::s(3), Gpr::s(3), -1);
-    emit_barrier(&mut a, Gpr::s(4), Gpr::s(5), Gpr::s(10), nthreads as i64, "round");
+    emit_barrier(
+        &mut a,
+        Gpr::s(4),
+        Gpr::s(5),
+        Gpr::s(10),
+        nthreads as i64,
+        "round",
+    );
     a.bnez(Gpr::s(3), "round");
     epilogue(a, paging, nthreads, "streamcluster", scale)
 }
@@ -263,7 +284,12 @@ pub fn ferret(scale: Scale, nthreads: usize) -> Workload {
         a.addi(Gpr::s(0), Gpr::s(0), 1);
         a.mul(Gpr::s(3), Gpr::s(0), Gpr::t(5));
         a.xor(Gpr::s(0), Gpr::s(0), Gpr::s(3));
-        a.muldiv(riscy_isa::inst::MulDivOp::Div, Gpr::s(3), Gpr::s(3), Gpr::t(5));
+        a.muldiv(
+            riscy_isa::inst::MulDivOp::Div,
+            Gpr::s(3),
+            Gpr::s(3),
+            Gpr::t(5),
+        );
         a.add(Gpr::s(0), Gpr::s(0), Gpr::s(3));
     }
     // Publish: increment own count.
@@ -310,7 +336,11 @@ mod tests {
 
     #[test]
     fn all_proxies_run_on_golden_model_at_each_thread_count() {
-        let counts: &[usize] = if cfg!(debug_assertions) { &[2] } else { &[1, 2, 4] };
+        let counts: &[usize] = if cfg!(debug_assertions) {
+            &[2]
+        } else {
+            &[1, 2, 4]
+        };
         for &n in counts {
             for w in parsec_suite(Scale::Test, n) {
                 let mut m = Machine::with_program(n, &w.program);

@@ -89,7 +89,11 @@ fn prologue(n_pages: usize) -> (Assembler, crate::runtime::Paging) {
     (a, paging)
 }
 
-fn epilogue(mut a: Assembler, paging: crate::runtime::Paging, extra: Vec<(u64, Vec<u8>)>) -> Program {
+fn epilogue(
+    mut a: Assembler,
+    paging: crate::runtime::Paging,
+    extra: Vec<(u64, Vec<u8>)>,
+) -> Program {
     emit_roi_end(&mut a);
     emit_exit_reg(&mut a, Gpr::s(0), "exit");
     let mut prog = a.assemble();
@@ -117,7 +121,10 @@ fn build_chain(seed: u64, n_nodes: usize, stride: u64) -> Vec<(u64, Vec<u8>)> {
 fn emit_chase(a: &mut Assembler, iters: i64, chains: usize, chain_bytes: u64, extra_work: usize) {
     assert!((1..=4).contains(&chains));
     for k in 0..chains {
-        a.li(Gpr::s(1 + k as u8), (PAGED_VA_BASE + k as u64 * chain_bytes) as i64);
+        a.li(
+            Gpr::s(1 + k as u8),
+            (PAGED_VA_BASE + k as u64 * chain_bytes) as i64,
+        );
     }
     a.li(Gpr::s(6), iters);
     a.li(Gpr::s(0), 0);
@@ -154,12 +161,7 @@ fn build_chains(
 /// with page-sized strides land at a pseudo-random cache line within their
 /// page (real heap structures are not page-aligned; alignment would fold
 /// every node onto a handful of cache sets).
-fn build_chain_at(
-    seed: u64,
-    n_nodes: usize,
-    stride: u64,
-    base_off: u64,
-) -> Vec<(u64, Vec<u8>)> {
+fn build_chain_at(seed: u64, n_nodes: usize, stride: u64, base_off: u64) -> Vec<(u64, Vec<u8>)> {
     let mut rng = SplitMix64::seed_from_u64(seed);
     let mut order: Vec<usize> = (1..n_nodes).collect();
     for i in (1..order.len()).rev() {
@@ -208,7 +210,6 @@ fn build_chain_at(
             .collect()
     }
 }
-
 
 /// Initializes the background-TLB-activity registers: a pointer (`s9`)
 /// striding over `bg_pages` pages placed after the benchmark's own data.
@@ -632,9 +633,7 @@ mod tests {
         let segs = build_chain(1, 64, 64);
         assert_eq!(segs.len(), 1);
         let bytes = &segs[0].1;
-        let read = |i: usize| {
-            u64::from_le_bytes(bytes[i * 64..i * 64 + 8].try_into().unwrap())
-        };
+        let read = |i: usize| u64::from_le_bytes(bytes[i * 64..i * 64 + 8].try_into().unwrap());
         let mut seen = std::collections::HashSet::new();
         let mut cur = 0usize;
         for _ in 0..64 {

@@ -90,7 +90,11 @@ fn main() {
     // Reference checksum.
     let mut arr: Vec<u64> = (0..64u64).map(|i| (i * 37) % 101).collect();
     arr.sort_unstable();
-    let expect: u64 = arr.iter().enumerate().map(|(i, v)| v * (i as u64 + 1)).sum();
+    let expect: u64 = arr
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v * (i as u64 + 1))
+        .sum();
 
     let mut sim = SocSim::new(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), 1, &prog);
     sim.soc_mut().enable_cosim(&prog);
@@ -104,8 +108,14 @@ fn main() {
     println!("  checksum           : {code} (golden-checked at every commit)");
     println!("  cycles             : {cycles}");
     println!("  instructions       : {}", st.committed);
-    println!("  IPC                : {:.3}", st.committed as f64 / cycles as f64);
-    println!("  branches           : {} ({} mispredicted)", st.branches, st.mispredicts);
+    println!(
+        "  IPC                : {:.3}",
+        st.committed as f64 / cycles as f64
+    );
+    println!(
+        "  branches           : {} ({} mispredicted)",
+        st.branches, st.mispredicts
+    );
     println!("  D TLB misses       : {}", st.dtlb_misses);
     println!("  page walks         : {}", st.l2tlb_misses);
     println!(

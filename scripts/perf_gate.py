@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Merge scheduler bench artifacts into BENCH_4.json and gate regressions.
+
+Inputs are the ``--bench-json`` artifacts written by two release binaries:
+
+* ``cmd_kernel_bench``   -> ring-of-64 wakeup benchmark (fast vs reference)
+* ``fig17_vs_inorder``   -> full 2-core SoC run, both scheduler modes
+
+The merged BENCH_4.json records, per benchmark: simulated cycles, host
+wall-clock ms, host cycles/second, and the fast/reference speedup ratio.
+
+Gating (only with ``--baseline``) is host-neutral: raw cycles/second vary
+with the runner, so the gate compares the *speedup ratio* (same host, same
+run, both modes) against the committed baseline and fails on a >20%
+regression. Architectural quantities (simulated cycles, total rule
+firings) must match the baseline exactly — the simulation is
+deterministic, so any drift is a functional bug, not noise.
+
+``fig17_speedup`` is informational: the SoC's rules read plain Rust state
+and therefore stay on every-cycle wakeup, so the fast path's win there is
+bounded by the conflict-check savings alone (~1.0x). The enforced ratio is
+``ring_speedup``, the wakeup-layer workload. See docs/SCHEDULING.md.
+
+stdlib-only on purpose: CI runs this with a bare python3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+# Deterministic architectural quantities: must match the baseline bit-for-bit.
+EXACT_KEYS = (
+    "ring_sim_cycles",
+    "ring_fires",
+    "fig17_sim_cycles_fast",
+    "fig17_sim_cycles_reference",
+)
+
+# The enforced host-neutral throughput ratio.
+GATED_RATIO = "ring_speedup"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--kernel", required=True, help="cmd_kernel_bench --bench-json artifact")
+    ap.add_argument("--fig17", required=True, help="fig17_vs_inorder --bench-json artifact")
+    ap.add_argument("--out", required=True, help="merged BENCH_4.json to write")
+    ap.add_argument("--baseline", help="committed BENCH_4.json to gate against")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max allowed fractional regression of %s (default 0.20)" % GATED_RATIO,
+    )
+    args = ap.parse_args()
+
+    merged = {**load(args.kernel), **load(args.fig17)}
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    errors = []
+
+    # Intra-run checksum: fast and reference schedulers must agree on the
+    # simulated cycle count regardless of any baseline.
+    fast = merged.get("fig17_sim_cycles_fast")
+    ref = merged.get("fig17_sim_cycles_reference")
+    if fast != ref:
+        errors.append(f"fig17 cycle checksum diverged: fast={fast} reference={ref}")
+
+    if args.baseline:
+        base = load(args.baseline)
+        for key in EXACT_KEYS:
+            if merged.get(key) != base.get(key):
+                errors.append(
+                    f"{key}: run={merged.get(key)} baseline={base.get(key)} "
+                    "(deterministic quantity drifted)"
+                )
+        got = merged.get(GATED_RATIO)
+        want = base.get(GATED_RATIO)
+        if got is None or want is None:
+            errors.append(f"{GATED_RATIO} missing (run={got} baseline={want})")
+        else:
+            floor = (1.0 - args.threshold) * want
+            verdict = "OK" if got >= floor else "REGRESSION"
+            print(
+                f"{GATED_RATIO}: run={got:.2f} baseline={want:.2f} "
+                f"floor={floor:.2f} -> {verdict}"
+            )
+            if got < floor:
+                errors.append(
+                    f"{GATED_RATIO} regressed >{args.threshold:.0%}: "
+                    f"{got:.2f} < {floor:.2f}"
+                )
+        info = merged.get("fig17_speedup")
+        if info is not None:
+            print(f"fig17_speedup: {info:.2f} (informational, not gated)")
+
+    for e in errors:
+        print(f"perf-gate FAIL: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print("perf-gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

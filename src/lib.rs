@@ -1,1 +1,7 @@
-pub use cmd_core; pub use riscy_isa; pub use riscy_mem; pub use riscy_ooo; pub use riscy_baseline; pub use riscy_workloads; pub use riscy_synth;
+pub use cmd_core;
+pub use riscy_baseline;
+pub use riscy_isa;
+pub use riscy_mem;
+pub use riscy_ooo;
+pub use riscy_synth;
+pub use riscy_workloads;

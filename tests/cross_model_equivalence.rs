@@ -35,7 +35,11 @@ fn run_all_three(w: &Workload) -> (u64, u64, u64) {
 fn all_spec_proxies_agree_across_models() {
     // Debug builds simulate ~20x slower; cover a representative subset
     // there and the full suite in release.
-    let take = if cfg!(debug_assertions) { 4 } else { usize::MAX };
+    let take = if cfg!(debug_assertions) {
+        4
+    } else {
+        usize::MAX
+    };
     for w in spec_suite(Scale::Test).into_iter().take(take) {
         let (g, i, o) = run_all_three(&w);
         assert_eq!(g, i, "{}: golden vs in-order", w.name);
@@ -73,12 +77,7 @@ fn parsec_proxies_agree_between_golden_and_quad_core() {
         let mut golden = Machine::with_program(2, &w.program);
         golden.run(200_000_000).expect("golden exits");
         for model in [MemModel::Tso, MemModel::Wmm] {
-            let mut sim = SocSim::new(
-                CoreConfig::multicore(model),
-                mem_riscyoo_b(),
-                2,
-                &w.program,
-            );
+            let mut sim = SocSim::new(CoreConfig::multicore(model), mem_riscyoo_b(), 2, &w.program);
             sim.run_to_completion(w.max_cycles * 4)
                 .unwrap_or_else(|e| panic!("{} {model:?}: {e}", w.name));
             // Synchronized counters (e.g. fluidanimate's boundary cell)

@@ -52,12 +52,7 @@ fn tso_and_wmm_perform_equally() {
     let mut cycles = Vec::new();
     for model in [MemModel::Tso, MemModel::Wmm] {
         let w = blackscholes(Scale::Test, 2);
-        let mut sim = SocSim::new(
-            CoreConfig::multicore(model),
-            mem_riscyoo_b(),
-            2,
-            &w.program,
-        );
+        let mut sim = SocSim::new(CoreConfig::multicore(model), mem_riscyoo_b(), 2, &w.program);
         sim.run_to_completion(w.max_cycles * 4)
             .unwrap_or_else(|e| panic!("{model:?}: {e}"));
         cycles.push(sim.soc().cores[0].stats.roi_cycles as f64);

@@ -43,15 +43,19 @@ fn emit_random(a: &mut Assembler, rng: &mut SplitMix64, label_seq: &mut u32) {
             a.alu(op, reg(rng), reg(rng), reg(rng));
         }
         40..=54 => {
-            a.alui(AluOp::Add, reg(rng), reg(rng), rng.range_i64(-512, 512) as i32);
+            a.alui(
+                AluOp::Add,
+                reg(rng),
+                reg(rng),
+                rng.range_i64(-512, 512) as i32,
+            );
         }
         55..=64 => {
             // Address = scratch base + masked random register.
             let addr_r = Gpr::t(2);
             a.andi(addr_r, reg(rng), SCRATCH_MASK);
             a.add(addr_r, addr_r, Gpr::s(0));
-            let width = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D]
-                [rng.range_usize(0, 4)];
+            let width = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D][rng.range_usize(0, 4)];
             let off = rng.range_i64(0, 4) as i32 * 8;
             if rng.chance(0.5) {
                 a.load(width, rng.chance(0.7), reg(rng), off, addr_r);
