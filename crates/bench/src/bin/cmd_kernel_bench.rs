@@ -213,6 +213,37 @@ fn bench_ring() -> Vec<(&'static str, f64)> {
     ]
 }
 
+/// With any profiling flag present, re-runs the ring under the fast
+/// scheduler with the causal profiler on. The ring's rules sleep on
+/// inferred watch sets, so the publish→wake causality edges — and hence
+/// per-window critical paths — are populated here (unlike on the SoC,
+/// whose rules never sleep).
+fn profile_ring() {
+    let opts = riscy_bench::profile_opts();
+    if !opts.enabled() {
+        return;
+    }
+    let mut sim = build_ring(SchedulerMode::Fast);
+    sim.enable_profiling();
+    let chrome = opts.chrome_trace.as_ref().map(|_| {
+        let t = std::rc::Rc::new(std::cell::RefCell::new(ChromeTrace::new()));
+        sim.set_tracer(Tracer::new(t.clone()));
+        t
+    });
+    sim.run(RING_CYCLES);
+    println!("\n=== causal profile: ring64_wakeup ===");
+    print!("{}", sim.report());
+    for (window, names) in sim.critical_path_names().iter().rev().take(3).rev() {
+        println!("critical path (window {window}): {}", names.join(" -> "));
+    }
+    if let Some(path) = &opts.profile_json {
+        riscy_bench::write_artifact(path, &sim.profile_json());
+    }
+    if let Some((path, t)) = opts.chrome_trace.as_ref().zip(chrome) {
+        riscy_bench::write_artifact(path, &t.borrow_mut().finish_json());
+    }
+}
+
 fn main() {
     bench_gcd();
     bench_iq_orderings();
@@ -252,4 +283,5 @@ fn main() {
         ]);
         write_artifact(&path, &json);
     }
+    profile_ring();
 }

@@ -68,4 +68,18 @@ fn main() {
         ]);
         write_artifact(&path, &json);
     }
+    // The profiling flags run the described configuration on one
+    // representative workload (see docs/OBSERVABILITY.md).
+    if let Some(w) = riscy_workloads::spec::spec_suite(riscy_bench::scale_from_args())
+        .into_iter()
+        .next()
+    {
+        riscy_bench::maybe_profile_run(
+            CoreConfig::riscyoo_b(),
+            mem_riscyoo_b(),
+            1,
+            &w,
+            cmd_core::sched::SchedulerMode::default(),
+        );
+    }
 }

@@ -80,4 +80,18 @@ fn main() {
             .collect();
         write_artifact(&path, &metrics_json(&flat));
     }
+    // The profiling flags run the described configuration on one
+    // representative workload (see docs/OBSERVABILITY.md).
+    if let Some(w) = riscy_workloads::spec::spec_suite(riscy_bench::scale_from_args())
+        .into_iter()
+        .next()
+    {
+        riscy_bench::maybe_profile_run(
+            CoreConfig::riscyoo_t_plus(),
+            riscy_ooo::config::mem_riscyoo_b(),
+            1,
+            &w,
+            cmd_core::sched::SchedulerMode::default(),
+        );
+    }
 }

@@ -5,8 +5,10 @@
 //! (non-blocking miss handling vs the translation cache) — the ablation
 //! DESIGN.md calls out.
 
+use cmd_core::sched::SchedulerMode;
 use riscy_bench::{
-    geomean, results_json, run_ooo, scale_from_args, stats_json_path, write_artifact,
+    geomean, maybe_profile_run, results_json, run_ooo, scale_from_args, stats_json_path,
+    write_artifact,
 };
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, TlbConfig};
 use riscy_workloads::spec::spec_suite;
@@ -76,5 +78,14 @@ fn main() {
     if let Some(path) = stats_json_path() {
         let json = results_json(&[("RiscyOO-B", &bs), ("RiscyOO-T+", &tps)]);
         write_artifact(&path, &json);
+    }
+    if let Some(w) = suite.first() {
+        maybe_profile_run(
+            CoreConfig::riscyoo_t_plus(),
+            mem_riscyoo_b(),
+            1,
+            w,
+            SchedulerMode::default(),
+        );
     }
 }

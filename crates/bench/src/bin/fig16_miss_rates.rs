@@ -2,7 +2,10 @@
 //! mispredictions, L1 D misses, and L2 misses per thousand instructions on
 //! RiscyOO-T+.
 
-use riscy_bench::{results_json, run_ooo, scale_from_args, stats_json_path, write_artifact};
+use cmd_core::sched::SchedulerMode;
+use riscy_bench::{
+    maybe_profile_run, results_json, run_ooo, scale_from_args, stats_json_path, write_artifact,
+};
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
 use riscy_workloads::spec::spec_suite;
 
@@ -35,4 +38,13 @@ fn main() {
         "\n(paper shape: mcf/astar/omnetpp TLB-heavy; libquantum D$/L2$-heavy;\n\
          \x20sjeng/gobmk mispredict-heavy; hmmer/h264ref low everywhere)"
     );
+    if let Some(w) = spec_suite(scale).into_iter().next() {
+        maybe_profile_run(
+            CoreConfig::riscyoo_t_plus(),
+            mem_riscyoo_b(),
+            1,
+            &w,
+            SchedulerMode::default(),
+        );
+    }
 }

@@ -6,8 +6,10 @@
 //! on average, but RiscyOO-T+ catches up or wins on the TLB-bound
 //! benchmarks (mcf, astar, omnetpp) thanks to its TLB optimizations.
 
+use cmd_core::sched::SchedulerMode;
 use riscy_bench::{
-    geomean, results_json, run_ooo, scale_from_args, stats_json_path, write_artifact,
+    geomean, maybe_profile_run, results_json, run_ooo, scale_from_args, stats_json_path,
+    write_artifact,
 };
 use riscy_ooo::config::{mem_arm_proxy, mem_riscyoo_b, CoreConfig};
 use riscy_workloads::spec::spec_suite;
@@ -41,5 +43,14 @@ fn main() {
     if let Some(path) = stats_json_path() {
         let json = results_json(&[("RiscyOO-T+", &ts), ("A57", &ars), ("Denver", &drs)]);
         write_artifact(&path, &json);
+    }
+    if let Some(w) = spec_suite(scale).into_iter().next() {
+        maybe_profile_run(
+            CoreConfig::riscyoo_t_plus(),
+            mem_riscyoo_b(),
+            1,
+            &w,
+            SchedulerMode::default(),
+        );
     }
 }

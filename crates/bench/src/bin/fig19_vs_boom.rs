@@ -4,8 +4,10 @@
 //! The paper's shape: similar harmonic-mean IPC, RiscyOO-T+R+ ahead on the
 //! TLB-bound mcf, BOOM ahead on sjeng (better branch prediction there).
 
+use cmd_core::sched::SchedulerMode;
 use riscy_bench::{
-    harmean, results_json, run_ooo, scale_from_args, stats_json_path, write_artifact,
+    harmean, maybe_profile_run, results_json, run_ooo, scale_from_args, stats_json_path,
+    write_artifact,
 };
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
 use riscy_workloads::spec::spec_suite;
@@ -50,5 +52,17 @@ fn main() {
     if let Some(path) = stats_json_path() {
         let json = results_json(&[("BOOM", &booms), ("RiscyOO-T+R+", &riscys)]);
         write_artifact(&path, &json);
+    }
+    if let Some(w) = spec_suite(scale)
+        .into_iter()
+        .find(|w| BOOM_SET.contains(&w.name))
+    {
+        maybe_profile_run(
+            CoreConfig::riscyoo_t_plus_r_plus(),
+            mem_riscyoo_b(),
+            1,
+            &w,
+            SchedulerMode::default(),
+        );
     }
 }

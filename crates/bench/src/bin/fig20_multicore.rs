@@ -5,7 +5,10 @@
 //! of TSO and WMM"; TSO's speculative-load kills are ≤0.25 per 1K
 //! instructions.
 
-use riscy_bench::{scale_from_args, stats_json_path, trace_path, write_artifact};
+use cmd_core::sched::SchedulerMode;
+use riscy_bench::{
+    maybe_profile_run, scale_from_args, stats_json_path, trace_path, write_artifact,
+};
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, MemModel};
 use riscy_ooo::soc::SocSim;
 use riscy_workloads::parsec::parsec_suite;
@@ -89,5 +92,14 @@ fn main() {
         if let Some(path) = &stats_path {
             write_artifact(path, &sim.stats_json());
         }
+    }
+    if let Some(w) = parsec_suite(scale, 2).into_iter().next() {
+        maybe_profile_run(
+            CoreConfig::multicore(MemModel::Tso),
+            mem_riscyoo_b(),
+            2,
+            &w,
+            SchedulerMode::default(),
+        );
     }
 }

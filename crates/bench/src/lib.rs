@@ -10,12 +10,16 @@
 //! Pass `--scale ref` for benchmark-sized runs (the default `test` scale
 //! keeps CI fast).
 
+use cmd_core::prof::ChromeTrace;
 use cmd_core::sched::SchedulerMode;
+use cmd_core::trace::Tracer;
 use riscy_baseline::{InOrderConfig, InOrderSim};
 use riscy_mem::system::MemConfig;
 use riscy_ooo::config::CoreConfig;
 use riscy_ooo::soc::SocSim;
 use riscy_workloads::spec::{Scale, Workload};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Measured result of one benchmark run on one configuration.
 #[derive(Debug, Clone)]
@@ -208,6 +212,97 @@ pub fn bench_json_path() -> Option<String> {
     path_arg("--bench-json")
 }
 
+/// The causal-profiler flags shared by every `fig*` binary (see
+/// `docs/OBSERVABILITY.md`): `--profile` prints the per-rule host-time
+/// report and the top-down table, `--chrome-trace <path>` writes a
+/// Perfetto-loadable Chrome trace, `--profile-json <path>` writes the
+/// machine-readable profile.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileOpts {
+    /// Print the host-time report and top-down table to stdout.
+    pub profile: bool,
+    /// Where to write the Chrome trace-event JSON, if requested.
+    pub chrome_trace: Option<String>,
+    /// Where to write the machine-readable profile JSON, if requested.
+    pub profile_json: Option<String>,
+}
+
+impl ProfileOpts {
+    /// Whether any profiling output was requested.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.profile || self.chrome_trace.is_some() || self.profile_json.is_some()
+    }
+}
+
+/// Parses the profiling flags from the command line.
+#[must_use]
+pub fn profile_opts() -> ProfileOpts {
+    ProfileOpts {
+        profile: std::env::args().any(|a| a == "--profile"),
+        chrome_trace: path_arg("--chrome-trace"),
+        profile_json: path_arg("--profile-json"),
+    }
+}
+
+/// Instruction spans exported per core to the Chrome trace before the
+/// exporter starts dropping (keeps artifact size bounded).
+const SPAN_CAP: usize = 100_000;
+
+/// When any profiling flag is present, runs `w` once more on the
+/// out-of-order SoC with the causal profiler, top-down accounting, and
+/// instruction spans enabled; prints the rule host-time report and the
+/// TMA table, and writes whatever artifacts were requested. A no-op
+/// without profiling flags, so `fig*` binaries call it unconditionally on
+/// one representative workload.
+///
+/// # Panics
+///
+/// Panics if the workload fails to complete or an artifact cannot be
+/// written.
+pub fn maybe_profile_run(
+    cfg: CoreConfig,
+    mem: MemConfig,
+    num_cores: usize,
+    w: &Workload,
+    mode: SchedulerMode,
+) {
+    let opts = profile_opts();
+    if !opts.enabled() {
+        return;
+    }
+    let mut sim = SocSim::new(cfg, mem, num_cores, &w.program);
+    sim.set_scheduler(mode);
+    sim.enable_profiling();
+    let chrome = opts.chrome_trace.as_ref().map(|_| {
+        sim.enable_inst_spans(SPAN_CAP);
+        let t: Rc<RefCell<ChromeTrace>> = Rc::new(RefCell::new(ChromeTrace::new()));
+        sim.set_tracer(Tracer::new(t.clone()));
+        t
+    });
+    // 4x the workload's own budget: multicore profiled runs (fig20) need
+    // the same slack the figure rows give themselves.
+    sim.run_to_completion(w.max_cycles.saturating_mul(4))
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    println!("\n=== causal profile: {} ===", w.name);
+    print!("{}", sim.report());
+    print!("{}", sim.tma_table());
+    if let Some(path) = &opts.profile_json {
+        write_artifact(path, &sim.profile_json());
+    }
+    if let Some((path, tr)) = opts.chrome_trace.as_ref().zip(chrome) {
+        let mut t = tr.borrow_mut();
+        for (core, spans, _dropped) in sim.instruction_spans() {
+            let tid = u32::try_from(core).expect("core id fits u32");
+            t.set_inst_track(tid, &format!("core{core}"));
+            for s in spans {
+                t.add_span(tid, s.mnemonic, s.fetch, s.retire, s.pc, s.seq);
+            }
+        }
+        write_artifact(path, &t.finish_json());
+    }
+}
+
 /// Writes an artifact file requested on the command line.
 ///
 /// # Panics
@@ -233,6 +328,7 @@ pub fn results_json(configs: &[(&str, &[RunResult])]) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_f64("ipc", if ipcs.is_empty() { 0.0 } else { geomean(&ipcs) });
+    w.field_u64("schema_version", 1);
     w.key("configs");
     w.begin_array();
     for (label, runs) in configs {
@@ -268,6 +364,7 @@ pub fn metrics_json(metrics: &[(&str, f64)]) -> String {
     use cmd_core::trace::json::JsonWriter;
     let mut w = JsonWriter::new();
     w.begin_object();
+    w.field_u64("schema_version", 1);
     for (k, v) in metrics {
         w.field_f64(k, *v);
     }
@@ -332,6 +429,7 @@ mod tests {
         };
         let json = results_json(&[("T+", &[r])]);
         assert!(json.starts_with("{\"ipc\":0.5,"), "{json}");
+        assert!(json.contains("\"schema_version\":1"), "{json}");
         assert!(json.contains("\"label\":\"T+\""), "{json}");
         assert!(json.contains("\"roi_cycles\":200"), "{json}");
     }
@@ -339,6 +437,9 @@ mod tests {
     #[test]
     fn metrics_json_is_flat() {
         let json = metrics_json(&[("rob_entries", 64.0), ("width", 2.0)]);
-        assert_eq!(json, "{\"rob_entries\":64,\"width\":2}");
+        assert_eq!(
+            json,
+            "{\"schema_version\":1,\"rob_entries\":64,\"width\":2}"
+        );
     }
 }

@@ -162,10 +162,20 @@ pub(crate) struct ClockInner {
     // one-Cell-read test for "anything published since I last drained".
     // Only maintained while `wake_log` is set: the fast scheduler enables
     // it, while the reference oracle never sleeps a rule and logging for it
-    // would only grow a buffer nobody reads.
-    publish_log: RefCell<Vec<u32>>,
+    // would only grow a buffer nobody reads. Each entry is
+    // `(cell id, publishing rule)`; the publisher is `cur_rule` at publish
+    // time (`u32::MAX` outside any attributed rule, e.g. the end-of-cycle
+    // latch) and feeds the causal profiler's publish→wake edges.
+    publish_log: RefCell<Vec<(u32, u32)>>,
     publishes: Cell<u64>,
     wake_log: Cell<bool>,
+    // Scheduler-maintained index of the rule currently executing, for
+    // publish attribution. Only kept accurate while profiling; stale values
+    // are harmless because nothing reads them when the profiler is off.
+    cur_rule: Cell<u32>,
+    // Global method index of the `earlier` side of the last violation
+    // `check_cm` reported, for the causal profiler's CM-block edges.
+    cm_earlier: Cell<u32>,
     next_cell: Cell<u32>,
     // Read tracing: while enabled, every cell read logs its id so the
     // scheduler can infer a stalling rule's watch set.
@@ -180,7 +190,9 @@ impl ClockInner {
     #[inline]
     fn publish(&self, id: u32) {
         if self.wake_log.get() {
-            self.publish_log.borrow_mut().push(id);
+            self.publish_log
+                .borrow_mut()
+                .push((id, self.cur_rule.get()));
             self.publishes.set(self.publishes.get() + 1);
         }
     }
@@ -213,6 +225,8 @@ impl Clock {
                 publish_log: RefCell::new(Vec::new()),
                 publishes: Cell::new(0),
                 wake_log: Cell::new(false),
+                cur_rule: Cell::new(u32::MAX),
+                cm_earlier: Cell::new(u32::MAX),
                 next_cell: Cell::new(0),
                 read_trace: Cell::new(false),
                 read_log: RefCell::new(Vec::new()),
@@ -263,12 +277,29 @@ impl Clock {
         self.inner.publishes.get()
     }
 
-    /// Drains the publish log, calling `f` with each published cell id in
-    /// publish order (duplicates included).
-    pub(crate) fn drain_publishes(&self, mut f: impl FnMut(u32)) {
-        for id in self.inner.publish_log.borrow_mut().drain(..) {
-            f(id);
+    /// Drains the publish log, calling `f` with each `(published cell id,
+    /// publishing rule)` pair in publish order (duplicates included). The
+    /// publisher is `u32::MAX` when the publish happened outside an
+    /// attributed rule (see [`Clock::set_cur_rule`]).
+    pub(crate) fn drain_publishes(&self, mut f: impl FnMut(u32, u32)) {
+        for (id, publisher) in self.inner.publish_log.borrow_mut().drain(..) {
+            f(id, publisher);
         }
+    }
+
+    /// Tags subsequent publishes with rule index `rule` (`u32::MAX` to
+    /// clear). The scheduler only bothers while the causal profiler is on.
+    #[inline]
+    pub(crate) fn set_cur_rule(&self, rule: u32) {
+        self.inner.cur_rule.set(rule);
+    }
+
+    /// Global method index of the `earlier` side of the most recent
+    /// violation returned by [`Clock::check_cm`] (`u32::MAX` before any).
+    /// Lets the profiler map a CM stall back to the rule that committed the
+    /// blocking method, via its per-cycle method-owner table.
+    pub(crate) fn last_cm_earlier_global(&self) -> u32 {
+        self.inner.cm_earlier.get()
     }
 
     /// Enables or disables publish logging (and empties the log either way).
@@ -439,6 +470,9 @@ impl Clock {
                 let info = &modules[prev.module as usize];
                 let rel = info.cm.rel(prev.method as usize, cur.method as usize);
                 if !rel.allows_earlier_first() {
+                    self.inner
+                        .cm_earlier
+                        .set(info.base + u32::from(prev.method));
                     return Some(CmViolation {
                         module: info.name.clone(),
                         earlier_method: info.methods[prev.method as usize].to_string(),

@@ -37,6 +37,9 @@
 //! * [`trace`] — structured event tracing, named perf counters, and the
 //!   dependency-free JSON writer behind `--stats-json` (see
 //!   `docs/OBSERVABILITY.md`);
+//! * [`prof`] — the causal profiler: per-rule host-time attribution,
+//!   critical-path analysis over publish→wake / CM-block edges, and the
+//!   Chrome trace-event (Perfetto) exporter;
 //! * [`demo`] — the paper's tutorial designs (GCD §III, IQ/RDYB §IV).
 //!
 //! # Examples
@@ -73,6 +76,7 @@ pub mod cm;
 pub mod demo;
 pub mod fifo;
 pub mod guard;
+pub mod prof;
 pub mod rng;
 pub mod sched;
 pub mod sim;
@@ -87,8 +91,11 @@ pub mod prelude {
     pub use crate::fifo::{BypassFifo, CfFifo, Fifo, PipelineFifo};
     pub use crate::guard::{Guarded, Stall};
     pub use crate::guard_that;
+    pub use crate::prof::{ChromeTrace, CriticalPath, Profiler, RuleProf};
     pub use crate::rng::SplitMix64;
     pub use crate::sched::{SchedulerMode, Wakeup};
     pub use crate::sim::{DeadlockReport, RuleId, RuleStats, RuleWait, Sim, SimError, WaitCause};
-    pub use crate::trace::{Counter, Counters, Gauge, TraceEvent, TraceSink, Tracer};
+    pub use crate::trace::{
+        Counter, Counters, CountersSnapshot, Gauge, TraceEvent, TraceSink, Tracer,
+    };
 }

@@ -61,11 +61,14 @@
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use crate::chaos::{FaultEngine, RuleFault, CHAOS_ABORT_REASON, CHAOS_STALL_REASON};
 use crate::clock::{Clock, CmViolation, ModuleIfc};
 use crate::guard::Guarded;
+use crate::prof::{CausalEdge, CausalLog, EdgeKind, Profiler};
 use crate::sched::{BitSet, RuleSched, SchedulerMode, Sleep, Wakeup};
+use crate::trace::json::JsonWriter;
 use crate::trace::{Counter, Counters, TraceEvent, Tracer};
 
 /// Guard-stall reason recorded when a commit is refused over an undeclared
@@ -323,21 +326,54 @@ fn drain_wakeups(
     sleep_gens: &[u32],
     wake_flags: &mut [bool],
     pub_seen: &mut u64,
+    mut causal: Option<(&mut CausalLog, u64)>,
 ) {
     let count = clk.publish_count();
     if count == *pub_seen {
         return;
     }
     *pub_seen = count;
-    clk.drain_publishes(|id| {
+    clk.drain_publishes(|id, publisher| {
         if let Some(ws) = watchers.get_mut(id as usize) {
             for (rule, gen) in ws.drain(..) {
                 if sleep_gens[rule as usize] == gen {
                     wake_flags[rule as usize] = true;
+                    // Publish→wake causality, recorded only while the
+                    // profiler supplies a log and the publish is
+                    // attributable to a rule (not a poke or the
+                    // end-of-cycle latch).
+                    if let Some((log, now)) = causal.as_mut() {
+                        if publisher != u32::MAX {
+                            log.push(CausalEdge {
+                                cycle: *now,
+                                from: publisher,
+                                to: rule,
+                                kind: EdgeKind::PublishWake,
+                            });
+                        }
+                    }
                 }
             }
         }
     });
+}
+
+/// Records a method-stall→blocker causality edge for the profiler: rule
+/// `to` was just CM-stalled, and the clock remembers which global method
+/// was the `earlier` side of the violation; this cycle's owner table maps
+/// that method back to the rule that committed it (`u32::MAX` = unknown,
+/// e.g. a poke — no edge then).
+fn push_cm_edge(p: &mut Profiler, clk: &Clock, owners: &[u32], to: usize, now: u64) {
+    let earlier = clk.last_cm_earlier_global() as usize;
+    let from = owners.get(earlier).copied().unwrap_or(u32::MAX);
+    if from != u32::MAX {
+        p.causal.push(CausalEdge {
+            cycle: now,
+            from,
+            to: u32::try_from(to).expect("rule index"),
+            kind: EdgeKind::CmBlock,
+        });
+    }
 }
 
 /// The cached forward conflict row of global method `m` as a bitmask:
@@ -450,6 +486,17 @@ pub struct Sim<S> {
     /// Publish-log entries drained so far (compared against
     /// [`Clock::publish_count`] to skip no-op drains).
     pub_seen: u64,
+    /// Mirrors the wake-log condition of [`Sim::sync_wake_log`]: some rule
+    /// has a non-default wakeup. When false the fast loop skips the wakeup
+    /// layer entirely — the publish log is off and can never wake anyone.
+    any_wakeup: bool,
+    /// The causal profiler, when enabled (see [`Sim::enable_profiling`]).
+    /// Boxed so the disabled case costs one pointer on the struct.
+    prof: Option<Box<Profiler>>,
+    /// Per-cycle map from global method index to the rule that committed it
+    /// (u32::MAX = nobody yet). Maintained only while profiling, to turn a
+    /// CM stall into a rule→rule causality edge.
+    owner_scratch: Vec<u32>,
 }
 
 impl<S> Sim<S> {
@@ -485,6 +532,9 @@ impl<S> Sim<S> {
             wake_flags: Vec::new(),
             sleep_gens: Vec::new(),
             pub_seen: 0,
+            any_wakeup: false,
+            prof: None,
+            owner_scratch: Vec::new(),
         }
     }
 
@@ -560,6 +610,7 @@ impl<S> Sim<S> {
                 .rules
                 .iter()
                 .any(|r| !matches!(r.sched.wakeup, Wakeup::EveryCycle));
+        self.any_wakeup = on;
         self.clk.set_wake_log(on);
         self.pub_seen = self.clk.publish_count();
     }
@@ -584,6 +635,144 @@ impl<S> Sim<S> {
     /// runs that never ask for a report.
     pub fn enable_stall_histograms(&mut self) {
         self.collect_hist = true;
+    }
+
+    /// Turns on the causal profiler with default window and causal-log
+    /// capacity (see [`crate::prof`]): per-rule host-time attribution,
+    /// publish→wake and CM-block causality edges, and per-window counter
+    /// snapshots. Purely observational — a profiled run is cycle- and
+    /// counter-identical to an unprofiled one; the cost is two monotonic
+    /// timestamps per rule evaluation.
+    pub fn enable_profiling(&mut self) {
+        self.enable_profiling_with(crate::prof::DEFAULT_WINDOW, crate::prof::DEFAULT_CAUSAL_CAP);
+    }
+
+    /// [`Sim::enable_profiling`] with an explicit critical-path window (in
+    /// cycles; clamped to ≥ 1) and causal-ring capacity (in edges).
+    pub fn enable_profiling_with(&mut self, window: u64, causal_cap: usize) {
+        self.prof = Some(Box::new(Profiler::new(window, causal_cap)));
+    }
+
+    /// The causal profiler, when enabled.
+    #[must_use]
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.prof.as_deref()
+    }
+
+    /// Critical paths over the recorded causality edges, with rule indices
+    /// resolved to names: `(window_start, names constrainer-first)`.
+    /// Empty when profiling is off or no edges were recorded.
+    #[must_use]
+    pub fn critical_path_names(&self) -> Vec<(u64, Vec<String>)> {
+        let Some(p) = self.prof.as_deref() else {
+            return Vec::new();
+        };
+        p.causal()
+            .critical_paths(p.window())
+            .into_iter()
+            .map(|cp| {
+                let names = cp
+                    .rules
+                    .iter()
+                    .map(|&r| {
+                        self.rules
+                            .get(r as usize)
+                            .map_or_else(|| format!("rule#{r}"), |e| e.name.clone())
+                    })
+                    .collect();
+                (cp.window_start, names)
+            })
+            .collect()
+    }
+
+    /// The profiling snapshot as a JSON document: per-rule fire/stall
+    /// counts and host-time attribution, critical paths per window,
+    /// causal-edge totals, and the last few per-window counter deltas.
+    /// Usable with profiling off (host-time fields are then zero).
+    #[must_use]
+    pub fn profile_json(&self) -> String {
+        let prof = self.prof.as_deref();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("schema_version", 1);
+        w.field_u64("cycles", self.cycles);
+        w.field_str(
+            "scheduler",
+            match self.mode {
+                SchedulerMode::Reference => "reference",
+                SchedulerMode::Fast => "fast",
+            },
+        );
+        w.key("profiling");
+        w.boolean(prof.is_some());
+        w.key("rules");
+        w.begin_array();
+        for (i, r) in self.rules.iter().enumerate() {
+            let rp = prof.map(|p| p.rule(i)).unwrap_or_default();
+            w.begin_object();
+            w.field_str("name", &r.name);
+            w.field_u64("fired", r.stats.fired);
+            w.field_u64("guard_stalls", r.stats.guard_stalls);
+            w.field_u64("cm_stalls", r.stats.cm_stalls);
+            w.field_u64("evals", rp.evals);
+            w.field_u64("skipped", rp.skipped);
+            w.field_u64("body_ns", rp.body_ns);
+            w.field_u64("fired_ns", rp.fired_ns);
+            w.field_u64("stall_ns", rp.stall_ns);
+            w.field_u64("total_ns", rp.total_ns());
+            w.end_object();
+        }
+        w.end_array();
+        if let Some(p) = prof {
+            w.key("critical_paths");
+            w.begin_array();
+            let paths = p.causal().critical_paths(p.window());
+            // Keep the JSON bounded on long runs: the most recent windows
+            // are the interesting ones.
+            let start = paths.len().saturating_sub(64);
+            for cp in &paths[start..] {
+                w.begin_object();
+                w.field_u64("window_start", cp.window_start);
+                w.field_u64("window_end", cp.window_end);
+                w.field_u64("length", cp.len as u64);
+                w.key("rules");
+                w.begin_array();
+                for &r in &cp.rules {
+                    match self.rules.get(r as usize) {
+                        Some(e) => w.string(&e.name),
+                        None => w.string(&format!("rule#{r}")),
+                    }
+                }
+                w.end_array();
+                w.end_object();
+            }
+            w.end_array();
+            w.key("causal_edges");
+            w.begin_object();
+            w.field_u64("recorded", p.causal().recorded());
+            w.field_u64("dropped", p.causal().dropped());
+            w.end_object();
+            w.field_u64("window", p.window());
+            w.key("windows");
+            w.begin_array();
+            let marks: Vec<_> = p.marks().collect();
+            let start = marks.len().saturating_sub(9);
+            for pair in marks[start..].windows(2) {
+                w.begin_object();
+                w.field_u64("from_cycle", pair[0].cycle());
+                w.field_u64("to_cycle", pair[1].cycle());
+                w.key("deltas");
+                w.begin_object();
+                for (name, v) in pair[1].delta_since(pair[0]) {
+                    w.field_u64(&name, v);
+                }
+                w.end_object();
+                w.end_object();
+            }
+            w.end_array();
+        }
+        w.end_object();
+        w.finish()
     }
 
     /// Declares when a stalled `rule` is re-evaluated (fast scheduler only;
@@ -697,7 +886,14 @@ impl<S> Sim<S> {
         let mut conflict: Option<SimError> = None;
         let tracing = self.tracer.is_enabled();
         let hist = self.collect_hist;
-        for entry in &mut self.rules {
+        let prof_on = self.prof.is_some();
+        let total_methods = self.clk.total_methods() as usize;
+        if prof_on && total_methods > 0 {
+            self.owner_scratch.clear();
+            self.owner_scratch.resize(total_methods, u32::MAX);
+        }
+        let mut calls = std::mem::take(&mut self.calls_scratch);
+        for (i, entry) in self.rules.iter_mut().enumerate() {
             match chaos.as_ref().and_then(|e| e.rule_fault(&entry.name, now)) {
                 Some(RuleFault::ForceStall) => {
                     account_guard_stall(
@@ -730,17 +926,36 @@ impl<S> Sim<S> {
                 }
                 None => {}
             }
+            let t0 = if prof_on { Some(Instant::now()) } else { None };
             self.clk.begin_rule();
-            match (entry.body)(&mut self.state) {
+            let outcome = (entry.body)(&mut self.state);
+            let t_body = if prof_on { Some(Instant::now()) } else { None };
+            let mut fired_now = false;
+            match outcome {
                 Ok(()) => {
                     if let Some(v) = self.clk.check_cm() {
                         self.clk.abort_rule();
                         account_cm_stall(entry, &self.tracer, tracing, hist, &self.ctr_cm, now, &v);
+                        if let Some(p) = self.prof.as_mut() {
+                            push_cm_edge(p, &self.clk, &self.owner_scratch, i, now);
+                        }
                         self.last_violation = Some(v);
                     } else {
+                        if prof_on && total_methods > 0 {
+                            // Commit drains the call list, so capture it
+                            // first for method→owner attribution.
+                            self.clk.calls_global(&mut calls);
+                        }
                         match self.clk.try_commit_rule() {
                             Ok(()) => {
+                                if prof_on && total_methods > 0 {
+                                    let rule = u32::try_from(i).expect("rule index");
+                                    for &c in &calls {
+                                        self.owner_scratch[c as usize] = rule;
+                                    }
+                                }
                                 account_fired(entry, &self.tracer, tracing, &self.ctr_fired, now);
+                                fired_now = true;
                                 if !entry.exempt {
                                     fired_any = true;
                                 }
@@ -781,7 +996,13 @@ impl<S> Sim<S> {
                     );
                 }
             }
+            if let (Some(t0), Some(t1)) = (t0, t_body) {
+                if let Some(p) = self.prof.as_mut() {
+                    p.record_eval(i, t0, t1, fired_now);
+                }
+            }
         }
+        self.calls_scratch = calls;
         self.finish_cycle(fired_any, conflict, chaos.as_ref(), now)
     }
 
@@ -795,20 +1016,41 @@ impl<S> Sim<S> {
         let mut conflict: Option<SimError> = None;
         let tracing = self.tracer.is_enabled();
         let hist = self.collect_hist;
-        self.fired_forbidden
-            .reset(self.clk.total_methods() as usize);
+        let prof_on = self.prof.is_some();
+        // A design that registered no CM-checked modules has nothing to
+        // conflict: skip the whole conflict-mask apparatus (call
+        // collection, footprint learning, probe, forbid-set unions). This
+        // is what keeps Fast from losing to Reference on CM-free designs
+        // like the RiscyOO SoC, whose modules enforce ordering through EHR
+        // port choice instead of conflict matrices.
+        let no_cm = self.clk.total_methods() == 0;
+        if !no_cm {
+            self.fired_forbidden
+                .reset(self.clk.total_methods() as usize);
+        }
+        if prof_on && !no_cm {
+            self.owner_scratch.clear();
+            self.owner_scratch
+                .resize(self.clk.total_methods() as usize, u32::MAX);
+        }
         let mut calls = std::mem::take(&mut self.calls_scratch);
         let mut reads = std::mem::take(&mut self.reads_scratch);
         let nrules = self.rules.len();
         // Drain once per cycle regardless of sleepers, so the publish log
-        // stays bounded even in designs where no rule ever sleeps.
-        drain_wakeups(
-            &self.clk,
-            &mut self.watchers,
-            &self.sleep_gens,
-            &mut self.wake_flags,
-            &mut self.pub_seen,
-        );
+        // stays bounded even in designs where no rule ever sleeps — but
+        // only when the wake log is live at all (some rule opted into a
+        // non-default wakeup); otherwise nothing is ever published and the
+        // drain would be pure per-cycle overhead.
+        if self.any_wakeup {
+            drain_wakeups(
+                &self.clk,
+                &mut self.watchers,
+                &self.sleep_gens,
+                &mut self.wake_flags,
+                &mut self.pub_seen,
+                self.prof.as_mut().map(|p| (&mut p.causal, now)),
+            );
+        }
         for (i, entry) in self.rules.iter_mut().enumerate() {
             // Chaos verdicts come first so an injected fault lands on the
             // same cycle whether or not the rule is asleep.
@@ -861,6 +1103,7 @@ impl<S> Sim<S> {
                     &self.sleep_gens,
                     &mut self.wake_flags,
                     &mut self.pub_seen,
+                    self.prof.as_mut().map(|p| (&mut p.causal, now)),
                 );
                 if self.wake_flags[i] {
                     self.wake_flags[i] = false;
@@ -886,10 +1129,21 @@ impl<S> Sim<S> {
                             },
                         );
                     }
+                    if let Some(p) = self.prof.as_mut() {
+                        p.record_skip(i);
+                    }
                     continue;
                 }
             }
             let infer = matches!(entry.sched.wakeup, Wakeup::Inferred);
+            let t0 = if prof_on {
+                // Tag publishes from this rule's commit so a later wake can
+                // be attributed back to it.
+                self.clk.set_cur_rule(u32::try_from(i).expect("rule index"));
+                Some(Instant::now())
+            } else {
+                None
+            };
             self.clk.begin_rule();
             if infer {
                 self.clk.begin_read_trace();
@@ -898,40 +1152,58 @@ impl<S> Sim<S> {
             if infer {
                 self.clk.end_read_trace(&mut reads);
             }
+            let t_body = if prof_on { Some(Instant::now()) } else { None };
+            let mut fired_now = false;
             match outcome {
                 Ok(()) => {
-                    self.clk.calls_global(&mut calls);
-                    // Footprint learning feeds [`Sim::schedule_waves`]; the
-                    // firing decision below no longer depends on it.
-                    for &c in &calls {
-                        entry.sched.add_method(&self.clk, c);
-                    }
-                    // Precise conflict test, one bit probe per call: a
-                    // violation exists iff some call is in the forbidden
-                    // set accumulated from everything committed earlier
-                    // this cycle — exactly the condition `check_cm` scans
-                    // for, so the O(calls × fired) scan only runs to *name*
-                    // a violation that certainly exists.
-                    let violation = if calls.iter().any(|&c| self.fired_forbidden.contains(c)) {
-                        self.clk.check_cm()
-                    } else {
+                    let violation = if no_cm {
                         None
+                    } else {
+                        self.clk.calls_global(&mut calls);
+                        // Footprint learning feeds [`Sim::schedule_waves`];
+                        // the firing decision below no longer depends on it.
+                        for &c in &calls {
+                            entry.sched.add_method(&self.clk, c);
+                        }
+                        // Precise conflict test, one bit probe per call: a
+                        // violation exists iff some call is in the forbidden
+                        // set accumulated from everything committed earlier
+                        // this cycle — exactly the condition `check_cm`
+                        // scans for, so the O(calls × fired) scan only runs
+                        // to *name* a violation that certainly exists.
+                        if calls.iter().any(|&c| self.fired_forbidden.contains(c)) {
+                            self.clk.check_cm()
+                        } else {
+                            None
+                        }
                     };
                     if let Some(v) = violation {
                         self.clk.abort_rule();
                         account_cm_stall(entry, &self.tracer, tracing, hist, &self.ctr_cm, now, &v);
+                        if let Some(p) = self.prof.as_mut() {
+                            push_cm_edge(p, &self.clk, &self.owner_scratch, i, now);
+                        }
                         self.last_violation = Some(v);
                     } else {
                         match self.clk.try_commit_rule() {
                             Ok(()) => {
-                                for &c in &calls {
-                                    self.fired_forbidden.union_with(forbid_mask(
-                                        &mut self.forbid_rows,
-                                        &self.clk,
-                                        c,
-                                    ));
+                                if !no_cm {
+                                    for &c in &calls {
+                                        self.fired_forbidden.union_with(forbid_mask(
+                                            &mut self.forbid_rows,
+                                            &self.clk,
+                                            c,
+                                        ));
+                                    }
+                                    if prof_on {
+                                        let rule = u32::try_from(i).expect("rule index");
+                                        for &c in &calls {
+                                            self.owner_scratch[c as usize] = rule;
+                                        }
+                                    }
                                 }
                                 account_fired(entry, &self.tracer, tracing, &self.ctr_fired, now);
+                                fired_now = true;
                                 if !entry.exempt {
                                     fired_any = true;
                                 }
@@ -978,6 +1250,7 @@ impl<S> Sim<S> {
                             &self.sleep_gens,
                             &mut self.wake_flags,
                             &mut self.pub_seen,
+                            self.prof.as_mut().map(|p| (&mut p.causal, now)),
                         );
                         let gen = self.sleep_gens[i];
                         let rule = u32::try_from(i).expect("rule index");
@@ -1016,6 +1289,14 @@ impl<S> Sim<S> {
                     }
                 }
             }
+            if let (Some(t0), Some(t1)) = (t0, t_body) {
+                if let Some(p) = self.prof.as_mut() {
+                    p.record_eval(i, t0, t1, fired_now);
+                }
+            }
+        }
+        if prof_on {
+            self.clk.set_cur_rule(u32::MAX);
         }
         self.calls_scratch = calls;
         self.reads_scratch = reads;
@@ -1035,6 +1316,11 @@ impl<S> Sim<S> {
             e.apply_cycle_faults(now);
         }
         self.cycles += 1;
+        if let Some(p) = self.prof.as_mut() {
+            if self.cycles.is_multiple_of(p.window) {
+                p.push_mark(self.counters.snapshot_at(self.cycles));
+            }
+        }
         if let Some(err) = conflict {
             return Err(err);
         }
@@ -1206,14 +1492,17 @@ impl<S> Sim<S> {
     /// A formatted multi-line scheduling report: rules sorted by fire count
     /// (busiest first; ties keep schedule order), each followed by its
     /// stall-reason histogram so a deadlocked or underperforming rule shows
-    /// *what* it was waiting on, not just how often.
+    /// *what* it was waiting on, not just how often. With profiling enabled
+    /// each rule line also carries its host-time attribution (self = rule
+    /// body, total = body + scheduling) in the same table.
     #[must_use]
     pub fn report(&self) -> String {
+        let prof = self.prof.as_deref();
         let mut out = String::new();
         out.push_str(&format!("cycles: {}\n", self.cycles));
-        let mut order: Vec<&RuleEntry<S>> = self.rules.iter().collect();
-        order.sort_by_key(|r| std::cmp::Reverse(r.stats.fired));
-        for r in order {
+        let mut order: Vec<(usize, &RuleEntry<S>)> = self.rules.iter().enumerate().collect();
+        order.sort_by_key(|(_, r)| std::cmp::Reverse(r.stats.fired));
+        for (i, r) in order {
             let total = r.stats.fired + r.stats.guard_stalls + r.stats.cm_stalls;
             let pct = if total == 0 {
                 0.0
@@ -1221,9 +1510,19 @@ impl<S> Sim<S> {
                 100.0 * r.stats.fired as f64 / total as f64
             };
             out.push_str(&format!(
-                "  {:<24} fired {:>10} ({:5.1}%)  guard-stall {:>10}  cm-stall {:>10}\n",
+                "  {:<24} fired {:>10} ({:5.1}%)  guard-stall {:>10}  cm-stall {:>10}",
                 r.name, r.stats.fired, pct, r.stats.guard_stalls, r.stats.cm_stalls
             ));
+            if let Some(p) = prof {
+                let rp = p.rule(i);
+                out.push_str(&format!(
+                    "  self {:>9.3}ms  total {:>9.3}ms  evals {:>10}",
+                    rp.self_ns() as f64 / 1e6,
+                    rp.total_ns() as f64 / 1e6,
+                    rp.evals,
+                ));
+            }
+            out.push('\n');
             let mut reasons: Vec<(String, u64)> = r
                 .guard_reasons
                 .iter()

@@ -1,0 +1,71 @@
+//! Golden-file test for the Chrome trace-event exporter: a fixed little
+//! design must serialize to byte-identical JSON on every run and platform.
+//! The exporter keys everything off simulated cycles (never host time), so
+//! the output is fully deterministic — any byte change is a schema change
+//! and must be made deliberately, updating this golden alongside
+//! docs/OBSERVABILITY.md.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cmd_core::prelude::*;
+
+struct St {
+    q: BypassFifo<u64>,
+    got: Ehr<u64>,
+}
+
+/// Two rules over a bypass FIFO: `produce` fires every cycle, `consume`
+/// fires from cycle 0 too (bypass), so both tracks coalesce into single
+/// duration events.
+fn run_traced(cycles: u64) -> String {
+    let clk = Clock::new();
+    let st = St {
+        q: BypassFifo::new(&clk, 2),
+        got: Ehr::new(&clk, 0),
+    };
+    let mut sim = Sim::new(clk, st);
+    sim.rule("produce", |s: &mut St| s.q.enq(7));
+    sim.rule("consume", |s: &mut St| {
+        let v = s.q.deq()?;
+        s.got.update(|g| *g += v);
+        Ok(())
+    });
+    let trace = Rc::new(RefCell::new(ChromeTrace::new()));
+    sim.set_tracer(Tracer::new(trace.clone()));
+    sim.run(cycles);
+    let mut t = trace.borrow_mut();
+    t.set_inst_track(0, "core0");
+    t.add_span(0, "alu", 1, 4, 0x8000_0000, 42);
+    t.finish_json()
+}
+
+#[test]
+fn chrome_trace_json_is_byte_stable() {
+    let golden = concat!(
+        "{\"traceEvents\":[",
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,",
+        "\"args\":{\"name\":\"rules\"}},",
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,",
+        "\"args\":{\"name\":\"instructions\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,",
+        "\"args\":{\"name\":\"produce\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,",
+        "\"args\":{\"name\":\"consume\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,",
+        "\"args\":{\"name\":\"core0\"}},",
+        "{\"name\":\"alu\",\"cat\":\"inst\",\"ph\":\"X\",\"ts\":1,\"dur\":4,",
+        "\"pid\":1,\"tid\":0,\"args\":{\"pc\":\"0x80000000\",\"seq\":42}},",
+        "{\"name\":\"produce\",\"cat\":\"rule\",\"ph\":\"X\",\"ts\":0,\"dur\":3,",
+        "\"pid\":0,\"tid\":0},",
+        "{\"name\":\"consume\",\"cat\":\"rule\",\"ph\":\"X\",\"ts\":0,\"dur\":3,",
+        "\"pid\":0,\"tid\":1}",
+        "],\"displayTimeUnit\":\"ms\",",
+        "\"otherData\":{\"schema_version\":1,",
+        "\"time_unit\":\"1us = 1 cycle\",\"dropped_events\":0}}"
+    );
+    let json = run_traced(3);
+    assert_eq!(json, golden, "exporter output drifted from the golden");
+    // Re-running is also byte-identical (no host-time or hash-order leaks).
+    assert_eq!(run_traced(3), json);
+}

@@ -30,6 +30,7 @@ use crate::rob::{LsqDeqResult, Rob, RobEntry};
 use crate::sb::{SbSearch, StoreBuffer};
 use crate::soc::{CoreStats, Soc};
 use crate::tlbport::TlbHier;
+use crate::tma::TmaState;
 use crate::types::{ExecPipe, MemKind, PhysReg, SpecMask, SystemOp, Uop};
 
 /// Divide latency in cycles (iterative unit).
@@ -164,6 +165,8 @@ pub struct CoreState {
     pub stats: CoreStats,
     /// Per-instruction pipeline trace collector (disabled by default).
     pub pipe: PipeTrace,
+    /// Top-down cycle accounting (sampled only when profiling is on).
+    pub tma: Option<TmaState>,
 }
 
 /// Sign/zero extension of a loaded value.
@@ -275,6 +278,21 @@ impl Soc {
             core.stats.rob_occ_sum += core.rob.len() as u64;
             core.stats.iq_occ_sum += core.iqs.iter().map(IssueQueue::len).sum::<usize>() as u64;
             core.stats.occ_cycles += 1;
+            // Top-down cycle accounting (read-only: profiled and
+            // unprofiled runs stay cycle- and counter-identical).
+            if core.tma.is_some() {
+                let committed = core.stats.committed;
+                let epoch = core.epoch.read();
+                let rob_len = core.rob.len();
+                let head_mem_blocked = core
+                    .rob
+                    .first()
+                    .ok()
+                    .is_some_and(|e| !e.completed && e.uop.mem_kind.is_some());
+                if let Some(t) = core.tma.as_mut() {
+                    t.sample(committed, epoch, rob_len, head_mem_blocked);
+                }
+            }
         }
         self.mem.tick();
     }

@@ -16,7 +16,9 @@
 //! * [`iq`] — issue queues;
 //! * [`lsq`] — split load/store queue (TSO and WMM);
 //! * [`sb`] — store buffer;
-//! * [`pipetrace`] — Konata/O3PipeView pipeline trace export;
+//! * [`pipetrace`] — Konata/O3PipeView pipeline trace export and
+//!   per-instruction spans for the Chrome trace exporter;
+//! * [`tma`] — top-down (TMA) cycle accounting;
 //! * [`tlbport`] — per-core TLB hierarchy (blocking and non-blocking);
 //! * [`core`] — the core's state and top-level rules;
 //! * [`soc`] — the SoC, devices, and the runnable [`soc::SocSim`].
@@ -64,4 +66,5 @@ pub mod rob;
 pub mod sb;
 pub mod soc;
 pub mod tlbport;
+pub mod tma;
 pub mod types;

@@ -39,6 +39,22 @@ struct Rec {
     complete: Option<u64>,
 }
 
+/// A retired instruction's fetch→retire lifetime, exported to the Chrome
+/// trace (Perfetto) instruction tracks. Squashed instructions never appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstSpan {
+    /// Konata-compatible sequence number (unique, increasing per core).
+    pub seq: u64,
+    /// Virtual PC.
+    pub pc: u64,
+    /// Colon-free mnemonic (see [`mnemonic`]).
+    pub mnemonic: &'static str,
+    /// Fetch cycle.
+    pub fetch: u64,
+    /// Retire cycle (`>= fetch`).
+    pub retire: u64,
+}
+
 #[derive(Debug)]
 struct PtInner {
     /// One slot per ROB entry; rename overwrites reclaim squashed slots.
@@ -47,6 +63,28 @@ struct PtInner {
     seq: u64,
     /// Emitted trace text.
     out: String,
+    /// Whether O3PipeView text is emitted at retire.
+    text_on: bool,
+    /// Retired-instruction spans (empty unless spans were enabled).
+    spans: Vec<InstSpan>,
+    /// Span capacity; `0` disables span collection.
+    span_cap: usize,
+    /// Spans discarded after `spans` filled up.
+    dropped_spans: u64,
+}
+
+impl PtInner {
+    fn new(rob_entries: usize, seq_base: u64) -> Self {
+        PtInner {
+            records: vec![None; rob_entries],
+            seq: seq_base,
+            out: String::new(),
+            text_on: false,
+            spans: Vec::new(),
+            span_cap: 0,
+            dropped_spans: 0,
+        }
+    }
 }
 
 /// A per-core O3PipeView trace collector. See the [module docs](self).
@@ -62,15 +100,23 @@ impl PipeTrace {
         PipeTrace::default()
     }
 
-    /// Starts collecting, with `rob_entries` record slots. `seq_base`
-    /// offsets sequence numbers so traces of different cores can be
-    /// concatenated without id collisions.
+    /// Starts collecting O3PipeView text, with `rob_entries` record slots.
+    /// `seq_base` offsets sequence numbers so traces of different cores can
+    /// be concatenated without id collisions. Composes with
+    /// [`PipeTrace::enable_spans`]: enabling one does not reset the other.
     pub fn enable(&self, rob_entries: usize, seq_base: u64) {
-        *self.inner.borrow_mut() = Some(PtInner {
-            records: vec![None; rob_entries],
-            seq: seq_base,
-            out: String::new(),
-        });
+        let mut inner = self.inner.borrow_mut();
+        let pt = inner.get_or_insert_with(|| PtInner::new(rob_entries, seq_base));
+        pt.text_on = true;
+    }
+
+    /// Starts collecting retired-instruction [`InstSpan`]s (at most `cap`;
+    /// later retirements are counted in [`PipeTrace::dropped_spans`]).
+    /// Composes with [`PipeTrace::enable`].
+    pub fn enable_spans(&self, rob_entries: usize, seq_base: u64, cap: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let pt = inner.get_or_insert_with(|| PtInner::new(rob_entries, seq_base));
+        pt.span_cap = cap.max(1);
     }
 
     /// Whether the collector is recording.
@@ -135,17 +181,32 @@ impl PipeTrace {
             let retire = now.max(complete);
             let seq = pt.seq;
             pt.seq += 1;
-            let _ = write!(
-                pt.out,
-                "O3PipeView:fetch:{}:0x{:016x}:0:{}:{}\n\
-                 O3PipeView:decode:{}\n\
-                 O3PipeView:rename:{}\n\
-                 O3PipeView:dispatch:{}\n\
-                 O3PipeView:issue:{}\n\
-                 O3PipeView:complete:{}\n\
-                 O3PipeView:retire:{}:store:0\n",
-                r.fetch, r.pc, seq, r.mnemonic, decode, rename, rename, issue, complete, retire
-            );
+            if pt.text_on {
+                let _ = write!(
+                    pt.out,
+                    "O3PipeView:fetch:{}:0x{:016x}:0:{}:{}\n\
+                     O3PipeView:decode:{}\n\
+                     O3PipeView:rename:{}\n\
+                     O3PipeView:dispatch:{}\n\
+                     O3PipeView:issue:{}\n\
+                     O3PipeView:complete:{}\n\
+                     O3PipeView:retire:{}:store:0\n",
+                    r.fetch, r.pc, seq, r.mnemonic, decode, rename, rename, issue, complete, retire
+                );
+            }
+            if pt.span_cap > 0 {
+                if pt.spans.len() < pt.span_cap {
+                    pt.spans.push(InstSpan {
+                        seq,
+                        pc: r.pc,
+                        mnemonic: r.mnemonic,
+                        fetch: r.fetch,
+                        retire,
+                    });
+                } else {
+                    pt.dropped_spans += 1;
+                }
+            }
         }
     }
 
@@ -156,6 +217,25 @@ impl PipeTrace {
             .borrow()
             .as_ref()
             .map_or_else(String::new, |pt| pt.out.clone())
+    }
+
+    /// The retired-instruction spans collected so far (empty unless
+    /// [`PipeTrace::enable_spans`] was called before running).
+    #[must_use]
+    pub fn spans(&self) -> Vec<InstSpan> {
+        self.inner
+            .borrow()
+            .as_ref()
+            .map_or_else(Vec::new, |pt| pt.spans.clone())
+    }
+
+    /// Spans discarded because the span buffer was full.
+    #[must_use]
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner
+            .borrow()
+            .as_ref()
+            .map_or(0, |pt| pt.dropped_spans)
     }
 }
 
@@ -249,6 +329,41 @@ mod tests {
         assert!(text.contains("O3PipeView:complete:7\n"), "{text}");
         assert!(text.contains("O3PipeView:retire:9:store:0\n"), "{text}");
         assert!(text.contains(":illegal\n"), "{text}");
+    }
+
+    #[test]
+    fn spans_only_mode_emits_no_text() {
+        let pt = PipeTrace::disabled();
+        pt.enable_spans(2, 100, 8);
+        pt.rename(0, 0x8000_0000, None, 1, 2, 3);
+        pt.retire(0, 6);
+        assert_eq!(pt.text(), "");
+        let spans = pt.spans();
+        assert_eq!(
+            spans,
+            vec![InstSpan {
+                seq: 100,
+                pc: 0x8000_0000,
+                mnemonic: "illegal",
+                fetch: 1,
+                retire: 6
+            }]
+        );
+        assert_eq!(pt.dropped_spans(), 0);
+    }
+
+    #[test]
+    fn spans_compose_with_text_and_respect_cap() {
+        let pt = PipeTrace::disabled();
+        pt.enable(4, 0);
+        pt.enable_spans(4, 0, 2);
+        for i in 0..3u16 {
+            pt.rename(i, 0x8000_0000 + u64::from(i) * 4, None, 1, 2, 3);
+            pt.retire(i, 5 + u64::from(i));
+        }
+        assert_eq!(pt.spans().len(), 2, "cap stops collection");
+        assert_eq!(pt.dropped_spans(), 1);
+        assert_eq!(pt.text().lines().count(), 21, "text still records all 3");
     }
 
     #[test]

@@ -17,12 +17,13 @@ use crate::core::{CoreState, DecInst, MemTrans};
 use crate::frontend::{Btb, Ras, Tournament};
 use crate::iq::IssueQueue;
 use crate::lsq::Lsq;
-use crate::pipetrace::PipeTrace;
+use crate::pipetrace::{InstSpan, PipeTrace};
 use crate::prf::{Bypass, Prf};
 use crate::rename::{RenameTable, SpecManager};
 use crate::rob::Rob;
 use crate::sb::StoreBuffer;
 use crate::tlbport::TlbHier;
+use crate::tma::{TmaBuckets, TmaState};
 use crate::types::SpecMask;
 
 /// Per-core performance counters (sources for Figs. 15–20).
@@ -528,6 +529,7 @@ impl SocSim {
         let total_committed: u64 = soc.cores.iter().map(|c| c.stats.committed).sum();
         let mut w = JsonWriter::new();
         w.begin_object();
+        w.field_u64("schema_version", 1);
         w.field_f64(
             "ipc",
             if cycles == 0 {
@@ -617,6 +619,118 @@ impl SocSim {
         w.end_object();
         w.finish()
     }
+
+    /// Turns on the causal profiler: per-rule host-time attribution and
+    /// critical-path edges in the CMD kernel (see [`cmd_core::prof`]) plus
+    /// per-core top-down (TMA) cycle accounting. Purely observational —
+    /// cycles, counters, and traces are identical to an unprofiled run.
+    pub fn enable_profiling(&mut self) {
+        self.sim.enable_profiling();
+        for core in &mut self.sim.state_mut().cores {
+            core.tma = Some(TmaState::default());
+        }
+    }
+
+    /// The CMD kernel's profiler, when [`SocSim::enable_profiling`] was
+    /// called.
+    #[must_use]
+    pub fn profiler(&self) -> Option<&cmd_core::prof::Profiler> {
+        self.sim.profiler()
+    }
+
+    /// Per-core TMA buckets (`None` entries mean profiling was off).
+    #[must_use]
+    pub fn tma_buckets(&self) -> Vec<Option<TmaBuckets>> {
+        self.soc()
+            .cores
+            .iter()
+            .map(|c| c.tma.map(|t| t.buckets))
+            .collect()
+    }
+
+    /// A human-readable top-down breakdown, one line per core: the share of
+    /// sampled cycles spent retiring, frontend-bound, in bad speculation,
+    /// backend-core-bound, and backend-memory-bound. Empty when profiling
+    /// is off.
+    #[must_use]
+    pub fn tma_table(&self) -> String {
+        let mut out = String::new();
+        for core in &self.soc().cores {
+            let Some(t) = &core.tma else { continue };
+            let b = t.buckets;
+            let total = b.total().max(1) as f64;
+            if out.is_empty() {
+                out.push_str("top-down cycle accounting (share of sampled cycles):\n");
+            }
+            out.push_str(&format!(
+                "core {}: retiring {:5.1}%  frontend {:5.1}%  bad-spec {:5.1}%  \
+                 backend-core {:5.1}%  backend-mem {:5.1}%  (cycles {})\n",
+                core.id,
+                100.0 * b.retiring as f64 / total,
+                100.0 * b.frontend_bound as f64 / total,
+                100.0 * b.bad_speculation as f64 / total,
+                100.0 * b.backend_core as f64 / total,
+                100.0 * b.backend_memory as f64 / total,
+                b.total(),
+            ));
+        }
+        out
+    }
+
+    /// A machine-readable profile: the CMD kernel's per-rule host-time and
+    /// critical-path report under `"sim"` (see [`cmd_core::sim::Sim::profile_json`])
+    /// plus the per-core top-down buckets under `"tma"`. Written by every
+    /// `fig*` binary's `--profile-json`.
+    #[must_use]
+    pub fn profile_json(&self) -> String {
+        use cmd_core::trace::json::JsonWriter;
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("schema_version", 1);
+        w.key("sim");
+        w.raw(&self.sim.profile_json());
+        w.key("tma");
+        w.begin_array();
+        for core in &self.soc().cores {
+            let Some(t) = &core.tma else { continue };
+            let b = t.buckets;
+            w.begin_object();
+            w.field_u64("core", core.id as u64);
+            w.field_u64("retiring", b.retiring);
+            w.field_u64("frontend_bound", b.frontend_bound);
+            w.field_u64("bad_speculation", b.bad_speculation);
+            w.field_u64("backend_core", b.backend_core);
+            w.field_u64("backend_memory", b.backend_memory);
+            w.field_u64("total", b.total());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Starts collecting retired-instruction spans on every core (at most
+    /// `cap` per core) for the Chrome trace exporter's instruction tracks.
+    /// Composes with [`SocSim::enable_pipe_trace`].
+    pub fn enable_inst_spans(&mut self, cap: usize) {
+        let rob_entries = self.soc().cfg.rob_entries;
+        for core in &mut self.sim.state_mut().cores {
+            core.pipe
+                .enable_spans(rob_entries, core.id as u64 * 1_000_000_000, cap);
+        }
+    }
+
+    /// The retired-instruction spans of every core, as `(core id, spans,
+    /// dropped)` triples. Empty spans unless
+    /// [`SocSim::enable_inst_spans`] was called before running.
+    #[must_use]
+    pub fn instruction_spans(&self) -> Vec<(usize, Vec<InstSpan>, u64)> {
+        self.soc()
+            .cores
+            .iter()
+            .map(|c| (c.id, c.pipe.spans(), c.pipe.dropped_spans()))
+            .collect()
+    }
 }
 
 impl CoreState {
@@ -663,6 +777,7 @@ impl CoreState {
             roi_start: None,
             stats: CoreStats::default(),
             pipe: PipeTrace::disabled(),
+            tma: None,
         }
     }
 }
