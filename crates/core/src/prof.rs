@@ -223,32 +223,36 @@ fn longest_chain(edges: &[&CausalEdge]) -> (usize, Vec<u32>) {
     // depth[r] = (edges on the deepest chain ending at rule r,
     //             index of the final edge of that chain)
     let mut depth: HashMap<u32, (usize, usize)> = HashMap::new();
-    let mut best: Option<(usize, u32)> = None;
+    // parent[i] = index of the edge preceding edge i on the deepest chain
+    // through it, captured *when edge i is processed*. Reconstruction walks
+    // these frozen links, so a later edge that re-deepens an intermediate
+    // rule cannot splice itself into an earlier chain's suffix — the
+    // reported path replays edges in the causal order they occurred, and
+    // its edge count always equals the reported `len`.
+    let mut parent: Vec<usize> = Vec::with_capacity(edges.len());
+    let mut best: Option<(usize, usize)> = None;
     for (i, e) in edges.iter().enumerate() {
-        let d = depth.get(&e.from).map_or(0, |&(d, _)| d) + 1;
+        let (pd, pe) = depth.get(&e.from).map_or((0, usize::MAX), |&p| p);
+        parent.push(pe);
+        let d = pd + 1;
         let slot = depth.entry(e.to).or_insert((0, usize::MAX));
         if d > slot.0 {
             *slot = (d, i);
         }
-        let cur = slot.0;
-        if best.is_none_or(|(bd, _)| cur > bd) {
-            best = Some((cur, e.to));
+        if best.is_none_or(|(bd, _)| slot.0 > bd) {
+            best = Some(*slot);
         }
     }
-    let Some((len, mut node)) = best else {
+    let Some((len, last)) = best else {
         return (0, Vec::new());
     };
-    let mut chain = vec![node];
-    // Walk predecessor edges; depth strictly decreases along the walk, but
-    // a later re-deepening of a predecessor could in principle loop, so cap
-    // the walk at the edge count.
-    while chain.len() <= edges.len() {
-        match depth.get(&node) {
-            Some(&(_, i)) if i != usize::MAX => {
-                node = edges[i].from;
-                chain.push(node);
-            }
-            _ => break,
+    let mut chain = vec![edges[last].to];
+    let mut i = last;
+    loop {
+        chain.push(edges[i].from);
+        i = parent[i];
+        if i == usize::MAX {
+            break;
         }
     }
     chain.reverse();
@@ -405,14 +409,16 @@ enum ChromeEvent {
 /// A [`TraceSink`] that renders the run as Chrome trace-event JSON, the
 /// format <https://ui.perfetto.dev> (and `chrome://tracing`) load natively.
 ///
-/// Layout: process 0 holds one thread per rule *track* (the rule-name
-/// prefix before the first `.`, so `c0.commit0` and `c0.fetch` share the
-/// `c0` track's process lane grouping — each rule still gets its own
-/// thread); process 1 holds one thread per instruction track (a core), fed
-/// by [`ChromeTrace::add_span`]. One simulated cycle maps to one
-/// microsecond of trace time. Consecutive firing cycles of a rule coalesce
-/// into a single duration event, which keeps traces of million-cycle runs
-/// tractable.
+/// Layout: process 0 ("rules") holds one thread per rule, named after the
+/// full rule name and numbered in first-fired order — rules of one module
+/// share a name prefix (`c0.commit0`, `c0.fetch`) and so sort together in
+/// the viewer, but each rule keeps its own thread lane, since two rules of
+/// a module can fire in the same cycle and overlapping duration events on
+/// one lane render poorly. Process 1 ("instructions") holds one thread per
+/// instruction track (a core), fed by [`ChromeTrace::add_span`]. One
+/// simulated cycle maps to one microsecond of trace time. Consecutive
+/// firing cycles of a rule coalesce into a single duration event, which
+/// keeps traces of million-cycle runs tractable.
 ///
 /// Attach with [`Sim::set_tracer`](crate::sim::Sim::set_tracer) wrapped in
 /// a shared cell, run, then call [`ChromeTrace::finish_json`]:
@@ -716,6 +722,28 @@ mod tests {
         let paths = log.critical_paths(100);
         assert_eq!(paths[0].len, 3);
         assert_eq!(paths[0].rules, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn critical_path_ignores_late_redeepening_of_intermediate_nodes() {
+        // Edges in observation order: 0→1, 1→2, 3→4, 4→1. The last edge
+        // re-deepens rule 1 *after* 1→2 was processed, so the deepest chain
+        // ending anywhere is still 0→1→2 (len 2; 3→4→1 ties at len 2 but
+        // loses on first-reached). A backward walk over final depths would
+        // splice the late 4→1 edge under 1→2 and report 3→4→1→2 — a chain
+        // whose suffix predates its prefix. The frozen parent links must
+        // reproduce the actual earliest deepest chain.
+        let mut log = CausalLog::new(64);
+        log.push(edge(0, 0, 1));
+        log.push(edge(1, 1, 2));
+        log.push(edge(2, 3, 4));
+        log.push(edge(3, 4, 1));
+        let paths = log.critical_paths(100);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len, 2);
+        assert_eq!(paths[0].rules, vec![0, 1, 2]);
+        // Reconstructed chain length always agrees with the reported len.
+        assert_eq!(paths[0].rules.len(), paths[0].len + 1);
     }
 
     #[test]

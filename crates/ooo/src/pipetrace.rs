@@ -112,11 +112,15 @@ impl PipeTrace {
 
     /// Starts collecting retired-instruction [`InstSpan`]s (at most `cap`;
     /// later retirements are counted in [`PipeTrace::dropped_spans`]).
-    /// Composes with [`PipeTrace::enable`].
+    /// Composes with [`PipeTrace::enable`]. A `cap` of 0 means "disabled"
+    /// throughout this module, so passing 0 here is a no-op.
     pub fn enable_spans(&self, rob_entries: usize, seq_base: u64, cap: usize) {
+        if cap == 0 {
+            return;
+        }
         let mut inner = self.inner.borrow_mut();
         let pt = inner.get_or_insert_with(|| PtInner::new(rob_entries, seq_base));
-        pt.span_cap = cap.max(1);
+        pt.span_cap = cap;
     }
 
     /// Whether the collector is recording.
@@ -349,6 +353,17 @@ mod tests {
                 retire: 6
             }]
         );
+        assert_eq!(pt.dropped_spans(), 0);
+    }
+
+    #[test]
+    fn enable_spans_with_zero_cap_is_a_no_op() {
+        let pt = PipeTrace::disabled();
+        pt.enable_spans(2, 0, 0);
+        assert!(!pt.is_enabled(), "cap 0 means disabled, not cap 1");
+        pt.rename(0, 0x8000_0000, None, 1, 2, 3);
+        pt.retire(0, 6);
+        assert!(pt.spans().is_empty());
         assert_eq!(pt.dropped_spans(), 0);
     }
 
