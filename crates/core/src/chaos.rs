@@ -94,6 +94,34 @@ impl FaultKind {
             FaultKind::MsgDup => 6,
         }
     }
+
+    /// The snake-case name used in repro lines (matches the
+    /// [`FaultPlan`] builder method names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::GuardStall => "guard_stall",
+            FaultKind::RuleAbort => "rule_abort",
+            FaultKind::BitFlip => "bit_flip",
+            FaultKind::MsgDrop => "msg_drop",
+            FaultKind::MsgDelay => "msg_delay",
+            FaultKind::MsgDup => "msg_dup",
+        }
+    }
+
+    /// Parses a repro-line kind name (inverse of [`FaultKind::name`]).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "guard_stall" => FaultKind::GuardStall,
+            "rule_abort" => FaultKind::RuleAbort,
+            "bit_flip" => FaultKind::BitFlip,
+            "msg_drop" => FaultKind::MsgDrop,
+            "msg_delay" => FaultKind::MsgDelay,
+            "msg_dup" => FaultKind::MsgDup,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for FaultKind {
@@ -234,6 +262,105 @@ impl FaultPlan {
     #[must_use]
     pub fn msg_dup(self, pattern: impl Into<String>, rate: f64) -> Self {
         self.with(FaultKind::MsgDup, pattern, rate, 0)
+    }
+
+    /// Number of fault entries in the plan.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// A copy of the plan with entry `idx` removed — the primitive a
+    /// failure shrinker uses to minimize a chaos campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn without_entry(&self, idx: usize) -> Self {
+        let mut plan = self.clone();
+        plan.entries.remove(idx);
+        plan
+    }
+
+    /// A copy of the plan with the same entries but a different seed — the
+    /// timing of every fault changes while the campaign shape stays fixed.
+    #[must_use]
+    pub fn reseeded(&self, seed: u64) -> Self {
+        let mut plan = self.clone();
+        plan.seed = seed;
+        plan
+    }
+
+    /// The plan as a one-line replayable repro string:
+    ///
+    /// ```text
+    /// seed=42;msg_delay:mem.p2c:0.01:3;guard_stall:c0.*:0.005
+    /// ```
+    ///
+    /// Each entry is `kind:pattern:rate` with a fourth `:param` field for
+    /// kinds that carry one (`msg_delay`'s extra latency). Rates print in
+    /// Rust's shortest-roundtrip form, so
+    /// `FaultPlan::parse(&plan.to_repro_string())` reproduces the plan
+    /// bit-for-bit.
+    #[must_use]
+    pub fn to_repro_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("seed={}", self.seed);
+        for e in &self.entries {
+            let _ = write!(out, ";{}:{}:{}", e.kind.name(), e.pattern, e.rate);
+            if e.kind == FaultKind::MsgDelay {
+                let _ = write!(out, ":{}", e.param);
+            }
+        }
+        out
+    }
+
+    /// Parses a repro string produced by [`FaultPlan::to_repro_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.trim().split(';');
+        let head = parts.next().unwrap_or_default();
+        let seed = head
+            .strip_prefix("seed=")
+            .ok_or_else(|| format!("expected `seed=<n>`, got `{head}`"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad seed in `{head}`: {e}"))?;
+        let mut plan = FaultPlan::new(seed);
+        for entry in parts {
+            if entry.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = entry.split(':').collect();
+            if fields.len() < 3 {
+                return Err(format!("entry `{entry}`: expected kind:pattern:rate"));
+            }
+            let kind = FaultKind::from_name(fields[0])
+                .ok_or_else(|| format!("unknown fault kind `{}`", fields[0]))?;
+            let rate = fields[2]
+                .parse::<f64>()
+                .map_err(|e| format!("entry `{entry}`: bad rate: {e}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("entry `{entry}`: rate must be in [0, 1]"));
+            }
+            let param = match fields.get(3) {
+                Some(p) => p
+                    .parse::<u64>()
+                    .map_err(|e| format!("entry `{entry}`: bad param: {e}"))?,
+                None => 0,
+            };
+            plan = plan.with(kind, fields[1], rate, param);
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_repro_string())
     }
 }
 
@@ -483,6 +610,17 @@ impl FaultEngine {
         self.inner.log.borrow().len()
     }
 
+    /// Injected-fault counts aggregated per site, sorted by site name —
+    /// the per-site breakdown a stats report surfaces next to the totals.
+    #[must_use]
+    pub fn site_counts(&self) -> Vec<(String, u64)> {
+        let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for r in self.inner.log.borrow().iter() {
+            *counts.entry(r.site.clone()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// The formatted campaign log, one fault per line.
     #[must_use]
     pub fn log_report(&self) -> String {
@@ -582,5 +720,59 @@ mod tests {
         let e = FaultEngine::new(FaultPlan::new(5).msg_delay("bus", 1.0, 9));
         assert_eq!(e.link_fault("bus", 3), Some(LinkFault::Delay(9)));
         assert_eq!(e.log()[0].detail, 9);
+    }
+
+    #[test]
+    fn repro_string_roundtrips() {
+        let plan = FaultPlan::new(42)
+            .msg_delay("mem.p2c", 0.01, 3)
+            .guard_stall("c0.*", 0.005)
+            .msg_dup("mem.c2p_req", 0.25);
+        let line = plan.to_repro_string();
+        assert_eq!(
+            line,
+            "seed=42;msg_delay:mem.p2c:0.01:3;guard_stall:c0.*:0.005;msg_dup:mem.c2p_req:0.25"
+        );
+        let back = FaultPlan::parse(&line).unwrap();
+        assert_eq!(back.to_repro_string(), line);
+        // The reparsed plan drives identical fault decisions.
+        let a = FaultEngine::new(plan);
+        let b = FaultEngine::new(back);
+        for c in 0..300 {
+            assert_eq!(a.link_fault("mem.p2c", c), b.link_fault("mem.p2c", c));
+            assert_eq!(a.rule_fault("c0.deqSt", c), b.rule_fault("c0.deqSt", c));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(FaultPlan::parse("no-seed").is_err());
+        assert!(FaultPlan::parse("seed=1;bogus_kind:x:0.5").is_err());
+        assert!(FaultPlan::parse("seed=1;msg_drop:x").is_err());
+        assert!(FaultPlan::parse("seed=1;msg_drop:x:1.5").is_err());
+        let empty = FaultPlan::parse("seed=7").unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.seed(), 7);
+    }
+
+    #[test]
+    fn without_entry_shrinks_the_plan() {
+        let plan = FaultPlan::new(1).msg_drop("a", 0.1).msg_dup("b", 0.2);
+        assert_eq!(plan.entry_count(), 2);
+        let shrunk = plan.without_entry(0);
+        assert_eq!(shrunk.to_repro_string(), "seed=1;msg_dup:b:0.2");
+    }
+
+    #[test]
+    fn site_counts_aggregate_the_log() {
+        let e = FaultEngine::new(FaultPlan::new(1).msg_drop("*", 1.0));
+        for c in 0..3 {
+            let _ = e.link_fault("q1", c);
+        }
+        let _ = e.link_fault("q0", 9);
+        assert_eq!(
+            e.site_counts(),
+            vec![("q0".to_string(), 1), ("q1".to_string(), 3)]
+        );
     }
 }

@@ -1,0 +1,131 @@
+//! Self-contained failure artifacts for litmus violations and hangs.
+//!
+//! A bundle is a directory holding everything needed to understand and
+//! replay one failure:
+//!
+//! ```text
+//! <dir>/
+//!   report.txt         human summary: what was observed, what was allowed
+//!   test.litmus        the original failing test
+//!   shrunk.litmus      the minimized reproducer (violations only)
+//!   repro.txt          spec lines + chaos repro string + replay command
+//!   trace.konata       Konata pipeline trace of the failing run
+//!   trace.chrome.json  Chrome about://tracing view with instruction spans
+//!   stats.json         stats_json snapshot (incl. per-site chaos counts)
+//!   deadlock.txt       scheduler watchdog wait-graph (hangs only)
+//! ```
+//!
+//! Traces are captured by *re-running* the reproducer with tracing enabled
+//! — tracing does not perturb scheduling or chaos decisions, so the traced
+//! run exhibits the same outcome.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::model::{allowed_outcomes, Outcome};
+use crate::run::{run_litmus_traced, RunResult, RunSpec};
+use crate::shrink::ShrinkResult;
+use crate::test::LitmusTest;
+
+/// What kind of failure the bundle documents.
+#[derive(Debug, Clone)]
+pub enum Failure {
+    /// Observed an outcome the model forbids; carries the shrunk repro.
+    Violation {
+        /// The forbidden outcome of the *original* test.
+        observed: Outcome,
+        /// The minimized reproducer.
+        shrunk: ShrinkResult,
+    },
+    /// The run hung without chaos (a genuine liveness failure).
+    Hang {
+        /// Failure description from the run.
+        reason: String,
+        /// The scheduler watchdog's wait-graph.
+        wait_graph: String,
+    },
+}
+
+/// Writes a failure bundle under `dir` (created if needed) and returns its
+/// path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bundle(
+    dir: &Path,
+    test: &LitmusTest,
+    spec: &RunSpec,
+    failure: &Failure,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let mut report = String::new();
+
+    fs::write(dir.join("test.litmus"), test.to_text())?;
+
+    match failure {
+        Failure::Violation { observed, shrunk } => {
+            report.push_str(&format!(
+                "FORBIDDEN OUTCOME under {:?}\n\ntest: {}\nobserved: {observed}\n",
+                spec.model, test.name
+            ));
+            let allowed = allowed_outcomes(&shrunk.test, shrunk.spec.model);
+            report.push_str(&format!(
+                "\nshrunk to {} threads / {} ops ({} shrink steps)\n",
+                shrunk.test.threads.len(),
+                shrunk.test.num_ops(),
+                shrunk.steps.len()
+            ));
+            for s in &shrunk.steps {
+                report.push_str(&format!("  - {s}\n"));
+            }
+            report.push_str(&format!(
+                "\nshrunk observed: {}\nallowed outcomes of the shrunk test:\n",
+                shrunk.observed
+            ));
+            for o in &allowed {
+                report.push_str(&format!("  {o}\n"));
+            }
+            fs::write(dir.join("shrunk.litmus"), shrunk.test.to_text())?;
+
+            let repro = format!(
+                "# original failing run\n{}\n# {}\n\n# minimized reproducer (replay with riscy_litmus::run_litmus)\n{}\n# {}\n# chaos repro line: {}\n",
+                spec.describe(),
+                test.name,
+                shrunk.spec.describe(),
+                shrunk.test.name,
+                shrunk.spec.chaos.to_repro_string(),
+            );
+            fs::write(dir.join("repro.txt"), repro)?;
+
+            // Trace the minimized reproducer, not the original: the small
+            // trace is the one a human reads.
+            let (rerun, traces) = run_litmus_traced(&shrunk.test, &shrunk.spec);
+            fs::write(dir.join("trace.konata"), &traces.konata)?;
+            fs::write(dir.join("trace.chrome.json"), &traces.chrome)?;
+            fs::write(dir.join("stats.json"), &traces.stats)?;
+            if let RunResult::Hung { wait_graph, .. } = &rerun {
+                fs::write(dir.join("deadlock.txt"), wait_graph)?;
+            }
+        }
+        Failure::Hang { reason, wait_graph } => {
+            report.push_str(&format!(
+                "HUNG RUN (no chaos => liveness failure)\n\ntest: {}\nreason: {reason}\n",
+                test.name
+            ));
+            fs::write(dir.join("deadlock.txt"), wait_graph)?;
+            fs::write(
+                dir.join("repro.txt"),
+                format!("{}\n# {}\n", spec.describe(), test.name),
+            )?;
+            let (_, traces) = run_litmus_traced(test, spec);
+            fs::write(dir.join("trace.konata"), &traces.konata)?;
+            fs::write(dir.join("trace.chrome.json"), &traces.chrome)?;
+            fs::write(dir.join("stats.json"), &traces.stats)?;
+        }
+    }
+
+    fs::write(dir.join("report.txt"), report)?;
+    Ok(dir.to_path_buf())
+}

@@ -1,0 +1,45 @@
+//! Litmus-test harness for the RiscyOO memory subsystem.
+//!
+//! The paper's composability claim (§VI) rests on the memory system and
+//! load-store unit honoring a *declared* consistency contract — TSO with
+//! load kills on eviction, or WMM with a coalescing store buffer — no
+//! matter how the surrounding modules are refined. This crate checks that
+//! contract end to end:
+//!
+//! 1. [`mod@test`] defines a tiny litmus IR (writes, reads, fences, AMOs over a
+//!    handful of 64-byte-aligned locations), the classic shapes (SB, MP,
+//!    LB, IRIW, WRC, 2+2W, R, S — plus fence/AMO variants), and a seeded
+//!    random-test generator.
+//! 2. [`model`] enumerates every final outcome each axiomatic model (TSO,
+//!    WMM) *allows*, by exhaustive interleaving with memoized states.
+//! 3. [`compile()`] lowers a litmus test to a bare-metal multi-hart program
+//!    via [`riscy_isa::asm::Assembler`]; [`run`] executes it on the real
+//!    multi-core [`riscy_ooo::soc::SocSim`], optionally perturbed by a
+//!    seeded [`cmd_core::chaos::FaultPlan`], and extracts the observed
+//!    outcome from per-hart exit codes and a coherence-aware memory peek.
+//! 4. Any observed-but-forbidden outcome is a *violation*: [`shrink`]
+//!    greedily minimizes the test (drop threads, drop ops, drop chaos
+//!    entries) to a small deterministic reproducer, and [`bundle`] writes a
+//!    self-contained failure artifact (litmus source, repro line, Konata
+//!    pipeline trace, Chrome trace, stats, deadlock wait-graph).
+//!
+//! The soundness direction matters: each axiomatic model is an
+//! *over-approximation* of its implementation — everything the hardware
+//! can produce must be in the model's allowed set, so any escape is a real
+//! ordering bug (see `docs/CONSISTENCY.md`).
+
+pub mod bundle;
+pub mod compile;
+pub mod model;
+pub mod run;
+pub mod shrink;
+pub mod test;
+
+pub use bundle::{write_bundle, Failure};
+pub use compile::{compile, loc_addr};
+pub use model::{allowed_outcomes, Outcome};
+pub use run::{
+    bug_hunt_plan, chaos_plan_for, run_litmus, run_litmus_traced, RunResult, RunSpec, TraceBundle,
+};
+pub use shrink::{shrink_violation, ShrinkResult};
+pub use test::{classic_suite, random_test, LitmusTest, Op};

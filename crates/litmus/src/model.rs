@@ -1,0 +1,521 @@
+//! Axiomatic (operational-style) TSO and WMM models: exhaustive
+//! enumeration of every outcome each model allows for a litmus test.
+//!
+//! Both models are *over-approximations* of their implementations: every
+//! outcome the RiscyOO pipeline + MSI hierarchy can produce must appear in
+//! the model's allowed set. An observed outcome outside the set is
+//! therefore a genuine ordering bug, never a model artifact. The price is
+//! that a few model-allowed outcomes may be unreachable by the concrete
+//! microarchitecture — the harness never flags those.
+//!
+//! # TSO
+//!
+//! The abstract machine is classic operational x86-TSO: one global memory,
+//! one unbounded FIFO store buffer per thread.
+//!
+//! * `Write` enqueues at the tail of the thread's buffer.
+//! * `Read` forwards from the newest same-location buffer entry, else
+//!   reads global memory.
+//! * `Fence` and `AmoAdd` wait for the thread's buffer to drain; an AMO
+//!   then reads-modifies-writes global memory atomically.
+//! * At any time the head of any thread's buffer may drain to memory.
+//!
+//! # WMM
+//!
+//! The paper's WMM \[39\] is modeled with per-location write *history* and
+//! per-thread *staleness floors*:
+//!
+//! * Global state keeps, per location, the ordered list of values it has
+//!   held (the coherence order). Each thread has a coalescing store buffer
+//!   — at most one entry per location, a later write overwriting it
+//!   (matching [`riscy_ooo::sb::StoreBuffer`], which admits at most one
+//!   entry per line) — and, per location, a *floor*: the oldest history
+//!   index it is still allowed to read.
+//! * `Read` forwards from the thread's own buffer entry if present;
+//!   otherwise it may return **any** history entry at or above the
+//!   thread's floor (this admits load-load reordering, including relaxed
+//!   same-location reads — a deliberate over-approximation).
+//! * Draining a buffer entry appends to the location's history and raises
+//!   the *owner's* floor to that entry, preserving own-write visibility.
+//!   Entries for different locations drain in any order.
+//! * `Fence` waits for the buffer to drain and raises all of the thread's
+//!   floors to the current end of history — subsequent reads see only
+//!   fresh values. `AmoAdd` does the same, then atomically appends its
+//!   updated value.
+//!
+//! Both enumerators do a DFS over interleavings with memoized states; a
+//! litmus shape (≤ 4 threads, ≤ 6 ops each) stays in the tens of
+//! thousands of states.
+
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+use riscy_ooo::config::MemModel;
+
+use crate::test::{LitmusTest, Op};
+
+/// One final outcome of a litmus test: per-thread observations (in program
+/// order of the thread's `Read`/`AmoAdd` ops) plus final memory values per
+/// location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Outcome {
+    /// `obs[t][k]` = value observed by thread `t`'s `k`-th observing op.
+    pub obs: Vec<Vec<u8>>,
+    /// `finals[l]` = final value of location `l`.
+    pub finals: Vec<u8>,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, regs) in self.obs.iter().enumerate() {
+            if t > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "t{t}:")?;
+            if regs.is_empty() {
+                write!(f, " -")?;
+            }
+            for (k, v) in regs.iter().enumerate() {
+                write!(f, " r{k}={v}")?;
+            }
+        }
+        write!(f, " | mem:")?;
+        for (l, v) in self.finals.iter().enumerate() {
+            write!(f, " {}={v}", crate::test::loc_name(l as u8))?;
+        }
+        Ok(())
+    }
+}
+
+/// The set of outcomes `model` allows for `test`.
+#[must_use]
+pub fn allowed_outcomes(test: &LitmusTest, model: MemModel) -> BTreeSet<Outcome> {
+    match model {
+        MemModel::Tso => tso_outcomes(test),
+        MemModel::Wmm => wmm_outcomes(test),
+    }
+}
+
+/// DFS worklist with dedup **at push time**: interleaving graphs are heavy
+/// with diamonds (independent steps commute), so deduplicating only at pop
+/// would let the stack grow exponentially in duplicates.
+struct Dfs<S> {
+    seen: HashSet<S>,
+    stack: Vec<S>,
+}
+
+impl<S: Clone + Eq + std::hash::Hash> Dfs<S> {
+    fn new(init: S) -> Self {
+        let mut seen = HashSet::new();
+        seen.insert(init.clone());
+        Dfs {
+            seen,
+            stack: vec![init],
+        }
+    }
+
+    fn push(&mut self, s: S) {
+        if self.seen.insert(s.clone()) {
+            self.stack.push(s);
+        }
+    }
+
+    fn pop(&mut self) -> Option<S> {
+        self.stack.pop()
+    }
+}
+
+// ---------------------------------------------------------------- TSO --
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct TsoState {
+    pc: Vec<u8>,
+    sb: Vec<Vec<(u8, u8)>>,
+    mem: Vec<u8>,
+    obs: Vec<Vec<u8>>,
+}
+
+fn tso_outcomes(test: &LitmusTest) -> BTreeSet<Outcome> {
+    let n = test.threads.len();
+    let nlocs = test.num_locs().max(1);
+    let init = TsoState {
+        pc: vec![0; n],
+        sb: vec![Vec::new(); n],
+        mem: vec![0; nlocs],
+        obs: vec![Vec::new(); n],
+    };
+    let mut out = BTreeSet::new();
+    let mut dfs = Dfs::new(init);
+    while let Some(st) = dfs.pop() {
+        let done = (0..n).all(|t| st.pc[t] as usize == test.threads[t].len());
+        if done && st.sb.iter().all(Vec::is_empty) {
+            out.insert(Outcome {
+                obs: st.obs.clone(),
+                finals: st.mem.clone(),
+            });
+            continue;
+        }
+        for t in 0..n {
+            // Drain the head of thread t's store buffer.
+            if let Some(&(loc, val)) = st.sb[t].first() {
+                let mut nx = st.clone();
+                nx.sb[t].remove(0);
+                nx.mem[loc as usize] = val;
+                dfs.push(nx);
+            }
+            // Execute thread t's next instruction.
+            let pc = st.pc[t] as usize;
+            if pc == test.threads[t].len() {
+                continue;
+            }
+            match test.threads[t][pc] {
+                Op::Write { loc, val } => {
+                    let mut nx = st.clone();
+                    nx.sb[t].push((loc, val));
+                    nx.pc[t] += 1;
+                    dfs.push(nx);
+                }
+                Op::Read { loc } => {
+                    let v = st.sb[t]
+                        .iter()
+                        .rev()
+                        .find(|&&(l, _)| l == loc)
+                        .map_or(st.mem[loc as usize], |&(_, v)| v);
+                    let mut nx = st.clone();
+                    nx.obs[t].push(v);
+                    nx.pc[t] += 1;
+                    dfs.push(nx);
+                }
+                Op::Fence => {
+                    if st.sb[t].is_empty() {
+                        let mut nx = st.clone();
+                        nx.pc[t] += 1;
+                        dfs.push(nx);
+                    }
+                }
+                Op::AmoAdd { loc, val } => {
+                    if st.sb[t].is_empty() {
+                        let mut nx = st.clone();
+                        let old = nx.mem[loc as usize];
+                        nx.obs[t].push(old);
+                        nx.mem[loc as usize] = old.wrapping_add(val);
+                        nx.pc[t] += 1;
+                        dfs.push(nx);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- WMM --
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct WmmState {
+    pc: Vec<u8>,
+    /// Coalescing store buffer: at most one entry per location per thread.
+    sb: Vec<Vec<(u8, u8)>>,
+    /// Per-location value history (coherence order); index 0 is the
+    /// initial 0.
+    hist: Vec<Vec<u8>>,
+    /// `floor[t][l]`: oldest history index thread `t` may still read.
+    floor: Vec<Vec<u8>>,
+    obs: Vec<Vec<u8>>,
+}
+
+impl WmmState {
+    fn raise_all_floors(&mut self, t: usize) {
+        for (l, h) in self.hist.iter().enumerate() {
+            self.floor[t][l] = (h.len() - 1) as u8;
+        }
+    }
+}
+
+fn wmm_outcomes(test: &LitmusTest) -> BTreeSet<Outcome> {
+    let n = test.threads.len();
+    let nlocs = test.num_locs().max(1);
+    let init = WmmState {
+        pc: vec![0; n],
+        sb: vec![Vec::new(); n],
+        hist: vec![vec![0]; nlocs],
+        floor: vec![vec![0; nlocs]; n],
+        obs: vec![Vec::new(); n],
+    };
+    let mut out = BTreeSet::new();
+    let mut dfs = Dfs::new(init);
+    while let Some(st) = dfs.pop() {
+        let done = (0..n).all(|t| st.pc[t] as usize == test.threads[t].len());
+        if done && st.sb.iter().all(Vec::is_empty) {
+            out.insert(Outcome {
+                obs: st.obs.clone(),
+                finals: st.hist.iter().map(|h| *h.last().unwrap()).collect(),
+            });
+            continue;
+        }
+        for t in 0..n {
+            // Drain any entry of thread t's coalescing buffer (entries for
+            // different locations retire out of order).
+            for i in 0..st.sb[t].len() {
+                let (loc, val) = st.sb[t][i];
+                let mut nx = st.clone();
+                nx.sb[t].remove(i);
+                nx.hist[loc as usize].push(val);
+                // Own store stays visible: the thread may not read older.
+                nx.floor[t][loc as usize] = (nx.hist[loc as usize].len() - 1) as u8;
+                dfs.push(nx);
+            }
+            // Execute thread t's next instruction.
+            let pc = st.pc[t] as usize;
+            if pc == test.threads[t].len() {
+                continue;
+            }
+            match test.threads[t][pc] {
+                Op::Write { loc, val } => {
+                    let mut nx = st.clone();
+                    if let Some(e) = nx.sb[t].iter_mut().find(|e| e.0 == loc) {
+                        e.1 = val;
+                    } else {
+                        nx.sb[t].push((loc, val));
+                    }
+                    nx.pc[t] += 1;
+                    dfs.push(nx);
+                }
+                Op::Read { loc } => {
+                    if let Some(&(_, v)) = st.sb[t].iter().find(|e| e.0 == loc) {
+                        let mut nx = st.clone();
+                        nx.obs[t].push(v);
+                        nx.pc[t] += 1;
+                        dfs.push(nx);
+                    } else {
+                        let lo = st.floor[t][loc as usize] as usize;
+                        for i in lo..st.hist[loc as usize].len() {
+                            let mut nx = st.clone();
+                            let v = nx.hist[loc as usize][i];
+                            nx.obs[t].push(v);
+                            nx.pc[t] += 1;
+                            dfs.push(nx);
+                        }
+                    }
+                }
+                Op::Fence => {
+                    if st.sb[t].is_empty() {
+                        let mut nx = st.clone();
+                        nx.raise_all_floors(t);
+                        nx.pc[t] += 1;
+                        dfs.push(nx);
+                    }
+                }
+                Op::AmoAdd { loc, val } => {
+                    if st.sb[t].is_empty() {
+                        let mut nx = st.clone();
+                        let old = *nx.hist[loc as usize].last().unwrap();
+                        nx.obs[t].push(old);
+                        nx.hist[loc as usize].push(old.wrapping_add(val));
+                        nx.raise_all_floors(t);
+                        nx.pc[t] += 1;
+                        dfs.push(nx);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test::classic_suite;
+
+    fn shape(name: &str) -> LitmusTest {
+        classic_suite()
+            .into_iter()
+            .find(|t| t.name == name)
+            .unwrap()
+    }
+
+    fn outcome(obs: &[&[u8]], finals: &[u8]) -> Outcome {
+        Outcome {
+            obs: obs.iter().map(|r| r.to_vec()).collect(),
+            finals: finals.to_vec(),
+        }
+    }
+
+    #[test]
+    fn sb_allows_both_stale_under_both_models() {
+        let t = shape("SB");
+        let both_zero = outcome(&[&[0], &[0]], &[1, 1]);
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            assert!(allowed_outcomes(&t, m).contains(&both_zero), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn sb_fences_forbid_both_stale() {
+        let t = shape("SB+fences");
+        let both_zero = outcome(&[&[0], &[0]], &[1, 1]);
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            let set = allowed_outcomes(&t, m);
+            assert!(!set.contains(&both_zero), "{m:?}");
+            // Sanity: the interleaved outcomes survive.
+            assert!(set.contains(&outcome(&[&[1], &[1]], &[1, 1])), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn sb_amos_forbid_both_stale_and_serialize_the_counter() {
+        let t = shape("SB+amos");
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            for o in allowed_outcomes(&t, m) {
+                // obs[t] = [amo-old, read]: never both reads stale.
+                assert!(!(o.obs[0][1] == 0 && o.obs[1][1] == 0), "{m:?} leaked {o}");
+                // AMO olds on z serialize to {0, 1}.
+                let mut olds = [o.obs[0][0], o.obs[1][0]];
+                olds.sort_unstable();
+                assert_eq!(olds, [0, 1], "{m:?} {o}");
+                assert_eq!(o.finals[2], 2, "{m:?} {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn mp_forbidden_under_tso_allowed_under_wmm() {
+        let t = shape("MP");
+        let flag_no_data = outcome(&[&[], &[1, 0]], &[1, 1]);
+        assert!(!allowed_outcomes(&t, MemModel::Tso).contains(&flag_no_data));
+        assert!(allowed_outcomes(&t, MemModel::Wmm).contains(&flag_no_data));
+    }
+
+    #[test]
+    fn mp_fences_forbidden_under_both() {
+        let t = shape("MP+fences");
+        let flag_no_data = outcome(&[&[], &[1, 0]], &[1, 1]);
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            assert!(!allowed_outcomes(&t, m).contains(&flag_no_data), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn mp_amos_forbidden_under_both() {
+        let t = shape("MP+amos");
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            for o in allowed_outcomes(&t, m) {
+                // Reader's AMO saw the writer's flag increment (old = 1) =>
+                // its read of x must see 1.
+                if o.obs[1][0] == 1 {
+                    assert_eq!(o.obs[1][1], 1, "{m:?} leaked {o}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lb_cycle_forbidden_under_both() {
+        // Neither model lets a load see a program-order-later write's
+        // value from another thread's not-yet-executed store.
+        let t = shape("LB");
+        let cycle = outcome(&[&[1], &[1]], &[1, 1]);
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            assert!(!allowed_outcomes(&t, m).contains(&cycle), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn iriw_forbidden_under_tso_allowed_under_wmm() {
+        let t = shape("IRIW");
+        let split = outcome(&[&[], &[], &[1, 0], &[1, 0]], &[1, 1]);
+        assert!(!allowed_outcomes(&t, MemModel::Tso).contains(&split));
+        assert!(allowed_outcomes(&t, MemModel::Wmm).contains(&split));
+    }
+
+    #[test]
+    fn iriw_fences_forbidden_under_both() {
+        let t = shape("IRIW+fences");
+        let split = outcome(&[&[], &[], &[1, 0], &[1, 0]], &[1, 1]);
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            assert!(!allowed_outcomes(&t, m).contains(&split), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn wrc_forbidden_under_tso_allowed_under_wmm() {
+        let t = shape("WRC");
+        let acausal = outcome(&[&[], &[1], &[1, 0]], &[1, 1]);
+        assert!(!allowed_outcomes(&t, MemModel::Tso).contains(&acausal));
+        assert!(allowed_outcomes(&t, MemModel::Wmm).contains(&acausal));
+    }
+
+    #[test]
+    fn wrc_fences_forbidden_under_both() {
+        let t = shape("WRC+fences");
+        let acausal = outcome(&[&[], &[1], &[1, 0]], &[1, 1]);
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            assert!(!allowed_outcomes(&t, m).contains(&acausal), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn two_plus_two_w_coherence_cycle_tso_only() {
+        let t = shape("2+2W");
+        // x=1 ∧ y=1 needs both "first" writes to land last: a cycle under
+        // TSO's in-order drain, reachable under WMM's out-of-order drain.
+        let cycle_finals = [1u8, 1];
+        let tso_has = allowed_outcomes(&t, MemModel::Tso)
+            .iter()
+            .any(|o| o.finals == cycle_finals);
+        let wmm_has = allowed_outcomes(&t, MemModel::Wmm)
+            .iter()
+            .any(|o| o.finals == cycle_finals);
+        assert!(!tso_has);
+        assert!(wmm_has);
+    }
+
+    #[test]
+    fn amo_atomic_always_serializes() {
+        let t = shape("AMO-atomic");
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            let set = allowed_outcomes(&t, m);
+            for o in &set {
+                assert_eq!(o.finals[0], 2, "{m:?} lost an increment: {o}");
+                let mut olds = [o.obs[0][0], o.obs[1][0]];
+                olds.sort_unstable();
+                assert_eq!(olds, [0, 1], "{m:?} {o}");
+            }
+            assert_eq!(set.len(), 2, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn own_writes_stay_visible() {
+        let t = shape("CoWR");
+        for m in [MemModel::Tso, MemModel::Wmm] {
+            for o in allowed_outcomes(&t, m) {
+                assert_ne!(o.obs[0][0], 0, "{m:?} read past own write: {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn wmm_is_a_superset_of_tso_on_the_classic_suite() {
+        // Everything TSO allows, WMM (a weaker model) must allow too.
+        for t in classic_suite() {
+            let tso = allowed_outcomes(&t, MemModel::Tso);
+            let wmm = allowed_outcomes(&t, MemModel::Wmm);
+            for o in &tso {
+                assert!(wmm.contains(o), "{}: TSO-only outcome {o}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_stays_tractable_on_random_tests() {
+        for seed in 0..10 {
+            let t = crate::test::random_test(seed);
+            for m in [MemModel::Tso, MemModel::Wmm] {
+                let set = allowed_outcomes(&t, m);
+                assert!(!set.is_empty(), "{} {m:?}", t.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Greedy delta-debugging of a litmus violation down to a minimal
+//! deterministic reproducer.
+//!
+//! Given a test + spec whose observed outcome is outside the model's
+//! allowed set, the shrinker repeatedly tries to remove one component —
+//! a whole thread, a single op, or a chaos-plan entry — and keeps any
+//! reduction that *still* exhibits a forbidden outcome. Because chaos
+//! timing shifts when the test changes, each candidate gets a few chances:
+//! the original plan seed plus a handful of derived reseeds
+//! ([`cmd_core::chaos::FaultPlan::reseeded`]); whichever seed reproduces is
+//! recorded in the result's spec, so the final reproducer replays
+//! deterministically with a single run.
+//!
+//! The loop restarts after every accepted reduction and terminates at a
+//! fixpoint: total size (threads + ops + chaos entries) strictly decreases
+//! on every acceptance.
+
+use cmd_core::rng::mix;
+
+use crate::model::{allowed_outcomes, Outcome};
+use crate::run::{run_litmus, RunResult, RunSpec};
+use crate::test::LitmusTest;
+
+/// A minimized violation: the shrunk test, the exact spec that reproduces
+/// it, the forbidden outcome observed, and a log of accepted reductions.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized test.
+    pub test: LitmusTest,
+    /// A spec that deterministically reproduces the violation.
+    pub spec: RunSpec,
+    /// The forbidden outcome the minimized test exhibits.
+    pub observed: Outcome,
+    /// Human-readable log of each accepted reduction step.
+    pub steps: Vec<String>,
+}
+
+/// Re-run attempts per shrink candidate (original seed + derived reseeds).
+const RESEED_TRIES: u64 = 3;
+
+/// Does `test` under `spec` (or a reseeded variant) exhibit an outcome the
+/// model forbids? Returns the witnessing spec and outcome. Hung runs are
+/// inconclusive, never violations.
+fn find_violation(test: &LitmusTest, spec: &RunSpec) -> Option<(RunSpec, Outcome)> {
+    let allowed = allowed_outcomes(test, spec.model);
+    for attempt in 0..RESEED_TRIES {
+        let mut candidate = spec.clone();
+        if attempt > 0 && !spec.chaos.is_empty() {
+            candidate.chaos = spec
+                .chaos
+                .reseeded(mix(&[spec.chaos.seed(), 0x51ed_5eed, attempt]));
+        }
+        if let RunResult::Completed { outcome, .. } = run_litmus(test, &candidate) {
+            if !allowed.contains(&outcome) {
+                return Some((candidate, outcome));
+            }
+        }
+        if spec.chaos.is_empty() {
+            break; // nothing to reseed; the run is deterministic
+        }
+    }
+    None
+}
+
+/// Shrinks a known violation to a minimal reproducer.
+///
+/// `test`/`spec` must already exhibit a forbidden outcome (as found by a
+/// campaign); if the violation does not reproduce even with reseeds, the
+/// original triple is returned unshrunk with an explanatory step.
+#[must_use]
+pub fn shrink_violation(test: &LitmusTest, spec: &RunSpec, observed: &Outcome) -> ShrinkResult {
+    let mut steps = Vec::new();
+    let (mut best_test, mut best_spec, mut best_obs) = match find_violation(test, spec) {
+        Some((s, o)) => (test.clone(), s, o),
+        None => {
+            steps.push("violation did not reproduce; returning unshrunk".into());
+            return ShrinkResult {
+                test: test.clone(),
+                spec: spec.clone(),
+                observed: observed.clone(),
+                steps,
+            };
+        }
+    };
+
+    'outer: loop {
+        // Pass 1: drop a whole thread.
+        if best_test.threads.len() > 1 {
+            for t in 0..best_test.threads.len() {
+                let mut threads = best_test.threads.clone();
+                threads.remove(t);
+                let candidate =
+                    LitmusTest::new(format!("{}-shrunk", shrunk_base(&best_test.name)), threads);
+                if let Some((s, o)) = find_violation(&candidate, &best_spec) {
+                    steps.push(format!("dropped thread {t}"));
+                    best_test = candidate;
+                    best_spec = s;
+                    best_obs = o;
+                    continue 'outer;
+                }
+            }
+        }
+        // Pass 2: drop a single op.
+        for t in 0..best_test.threads.len() {
+            for i in 0..best_test.threads[t].len() {
+                let mut threads = best_test.threads.clone();
+                threads[t].remove(i);
+                if threads[t].is_empty() {
+                    if threads.len() == 1 {
+                        continue;
+                    }
+                    threads.remove(t);
+                }
+                let candidate =
+                    LitmusTest::new(format!("{}-shrunk", shrunk_base(&best_test.name)), threads);
+                if let Some((s, o)) = find_violation(&candidate, &best_spec) {
+                    steps.push(format!("dropped thread {t} op {i}"));
+                    best_test = candidate;
+                    best_spec = s;
+                    best_obs = o;
+                    continue 'outer;
+                }
+            }
+        }
+        // Pass 3: drop a chaos entry.
+        for e in (0..best_spec.chaos.entry_count()).rev() {
+            let mut candidate = best_spec.clone();
+            candidate.chaos = best_spec.chaos.without_entry(e);
+            if let Some((s, o)) = find_violation(&best_test, &candidate) {
+                steps.push(format!("dropped chaos entry {e}"));
+                best_spec = s;
+                best_obs = o;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    ShrinkResult {
+        test: best_test,
+        spec: best_spec,
+        observed: best_obs,
+        steps,
+    }
+}
+
+/// Strips any number of `-shrunk` suffixes so repeated shrinking doesn't
+/// grow the name.
+fn shrunk_base(name: &str) -> &str {
+    let mut base = name;
+    while let Some(stripped) = base.strip_suffix("-shrunk") {
+        base = stripped;
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrunk_names_do_not_accumulate_suffixes() {
+        assert_eq!(shrunk_base("MP"), "MP");
+        assert_eq!(shrunk_base("MP-shrunk"), "MP");
+        assert_eq!(shrunk_base("MP-shrunk-shrunk"), "MP");
+    }
+}

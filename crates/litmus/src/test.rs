@@ -1,0 +1,389 @@
+//! The litmus-test IR, the classic shapes, and a seeded random generator.
+//!
+//! A test is a handful of threads, each a straight-line list of [`Op`]s
+//! over a small set of locations. Locations are indices (0 = `x`, 1 = `y`,
+//! …); [`crate::compile()`] places each on its own 64-byte cache line so
+//! every cross-thread interaction goes through the coherence protocol.
+//! Values are kept small (they must fit a byte: observations are packed
+//! eight-per-exit-code, and the axiomatic models track `u8` values).
+
+use cmd_core::rng::SplitMix64;
+
+/// Maximum threads per test — matches the 4-core Fig. 20 SoC.
+pub const MAX_THREADS: usize = 4;
+/// Maximum observations per thread (packed into one 64-bit exit code; the
+/// compiler keeps one byte per observation and uses `a0`–`a6`).
+pub const MAX_OBS: usize = 7;
+/// Maximum distinct locations a test may touch.
+pub const MAX_LOCS: usize = 4;
+
+/// One straight-line instruction of a litmus thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Store `val` to location `loc` (`sd`).
+    Write {
+        /// Location index.
+        loc: u8,
+        /// Value stored.
+        val: u8,
+    },
+    /// Load from `loc` into the thread's next observation slot (`ld`).
+    Read {
+        /// Location index.
+        loc: u8,
+    },
+    /// Full memory fence (`fence`).
+    Fence,
+    /// Atomic fetch-and-add of `val` to `loc` (`amoadd.d`); the old value
+    /// becomes the thread's next observation.
+    AmoAdd {
+        /// Location index.
+        loc: u8,
+        /// Addend.
+        val: u8,
+    },
+}
+
+impl Op {
+    /// The location this op touches, if any.
+    #[must_use]
+    pub fn loc(&self) -> Option<u8> {
+        match *self {
+            Op::Write { loc, .. } | Op::Read { loc } | Op::AmoAdd { loc, .. } => Some(loc),
+            Op::Fence => None,
+        }
+    }
+
+    /// Does this op produce an observation?
+    #[must_use]
+    pub fn observes(&self) -> bool {
+        matches!(self, Op::Read { .. } | Op::AmoAdd { .. })
+    }
+}
+
+/// A multi-threaded litmus test.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LitmusTest {
+    /// Display name (classic shape name, or `rand-<seed>`).
+    pub name: String,
+    /// Per-thread straight-line programs.
+    pub threads: Vec<Vec<Op>>,
+}
+
+impl LitmusTest {
+    /// Builds a test, checking the harness limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape exceeds [`MAX_THREADS`], [`MAX_OBS`] per
+    /// thread, [`MAX_LOCS`], or has no threads.
+    #[must_use]
+    pub fn new(name: impl Into<String>, threads: Vec<Vec<Op>>) -> Self {
+        let t = LitmusTest {
+            name: name.into(),
+            threads,
+        };
+        assert!(
+            !t.threads.is_empty() && t.threads.len() <= MAX_THREADS,
+            "litmus test needs 1..={MAX_THREADS} threads"
+        );
+        for (i, _ops) in t.threads.iter().enumerate() {
+            assert!(
+                t.num_obs(i) <= MAX_OBS,
+                "thread {i} has more than {MAX_OBS} observations"
+            );
+        }
+        assert!(t.num_locs() <= MAX_LOCS, "too many locations");
+        t
+    }
+
+    /// Number of distinct locations (max referenced index + 1).
+    #[must_use]
+    pub fn num_locs(&self) -> usize {
+        self.threads
+            .iter()
+            .flatten()
+            .filter_map(Op::loc)
+            .map(|l| l as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of observations thread `t` produces.
+    #[must_use]
+    pub fn num_obs(&self, t: usize) -> usize {
+        self.threads[t].iter().filter(|o| o.observes()).count()
+    }
+
+    /// Total instruction count across all threads (fences included).
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Human-readable litmus source, one column block per thread.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("litmus {}\n", self.name);
+        let _ = writeln!(
+            s,
+            "{{ {} }}",
+            (0..self.num_locs())
+                .map(|l| format!("{}=0", loc_name(l as u8)))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        for (t, ops) in self.threads.iter().enumerate() {
+            let _ = writeln!(s, "thread {t}:");
+            let mut obs = 0;
+            for op in ops {
+                match *op {
+                    Op::Write { loc, val } => {
+                        let _ = writeln!(s, "  w {} {val}", loc_name(loc));
+                    }
+                    Op::Read { loc } => {
+                        let _ = writeln!(s, "  r {} -> r{obs}", loc_name(loc));
+                        obs += 1;
+                    }
+                    Op::Fence => {
+                        let _ = writeln!(s, "  fence");
+                    }
+                    Op::AmoAdd { loc, val } => {
+                        let _ = writeln!(s, "  amoadd {} {val} -> r{obs}", loc_name(loc));
+                        obs += 1;
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Conventional litmus location names: `x`, `y`, `z`, `w`.
+#[must_use]
+pub fn loc_name(loc: u8) -> String {
+    match loc {
+        0 => "x".into(),
+        1 => "y".into(),
+        2 => "z".into(),
+        3 => "w".into(),
+        n => format!("l{n}"),
+    }
+}
+
+const X: u8 = 0;
+const Y: u8 = 1;
+const Z: u8 = 2;
+
+/// The classic litmus shapes, each in a plain, fenced, and (where it adds
+/// coverage) AMO variant. Names follow the herd/litmus7 conventions.
+#[must_use]
+pub fn classic_suite() -> Vec<LitmusTest> {
+    use Op::{AmoAdd, Fence, Read, Write};
+    let w = |loc, val| Write { loc, val };
+    let r = |loc| Read { loc };
+    let am = |loc, val| AmoAdd { loc, val };
+    vec![
+        // Store buffering: both reads may miss both writes.
+        LitmusTest::new("SB", vec![vec![w(X, 1), r(Y)], vec![w(Y, 1), r(X)]]),
+        LitmusTest::new(
+            "SB+fences",
+            vec![vec![w(X, 1), Fence, r(Y)], vec![w(Y, 1), Fence, r(X)]],
+        ),
+        LitmusTest::new(
+            "SB+amos",
+            vec![vec![w(X, 1), am(Z, 1), r(Y)], vec![w(Y, 1), am(Z, 1), r(X)]],
+        ),
+        // Message passing: data then flag.
+        LitmusTest::new("MP", vec![vec![w(X, 1), w(Y, 1)], vec![r(Y), r(X)]]),
+        LitmusTest::new(
+            "MP+fences",
+            vec![vec![w(X, 1), Fence, w(Y, 1)], vec![r(Y), Fence, r(X)]],
+        ),
+        LitmusTest::new(
+            "MP+amos",
+            vec![vec![w(X, 1), am(Y, 1)], vec![am(Y, 0), r(X)]],
+        ),
+        // Load buffering: reads first, then cross-writes.
+        LitmusTest::new("LB", vec![vec![r(X), w(Y, 1)], vec![r(Y), w(X, 1)]]),
+        LitmusTest::new(
+            "LB+fences",
+            vec![vec![r(X), Fence, w(Y, 1)], vec![r(Y), Fence, w(X, 1)]],
+        ),
+        // Independent reads of independent writes.
+        LitmusTest::new(
+            "IRIW",
+            vec![
+                vec![w(X, 1)],
+                vec![w(Y, 1)],
+                vec![r(X), r(Y)],
+                vec![r(Y), r(X)],
+            ],
+        ),
+        LitmusTest::new(
+            "IRIW+fences",
+            vec![
+                vec![w(X, 1)],
+                vec![w(Y, 1)],
+                vec![r(X), Fence, r(Y)],
+                vec![r(Y), Fence, r(X)],
+            ],
+        ),
+        // Write-to-read causality.
+        LitmusTest::new(
+            "WRC",
+            vec![vec![w(X, 1)], vec![r(X), w(Y, 1)], vec![r(Y), r(X)]],
+        ),
+        LitmusTest::new(
+            "WRC+fences",
+            vec![
+                vec![w(X, 1)],
+                vec![r(X), Fence, w(Y, 1)],
+                vec![r(Y), Fence, r(X)],
+            ],
+        ),
+        // Coherence-order cycles between write pairs.
+        LitmusTest::new("2+2W", vec![vec![w(X, 1), w(Y, 2)], vec![w(Y, 1), w(X, 2)]]),
+        LitmusTest::new(
+            "2+2W+fences",
+            vec![vec![w(X, 1), Fence, w(Y, 2)], vec![w(Y, 1), Fence, w(X, 2)]],
+        ),
+        // R: write-write vs write-read.
+        LitmusTest::new("R", vec![vec![w(X, 1), w(Y, 1)], vec![w(Y, 2), r(X)]]),
+        LitmusTest::new(
+            "R+fences",
+            vec![vec![w(X, 1), Fence, w(Y, 1)], vec![w(Y, 2), Fence, r(X)]],
+        ),
+        // S: write-write vs read-write.
+        LitmusTest::new("S", vec![vec![w(X, 2), w(Y, 1)], vec![r(Y), w(X, 1)]]),
+        LitmusTest::new(
+            "S+fences",
+            vec![vec![w(X, 2), Fence, w(Y, 1)], vec![r(Y), Fence, w(X, 1)]],
+        ),
+        // AMO atomicity: concurrent fetch-and-adds must serialize.
+        LitmusTest::new("AMO-atomic", vec![vec![am(X, 1)], vec![am(X, 1)]]),
+        // Own-write visibility through the store buffer.
+        LitmusTest::new("CoWR", vec![vec![w(X, 1), r(X)], vec![w(X, 2)]]),
+    ]
+}
+
+/// Generates a seeded random litmus test.
+///
+/// Shapes are kept small and racy: 2–[`MAX_THREADS`] threads, 2–3
+/// locations, writes with distinct per-location values, a sprinkling of
+/// fences and AMOs. Global budgets (≤ 10 ops, ≤ 6 writes/AMOs, ≤ 6
+/// observations per test) keep the axiomatic enumeration tractable —
+/// litmus tests are small by construction (the classic suite tops out at
+/// 4 threads / 6 ops); the chaos plan, not program size, supplies
+/// interleaving diversity. The same seed always yields the same test.
+#[must_use]
+pub fn random_test(seed: u64) -> LitmusTest {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let nthreads = rng.range_usize(2, MAX_THREADS + 1);
+    let nlocs = rng.range_usize(2, MAX_LOCS);
+    let ops_budget = rng.range_usize(nthreads.max(6), 11);
+    let mut write_budget = 6usize;
+    let mut obs_budget = 6usize;
+    // Distinct write values per location keep reads-from unambiguous.
+    let mut next_val = vec![1u8; nlocs];
+    let mut threads = Vec::with_capacity(nthreads);
+    let mut used = 0usize;
+    for t in 0..nthreads {
+        let spare_for_rest = nthreads - t - 1;
+        let max_here = (ops_budget - used - spare_for_rest).clamp(1, 4);
+        let nops = rng.range_usize(1, max_here + 1);
+        used += nops;
+        let mut ops = Vec::with_capacity(nops);
+        for _ in 0..nops {
+            let loc = rng.range_usize(0, nlocs) as u8;
+            let roll = rng.below(100);
+            let op = if roll < 40 && write_budget > 0 {
+                write_budget -= 1;
+                let val = next_val[loc as usize];
+                next_val[loc as usize] += 1;
+                Op::Write { loc, val }
+            } else if roll < 75 && obs_budget > 0 {
+                obs_budget -= 1;
+                Op::Read { loc }
+            } else if roll < 90 || write_budget == 0 || obs_budget == 0 {
+                Op::Fence
+            } else {
+                write_budget -= 1;
+                obs_budget -= 1;
+                Op::AmoAdd {
+                    loc,
+                    val: rng.range_u64(1, 4) as u8,
+                }
+            };
+            ops.push(op);
+        }
+        threads.push(ops);
+    }
+    LitmusTest::new(format!("rand-{seed}"), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_suite_is_well_formed() {
+        let suite = classic_suite();
+        assert!(suite.len() >= 16);
+        for t in &suite {
+            assert!(t.num_locs() <= MAX_LOCS, "{}", t.name);
+            assert!(!t.to_text().is_empty());
+        }
+    }
+
+    #[test]
+    fn random_tests_are_deterministic_and_bounded() {
+        for seed in 0..200 {
+            let a = random_test(seed);
+            let b = random_test(seed);
+            assert_eq!(a, b);
+            assert!(a.threads.len() >= 2 && a.threads.len() <= MAX_THREADS);
+            for (i, _) in a.threads.iter().enumerate() {
+                assert!(a.num_obs(i) <= MAX_OBS);
+            }
+            // Value bound: every final/observed value must fit a byte even
+            // after all AMO addends accumulate (model tracks u8, exit codes
+            // pack one byte per observation). A location's worst value is
+            // its largest written value plus every AMO addend aimed at it.
+            for l in 0..a.num_locs() as u8 {
+                let max_w = a
+                    .threads
+                    .iter()
+                    .flatten()
+                    .filter_map(|op| match *op {
+                        Op::Write { loc, val } if loc == l => Some(u32::from(val)),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                let amo_sum: u32 = a
+                    .threads
+                    .iter()
+                    .flatten()
+                    .filter_map(|op| match *op {
+                        Op::AmoAdd { loc, val } if loc == l => Some(u32::from(val)),
+                        _ => None,
+                    })
+                    .sum();
+                assert!(max_w + amo_sum < 256, "seed {seed} can overflow a byte");
+            }
+        }
+    }
+
+    #[test]
+    fn text_rendering_names_registers_in_order() {
+        let t = classic_suite()
+            .into_iter()
+            .find(|t| t.name == "MP")
+            .unwrap();
+        let txt = t.to_text();
+        assert!(txt.contains("r y -> r0"));
+        assert!(txt.contains("r x -> r1"));
+    }
+}

@@ -622,6 +622,17 @@ impl L1Cache {
             .lookup(line)
             .map_or(Msi::I, |i| self.array.slot(i).state)
     }
+
+    /// Non-intrusive peek at a resident line's state and data (no LRU
+    /// touch, no statistics). `None` when the line is not present. Used by
+    /// [`MemSystem::peek_coherent`](crate::system::MemSystem::peek_coherent)
+    /// to read final memory values through dirty M-state lines after a run.
+    #[must_use]
+    pub fn peek_line(&self, line: u64) -> Option<(Msi, &Line)> {
+        let i = self.array.lookup(line)?;
+        let s = self.array.slot(i);
+        Some((s.state, &*s.data))
+    }
 }
 
 impl L1Cache {

@@ -156,6 +156,17 @@ impl L2 {
             && self.trans.is_empty()
     }
 
+    /// Non-intrusive peek at a resident line's data (no LRU touch, no
+    /// statistics). `None` when the line is not cached in the L2. The copy
+    /// is stale while a child holds the line in M — callers must consult
+    /// the L1s first (see
+    /// [`MemSystem::peek_coherent`](crate::system::MemSystem::peek_coherent)).
+    #[must_use]
+    pub fn peek_line(&self, line: u64) -> Option<&crate::msg::Line> {
+        let i = self.array.lookup(line)?;
+        Some(&*self.array.slot(i).data)
+    }
+
     /// One simulation cycle.
     pub fn tick(&mut self, now: u64, mem: &mut SparseMem) {
         self.absorb_messages(mem);
@@ -311,13 +322,21 @@ impl L2 {
             Requester::Child(r) if r.wants_m() => {
                 let keep = r.child();
                 if let Some(o) = slot.owner {
-                    if o != keep {
-                        self.down_out[o].push_back(DownReq {
-                            line: t.line,
-                            to: Msi::I,
-                        });
-                        self.stats.downgrades += 1;
-                    }
+                    // The requester itself is recalled too when it is the
+                    // recorded owner. That only happens for anomalous
+                    // requests — a duplicated GetM, or a re-request racing
+                    // its own in-flight PutM — and recalling is the one
+                    // response that is correct for both: the child acks with
+                    // its authoritative copy (or the ack queues behind the
+                    // PutM on the same ordered channel), the directory
+                    // clears, and the grant returns fresh data. Exempting
+                    // the requester instead wedges the transaction forever
+                    // on `downgrades_satisfied`.
+                    self.down_out[o].push_back(DownReq {
+                        line: t.line,
+                        to: Msi::I,
+                    });
+                    self.stats.downgrades += 1;
                 }
                 let sharers = slot.sharers;
                 for c in 0..self.num_children {

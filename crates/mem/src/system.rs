@@ -272,6 +272,33 @@ impl MemSystem {
         out
     }
 
+    /// Reads `bytes` (≤ 8, little-endian) at physical address `addr`
+    /// through the coherence hierarchy **without** perturbing it: no LRU
+    /// touches, no statistics, no messages. The freshest copy wins — an
+    /// L1 D line in M state shadows the L2, which shadows DRAM — so after
+    /// a run has quiesced this returns the architectural memory value even
+    /// when the line is dirty in some core's cache.
+    ///
+    /// This is the litmus harness's final-state observation hook; it is
+    /// only meaningful when the system is idle ([`MemSystem::is_idle`]),
+    /// since an in-flight transaction may hold the line's data in a
+    /// message queue that this peek cannot see.
+    #[must_use]
+    pub fn peek_coherent(&self, addr: u64, bytes: u8) -> u64 {
+        use crate::cache::read_from_line;
+        use crate::msg::{line_of, Msi};
+        let line = line_of(addr);
+        for l1 in &self.l1d {
+            if let Some((Msi::M, data)) = l1.peek_line(line) {
+                return read_from_line(data, addr, bytes);
+            }
+        }
+        if let Some(data) = self.l2.peek_line(line) {
+            return read_from_line(data, addr, bytes);
+        }
+        self.mem.read_le(addr, u64::from(bytes))
+    }
+
     /// Whether every component is quiescent (test helper).
     #[must_use]
     pub fn is_idle(&self) -> bool {
@@ -576,6 +603,43 @@ mod tests {
         let total = finish - start;
         // Serial latency would be ≥ 8 × (20 + overhead); overlap must beat it.
         assert!(total < 8 * 25, "misses must overlap: {total}");
+    }
+
+    #[test]
+    fn peek_coherent_reads_dirty_lines_without_perturbing() {
+        let mut s = sys(2);
+        let line = DRAM_BASE + 0x400;
+        s.dcache(0)
+            .request(CoreReq::St { sb_idx: 0, line })
+            .unwrap();
+        let r = wait_resp(&mut s, 0, 500);
+        assert_eq!(r, CoreResp::St { sb_idx: 0 });
+        let mut data = [0u8; 64];
+        let mut en = [false; 64];
+        data[8..16].copy_from_slice(&0xdead_beef_0bad_cafeu64.to_le_bytes());
+        for e in &mut en[8..16] {
+            *e = true;
+        }
+        s.dcache(0).write_data(line, &data, &en);
+        assert_eq!(s.dcache_ref(0).line_state(line), Msi::M);
+        let before = (
+            s.dcache_ref(0).stats.hits,
+            s.dcache_ref(0).stats.misses,
+            s.l2.stats.hits,
+            s.l2.stats.misses,
+        );
+        // The dirty M-state value is visible without any coherence action.
+        assert_eq!(s.peek_coherent(line + 8, 8), 0xdead_beef_0bad_cafe);
+        // A never-cached address falls through to backing memory.
+        assert_eq!(s.peek_coherent(DRAM_BASE + 8 * 7, 8), 7);
+        let after = (
+            s.dcache_ref(0).stats.hits,
+            s.dcache_ref(0).stats.misses,
+            s.l2.stats.hits,
+            s.l2.stats.misses,
+        );
+        assert_eq!(before, after, "peek must not touch statistics");
+        assert_eq!(s.dcache_ref(0).line_state(line), Msi::M, "state unchanged");
     }
 
     #[test]

@@ -117,6 +117,13 @@ pub struct CoreConfig {
     pub tlb: TlbConfig,
     /// Memory model.
     pub mem_model: MemModel,
+    /// Kill speculatively bound loads when their cache line is evicted
+    /// (the TSO `cacheEvict` repair of paper §V-B). **Verification
+    /// backdoor**: always `true` in real configurations; the litmus-test
+    /// harness flips it off to prove the consistency checker catches the
+    /// resulting TSO violations (see `docs/CONSISTENCY.md`). No effect
+    /// under WMM, which never kills on eviction.
+    pub evict_kill: bool,
 }
 
 impl CoreConfig {
@@ -136,6 +143,7 @@ impl CoreConfig {
             bp: BpConfig::default(),
             tlb: TlbConfig::blocking(),
             mem_model: MemModel::Wmm,
+            evict_kill: true,
         }
     }
 
@@ -306,6 +314,22 @@ pub fn mem_rocket(latency: u64) -> MemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_named_config_keeps_the_evict_kill_repair_on() {
+        for cfg in [
+            CoreConfig::riscyoo_b(),
+            CoreConfig::riscyoo_t_plus(),
+            CoreConfig::riscyoo_t_plus_r_plus(),
+            CoreConfig::multicore(MemModel::Tso),
+            CoreConfig::multicore(MemModel::Wmm),
+            CoreConfig::a57_proxy(),
+            CoreConfig::denver_proxy(),
+            CoreConfig::boom_proxy(),
+        ] {
+            assert!(cfg.evict_kill, "evict_kill is a test-only backdoor");
+        }
+    }
 
     #[test]
     fn named_configs_match_figure_12_and_14() {

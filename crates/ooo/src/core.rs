@@ -300,7 +300,9 @@ impl Soc {
     /// TSO: drains cache eviction notifications into `cacheEvict`
     /// (paper §V-B). Under WMM the notes are discarded.
     pub(crate) fn rule_cache_evict(&mut self, c: usize) -> Guarded<()> {
-        let is_tso = self.cfg.mem_model == MemModel::Tso;
+        // `evict_kill == false` is the litmus harness's injected ordering
+        // bug: TSO keeps committing but silently loses its load repair.
+        let is_tso = self.cfg.mem_model == MemModel::Tso && self.cfg.evict_kill;
         let core = &self.cores[c];
         let dcache = self.mem.dcache(c);
         if dcache.evict_notes.is_empty() {

@@ -520,6 +520,16 @@ impl Lsq {
 
     /// TSO: a line left the L1 D; kill cache-sourced loads that already
     /// bound a value from it (paper's `cacheEvict`).
+    ///
+    /// `Issued` loads are killed too, not just `Done` ones: their cache
+    /// response may already be in flight, carrying data read *before* the
+    /// invalidation — binding it after the line left would order the load
+    /// past a remote store it must precede. (The litmus harness found this
+    /// as a real MP violation under chaos-delayed response channels; the
+    /// paper's combinational `cacheEvict` has no such window, so killing
+    /// the in-flight load is the faithful translation.) A load whose
+    /// request had not yet sampled the line refetches fresh data after the
+    /// replay — conservative, never wrong.
     pub fn cache_evict(&self, line: u64) {
         let mut kills = 0;
         for cell in &self.lq {
@@ -529,7 +539,8 @@ impl Lsq {
                         return;
                     }
                     let Some(a) = e.addr else { return };
-                    if line_of(a) == line && e.state == LdState::Done && e.fwd_src_age.is_none() {
+                    let bound = matches!(e.state, LdState::Issued | LdState::Done);
+                    if line_of(a) == line && bound && e.fwd_src_age.is_none() {
                         e.killed = true;
                         kills += 1;
                     }

@@ -232,6 +232,7 @@ impl From<SimError> for RunError {
 /// canonical order and runs it.
 pub struct SocSim {
     sim: Sim<Soc>,
+    chaos: Option<FaultEngine>,
 }
 
 impl SocSim {
@@ -322,7 +323,7 @@ impl SocSim {
             sim.rule(format!("c{c}.decode"), move |s: &mut Soc| s.rule_decode(c));
             sim.rule(format!("c{c}.fetch"), move |s: &mut Soc| s.rule_fetch(c));
         }
-        SocSim { sim }
+        SocSim { sim, chaos: None }
     }
 
     /// The SoC under simulation.
@@ -360,6 +361,13 @@ impl SocSim {
         }
         self.sim.state_mut().mem.set_chaos(engine);
         self.sim.attach_chaos(engine);
+        self.chaos = Some(engine.clone());
+    }
+
+    /// The attached fault engine, if [`SocSim::attach_chaos`] was called.
+    #[must_use]
+    pub fn chaos(&self) -> Option<&FaultEngine> {
+        self.chaos.as_ref()
     }
 
     /// Selects the rule scheduler (see [`cmd_core::sched`] and
@@ -422,6 +430,40 @@ impl SocSim {
                 committed: self.soc().cores.iter().map(|c| c.stats.committed).collect(),
             })
         }
+    }
+
+    /// The per-core exit codes (`None` entries have not exited).
+    #[must_use]
+    pub fn exit_codes(&self) -> Vec<Option<u64>> {
+        self.soc().devices.exited.clone()
+    }
+
+    /// Runs up to `max_extra` additional cycles until every architectural
+    /// store has landed: all LSQs and store buffers empty and the memory
+    /// system idle. Returns `true` once quiesced.
+    ///
+    /// Cores stop fetching after their exit-device store, so after
+    /// [`SocSim::run_to_completion`] succeeds only in-flight stores remain;
+    /// this drains them so
+    /// [`MemSystem::peek_coherent`](riscy_mem::system::MemSystem::peek_coherent)
+    /// observes the final memory state. Scheduler-watchdog "deadlocks"
+    /// during the drain (every rule idle once drained) are expected and
+    /// ignored.
+    pub fn drain_memory(&mut self, max_extra: u64) -> bool {
+        let quiesced = |soc: &Soc| {
+            soc.mem.is_idle()
+                && soc
+                    .cores
+                    .iter()
+                    .all(|c| c.lsq.is_empty() && c.sb.is_empty())
+        };
+        for _ in 0..max_extra {
+            if quiesced(self.soc()) {
+                return true;
+            }
+            self.sim.cycle();
+        }
+        quiesced(self.soc())
     }
 
     /// The scheduling report of the underlying CMD simulation, followed by
@@ -616,6 +658,18 @@ impl SocSim {
             w.field_u64(&name, value);
         }
         w.end_object();
+        if let Some(engine) = &self.chaos {
+            w.key("chaos");
+            w.begin_object();
+            w.field_u64("total", engine.fault_count() as u64);
+            w.key("sites");
+            w.begin_object();
+            for (site, count) in engine.site_counts() {
+                w.field_u64(&site, count);
+            }
+            w.end_object();
+            w.end_object();
+        }
         w.end_object();
         w.finish()
     }

@@ -1,0 +1,152 @@
+//! Duplicated-message regression: the MSI protocol and the LSQ/store
+//! buffer must treat duplicated interconnect messages as idempotent.
+//!
+//! A duplicated store response must never double-commit a store (popping
+//! two store-buffer entries for one store would corrupt every younger
+//! store), and a duplicated request/grant must not confuse the MSHR
+//! bookkeeping. The check is end-to-end: a store-heavy two-hart program
+//! whose exit codes and final memory are fully deterministic runs once
+//! clean and then under several seeded `msg_dup` plans — every run must
+//! produce identical architectural results, and the fault log must show
+//! that duplications actually fired (a plan change that silently stops
+//! injecting would otherwise turn this test into a no-op).
+
+use cmd_core::chaos::{FaultEngine, FaultKind, FaultPlan};
+use riscy_isa::asm::{Assembler, Program};
+use riscy_isa::csr::addr as csr;
+use riscy_isa::mem::{DRAM_BASE, MMIO_EXIT};
+use riscy_isa::reg::Gpr;
+use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, MemModel};
+use riscy_ooo::soc::SocSim;
+
+const ITERS: i64 = 40;
+const CTR: u64 = DRAM_BASE + 0x4_0000;
+/// Both harts' slots share cache lines so every iteration bounces
+/// ownership — maximal coherence traffic for the dup faults to hit.
+const SLOTS: u64 = DRAM_BASE + 0x4_0040;
+
+/// Each hart: store an incrementing value to its slot on a contended
+/// line, load it back into a checksum, and `amoadd` a shared counter.
+/// Exit code = checksum, which only depends on the hart's own stores.
+fn store_heavy_prog() -> Program {
+    let mut a = Assembler::new(DRAM_BASE);
+    a.csrr(Gpr::t(3), csr::MHARTID);
+    // slot address = SLOTS + hartid * 8 (same line for harts 0..8)
+    a.slli(Gpr::t(4), Gpr::t(3), 3);
+    a.li(Gpr::t(0), SLOTS as i64);
+    a.add(Gpr::t(0), Gpr::t(0), Gpr::t(4));
+    a.li(Gpr::t(1), ITERS);
+    a.li(Gpr::s(0), 0); // checksum
+    a.li(Gpr::s(1), CTR as i64);
+    a.label("loop");
+    a.sd(Gpr::t(1), 0, Gpr::t(0));
+    a.ld(Gpr::t(2), 0, Gpr::t(0));
+    a.add(Gpr::s(0), Gpr::s(0), Gpr::t(2));
+    a.li(Gpr::t(2), 1);
+    a.amoadd_d(Gpr::ZERO, Gpr::t(2), Gpr::s(1));
+    a.addi(Gpr::t(1), Gpr::t(1), -1);
+    a.bnez(Gpr::t(1), "loop");
+    // Exit with the checksum at MMIO_EXIT + hartid*8.
+    a.li(Gpr::t(5), MMIO_EXIT as i64);
+    a.add(Gpr::t(5), Gpr::t(5), Gpr::t(4));
+    a.sd(Gpr::s(0), 0, Gpr::t(5));
+    a.label("hang");
+    a.j("hang");
+    a.data_segment(CTR, vec![0u8; 0x80]);
+    a.assemble()
+}
+
+struct RunOut {
+    exits: Vec<Option<u64>>,
+    counter: u64,
+    stats: String,
+    engine: Option<FaultEngine>,
+}
+
+fn run(prog: &Program, plan: Option<FaultPlan>) -> RunOut {
+    let mut sim = SocSim::new(
+        CoreConfig::multicore(MemModel::Tso),
+        mem_riscyoo_b(),
+        2,
+        prog,
+    );
+    let engine = plan.map(|p| {
+        let e = FaultEngine::new(p);
+        sim.attach_chaos(&e);
+        e
+    });
+    sim.run_to_completion(3_000_000)
+        .unwrap_or_else(|e| panic!("run failed: {e}"));
+    assert!(sim.drain_memory(100_000), "memory did not quiesce");
+    RunOut {
+        exits: sim.exit_codes(),
+        counter: sim.soc().mem.peek_coherent(CTR, 8),
+        stats: sim.stats_json(),
+        engine,
+    }
+}
+
+#[test]
+fn duplicated_responses_never_double_commit() {
+    let prog = store_heavy_prog();
+    let clean = run(&prog, None);
+    // Both checksums are Σ 1..=ITERS and the counter saw every AMO.
+    let want_sum = (ITERS * (ITERS + 1) / 2) as u64;
+    assert_eq!(clean.exits, vec![Some(want_sum); 2]);
+    assert_eq!(clean.counter, 2 * ITERS as u64);
+
+    let mut dups_seen = 0usize;
+    for seed in 0..4u64 {
+        let plan = FaultPlan::new(seed)
+            .msg_dup("mem.p2c", 0.08)
+            .msg_dup("mem.c2p_req", 0.08)
+            .msg_dup("mem.c2p_msg", 0.04);
+        let chaotic = run(&prog, Some(plan));
+        assert_eq!(
+            chaotic.exits, clean.exits,
+            "seed {seed}: exit codes diverged under msg_dup"
+        );
+        assert_eq!(
+            chaotic.counter, clean.counter,
+            "seed {seed}: AMO counter diverged under msg_dup (double commit?)"
+        );
+        let engine = chaotic.engine.as_ref().expect("chaos attached");
+        dups_seen += engine
+            .log()
+            .iter()
+            .filter(|r| r.kind == FaultKind::MsgDup)
+            .count();
+    }
+    assert!(
+        dups_seen > 0,
+        "no msg_dup fault ever fired — the regression test is vacuous"
+    );
+}
+
+#[test]
+fn stats_json_reports_per_site_injected_fault_counts() {
+    let prog = store_heavy_prog();
+    let plan = FaultPlan::new(9)
+        .msg_dup("mem.p2c", 0.08)
+        .msg_delay("mem.c2p_req", 0.05, 8);
+    let out = run(&prog, Some(plan));
+    let engine = out.engine.as_ref().expect("chaos attached");
+    assert!(engine.fault_count() > 0, "plan injected nothing");
+
+    assert!(
+        out.stats.contains("\"chaos\""),
+        "stats_json lacks the chaos section"
+    );
+    assert!(
+        out.stats.contains("\"sites\""),
+        "stats_json lacks per-site counts"
+    );
+    // Every site the engine recorded appears with its exact count.
+    for (site, count) in engine.site_counts() {
+        assert!(
+            out.stats.contains(&format!("\"{site}\":{count}")),
+            "stats_json missing site {site} (count {count}): {}",
+            out.stats
+        );
+    }
+}

@@ -1,6 +1,7 @@
 pub use cmd_core;
 pub use riscy_baseline;
 pub use riscy_isa;
+pub use riscy_litmus;
 pub use riscy_mem;
 pub use riscy_ooo;
 pub use riscy_synth;

@@ -69,6 +69,78 @@ fn tso_and_wmm_agree_with_golden_on_spec() {
     }
 }
 
+/// Fence/AMO-heavy multi-core programs: every thread hammers shared
+/// counters with `amoadd.d` separated by fences. AMOs are single-copy
+/// atomic and fences serialize each thread's accesses, so the *final*
+/// memory state is interleaving-independent — the golden interpreter, the
+/// TSO SoC, and the WMM SoC must all converge to the same sums even
+/// though the per-thread observed values race.
+#[test]
+fn fence_amo_heavy_multicore_agrees_with_golden_on_final_state() {
+    use riscy_litmus::{compile, loc_addr, LitmusTest, Op};
+
+    let amo = |loc: u8, val: u8| Op::AmoAdd { loc, val };
+    let programs = vec![
+        // Two threads, two counters, fences between every AMO.
+        LitmusTest::new(
+            "amo-fence-2x",
+            vec![
+                vec![amo(0, 1), Op::Fence, amo(1, 2), Op::Fence, amo(0, 3)],
+                vec![amo(1, 1), Op::Fence, amo(0, 2), Op::Fence, amo(1, 3)],
+            ],
+        ),
+        // Four threads converging on one hot counter plus a private-ish
+        // second location, stores mixed in.
+        LitmusTest::new(
+            "amo-hot-4x",
+            vec![
+                vec![amo(0, 1), Op::Fence, amo(0, 1)],
+                vec![amo(0, 2), Op::Fence, amo(0, 2)],
+                vec![Op::Write { loc: 1, val: 9 }, Op::Fence, amo(0, 3)],
+                vec![amo(0, 4), Op::Fence, amo(1, 0)],
+            ],
+        ),
+        // Fence-free AMO storm: atomicity alone must keep the sum exact.
+        LitmusTest::new(
+            "amo-storm",
+            vec![
+                vec![amo(0, 5), amo(0, 5), amo(0, 5)],
+                vec![amo(0, 7), amo(0, 7), amo(0, 7)],
+            ],
+        ),
+    ];
+
+    for test in &programs {
+        let prog = compile(test);
+        let harts = test.threads.len();
+
+        let mut golden = Machine::with_program(harts, &prog);
+        golden.run(200_000_000).expect("golden exits");
+        let finals: Vec<u64> = (0..test.num_locs() as u8)
+            .map(|l| golden.mem.read_u64(loc_addr(l)))
+            .collect();
+
+        for model in [MemModel::Tso, MemModel::Wmm] {
+            let mut sim = SocSim::new(CoreConfig::multicore(model), mem_riscyoo_b(), harts, &prog);
+            sim.run_to_completion(2_000_000)
+                .unwrap_or_else(|e| panic!("{} {model:?}: {e}", test.name));
+            assert!(
+                sim.drain_memory(50_000),
+                "{} {model:?}: memory did not quiesce",
+                test.name
+            );
+            for (l, &want) in finals.iter().enumerate() {
+                let got = sim.soc().mem.peek_coherent(loc_addr(l as u8), 8);
+                assert_eq!(
+                    got, want,
+                    "{} {model:?}: location {l} diverged from golden",
+                    test.name
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn parsec_proxies_agree_between_golden_and_quad_core() {
     use riscy_workloads::parsec::parsec_suite;
