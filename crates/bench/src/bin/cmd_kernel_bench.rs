@@ -165,24 +165,40 @@ fn build_ring(mode: SchedulerMode) -> Sim<Ring> {
     sim
 }
 
-/// Best-of-`reps` wall seconds for a `RING_CYCLES`-cycle ring run, plus
-/// the total rule firings (the cross-mode equivalence checksum).
-fn time_ring(mode: SchedulerMode, reps: usize) -> (f64, u64) {
-    let mut best = f64::INFINITY;
-    let mut fires = 0;
-    for _ in 0..reps {
-        let mut sim = build_ring(mode);
-        let t0 = Instant::now();
-        sim.run(RING_CYCLES);
-        best = best.min(t0.elapsed().as_secs_f64());
-        fires = sim.all_rule_stats().map(|(_, s)| s.fired).sum();
+/// Interleaved best-of-`rounds` timing: each round runs every mode once,
+/// so machine-frequency drift lands on all modes equally instead of
+/// skewing the speedup ratios (block-per-mode timing was worth ±30% on
+/// the ratio on a busy host). Returns per-mode best wall seconds plus
+/// each mode's total rule firings (the cross-mode equivalence checksum).
+fn time_modes<S>(
+    build: impl Fn(SchedulerMode) -> Sim<S>,
+    cycles: u64,
+    modes: &[SchedulerMode],
+    rounds: usize,
+) -> (Vec<f64>, Vec<u64>) {
+    let mut best = vec![f64::INFINITY; modes.len()];
+    let mut fires = vec![0u64; modes.len()];
+    for _ in 0..rounds {
+        for (k, &mode) in modes.iter().enumerate() {
+            let mut sim = build(mode);
+            let t0 = Instant::now();
+            sim.run(cycles);
+            best[k] = best[k].min(t0.elapsed().as_secs_f64());
+            fires[k] = sim.all_rule_stats().map(|(_, s)| s.fired).sum();
+        }
     }
     (best, fires)
 }
 
 fn bench_ring() -> Vec<(&'static str, f64)> {
-    let (fast_s, fast_fires) = time_ring(SchedulerMode::Fast, 5);
-    let (ref_s, ref_fires) = time_ring(SchedulerMode::Reference, 5);
+    let (times, fires) = time_modes(
+        build_ring,
+        RING_CYCLES,
+        &[SchedulerMode::Fast, SchedulerMode::Reference],
+        5,
+    );
+    let (fast_s, ref_s) = (times[0], times[1]);
+    let (fast_fires, ref_fires) = (fires[0], fires[1]);
     assert_eq!(
         fast_fires, ref_fires,
         "ring benchmark diverged between schedulers"
@@ -210,6 +226,190 @@ fn bench_ring() -> Vec<(&'static str, f64)> {
         ("ring_reference_cps", cps(ref_s)),
         ("ring_fast_cps", cps(fast_s)),
         ("ring_speedup", speedup),
+    ]
+}
+
+/// The fig17-shaped wakeup microbench: 44 CM-free rules with the same
+/// *shape* as a one-busy-core slice of the RiscyOO SoC in
+/// `crates/ooo/src/soc.rs` — an always-firing substrate that advances
+/// plain memory state and pokes a `mem_event` signal cell when its
+/// observable digest changes, a saturated 8-rule pipeline that fires
+/// every cycle (the part of the SoC the wakeup layer cannot help), a
+/// load unit blocked on a multi-cycle miss latency
+/// (`Wakeup::InferredPlus(mem_event)`, asleep for the whole latency
+/// window), and thirty-two rarely-fed side units (`Wakeup::Inferred`,
+/// asleep almost always — the MD/FP pipes and quiescent-core machinery
+/// of the other cores during a memory-bound phase). The live:asleep
+/// ratio (~9:35) matches what the wakeup layer is designed for;
+/// Reference evaluates all 44 guards every cycle, Fast/Compiled only
+/// the live ones — so a scheduler regression in sleep entry, wake
+/// draining, or wave skipping shows up here in milliseconds instead of
+/// a 30-second fig17 run.
+const SOCW_CYCLES: u64 = 20_000;
+const SOCW_MISS_LAT: u32 = 32;
+const SOCW_MD_UNITS: usize = 32;
+
+struct SocW {
+    clk: Clock,
+    // Hot pipeline: acc[k] feeds acc[k+1]; all 8 stage rules fire every
+    // cycle, like rename/issue/exec on a saturated trace.
+    acc: Vec<Ehr<u64>>,
+    // One in-flight load: ld_q -> (plain-state latency) -> wb_q.
+    ld_q: PipelineFifo<u64>,
+    wb_q: PipelineFifo<u64>,
+    mem_busy: u32,
+    mem_ready: bool,
+    mem_addr: u64,
+    mem_digest: u64,
+    mem_event: CellId,
+    // Rarely-fed side units (think MD/FP pipes): mailbox per unit.
+    md_req: Vec<Ehr<u64>>,
+    md_done: Ehr<u64>,
+    completed: u64,
+}
+
+fn build_socw(mode: SchedulerMode) -> Sim<SocW> {
+    let clk = Clock::new();
+    let st = SocW {
+        acc: (0..9).map(|i| Ehr::new(&clk, u64::from(i == 0))).collect(),
+        ld_q: PipelineFifo::new(&clk, 4),
+        wb_q: PipelineFifo::new(&clk, 4),
+        mem_busy: 0,
+        mem_ready: false,
+        mem_addr: 0,
+        mem_digest: u64::MAX,
+        mem_event: clk.signal_cell(),
+        md_req: (0..SOCW_MD_UNITS).map(|_| Ehr::new(&clk, 0)).collect(),
+        md_done: Ehr::new(&clk, 0),
+        completed: 0,
+        clk: clk.clone(),
+    };
+    let mut sim = Sim::new(clk, st);
+    sim.set_scheduler(mode);
+    // Substrate first, exactly like the SoC: the memory system's clock. It
+    // always fires and republishes the plain observables (busy/ready) as a
+    // digest, poking `mem_event` only on change — the latency countdown
+    // itself publishes nothing, so the load unit sleeps through the window.
+    sim.rule("substrate", |s: &mut SocW| {
+        if s.mem_busy > 0 {
+            s.mem_busy -= 1;
+            if s.mem_busy == 0 {
+                s.mem_ready = true;
+            }
+        }
+        let digest = u64::from(s.mem_busy > 0) | u64::from(s.mem_ready) << 1;
+        if digest != s.mem_digest {
+            s.mem_digest = digest;
+            s.clk.poke(s.mem_event);
+        }
+        Ok(())
+    });
+    // Load unit: guards read the plain memory state, so both rules are
+    // `InferredPlus(mem_event)` — the digest poke is their wake signal.
+    let id = sim.rule("ldIssue", |s: &mut SocW| {
+        if s.mem_busy > 0 || s.mem_ready {
+            return Err(Stall::new("mem busy"));
+        }
+        let addr = s.ld_q.deq()?;
+        s.mem_busy = SOCW_MISS_LAT;
+        s.mem_addr = addr;
+        Ok(())
+    });
+    let mem_event = sim.state().mem_event;
+    sim.set_wakeup(id, Wakeup::InferredPlus(vec![mem_event]));
+    let id = sim.rule("ldResp", |s: &mut SocW| {
+        if !s.mem_ready {
+            return Err(Stall::new("no mem resp"));
+        }
+        s.wb_q.enq(s.mem_addr)?;
+        s.mem_ready = false;
+        Ok(())
+    });
+    sim.set_wakeup(id, Wakeup::InferredPlus(vec![mem_event]));
+    // Writeback: completes the load, refills the load queue (one miss in
+    // flight forever), and feeds a side unit every 8th completion.
+    let id = sim.rule("wbLd", |s: &mut SocW| {
+        let addr = s.wb_q.deq()?;
+        s.ld_q.enq(addr.wrapping_add(64))?;
+        s.completed += 1;
+        if s.completed % 8 == 0 {
+            let i = (s.completed / 8) as usize % SOCW_MD_UNITS;
+            s.md_req[i].update(|v| *v += 1);
+        }
+        Ok(())
+    });
+    sim.set_wakeup(id, Wakeup::Inferred);
+    // The saturated pipeline: 8 always-firing stages.
+    for k in 0..8 {
+        sim.rule(format!("stage{k}"), move |s: &mut SocW| {
+            let v = s.acc[k].read();
+            s.acc[k + 1].update(|x| *x = x.wrapping_add(v));
+            Ok(())
+        });
+    }
+    // The side units, each watching its own mailbox; fed once per 8
+    // completed loads, round-robin, so each sleeps for thousands of cycles.
+    for i in 0..SOCW_MD_UNITS {
+        let id = sim.rule(format!("md{i}"), move |s: &mut SocW| {
+            let n = s.md_req[i].read();
+            if n == 0 {
+                return Err(Stall::new("no md op"));
+            }
+            s.md_req[i].write(0);
+            s.md_done.update(|v| *v += n);
+            Ok(())
+        });
+        sim.set_wakeup(id, Wakeup::Inferred);
+    }
+    // Prime the load loop (outside any rule, the write applies
+    // immediately — the kernel's reset-value idiom).
+    sim.state_mut().ld_q.enq(0).expect("prime ld_q");
+    sim
+}
+
+fn bench_socw() -> Vec<(&'static str, f64)> {
+    let (times, fires) = time_modes(
+        build_socw,
+        SOCW_CYCLES,
+        &[
+            SchedulerMode::Reference,
+            SchedulerMode::Fast,
+            SchedulerMode::Compiled,
+        ],
+        7,
+    );
+    let (ref_s, fast_s, comp_s) = (times[0], times[1], times[2]);
+    let (ref_fires, fast_fires, comp_fires) = (fires[0], fires[1], fires[2]);
+    assert_eq!(fast_fires, ref_fires, "socw diverged: fast vs reference");
+    assert_eq!(comp_fires, ref_fires, "socw diverged: compiled vs reference");
+    let cps = |s: f64| SOCW_CYCLES as f64 / s;
+    for (label, s) in [
+        ("soc_wakeup/reference", ref_s),
+        ("soc_wakeup/fast", fast_s),
+        ("soc_wakeup/compiled", comp_s),
+    ] {
+        println!(
+            "{label:<44} {:>12.0} ns/cycle ({:.2e} cycles/s)",
+            s * 1e9 / SOCW_CYCLES as f64,
+            cps(s)
+        );
+    }
+    println!(
+        "[speedup] soc_wakeup compiled vs reference: {:.2}x (fast {:.2}x)",
+        ref_s / comp_s,
+        ref_s / fast_s
+    );
+    vec![
+        ("socw_sim_cycles", SOCW_CYCLES as f64),
+        ("socw_fires", fast_fires as f64),
+        ("socw_reference_wall_ms", ref_s * 1e3),
+        ("socw_fast_wall_ms", fast_s * 1e3),
+        ("socw_compiled_wall_ms", comp_s * 1e3),
+        ("socw_reference_cps", cps(ref_s)),
+        ("socw_fast_cps", cps(fast_s)),
+        ("socw_compiled_cps", cps(comp_s)),
+        ("socw_fast_speedup", ref_s / fast_s),
+        ("socw_speedup", ref_s / comp_s),
     ]
 }
 
@@ -248,10 +448,11 @@ fn main() {
     bench_gcd();
     bench_iq_orderings();
     bench_scheduler_overhead();
-    let ring_metrics = bench_ring();
+    let mut ring_metrics = bench_ring();
+    ring_metrics.extend(bench_socw());
     if let Some(path) = bench_json_path() {
         // Wall-clock numbers go into the *bench* artifact (not the stats
-        // one): the perf gate compares the host-neutral speedup ratio and
+        // one): the perf gate compares the host-neutral speedup ratios and
         // the exact firing counts, not raw nanoseconds.
         write_artifact(&path, &metrics_json(&ring_metrics));
     }

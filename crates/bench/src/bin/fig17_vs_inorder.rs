@@ -11,17 +11,47 @@ use riscy_ooo::config::{mem_riscyoo_b, mem_riscyoo_c_minus, CoreConfig};
 use riscy_workloads::spec::spec_suite;
 use std::time::Instant;
 
-/// Times the whole T+ suite under one scheduler: (wall seconds, total ROI
-/// cycles). The cycle total doubles as the cross-scheduler determinism
+const TIMED_MODES: [SchedulerMode; 3] = [
+    SchedulerMode::Fast,
+    SchedulerMode::Compiled,
+    SchedulerMode::Reference,
+];
+
+/// Times the whole T+ suite under all three schedulers, interleaved per
+/// workload (each workload runs back-to-back under every mode, twice,
+/// keeping the per-mode minimum) so host-frequency drift lands on all
+/// modes equally instead of skewing the speedup ratios — single-rep
+/// block-per-mode timing was worth ±10% on the ratio on a busy host.
+/// Returns per-mode wall seconds and total ROI cycles in [`TIMED_MODES`]
+/// order; the cycle totals double as the cross-scheduler determinism
 /// checksum the perf gate verifies.
-fn time_suite(scale: riscy_workloads::spec::Scale, mode: SchedulerMode) -> (f64, u64) {
-    let t0 = Instant::now();
-    let mut cycles = 0;
+fn time_suite(scale: riscy_workloads::spec::Scale) -> ([f64; 3], [u64; 3]) {
+    const ROUNDS: usize = 2;
+    let mut secs = [0.0f64; 3];
+    let mut cycles = [0u64; 3];
     for w in spec_suite(scale) {
-        cycles += run_ooo_with_scheduler(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), &w, mode)
-            .roi_cycles;
+        let mut best = [f64::INFINITY; 3];
+        for round in 0..ROUNDS {
+            for (k, &mode) in TIMED_MODES.iter().enumerate() {
+                let t0 = Instant::now();
+                let c = run_ooo_with_scheduler(
+                    CoreConfig::riscyoo_t_plus(),
+                    mem_riscyoo_b(),
+                    &w,
+                    mode,
+                )
+                .roi_cycles;
+                best[k] = best[k].min(t0.elapsed().as_secs_f64());
+                if round == 0 {
+                    cycles[k] += c;
+                }
+            }
+        }
+        for k in 0..3 {
+            secs[k] += best[k];
+        }
     }
-    (t0.elapsed().as_secs_f64(), cycles)
+    (secs, cycles)
 }
 
 fn main() {
@@ -73,21 +103,26 @@ fn main() {
         write_artifact(&path, &json);
     }
     if let Some(path) = bench_json_path() {
-        // Perf-gate artifact: the T+ suite timed under both schedulers.
-        // On the SoC every rule stays on `Wakeup::EveryCycle` (plain-state
-        // bodies), so only the conflict-footprint masks apply and the
-        // speedup is modest — recorded informationally; the gate only
-        // enforces the cycle-count checksum here.
-        let (fast_s, fast_cycles) = time_suite(scale, SchedulerMode::Fast);
-        let (ref_s, ref_cycles) = time_suite(scale, SchedulerMode::Reference);
+        // Perf-gate artifact: the T+ suite timed under all three
+        // schedulers. SoC rules carry real wakeup policies (see `soc.rs`),
+        // so Fast/Compiled skip sleeping rules; Compiled additionally runs
+        // the branch-free plain dispatch lane. The gate enforces exact
+        // cycle equality across the three modes plus the
+        // reference/compiled speedup floor (`fig17_speedup`).
+        let (secs, cycles) = time_suite(scale);
+        let ([fast_s, comp_s, ref_s], [fast_cycles, comp_cycles, ref_cycles]) = (secs, cycles);
         let json = metrics_json(&[
             ("fig17_sim_cycles_fast", fast_cycles as f64),
+            ("fig17_sim_cycles_compiled", comp_cycles as f64),
             ("fig17_sim_cycles_reference", ref_cycles as f64),
             ("fig17_fast_wall_ms", fast_s * 1e3),
+            ("fig17_compiled_wall_ms", comp_s * 1e3),
             ("fig17_reference_wall_ms", ref_s * 1e3),
             ("fig17_fast_cps", fast_cycles as f64 / fast_s),
+            ("fig17_compiled_cps", comp_cycles as f64 / comp_s),
             ("fig17_reference_cps", ref_cycles as f64 / ref_s),
-            ("fig17_speedup", ref_s / fast_s),
+            ("fig17_fast_speedup", ref_s / fast_s),
+            ("fig17_speedup", ref_s / comp_s),
         ]);
         write_artifact(&path, &json);
     }

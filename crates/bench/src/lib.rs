@@ -187,9 +187,11 @@ pub fn trace_path() -> Option<String> {
     path_arg("--trace")
 }
 
-/// Parses `--scheduler reference|fast` (default: the kernel default,
-/// [`SchedulerMode::Fast`]). `reference` re-enables the one-rule-at-a-time
-/// oracle scheduler for cross-checking.
+/// Parses `--scheduler reference|fast|compiled` (default: the kernel
+/// default, [`SchedulerMode::Fast`]). `reference` re-enables the
+/// one-rule-at-a-time oracle scheduler for cross-checking; `compiled`
+/// selects the static wave plan with the specialized dispatch loop (see
+/// `docs/SCHEDULING.md` §"Compiled schedule").
 ///
 /// # Panics
 ///
@@ -200,7 +202,8 @@ pub fn scheduler_from_args() -> SchedulerMode {
     match path_arg("--scheduler").as_deref() {
         None | Some("fast") => SchedulerMode::Fast,
         Some("reference") => SchedulerMode::Reference,
-        Some(other) => panic!("--scheduler {other}: expected `reference` or `fast`"),
+        Some("compiled") => SchedulerMode::Compiled,
+        Some(other) => panic!("--scheduler {other}: expected `reference`, `fast`, or `compiled`"),
     }
 }
 

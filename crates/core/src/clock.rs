@@ -169,6 +169,16 @@ pub(crate) struct ClockInner {
     publish_log: RefCell<Vec<(u32, u32)>>,
     publishes: Cell<u64>,
     wake_log: Cell<bool>,
+    // Bitset over cell ids with at least one (possibly stale) watcher
+    // entry in the scheduler's per-cell lists. Publishes of unwatched
+    // cells are dropped before touching the log: on a design where only a
+    // few narrow-guard rules sleep, the overwhelming majority of committed
+    // writes and end-of-cycle latches publish cells nobody watches, and
+    // logging those taxes every *firing* rule to feed drains that find
+    // nothing. Maintained by the scheduler (set on watcher registration,
+    // cleared when a cell's watcher list drains empty); bits may be stale
+    // in the set direction, which only costs a logged-then-ignored entry.
+    watched_cells: RefCell<Vec<u64>>,
     // Scheduler-maintained index of the rule currently executing, for
     // publish attribution. Only kept accurate while profiling; stale values
     // are harmless because nothing reads them when the profiler is off.
@@ -181,6 +191,13 @@ pub(crate) struct ClockInner {
     // scheduler can infer a stalling rule's watch set.
     read_trace: Cell<bool>,
     read_log: RefCell<Vec<u32>>,
+    // Per-evaluation impurity taint: cleared by `begin_rule`, set by
+    // `Clock::taint_eval` when a rule body touches state the wakeup layer
+    // cannot watch (the cycle counter, un-poked plain state, stat counters
+    // mutated on a stall path). A tainted stalling evaluation is never
+    // slept — the scheduler re-evaluates it next cycle as if it were
+    // `Wakeup::EveryCycle`.
+    eval_taint: Cell<bool>,
     total_methods: Cell<u32>,
 }
 
@@ -189,12 +206,22 @@ impl ClockInner {
     /// (see [`Clock::set_wake_log`]).
     #[inline]
     fn publish(&self, id: u32) {
-        if self.wake_log.get() {
-            self.publish_log
-                .borrow_mut()
-                .push((id, self.cur_rule.get()));
-            self.publishes.set(self.publishes.get() + 1);
+        if !self.wake_log.get() {
+            return;
         }
+        {
+            let watched = self.watched_cells.borrow();
+            let hit = watched
+                .get((id / 64) as usize)
+                .is_some_and(|w| w & (1u64 << (id % 64)) != 0);
+            if !hit {
+                return;
+            }
+        }
+        self.publish_log
+            .borrow_mut()
+            .push((id, self.cur_rule.get()));
+        self.publishes.set(self.publishes.get() + 1);
     }
 }
 
@@ -225,11 +252,13 @@ impl Clock {
                 publish_log: RefCell::new(Vec::new()),
                 publishes: Cell::new(0),
                 wake_log: Cell::new(false),
+                watched_cells: RefCell::new(Vec::new()),
                 cur_rule: Cell::new(u32::MAX),
                 cm_earlier: Cell::new(u32::MAX),
                 next_cell: Cell::new(0),
                 read_trace: Cell::new(false),
                 read_log: RefCell::new(Vec::new()),
+                eval_taint: Cell::new(false),
                 total_methods: Cell::new(0),
             }),
         }
@@ -311,11 +340,66 @@ impl Clock {
         self.inner.publish_log.borrow_mut().clear();
     }
 
+    /// Marks cell `id` as having a scheduler watcher, so its publishes
+    /// reach the log (see `ClockInner::watched_cells`).
+    pub(crate) fn set_cell_watched(&self, id: u32) {
+        let mut w = self.inner.watched_cells.borrow_mut();
+        let idx = (id / 64) as usize;
+        if idx >= w.len() {
+            w.resize(idx + 1, 0);
+        }
+        w[idx] |= 1u64 << (id % 64);
+    }
+
+    /// Clears cell `id`'s watched bit (its watcher list drained empty).
+    pub(crate) fn clear_cell_watched(&self, id: u32) {
+        let mut w = self.inner.watched_cells.borrow_mut();
+        let idx = (id / 64) as usize;
+        if let Some(word) = w.get_mut(idx) {
+            *word &= !(1u64 << (id % 64));
+        }
+    }
+
     /// Records an observable change of cell `id` outside any rule commit
     /// (an initialization write or test poke) so any sleeping observer sees
     /// the change.
     pub(crate) fn mark_poked(&self, id: u32) {
         self.inner.publish(id);
+    }
+
+    /// Allocates a bare *signal cell*: a [`CellId`] with no storage behind
+    /// it, for bridging non-cell state into the wakeup layer. A substrate
+    /// rule that owns plain Rust state (a memory system, a device) calls
+    /// [`Clock::poke`] on the signal whenever that state changes observably;
+    /// rules whose guards read the plain state watch the signal via
+    /// [`crate::sched::Wakeup::Watch`] or
+    /// [`crate::sched::Wakeup::InferredPlus`].
+    #[must_use]
+    pub fn signal_cell(&self) -> CellId {
+        CellId(self.alloc_cell())
+    }
+
+    /// Publishes `cell` as changed, waking any rule sleeping on it. Safe at
+    /// any time (inside or outside a rule); the publish is immediate, not
+    /// transactional, so only poke for changes that are already visible.
+    pub fn poke(&self, cell: CellId) {
+        self.inner.publish(cell.0);
+    }
+
+    /// Marks the current rule evaluation as *impure*: it read or wrote
+    /// something the wakeup layer cannot watch (the cycle counter, plain
+    /// state with no covering signal cell, statistics mutated on a stall
+    /// path). If the evaluation stalls, the scheduler will re-evaluate it
+    /// every cycle instead of sleeping it — making `Wakeup::Inferred` /
+    /// `Wakeup::InferredPlus` sound per-evaluation on rules with a few
+    /// impure stall paths. Cleared automatically at `begin_rule`.
+    pub fn taint_eval(&self) {
+        self.inner.eval_taint.set(true);
+    }
+
+    /// Whether [`Clock::taint_eval`] was called since the last `begin_rule`.
+    pub(crate) fn eval_tainted(&self) -> bool {
+        self.inner.eval_taint.get()
     }
 
     /// Current cycle number.
@@ -453,6 +537,7 @@ impl Clock {
     pub fn begin_rule(&self) {
         assert!(!self.inner.in_rule.get(), "nested rules are not allowed");
         self.inner.in_rule.set(true);
+        self.inner.eval_taint.set(false);
     }
 
     /// Checks the current rule's recorded method calls against every method

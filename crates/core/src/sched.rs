@@ -53,6 +53,15 @@ pub enum SchedulerMode {
     /// equivalence property tests in `tests/` assert this).
     #[default]
     Fast,
+    /// The compiled engine: everything `Fast` does, executed through a
+    /// statically partitioned wave plan (ordered conflict-free waves over
+    /// the rule footprints) with a flat dispatch loop. When no chaos
+    /// engine, tracer, profiler, or histogram collection is live the
+    /// per-cycle loop runs a branch-free "plain" lane that skips whole
+    /// waves whose watched cells published nothing; with instrumentation
+    /// attached it falls back to the (equivalent) instrumented lane.
+    /// Cycle-, counter-, and trace-identical to `Reference`.
+    Compiled,
 }
 
 /// When a stalled rule's guard is re-evaluated (fast scheduler only).
@@ -69,14 +78,37 @@ pub enum Wakeup {
     /// Sleep on an explicit cell set. Requires the body's guard to depend
     /// only on these cells.
     Watch(Vec<CellId>),
+    /// Like [`Wakeup::Inferred`], but the watch set is the union of the
+    /// traced reads *and* these extra cells. This is the escape hatch for
+    /// rules whose guards also read non-cell state (e.g. a memory system's
+    /// queues): some substrate rule must [`crate::clock::Clock::poke`] one
+    /// of the extra cells whenever that outside state changes observably.
+    /// Stall paths that cannot be covered this way must call
+    /// [`crate::clock::Clock::taint_eval`], which suppresses the sleep for
+    /// that evaluation.
+    InferredPlus(Vec<CellId>),
 }
 
 /// A sleeping rule: skipped (but accounted with `reason`) until one of the
 /// cells it watches publishes a committed write. The watch set itself lives
 /// in the scheduler's per-cell watcher lists, registered when the sleep
 /// begins.
+///
+/// Accounting is *batched*: a skipped cycle touches nothing, and the
+/// deficit — one guard stall per cycle in `since..now`, all with the same
+/// cached `reason` — is settled in one addition whenever the sleep ends or
+/// an observer needs exact statistics (wake, chaos verdict, instrumentation
+/// toggle, end of a `run` call). Totals are bit-identical to the reference
+/// at every such point; only the cycle *within* a run at which the counter
+/// is bumped differs, which nothing can observe.
+/// (The stall *reason* is not cached here: a skipped cycle feeds no
+/// histogram or trace — both force full re-evaluation instead of sleeping
+/// — and the wait-graph reports read the rule's `last_wait`, which was set
+/// when the sleep began and cannot change while the watched cells are
+/// quiet.)
 pub(crate) struct Sleep {
-    pub reason: &'static str,
+    /// First skipped cycle not yet added to the rule's stall statistics.
+    pub since: u64,
 }
 
 /// A plain bit set over `u32` indices (global method ids or cell ids).
@@ -129,10 +161,29 @@ impl BitSet {
     }
 }
 
+/// Cap on [`RuleSched::sleep_thresh`]: a rule whose wakes keep proving
+/// useless degrades to re-evaluating (like the reference) for at most this
+/// many stalls before trying to sleep again.
+pub(crate) const MAX_SLEEP_THRESH: u16 = 64;
+
 /// Per-rule fast-path state.
 pub(crate) struct RuleSched {
     pub wakeup: Wakeup,
     pub sleep: Option<Sleep>,
+    /// Consecutive awake stalls since the last fire or sleep; sleeping is
+    /// attempted only once this reaches `sleep_thresh`.
+    pub stall_streak: u16,
+    /// Adaptive hysteresis: starts at 1 (sleep on the first stall), doubles
+    /// each time a wake is immediately followed by another stall (the sleep
+    /// bought nothing but the watch-set registration cost), and snaps back
+    /// to 1 when a wake leads to a fire. Purely a scheduling policy —
+    /// whether a stalled rule sleeps or re-evaluates is unobservable (the
+    /// guard is pure, see the module docs), so cycles, counters, and stats
+    /// are unaffected.
+    pub sleep_thresh: u16,
+    /// Set when the rule is woken; cleared by its next evaluation, which
+    /// judges whether the wake was useful (fire) or wasted (stall).
+    pub just_woke: bool,
     /// Global method indices this rule is known to call.
     pub footprint: BitSet,
     /// Methods whose earlier firing could forbid one of the footprint's
@@ -145,20 +196,53 @@ impl RuleSched {
         RuleSched {
             wakeup: Wakeup::EveryCycle,
             sleep: None,
+            stall_streak: 0,
+            sleep_thresh: 1,
+            just_woke: false,
             footprint: BitSet::new(),
             bad_earlier: BitSet::new(),
         }
     }
 
+    /// The rule fired: any pending wake judgment resolves as useful.
+    pub fn note_fire(&mut self) {
+        self.stall_streak = 0;
+        if self.just_woke {
+            self.just_woke = false;
+            self.sleep_thresh = 1;
+        }
+    }
+
+    /// The rule stalled while awake and is otherwise sleep-eligible;
+    /// returns whether it should actually go to sleep now. A wake that
+    /// lands straight back in a stall doubles the hysteresis first —
+    /// that's the thrash this exists to dampen (e.g. a watch cell poked
+    /// nearly every cycle by a substrate digest).
+    pub fn note_stall_should_sleep(&mut self) -> bool {
+        if self.just_woke {
+            self.just_woke = false;
+            self.sleep_thresh = (self.sleep_thresh * 2).min(MAX_SLEEP_THRESH);
+        }
+        self.stall_streak += 1;
+        if self.stall_streak >= self.sleep_thresh {
+            self.stall_streak = 0;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Adds global method `c` to the footprint, folding its conflict row
-    /// into `bad_earlier`.
-    pub fn add_method(&mut self, clk: &crate::clock::Clock, c: u32) {
+    /// into `bad_earlier`. Returns whether the footprint actually grew (the
+    /// compiled engine invalidates its wave plan on growth).
+    pub fn add_method(&mut self, clk: &crate::clock::Clock, c: u32) -> bool {
         if self.footprint.contains(c) {
-            return;
+            return false;
         }
         self.footprint.set(c);
         let bad = &mut self.bad_earlier;
         clk.for_each_bad_earlier(c, |m| bad.set(m));
+        true
     }
 }
 

@@ -301,6 +301,31 @@ fn account_cm_stall<S>(
     }
 }
 
+/// Adds a sleeping rule's unsettled skipped cycles (`sleep.since..now`,
+/// each a guard stall with the cached reason) into its statistics and
+/// advances the marker. Called at every point where batched sleep
+/// accounting must become exact: wake, chaos verdict, sleep clearing.
+/// The global stall *counter* is not touched here — it is maintained
+/// cycle-exactly by the schedulers (one shared `Cell` bump is cheap; the
+/// expensive part batching avoids is walking every sleeping rule's entry).
+fn settle_sleep<S>(entry: &mut RuleEntry<S>, now: u64) {
+    if let Some(sleep) = &mut entry.sched.sleep {
+        entry.stats.guard_stalls += now - sleep.since;
+        sleep.since = now;
+    }
+}
+
+/// A rule's statistics with any unsettled sleep deficit folded in — the
+/// read-only view the public accessors expose, exact at any cycle
+/// boundary without forcing the hot loop to touch sleeping rules.
+fn effective_stats<S>(entry: &RuleEntry<S>, now: u64) -> RuleStats {
+    let mut s = entry.stats;
+    if let Some(sleep) = &entry.sched.sleep {
+        s.guard_stalls += now - sleep.since;
+    }
+    s
+}
+
 fn account_fired<S>(
     entry: &mut RuleEntry<S>,
     tracer: &Tracer,
@@ -311,6 +336,7 @@ fn account_fired<S>(
     entry.stats.fired += 1;
     ctr.inc();
     entry.last_wait = None;
+    entry.sched.note_fire();
     if tracing {
         tracer.emit(now, &TraceEvent::RuleFired { rule: &entry.name });
     }
@@ -352,6 +378,9 @@ fn drain_wakeups_slow(
     *pub_seen = clk.publish_count();
     clk.drain_publishes(|id, publisher| {
         if let Some(ws) = watchers.get_mut(id as usize) {
+            // The list is consumed whole, so the publish filter closes for
+            // this cell until someone re-registers.
+            clk.clear_cell_watched(id);
             for (rule, gen) in ws.drain(..) {
                 if sleep_gens[rule as usize] == gen {
                     wake_flags[rule as usize] = true;
@@ -413,6 +442,7 @@ fn forbid_mask<'a>(rows: &'a mut Vec<Option<BitSet>>, clk: &Clock, m: u32) -> &'
 /// they are compacted away once a cell's list outgrows the rule count, so
 /// pathological sleep/wake churn cannot grow the lists without bound.
 fn add_watcher(
+    clk: &Clock,
     watchers: &mut Vec<Vec<(u32, u32)>>,
     sleep_gens: &[u32],
     cap: usize,
@@ -429,6 +459,9 @@ fn add_watcher(
         ws.retain(|&(r, g)| sleep_gens[r as usize] == g);
     }
     ws.push((rule, gen));
+    // Open the clock-side publish filter for this cell (see
+    // `Clock::set_cell_watched`): only watched cells reach the log.
+    clk.set_cell_watched(cell);
 }
 
 /// Could these two rules ever conflict in a cycle, judging by their
@@ -513,6 +546,26 @@ pub struct Sim<S> {
     /// (u32::MAX = nobody yet). Maintained only while profiling, to turn a
     /// CM stall into a rule→rule causality edge.
     owner_scratch: Vec<u32>,
+    /// The compiled engine's execution plan: contiguous, statically
+    /// conflict-free wave ranges over the canonical schedule, with a live
+    /// count of sleeping members per wave (see [`Sim::cycle_compiled`]).
+    plan_waves: Vec<WaveState>,
+    /// Set whenever something invalidates `plan_waves` — a new rule, a
+    /// wakeup/scheduler change, footprint growth, or a cycle run by any
+    /// other loop (which moves sleep state without maintaining the per-wave
+    /// counts). The plan is rebuilt lazily at the next compiled cycle.
+    plan_stale: bool,
+}
+
+/// One wave of the compiled plan: rules `start..end` of the canonical
+/// schedule, pairwise statically conflict-free, with `asleep` of them
+/// currently sleeping. When `asleep` covers the whole range and nothing has
+/// published since the last drain, the engine skips the wave wholesale.
+#[derive(Clone, Copy)]
+struct WaveState {
+    start: u32,
+    end: u32,
+    asleep: u32,
 }
 
 impl<S> Sim<S> {
@@ -551,6 +604,8 @@ impl<S> Sim<S> {
             any_wakeup: false,
             prof: None,
             owner_scratch: Vec::new(),
+            plan_waves: Vec::new(),
+            plan_stale: true,
         }
     }
 
@@ -563,6 +618,14 @@ impl<S> Sim<S> {
     /// rules in the same cycles as an untraced one.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.clk.set_tracer(tracer.clone());
+        // Sleeping rules report cached stall reasons, which can drift from
+        // the fresh reason an every-cycle evaluation would produce. Wake
+        // everything so a traced run evaluates (and reports) exactly.
+        if self.tracer.is_enabled() != tracer.is_enabled() {
+            for i in 0..self.rules.len() {
+                self.clear_sleep(i);
+            }
+        }
         self.tracer = tracer;
     }
 
@@ -601,6 +664,7 @@ impl<S> Sim<S> {
         });
         self.wake_flags.push(false);
         self.sleep_gens.push(0);
+        self.plan_stale = true;
         id
     }
 
@@ -613,6 +677,7 @@ impl<S> Sim<S> {
         for i in 0..self.rules.len() {
             self.clear_sleep(i);
         }
+        self.plan_stale = true;
     }
 
     /// Keeps the clock's publish logging in sync with whether anyone could
@@ -621,7 +686,7 @@ impl<S> Sim<S> {
     /// configuration logging would tax each committed write to grow a
     /// buffer nobody reads.
     fn sync_wake_log(&mut self) {
-        let on = matches!(self.mode, SchedulerMode::Fast)
+        let on = matches!(self.mode, SchedulerMode::Fast | SchedulerMode::Compiled)
             && self
                 .rules
                 .iter()
@@ -634,6 +699,7 @@ impl<S> Sim<S> {
     /// Wakes rule `i` (if asleep) and invalidates its registered watcher
     /// entries by bumping its sleep generation.
     fn clear_sleep(&mut self, i: usize) {
+        settle_sleep(&mut self.rules[i], self.clk.cycle());
         self.rules[i].sched.sleep = None;
         self.sleep_gens[i] = self.sleep_gens[i].wrapping_add(1);
         self.wake_flags[i] = false;
@@ -650,6 +716,13 @@ impl<S> Sim<S> {
     /// insert on the hot path of every stall, which is pure overhead for
     /// runs that never ask for a report.
     pub fn enable_stall_histograms(&mut self) {
+        if !self.collect_hist {
+            // Same reasoning as `set_tracer`: histogram buckets must count
+            // fresh reasons, so sleeping is off while histograms are live.
+            for i in 0..self.rules.len() {
+                self.clear_sleep(i);
+            }
+        }
         self.collect_hist = true;
     }
 
@@ -717,19 +790,22 @@ impl<S> Sim<S> {
             match self.mode {
                 SchedulerMode::Reference => "reference",
                 SchedulerMode::Fast => "fast",
+                SchedulerMode::Compiled => "compiled",
             },
         );
         w.key("profiling");
         w.boolean(prof.is_some());
         w.key("rules");
         w.begin_array();
+        let now = self.clk.cycle();
         for (i, r) in self.rules.iter().enumerate() {
             let rp = prof.map(|p| p.rule(i)).unwrap_or_default();
+            let stats = effective_stats(r, now);
             w.begin_object();
             w.field_str("name", &r.name);
-            w.field_u64("fired", r.stats.fired);
-            w.field_u64("guard_stalls", r.stats.guard_stalls);
-            w.field_u64("cm_stalls", r.stats.cm_stalls);
+            w.field_u64("fired", stats.fired);
+            w.field_u64("guard_stalls", stats.guard_stalls);
+            w.field_u64("cm_stalls", stats.cm_stalls);
             w.field_u64("evals", rp.evals);
             w.field_u64("skipped", rp.skipped);
             w.field_u64("body_ns", rp.body_ns);
@@ -805,6 +881,7 @@ impl<S> Sim<S> {
         self.rules[id.0].sched.wakeup = wakeup;
         self.clear_sleep(id.0);
         self.sync_wake_log();
+        self.plan_stale = true;
     }
 
     /// Seeds `rule`'s static footprint with `methods` of `ifc`, so its very
@@ -822,6 +899,50 @@ impl<S> Sim<S> {
         for &m in methods {
             entry.sched.add_method(&self.clk, ifc.global_method(m));
         }
+        self.plan_stale = true;
+    }
+
+    /// The static wave partition as contiguous half-open ranges over the
+    /// canonical schedule.
+    ///
+    /// A rule joins the current wave unless it *interferes* with any member:
+    /// its `bad_earlier` mask hits the wave's accumulated footprint, or the
+    /// wave's accumulated `bad_earlier` hits its footprint. Because
+    /// intersection distributes over the accumulated unions, this is exactly
+    /// the pairwise [`rules_conflict`] test against every wave member — a
+    /// whole-wave interference pass in O(rules × mask words), not just a
+    /// check against the previous rule. Waves stay contiguous on purpose:
+    /// the engine always executes rules in canonical order (EHR port
+    /// semantics make order observable), so a wave is a *skip and
+    /// parallelism* boundary, never a reordering.
+    fn wave_ranges(&self) -> Vec<(usize, usize)> {
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut wave_fp = BitSet::new();
+        let mut wave_bad = BitSet::new();
+        let mut start = 0usize;
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > start
+                && (r.sched.bad_earlier.intersects(&wave_fp)
+                    || wave_bad.intersects(&r.sched.footprint))
+            {
+                ranges.push((start, i));
+                start = i;
+                wave_fp.reset(0);
+                wave_bad.reset(0);
+            }
+            wave_fp.union_with(&r.sched.footprint);
+            wave_bad.union_with(&r.sched.bad_earlier);
+        }
+        if start < self.rules.len() {
+            ranges.push((start, self.rules.len()));
+        }
+        // The accumulated-mask test is the all-pairs interference test:
+        // intersection distributes over the running unions. Checked against
+        // the pairwise definition in debug builds.
+        debug_assert!(ranges.iter().all(|&(s, e)| {
+            (s..e).all(|i| (s..i).all(|j| !rules_conflict(&self.rules[i], &self.rules[j])))
+        }));
+        ranges
     }
 
     /// Groups the schedule into conflict-free waves: consecutive rules whose
@@ -829,25 +950,70 @@ impl<S> Sim<S> {
     /// within a wave every rule takes the no-scan commit path regardless of
     /// what the others do. Reflects current footprint knowledge (seeded via
     /// [`Sim::declare_footprint`] plus everything observed so far), so it is
-    /// most meaningful after a warm-up run. Diagnostic: the fast scheduler
-    /// derives the same information per-cycle from the conflict masks.
+    /// most meaningful after a warm-up run. This is the same partition the
+    /// compiled engine executes ([`SchedulerMode::Compiled`]); returns rule
+    /// indices into the canonical schedule.
+    #[must_use]
+    pub fn schedule_wave_indices(&self) -> Vec<Vec<usize>> {
+        self.wave_ranges()
+            .into_iter()
+            .map(|(s, e)| (s..e).collect())
+            .collect()
+    }
+
+    /// [`Sim::schedule_wave_indices`] with indices resolved to rule names,
+    /// for reports and diagnostics.
     #[must_use]
     pub fn schedule_waves(&self) -> Vec<Vec<String>> {
-        let mut waves: Vec<Vec<usize>> = Vec::new();
-        for (i, r) in self.rules.iter().enumerate() {
-            let fits = waves
-                .last()
-                .is_some_and(|w| w.iter().all(|&j| !rules_conflict(r, &self.rules[j])));
-            if fits {
-                waves.last_mut().expect("non-empty").push(i);
-            } else {
-                waves.push(vec![i]);
+        self.wave_ranges()
+            .into_iter()
+            .map(|(s, e)| {
+                self.rules[s..e]
+                    .iter()
+                    .map(|r| r.name.clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Rebuilds the compiled plan from the current partition and sleep
+    /// state. Cheap (one pass over the rules), so staleness is resolved
+    /// lazily at the next compiled cycle rather than tracked precisely.
+    fn rebuild_plan(&mut self) {
+        let ranges = self.wave_ranges();
+        self.plan_waves.clear();
+        for (s, e) in ranges {
+            // Refine each conflict-free range at sleepable/EveryCycle
+            // boundaries: a wave containing an `EveryCycle` rule can never
+            // be skipped (such rules never sleep), and on a CM-free design
+            // the whole schedule is one conflict-free range — which would
+            // otherwise bury every sleeper in an unskippable mega-wave.
+            // Execution order is unchanged; waves are consecutive ranges
+            // either way, so the split only sharpens skip granularity.
+            let mut s = s;
+            while s < e {
+                let sleepable =
+                    !matches!(self.rules[s].sched.wakeup, Wakeup::EveryCycle);
+                let mut t = s + 1;
+                while t < e
+                    && !matches!(self.rules[t].sched.wakeup, Wakeup::EveryCycle)
+                        == sleepable
+                {
+                    t += 1;
+                }
+                let asleep = self.rules[s..t]
+                    .iter()
+                    .filter(|r| r.sched.sleep.is_some())
+                    .count();
+                self.plan_waves.push(WaveState {
+                    start: u32::try_from(s).expect("rule index"),
+                    end: u32::try_from(t).expect("rule index"),
+                    asleep: u32::try_from(asleep).expect("rule index"),
+                });
+                s = t;
             }
         }
-        waves
-            .into_iter()
-            .map(|w| w.into_iter().map(|i| self.rules[i].name.clone()).collect())
-            .collect()
+        self.plan_stale = false;
     }
 
     /// Excludes a rule from the watchdog's notion of forward progress.
@@ -890,21 +1056,32 @@ impl<S> Sim<S> {
         match self.mode {
             SchedulerMode::Reference => self.cycle_reference(),
             SchedulerMode::Fast => self.cycle_fast(),
+            SchedulerMode::Compiled => self.cycle_compiled(),
         }
     }
 
     /// The oracle loop: every guard evaluated, every Ok-rule fully
-    /// CM-scanned, every cycle.
+    /// CM-scanned, every cycle. The profiler check is hoisted out of the
+    /// per-rule loop by monomorphizing the body on `PROF` — an unprofiled
+    /// reference run carries no disabled-profiler branches (previously a
+    /// measured ~8% tax on guard-heavy designs).
     fn cycle_reference(&mut self) -> Result<(), SimError> {
+        if self.prof.is_some() {
+            self.cycle_reference_impl::<true>()
+        } else {
+            self.cycle_reference_impl::<false>()
+        }
+    }
+
+    fn cycle_reference_impl<const PROF: bool>(&mut self) -> Result<(), SimError> {
         let now = self.clk.cycle();
         let chaos = self.chaos.clone();
         let mut fired_any = false;
         let mut conflict: Option<SimError> = None;
         let tracing = self.tracer.is_enabled();
         let hist = self.collect_hist;
-        let prof_on = self.prof.is_some();
         let total_methods = self.clk.total_methods() as usize;
-        if prof_on && total_methods > 0 {
+        if PROF && total_methods > 0 {
             self.owner_scratch.clear();
             self.owner_scratch.resize(total_methods, u32::MAX);
         }
@@ -942,29 +1119,31 @@ impl<S> Sim<S> {
                 }
                 None => {}
             }
-            let t0 = if prof_on { Some(Instant::now()) } else { None };
+            let t0 = if PROF { Some(Instant::now()) } else { None };
             self.clk.begin_rule();
             let outcome = (entry.body)(&mut self.state);
-            let t_body = if prof_on { Some(Instant::now()) } else { None };
+            let t_body = if PROF { Some(Instant::now()) } else { None };
             let mut fired_now = false;
             match outcome {
                 Ok(()) => {
                     if let Some(v) = self.clk.check_cm() {
                         self.clk.abort_rule();
                         account_cm_stall(entry, &self.tracer, tracing, hist, &self.ctr_cm, now, &v);
-                        if let Some(p) = self.prof.as_mut() {
-                            push_cm_edge(p, &self.clk, &self.owner_scratch, i, now);
+                        if PROF {
+                            if let Some(p) = self.prof.as_mut() {
+                                push_cm_edge(p, &self.clk, &self.owner_scratch, i, now);
+                            }
                         }
                         self.last_violation = Some(v);
                     } else {
-                        if prof_on && total_methods > 0 {
+                        if PROF && total_methods > 0 {
                             // Commit drains the call list, so capture it
                             // first for method→owner attribution.
                             self.clk.calls_global(&mut calls);
                         }
                         match self.clk.try_commit_rule() {
                             Ok(()) => {
-                                if prof_on && total_methods > 0 {
+                                if PROF && total_methods > 0 {
                                     let rule = u32::try_from(i).expect("rule index");
                                     for &c in &calls {
                                         self.owner_scratch[c as usize] = rule;
@@ -1012,9 +1191,11 @@ impl<S> Sim<S> {
                     );
                 }
             }
-            if let (Some(t0), Some(t1)) = (t0, t_body) {
-                if let Some(p) = self.prof.as_mut() {
-                    p.record_eval(i, t0, t1, fired_now);
+            if PROF {
+                if let (Some(t0), Some(t1)) = (t0, t_body) {
+                    if let Some(p) = self.prof.as_mut() {
+                        p.record_eval(i, t0, t1, fired_now);
+                    }
                 }
             }
         }
@@ -1073,6 +1254,13 @@ impl<S> Sim<S> {
             // same cycle whether or not the rule is asleep.
             match chaos.as_ref().and_then(|e| e.rule_fault(&entry.name, now)) {
                 Some(RuleFault::ForceStall) => {
+                    // The chaos stall replaces this cycle's batched cached-
+                    // reason stall: settle the sleep deficit up to `now`,
+                    // account the chaos verdict, and resume batching after.
+                    settle_sleep(entry, now);
+                    if let Some(sleep) = &mut entry.sched.sleep {
+                        sleep.since = now + 1;
+                    }
                     account_guard_stall(
                         entry,
                         &self.tracer,
@@ -1095,6 +1283,10 @@ impl<S> Sim<S> {
                         let _ = (entry.body)(&mut self.state);
                         self.clk.abort_rule();
                     }
+                    settle_sleep(entry, now);
+                    if let Some(sleep) = &mut entry.sched.sleep {
+                        sleep.since = now + 1;
+                    }
                     account_guard_stall(
                         entry,
                         &self.tracer,
@@ -1108,8 +1300,7 @@ impl<S> Sim<S> {
                 }
                 None => {}
             }
-            if let Some(sleep) = &entry.sched.sleep {
-                let reason = sleep.reason;
+            if entry.sched.sleep.is_some() {
                 // Lazy drain: an earlier rule may have committed a watched
                 // write *this* cycle (a schedule-order bypass the reference
                 // loop would observe), so re-check the publish count — one
@@ -1126,34 +1317,35 @@ impl<S> Sim<S> {
                 if self.wake_flags[i] {
                     self.wake_flags[i] = false;
                     self.sleep_gens[i] = self.sleep_gens[i].wrapping_add(1);
+                    settle_sleep(entry, now);
                     entry.sched.sleep = None;
+                    entry.sched.just_woke = true;
                 } else {
                     // Still asleep: nothing the guard read has published, so
-                    // it would stall with the same reason. Account exactly
-                    // as the reference does — minus the `last_wait` rewrite,
-                    // which was set when the rule fell asleep and would be
-                    // rewritten with the identical value.
-                    entry.stats.guard_stalls += 1;
-                    if hist {
-                        *entry.guard_reasons.entry(reason).or_insert(0) += 1;
-                    }
+                    // it would stall with the same reason. The per-rule
+                    // statistics are *batched* (settled from `Sleep::since`
+                    // at wake or observation — tracing and histograms force
+                    // full re-evaluation instead of sleeping, so only the
+                    // plain stall count is ever deferred); the shared stall
+                    // counter stays cycle-exact, it is one Cell bump. With
+                    // the profiler live, account per cycle so its skip
+                    // counts stay exact too.
                     self.ctr_guard.inc();
-                    if tracing {
-                        self.tracer.emit(
-                            now,
-                            &TraceEvent::GuardStalled {
-                                rule: &entry.name,
-                                reason,
-                            },
-                        );
-                    }
                     if let Some(p) = self.prof.as_mut() {
+                        settle_sleep(entry, now);
+                        entry.stats.guard_stalls += 1;
+                        if let Some(sleep) = &mut entry.sched.sleep {
+                            sleep.since = now + 1;
+                        }
                         p.record_skip(i);
                     }
                     continue;
                 }
             }
-            let infer = matches!(entry.sched.wakeup, Wakeup::Inferred);
+            let infer = matches!(
+                entry.sched.wakeup,
+                Wakeup::Inferred | Wakeup::InferredPlus(_)
+            );
             let t0 = if prof_on {
                 // Tag publishes from this rule's commit so a later wake can
                 // be attributed back to it.
@@ -1162,14 +1354,12 @@ impl<S> Sim<S> {
             } else {
                 None
             };
+            // Evaluate untraced: the read set is only needed when the rule
+            // goes to sleep, and that case re-evaluates the (pure, by the
+            // sleep eligibility rules) guard with tracing on — so firing
+            // rules never pay the per-read trace push.
             self.clk.begin_rule();
-            if infer {
-                self.clk.begin_read_trace();
-            }
             let outcome = (entry.body)(&mut self.state);
-            if infer {
-                self.clk.end_read_trace(&mut reads);
-            }
             let t_body = if prof_on { Some(Instant::now()) } else { None };
             let mut fired_now = false;
             match outcome {
@@ -1258,7 +1448,35 @@ impl<S> Sim<S> {
                         now,
                         stall.reason(),
                     );
-                    if !matches!(entry.sched.wakeup, Wakeup::EveryCycle) {
+                    // Never sleep while a tracer or stall histograms are
+                    // live: a sleeping rule would report its *cached* stall
+                    // reason, but the fresh reason the oracle reports can
+                    // change while the guard stays false (e.g. "queue full"
+                    // becoming "core exited"). Exact-observability runs
+                    // forfeit the tier-2 speedup and re-evaluate every
+                    // cycle; cycles and counters are unaffected either way.
+                    // A sleep-eligible stall is pure (that is what makes
+                    // sleeping on it sound), so the watch set for inferred
+                    // wakeups comes from re-evaluating the guard with read
+                    // tracing on — one extra evaluation per sleep episode
+                    // instead of a per-read trace push on every evaluation.
+                    // If the second evaluation disagrees (fires, or taints
+                    // itself), the guard is not as pure as advertised:
+                    // don't sleep, and let the next cycle re-evaluate.
+                    let sleepable = !matches!(entry.sched.wakeup, Wakeup::EveryCycle)
+                        && !self.clk.eval_tainted()
+                        && !tracing
+                        && !hist
+                        && entry.sched.note_stall_should_sleep()
+                        && (!infer || {
+                            self.clk.begin_rule();
+                            self.clk.begin_read_trace();
+                            let second = (entry.body)(&mut self.state);
+                            self.clk.end_read_trace(&mut reads);
+                            self.clk.abort_rule();
+                            second.is_err() && !self.clk.eval_tainted()
+                        });
+                    if sleepable {
                         // Drain *before* registering the watchers: publishes
                         // that predate this evaluation were already visible
                         // to the guard and must not wake it.
@@ -1280,6 +1498,7 @@ impl<S> Sim<S> {
                                 reads.dedup();
                                 for &c in &reads {
                                     add_watcher(
+                                        &self.clk,
                                         &mut self.watchers,
                                         &self.sleep_gens,
                                         nrules,
@@ -1292,6 +1511,33 @@ impl<S> Sim<S> {
                             Wakeup::Watch(ids) => {
                                 for c in ids {
                                     add_watcher(
+                                        &self.clk,
+                                        &mut self.watchers,
+                                        &self.sleep_gens,
+                                        nrules,
+                                        c.0,
+                                        rule,
+                                        gen,
+                                    );
+                                }
+                            }
+                            Wakeup::InferredPlus(ids) => {
+                                reads.sort_unstable();
+                                reads.dedup();
+                                for &c in &reads {
+                                    add_watcher(
+                                        &self.clk,
+                                        &mut self.watchers,
+                                        &self.sleep_gens,
+                                        nrules,
+                                        c,
+                                        rule,
+                                        gen,
+                                    );
+                                }
+                                for c in ids {
+                                    add_watcher(
+                                        &self.clk,
                                         &mut self.watchers,
                                         &self.sleep_gens,
                                         nrules,
@@ -1302,9 +1548,7 @@ impl<S> Sim<S> {
                                 }
                             }
                         }
-                        entry.sched.sleep = Some(Sleep {
-                            reason: stall.reason(),
-                        });
+                        entry.sched.sleep = Some(Sleep { since: now + 1 });
                     }
                 }
             }
@@ -1320,6 +1564,289 @@ impl<S> Sim<S> {
         self.calls_scratch = calls;
         self.reads_scratch = reads;
         self.finish_cycle(fired_any, conflict, chaos.as_ref(), now)
+    }
+
+    /// The compiled loop: the fast scheduler's semantics executed through
+    /// the static wave plan.
+    ///
+    /// Specialized lanes, selected once per cycle: with a chaos engine,
+    /// tracer, profiler, or stall histograms live, the cycle runs through
+    /// the fully instrumented loop ([`Sim::cycle_fast`], which carries all
+    /// the bookkeeping and is property-tested equivalent to the oracle).
+    /// Otherwise the *plain lane* below runs: a flat in-order walk of the
+    /// contiguous wave ranges with every instrumentation branch removed,
+    /// sleeping-rule checks reduced to one publish-count compare, and whole
+    /// waves skipped when every member sleeps and nothing has published —
+    /// per-rule statistics and counters are still maintained exactly
+    /// (they are part of the observable contract), so switching lanes or
+    /// modes at any cycle boundary is invisible.
+    fn cycle_compiled(&mut self) -> Result<(), SimError> {
+        if self.chaos.is_some()
+            || self.tracer.is_enabled()
+            || self.collect_hist
+            || self.prof.is_some()
+        {
+            // Instrumented lane. It moves sleep state without maintaining
+            // the per-wave sleep counts, so the plan is rebuilt on the next
+            // plain cycle.
+            self.plan_stale = true;
+            return self.cycle_fast();
+        }
+        if self.plan_stale {
+            self.rebuild_plan();
+        }
+        let now = self.clk.cycle();
+        let mut fired_any = false;
+        let mut conflict: Option<SimError> = None;
+        // CM-free designs (e.g. the RiscyOO SoC: ordering via EHR ports,
+        // no conflict matrices) skip the conflict apparatus entirely.
+        let no_cm = self.clk.total_methods() == 0;
+        if !no_cm {
+            self.fired_forbidden
+                .reset(self.clk.total_methods() as usize);
+        }
+        let mut calls = std::mem::take(&mut self.calls_scratch);
+        let mut reads = std::mem::take(&mut self.reads_scratch);
+        let nrules = self.rules.len();
+        let mut grew = false;
+        if self.any_wakeup {
+            drain_wakeups(
+                &self.clk,
+                &mut self.watchers,
+                &self.sleep_gens,
+                &mut self.wake_flags,
+                &mut self.pub_seen,
+                &mut self.prof,
+                now,
+            );
+        }
+        for w in 0..self.plan_waves.len() {
+            let WaveState { start, end, asleep } = self.plan_waves[w];
+            let (start, end) = (start as usize, end as usize);
+            // Wave skip: every member is asleep and — after folding any
+            // fresh publishes into the wake flags (the drain early-outs
+            // when nothing published) — none of them has a wake pending.
+            // Each member would re-stall with its cached reason; replay the
+            // accounting in bulk without dispatching anyone.
+            if asleep as usize == end - start {
+                drain_wakeups(
+                    &self.clk,
+                    &mut self.watchers,
+                    &self.sleep_gens,
+                    &mut self.wake_flags,
+                    &mut self.pub_seen,
+                    &mut self.prof,
+                    now,
+                );
+                if !self.wake_flags[start..end].iter().any(|&f| f) {
+                    // Per-rule statistics are batched (settled from
+                    // `Sleep::since` at wake/observation); only the shared
+                    // stall counter is bumped, so a fully sleeping wave
+                    // costs one drained-flag scan and one add regardless
+                    // of its size.
+                    self.ctr_guard.add((end - start) as u64);
+                    continue;
+                }
+            }
+            for i in start..end {
+                if self.rules[i].sched.sleep.is_some() {
+                    // Lazy drain: an earlier rule may have published a
+                    // watched cell *this* cycle (the schedule-order bypass
+                    // the reference loop would observe). One Cell read in
+                    // the common nothing-new case.
+                    drain_wakeups(
+                        &self.clk,
+                        &mut self.watchers,
+                        &self.sleep_gens,
+                        &mut self.wake_flags,
+                        &mut self.pub_seen,
+                        &mut self.prof,
+                        now,
+                    );
+                    if self.wake_flags[i] {
+                        self.wake_flags[i] = false;
+                        self.sleep_gens[i] = self.sleep_gens[i].wrapping_add(1);
+                        settle_sleep(&mut self.rules[i], now);
+                        self.rules[i].sched.sleep = None;
+                        self.rules[i].sched.just_woke = true;
+                        self.plan_waves[w].asleep -= 1;
+                    } else {
+                        // Still asleep: the cached stall is accounted in
+                        // batch at settlement; only the shared counter is
+                        // bumped per cycle.
+                        self.ctr_guard.inc();
+                        continue;
+                    }
+                }
+                let entry = &mut self.rules[i];
+                let infer = matches!(
+                    entry.sched.wakeup,
+                    Wakeup::Inferred | Wakeup::InferredPlus(_)
+                );
+                // Untraced first evaluation; the sleep path below re-runs
+                // the guard traced (see `cycle_fast` for the argument).
+                self.clk.begin_rule();
+                let outcome = (entry.body)(&mut self.state);
+                match outcome {
+                    Ok(()) => {
+                        let violation = if no_cm {
+                            None
+                        } else {
+                            self.clk.calls_global(&mut calls);
+                            for &c in &calls {
+                                grew |= entry.sched.add_method(&self.clk, c);
+                            }
+                            if calls.iter().any(|&c| self.fired_forbidden.contains(c)) {
+                                self.clk.check_cm()
+                            } else {
+                                None
+                            }
+                        };
+                        if let Some(v) = violation {
+                            self.clk.abort_rule();
+                            entry.stats.cm_stalls += 1;
+                            self.ctr_cm.inc();
+                            entry.last_wait = Some(WaitCause::Cm(v.clone()));
+                            self.last_violation = Some(v);
+                        } else {
+                            match self.clk.try_commit_rule() {
+                                Ok(()) => {
+                                    if !no_cm {
+                                        for &c in &calls {
+                                            self.fired_forbidden.union_with(forbid_mask(
+                                                &mut self.forbid_rows,
+                                                &self.clk,
+                                                c,
+                                            ));
+                                        }
+                                    }
+                                    entry.stats.fired += 1;
+                                    self.ctr_fired.inc();
+                                    entry.last_wait = None;
+                                    if !entry.exempt {
+                                        fired_any = true;
+                                    }
+                                }
+                                Err(reg) => {
+                                    entry.stats.guard_stalls += 1;
+                                    self.ctr_guard.inc();
+                                    entry.last_wait =
+                                        Some(WaitCause::Guard(REG_CONFLICT_REASON));
+                                    if conflict.is_none() {
+                                        conflict = Some(SimError::RegConflict {
+                                            cycle: self.cycles,
+                                            rule: entry.name.clone(),
+                                            reg,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(stall) => {
+                        self.clk.abort_rule();
+                        entry.stats.guard_stalls += 1;
+                        self.ctr_guard.inc();
+                        entry.last_wait = Some(WaitCause::Guard(stall.reason()));
+                        let sleepable = !matches!(entry.sched.wakeup, Wakeup::EveryCycle)
+                            && !self.clk.eval_tainted()
+                            && entry.sched.note_stall_should_sleep()
+                            && (!infer || {
+                                self.clk.begin_rule();
+                                self.clk.begin_read_trace();
+                                let second = (entry.body)(&mut self.state);
+                                self.clk.end_read_trace(&mut reads);
+                                self.clk.abort_rule();
+                                second.is_err() && !self.clk.eval_tainted()
+                            });
+                        if sleepable {
+                            // Drain *before* registering watchers: publishes
+                            // predating this evaluation were visible to the
+                            // guard and must not wake it.
+                            drain_wakeups(
+                                &self.clk,
+                                &mut self.watchers,
+                                &self.sleep_gens,
+                                &mut self.wake_flags,
+                                &mut self.pub_seen,
+                                &mut self.prof,
+                                now,
+                            );
+                            let gen = self.sleep_gens[i];
+                            let rule = u32::try_from(i).expect("rule index");
+                            let entry = &mut self.rules[i];
+                            match &entry.sched.wakeup {
+                                Wakeup::EveryCycle => unreachable!(),
+                                Wakeup::Inferred => {
+                                    reads.sort_unstable();
+                                    reads.dedup();
+                                    for &c in &reads {
+                                        add_watcher(
+                                            &self.clk,
+                                            &mut self.watchers,
+                                            &self.sleep_gens,
+                                            nrules,
+                                            c,
+                                            rule,
+                                            gen,
+                                        );
+                                    }
+                                }
+                                Wakeup::Watch(ids) => {
+                                    for c in ids {
+                                        add_watcher(
+                                            &self.clk,
+                                            &mut self.watchers,
+                                            &self.sleep_gens,
+                                            nrules,
+                                            c.0,
+                                            rule,
+                                            gen,
+                                        );
+                                    }
+                                }
+                                Wakeup::InferredPlus(ids) => {
+                                    reads.sort_unstable();
+                                    reads.dedup();
+                                    for &c in &reads {
+                                        add_watcher(
+                                            &self.clk,
+                                            &mut self.watchers,
+                                            &self.sleep_gens,
+                                            nrules,
+                                            c,
+                                            rule,
+                                            gen,
+                                        );
+                                    }
+                                    for c in ids {
+                                        add_watcher(
+                                            &self.clk,
+                                            &mut self.watchers,
+                                            &self.sleep_gens,
+                                            nrules,
+                                            c.0,
+                                            rule,
+                                            gen,
+                                        );
+                                    }
+                                }
+                            }
+                            entry.sched.sleep = Some(Sleep { since: now + 1 });
+                            self.plan_waves[w].asleep += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if grew {
+            // Footprint learning changed the interference structure; the
+            // wave partition is recomputed before the next compiled cycle.
+            self.plan_stale = true;
+        }
+        self.calls_scratch = calls;
+        self.reads_scratch = reads;
+        self.finish_cycle(fired_any, conflict, None, now)
     }
 
     /// Shared cycle tail: boundary publish, chaos bit flips, watchdog.
@@ -1483,7 +2010,7 @@ impl<S> Sim<S> {
     /// Panics if `id` does not belong to this `Sim`.
     #[must_use]
     pub fn rule_stats(&self, id: RuleId) -> RuleStats {
-        self.rules[id.0].stats
+        effective_stats(&self.rules[id.0], self.clk.cycle())
     }
 
     /// Name of one rule.
@@ -1498,7 +2025,10 @@ impl<S> Sim<S> {
 
     /// Iterator over `(name, stats)` pairs in schedule order.
     pub fn all_rule_stats(&self) -> impl Iterator<Item = (&str, RuleStats)> + '_ {
-        self.rules.iter().map(|r| (r.name.as_str(), r.stats))
+        let now = self.clk.cycle();
+        self.rules
+            .iter()
+            .map(move |r| (r.name.as_str(), effective_stats(r, now)))
     }
 
     /// The most recent conflict-matrix violation, if any — useful when
@@ -1519,18 +2049,20 @@ impl<S> Sim<S> {
         let prof = self.prof.as_deref();
         let mut out = String::new();
         out.push_str(&format!("cycles: {}\n", self.cycles));
+        let now = self.clk.cycle();
         let mut order: Vec<(usize, &RuleEntry<S>)> = self.rules.iter().enumerate().collect();
         order.sort_by_key(|(_, r)| std::cmp::Reverse(r.stats.fired));
         for (i, r) in order {
-            let total = r.stats.fired + r.stats.guard_stalls + r.stats.cm_stalls;
+            let stats = effective_stats(r, now);
+            let total = stats.fired + stats.guard_stalls + stats.cm_stalls;
             let pct = if total == 0 {
                 0.0
             } else {
-                100.0 * r.stats.fired as f64 / total as f64
+                100.0 * stats.fired as f64 / total as f64
             };
             out.push_str(&format!(
                 "  {:<24} fired {:>10} ({:5.1}%)  guard-stall {:>10}  cm-stall {:>10}",
-                r.name, r.stats.fired, pct, r.stats.guard_stalls, r.stats.cm_stalls
+                r.name, stats.fired, pct, stats.guard_stalls, stats.cm_stalls
             ));
             if let Some(p) = prof {
                 let rp = p.rule(i);
@@ -2038,8 +2570,10 @@ mod tests {
         });
         sim.set_wakeup(r, Wakeup::Inferred);
         sim.run(5);
-        // One real evaluation, then four skipped-but-accounted cycles.
-        assert_eq!(evals.get(), 1, "sleeping guard must not be re-evaluated");
+        // Falling asleep costs exactly two evaluations (the stalling one
+        // plus the read-traced retry that collects the watch set); the
+        // remaining four cycles are skipped-but-accounted.
+        assert_eq!(evals.get(), 2, "sleeping guard must not be re-evaluated");
         assert_eq!(sim.rule_stats(r).guard_stalls, 5);
         assert_eq!(
             sim.wait_graph().waits[0].cause,
@@ -2048,7 +2582,7 @@ mod tests {
         // An out-of-rule poke to the watched cell wakes the rule.
         sim.state_mut().gate.write(1);
         sim.run(1);
-        assert_eq!(evals.get(), 2);
+        assert_eq!(evals.get(), 3);
         assert_eq!(sim.rule_stats(r).fired, 1);
     }
 

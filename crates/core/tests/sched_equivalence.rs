@@ -23,11 +23,17 @@ const NUM_CELLS: usize = 4;
 const CYCLES: u64 = 300;
 
 struct Soup {
+    clk: Clock,
     arb: ModuleIfc,
     cells: Vec<Ehr<u64>>,
     pipe: PipelineFifo<u64>,
     byp: BypassFifo<u64>,
     cf: CfFifo<u64>,
+    /// Plain (non-cell) state, bridged into the wakeup layer by `sig`:
+    /// mutating rules poke the signal whenever the observable projection
+    /// `plain / 7` changes — the substrate/digest pattern the SoC uses.
+    plain: u64,
+    sig: CellId,
 }
 
 /// One randomly drawn rule body. Every kind is a pure function of clocked
@@ -48,6 +54,21 @@ enum Kind {
     Consume { fifo: usize, cell: usize },
     /// Move an element between two FIFOs.
     Move { from: usize, to: usize },
+    /// Advance the plain (non-cell) counter, poking the signal cell when
+    /// the observable projection `plain / 7` changes. Always fires, so it
+    /// must stay on `Wakeup::EveryCycle`.
+    PlainBump,
+    /// Stall unless the plain projection is in phase; sound under
+    /// `Wakeup::InferredPlus([sig])` because every projection change pokes
+    /// the signal.
+    PlainGate { bump: usize },
+    /// Stall on a cell (pure, sleepable) or on the raw plain counter (the
+    /// impure path calls `Clock::taint_eval`, suppressing the sleep).
+    TaintGate {
+        cell: usize,
+        threshold: u64,
+        bump: usize,
+    },
 }
 
 fn fifo_enq(s: &Soup, which: usize, v: u64) -> Guarded<()> {
@@ -99,6 +120,36 @@ fn apply(spec: Kind, s: &mut Soup) -> Guarded<()> {
             let v = fifo_deq(s, from)?;
             fifo_enq(s, to, v)
         }
+        Kind::PlainBump => {
+            let before = s.plain / 7;
+            s.plain += 1;
+            if s.plain / 7 != before {
+                s.clk.poke(s.sig);
+            }
+            Ok(())
+        }
+        Kind::PlainGate { bump } => {
+            if (s.plain / 7) % 4 == 0 {
+                return Err(Stall::new("plain gate closed"));
+            }
+            s.cells[bump].update(|v| *v = v.wrapping_add(5));
+            Ok(())
+        }
+        Kind::TaintGate {
+            cell,
+            threshold,
+            bump,
+        } => {
+            if s.cells[cell].read() % 16 < threshold {
+                return Err(Stall::new("cell low"));
+            }
+            if s.plain % 3 != 0 {
+                s.clk.taint_eval();
+                return Err(Stall::new("plain phase"));
+            }
+            s.cells[bump].update(|v| *v = v.wrapping_add(7));
+            Ok(())
+        }
     }
 }
 
@@ -119,7 +170,9 @@ fn run_soup(seed: u64, mode: SchedulerMode, with_chaos: bool) -> Outcome {
     let mut rng = SplitMix64::seed_from_u64(seed);
     let clk = Clock::new();
     let arb = clk.module("arb", &["grab"], ConflictMatrix::builder(1).build());
+    let sig = clk.signal_cell();
     let st = Soup {
+        clk: clk.clone(),
         arb,
         cells: (0..NUM_CELLS)
             .map(|_| Ehr::new(&clk, rng.next_u64() % 8))
@@ -127,6 +180,8 @@ fn run_soup(seed: u64, mode: SchedulerMode, with_chaos: bool) -> Outcome {
         pipe: PipelineFifo::new(&clk, 2),
         byp: BypassFifo::new(&clk, 2),
         cf: CfFifo::new(&clk, 2),
+        plain: 0,
+        sig,
     };
     let flip_target = st.cells[0].clone();
     let mut sim = Sim::new(clk, st);
@@ -134,6 +189,23 @@ fn run_soup(seed: u64, mode: SchedulerMode, with_chaos: bool) -> Outcome {
     sim.enable_stall_histograms();
 
     let n_rules = 6 + (rng.next_u64() % 5) as usize;
+    // Always include the plain-state trio so every soup exercises signal
+    // pokes, InferredPlus, and the taint escape hatch alongside the random
+    // draw below.
+    let bump_id = sim.rule("r_plain_bump", move |s: &mut Soup| apply(Kind::PlainBump, s));
+    sim.set_wakeup(bump_id, Wakeup::EveryCycle);
+    let gate_kind = Kind::PlainGate {
+        bump: (rng.next_u64() as usize) % NUM_CELLS,
+    };
+    let gate_id = sim.rule("r_plain_gate", move |s: &mut Soup| apply(gate_kind, s));
+    sim.set_wakeup(gate_id, Wakeup::InferredPlus(vec![sig]));
+    let taint_kind = Kind::TaintGate {
+        cell: (rng.next_u64() as usize) % NUM_CELLS,
+        threshold: rng.next_u64() % 12,
+        bump: (rng.next_u64() as usize) % NUM_CELLS,
+    };
+    let taint_id = sim.rule("r_taint_gate", move |s: &mut Soup| apply(taint_kind, s));
+    sim.set_wakeup(taint_id, Wakeup::Inferred);
     for i in 0..n_rules {
         let kind = match rng.next_u64() % 5 {
             0 => Kind::Bump {
@@ -204,11 +276,16 @@ fn run_soup(seed: u64, mode: SchedulerMode, with_chaos: bool) -> Outcome {
 }
 
 fn assert_equivalent(seed: u64, with_chaos: bool) {
-    let fast = run_soup(seed, SchedulerMode::Fast, with_chaos);
     let reference = run_soup(seed, SchedulerMode::Reference, with_chaos);
+    let fast = run_soup(seed, SchedulerMode::Fast, with_chaos);
     assert_eq!(
         fast, reference,
         "fast scheduler diverged from reference oracle (seed {seed}, chaos {with_chaos})"
+    );
+    let compiled = run_soup(seed, SchedulerMode::Compiled, with_chaos);
+    assert_eq!(
+        compiled, reference,
+        "compiled scheduler diverged from reference oracle (seed {seed}, chaos {with_chaos})"
     );
 }
 
@@ -241,9 +318,11 @@ fn random_program(rng: &mut SplitMix64, len: usize) -> Vec<DemoInst> {
 }
 
 fn assert_iq_demo_equivalent(cfg: IqDemoConfig, program: &[DemoInst]) {
-    let fast = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Fast);
     let reference = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Reference);
+    let fast = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Fast);
     assert_eq!(fast, reference, "IQ demo diverged under {cfg:?}");
+    let compiled = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Compiled);
+    assert_eq!(compiled, reference, "compiled IQ demo diverged under {cfg:?}");
 }
 
 #[test]

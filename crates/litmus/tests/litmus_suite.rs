@@ -4,7 +4,8 @@
 //!
 //! 1. **Conformance** — every classic litmus shape, run undisturbed on the
 //!    real `SocSim`, lands inside its axiomatic model's allowed set for
-//!    both memory models, both scheduler modes, and 2- and 4-core SoCs.
+//!    both memory models, all three scheduler modes, and 2- and 4-core
+//!    SoCs.
 //! 2. **Chaos closure** — seeded random tests under seeded fault plans
 //!    (link delays, duplicated messages, rule stalls) still never escape
 //!    the allowed set; chaos may legitimately slow a run past its budget,
@@ -48,8 +49,12 @@ fn classic_suite_conforms_on_the_socsim() {
         for model in MODELS {
             let allowed = allowed_outcomes(test, model);
             for &cores in &counts {
-                for sched in [SchedulerMode::Fast, SchedulerMode::Reference] {
-                    if cfg!(debug_assertions) && sched == SchedulerMode::Reference && i >= 4 {
+                for sched in [
+                    SchedulerMode::Fast,
+                    SchedulerMode::Reference,
+                    SchedulerMode::Compiled,
+                ] {
+                    if cfg!(debug_assertions) && sched != SchedulerMode::Fast && i >= 4 {
                         continue;
                     }
                     let mut spec = RunSpec::new(model, cores);

@@ -341,6 +341,19 @@ impl L1Cache {
         self.room.is_empty() && self.mshrs.is_empty() && self.resp_q.is_empty()
     }
 
+    /// A change-sensitive digest of everything a core-side *guard* can
+    /// observe about this cache at `now`: acceptance, response-queue
+    /// occupancy, and how many responses have arrived. The fields are
+    /// packed exactly (no hashing), so two distinct observable states never
+    /// collide. Wakeup substrates compare successive digests to decide
+    /// whether sleeping core rules could now make progress.
+    #[must_use]
+    pub fn resp_digest(&self, now: u64) -> u64 {
+        u64::from(self.can_accept())
+            | (self.resp_q.ready_len(now).min(0xFF) as u64) << 1
+            | (self.resp_q.len().min(0xFF) as u64) << 9
+    }
+
     fn mshr_for(&self, line: u64) -> Option<usize> {
         self.mshrs.iter().position(|m| m.line == line)
     }

@@ -81,6 +81,13 @@ impl<T> TimedQueue<T> {
         self.q.len()
     }
 
+    /// How many entries have arrived by `now` (the head may still block
+    /// younger arrived entries; this counts them all).
+    #[must_use]
+    pub fn ready_len(&self, now: u64) -> usize {
+        self.q.iter().filter(|(t, _)| *t <= now).count()
+    }
+
     /// Whether the queue holds no entries at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -295,6 +295,29 @@ impl Soc {
             }
         }
         self.mem.tick();
+        // Republish the plain memory-system state as a per-core change
+        // digest: every observable a core rule's *guard* can read outside
+        // the clocked cells (cache acceptance, response arrival, eviction
+        // notes, ITLB miss status) is packed exactly — no hashing, so no
+        // collisions — and the core's `mem_event` cell is poked when it
+        // differs from last cycle's. This is what makes the
+        // `Wakeup::InferredPlus` policies in `SocSim::new` sound: a rule
+        // asleep on plain state is woken the same cycle the state changes,
+        // before any core rule's slot. Computed after `mem.tick()` with a
+        // fresh `now` — the value every core rule will read this cycle.
+        let now = self.mem.now();
+        for c in 0..self.cores.len() {
+            let d = self.mem.dcache_ref(c);
+            let i = self.mem.icache_ref(c);
+            let digest = d.resp_digest(now)
+                | u64::from(d.evict_notes.is_empty()) << 17
+                | i.resp_digest(now) << 18
+                | u64::from(self.cores[c].tlb.i_miss_pending()) << 35;
+            if digest != self.mem_digest[c] {
+                self.mem_digest[c] = digest;
+                self.clk.poke(self.mem_event[c]);
+            }
+        }
     }
 
     /// TSO: drains cache eviction notifications into `cacheEvict`
@@ -852,6 +875,9 @@ impl Soc {
             return Ok(());
         }
         if now < done {
+            // Guard depends on the cycle counter, not on any cell: the
+            // countdown expires without a publish, so never sleep here.
+            self.clk.taint_eval();
             return Err(Stall::new("md busy"));
         }
         if core.md_wb.read().is_some() {
@@ -1343,6 +1369,9 @@ impl Soc {
                     0
                 };
                 if let Err(stall) = core.rob.enq(e) {
+                    // The stat bump must recur every stalled cycle, exactly
+                    // as the reference scheduler would re-run it.
+                    self.clk.taint_eval();
                     self.cores[c].stats.rob_full_stalls += 1;
                     return Err(stall);
                 }
@@ -1478,6 +1507,7 @@ impl Soc {
             ExecPipe::MulDiv => core.iq_md().enter(uop, rdy1, rdy2),
         };
         if let Err(stall) = entered {
+            self.clk.taint_eval(); // recurring stat bump, as above
             self.cores[c].stats.iq_full_stalls += 1;
             return Err(stall);
         }
@@ -1493,6 +1523,7 @@ impl Soc {
 
         let e = RobEntry::new(uop);
         if let Err(stall) = core.rob.enq(e) {
+            self.clk.taint_eval(); // recurring stat bump, as above
             self.cores[c].stats.rob_full_stalls += 1;
             return Err(stall);
         }
@@ -1662,6 +1693,10 @@ impl Soc {
                 return Ok(());
             }
             None => {
+                // This stall path *launches* the TLB miss (plain-state
+                // mutation) — sleeping would skip the re-evaluations the
+                // reference performs while the walk is in flight.
+                self.clk.taint_eval();
                 let id = self.cores[c].next_tlb_id;
                 self.cores[c].next_tlb_id += 1;
                 self.cores[c].tlb.request_i(now, id, pc, pm);
@@ -1669,6 +1704,11 @@ impl Soc {
             }
         };
         if !self.mem.icache(c).can_accept() {
+            if TlbHier::active(satp, pm) {
+                // The ITLB lookup above already bumped hit/LRU state; the
+                // reference re-runs it every stalled cycle, so don't sleep.
+                self.clk.taint_eval();
+            }
             return Err(Stall::new("icache full"));
         }
         // BTB-based fetch-ahead: follow a predicted-taken branch anywhere

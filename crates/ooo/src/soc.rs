@@ -3,8 +3,8 @@
 
 use cmd_core::cell::Ehr;
 use cmd_core::chaos::FaultEngine;
-use cmd_core::clock::Clock;
-use cmd_core::sched::SchedulerMode;
+use cmd_core::clock::{CellId, Clock};
+use cmd_core::sched::{SchedulerMode, Wakeup};
 use cmd_core::sim::{Sim, SimError};
 use riscy_isa::asm::Program;
 use riscy_isa::csr::{CsrFile, Priv};
@@ -132,6 +132,17 @@ pub struct Soc {
     pub golden: Option<Machine>,
     /// Co-simulation mismatches (fatal in tests).
     pub cosim_errors: Vec<String>,
+    /// The kernel clock (poking [`Soc::mem_event`], tainting impure stall
+    /// paths).
+    pub clk: Clock,
+    /// Per-core "memory event" signal cells: [`crate::core`] rules whose
+    /// guards read plain memory-system state (cache acceptance, response
+    /// arrival, eviction notes, ITLB misses) sleep on these via
+    /// [`Wakeup::InferredPlus`]; the substrate pokes a core's cell whenever
+    /// that core's digest of those observables changes.
+    pub mem_event: Vec<CellId>,
+    /// Last published digest per core (see [`Soc::mem_event`]).
+    pub(crate) mem_digest: Vec<u64>,
 }
 
 impl Soc {
@@ -160,6 +171,10 @@ impl Soc {
             },
             golden: None,
             cosim_errors: Vec::new(),
+            clk: clk.clone(),
+            mem_event: (0..num_cores).map(|_| clk.signal_cell()).collect(),
+            // Sentinel: the first substrate cycle always publishes once.
+            mem_digest: vec![u64::MAX; num_cores],
         }
     }
 
@@ -241,6 +256,7 @@ impl SocSim {
     pub fn new(cfg: CoreConfig, mem_cfg: MemConfig, num_cores: usize, program: &Program) -> Self {
         let clk = Clock::new();
         let soc = Soc::new(&clk, cfg, mem_cfg, num_cores, program);
+        let mem_event = soc.mem_event.clone();
         let mut sim = Sim::new(clk, soc);
         // Substrate first: cache/TLB/DRAM responses become visible to the
         // core rules of the same cycle. It always fires (it is the clock of
@@ -257,71 +273,102 @@ impl SocSim {
         // far larger quiet window than the kernel default before declaring
         // deadlock.
         sim.set_watchdog(Some(10_000));
+        // Every core rule carries a wakeup policy (see `docs/SCHEDULING.md`
+        // §"Waking the SoC"). `Inferred` rules have guards that are pure
+        // functions of clocked cells; `InferredPlus` rules additionally read
+        // plain memory-system state whose observable changes the substrate
+        // publishes through this core's `mem_event` cell; `updateLsq` mixes
+        // the plain TLB structures too deeply and stays on the always-sound
+        // `EveryCycle`. Stall paths that mutate plain state (stat bumps,
+        // TLB requests, time-based busy) call `Clock::taint_eval` and are
+        // never slept on.
         let ncores = num_cores;
         for c in 0..ncores {
+            let plus = || Wakeup::InferredPlus(vec![mem_event[c]]);
             let w = cfg.width;
             for k in 0..w {
-                sim.rule(format!("c{c}.commit{k}"), move |s: &mut Soc| {
+                let id = sim.rule(format!("c{c}.commit{k}"), move |s: &mut Soc| {
                     s.rule_commit(c)
                 });
+                sim.set_wakeup(id, plus());
             }
-            sim.rule(format!("c{c}.cacheEvict"), move |s: &mut Soc| {
+            let id = sim.rule(format!("c{c}.cacheEvict"), move |s: &mut Soc| {
                 s.rule_cache_evict(c)
             });
+            sim.set_wakeup(id, plus());
             for p in 0..cfg.alu_pipes {
-                sim.rule(format!("c{c}.aluWb{p}"), move |s: &mut Soc| {
+                let id = sim.rule(format!("c{c}.aluWb{p}"), move |s: &mut Soc| {
                     s.rule_alu_writeback(c, p)
                 });
+                sim.set_wakeup(id, Wakeup::Inferred);
             }
-            sim.rule(format!("c{c}.mdWb"), move |s: &mut Soc| {
+            let id = sim.rule(format!("c{c}.mdWb"), move |s: &mut Soc| {
                 s.rule_md_writeback(c)
             });
-            sim.rule(format!("c{c}.respLd"), move |s: &mut Soc| s.rule_resp_ld(c));
-            sim.rule(format!("c{c}.forward"), move |s: &mut Soc| {
+            sim.set_wakeup(id, Wakeup::Inferred);
+            let id = sim.rule(format!("c{c}.respLd"), move |s: &mut Soc| s.rule_resp_ld(c));
+            sim.set_wakeup(id, plus());
+            let id = sim.rule(format!("c{c}.forward"), move |s: &mut Soc| {
                 s.rule_forward(c)
             });
+            sim.set_wakeup(id, Wakeup::Inferred);
             for p in 0..cfg.alu_pipes {
-                sim.rule(format!("c{c}.aluExec{p}"), move |s: &mut Soc| {
+                let id = sim.rule(format!("c{c}.aluExec{p}"), move |s: &mut Soc| {
                     s.rule_alu_exec(c, p)
                 });
+                sim.set_wakeup(id, Wakeup::Inferred);
             }
-            sim.rule(format!("c{c}.mdExec"), move |s: &mut Soc| s.rule_md_exec(c));
-            sim.rule(format!("c{c}.addrCalc"), move |s: &mut Soc| {
+            let id = sim.rule(format!("c{c}.mdExec"), move |s: &mut Soc| s.rule_md_exec(c));
+            sim.set_wakeup(id, Wakeup::Inferred);
+            let id = sim.rule(format!("c{c}.addrCalc"), move |s: &mut Soc| {
                 s.rule_addr_calc(c)
             });
+            sim.set_wakeup(id, Wakeup::Inferred);
             sim.rule(format!("c{c}.updateLsq"), move |s: &mut Soc| {
                 s.rule_update_lsq(c)
             });
-            sim.rule(format!("c{c}.issueLd"), move |s: &mut Soc| {
+            let id = sim.rule(format!("c{c}.issueLd"), move |s: &mut Soc| {
                 s.rule_issue_ld(c)
             });
-            sim.rule(format!("c{c}.deqLd"), move |s: &mut Soc| s.rule_deq_ld(c));
-            sim.rule(format!("c{c}.deqSt"), move |s: &mut Soc| s.rule_deq_st(c));
-            sim.rule(format!("c{c}.sbIssue"), move |s: &mut Soc| {
+            sim.set_wakeup(id, plus());
+            let id = sim.rule(format!("c{c}.deqLd"), move |s: &mut Soc| s.rule_deq_ld(c));
+            sim.set_wakeup(id, Wakeup::Inferred);
+            let id = sim.rule(format!("c{c}.deqSt"), move |s: &mut Soc| s.rule_deq_st(c));
+            sim.set_wakeup(id, plus());
+            let id = sim.rule(format!("c{c}.sbIssue"), move |s: &mut Soc| {
                 s.rule_sb_issue(c)
             });
-            sim.rule(format!("c{c}.respSt"), move |s: &mut Soc| s.rule_resp_st(c));
+            sim.set_wakeup(id, plus());
+            let id = sim.rule(format!("c{c}.respSt"), move |s: &mut Soc| s.rule_resp_st(c));
+            sim.set_wakeup(id, plus());
             for p in 0..cfg.alu_pipes {
-                sim.rule(format!("c{c}.issueAlu{p}"), move |s: &mut Soc| {
+                let id = sim.rule(format!("c{c}.issueAlu{p}"), move |s: &mut Soc| {
                     s.rule_issue_alu(c, p)
                 });
+                sim.set_wakeup(id, Wakeup::Inferred);
             }
-            sim.rule(format!("c{c}.issueMd"), move |s: &mut Soc| {
+            let id = sim.rule(format!("c{c}.issueMd"), move |s: &mut Soc| {
                 s.rule_issue_md(c)
             });
-            sim.rule(format!("c{c}.issueMem"), move |s: &mut Soc| {
+            sim.set_wakeup(id, Wakeup::Inferred);
+            let id = sim.rule(format!("c{c}.issueMem"), move |s: &mut Soc| {
                 s.rule_issue_mem(c)
             });
+            sim.set_wakeup(id, Wakeup::Inferred);
             for k in 0..w {
-                sim.rule(format!("c{c}.rename{k}"), move |s: &mut Soc| {
+                let id = sim.rule(format!("c{c}.rename{k}"), move |s: &mut Soc| {
                     s.rule_rename(c)
                 });
+                sim.set_wakeup(id, Wakeup::Inferred);
             }
-            sim.rule(format!("c{c}.fetchResp"), move |s: &mut Soc| {
+            let id = sim.rule(format!("c{c}.fetchResp"), move |s: &mut Soc| {
                 s.rule_fetch_resp(c)
             });
-            sim.rule(format!("c{c}.decode"), move |s: &mut Soc| s.rule_decode(c));
-            sim.rule(format!("c{c}.fetch"), move |s: &mut Soc| s.rule_fetch(c));
+            sim.set_wakeup(id, plus());
+            let id = sim.rule(format!("c{c}.decode"), move |s: &mut Soc| s.rule_decode(c));
+            sim.set_wakeup(id, Wakeup::Inferred);
+            let id = sim.rule(format!("c{c}.fetch"), move |s: &mut Soc| s.rule_fetch(c));
+            sim.set_wakeup(id, plus());
         }
         SocSim { sim, chaos: None }
     }
@@ -372,16 +419,18 @@ impl SocSim {
 
     /// Selects the rule scheduler (see [`cmd_core::sched`] and
     /// `docs/SCHEDULING.md`). The default is [`SchedulerMode::Fast`];
+    /// [`SchedulerMode::Compiled`] additionally runs the statically
+    /// partitioned wave plan with the specialized plain lane;
     /// [`SchedulerMode::Reference`] re-enables the one-rule-at-a-time
     /// oracle for equivalence checking.
     ///
-    /// SoC rules stay on the always-sound `Wakeup::EveryCycle` policy:
-    /// their bodies read plain Rust state (caches, TLBs, branch
-    /// predictors) that the clocked-cell wakeup layer cannot observe, so
-    /// sleeping them on cell publishes would miss wakeups. The fast path
-    /// still pays off here through the static conflict-footprint masks,
-    /// which skip the dynamic conflict-matrix scan for the common
-    /// conflict-free case.
+    /// Core rules carry real wakeup policies (`Inferred` for guards that
+    /// are pure functions of clocked cells, `InferredPlus` on the per-core
+    /// [`Soc::mem_event`] cell for guards that also read plain
+    /// memory-system state); the substrate republishes that plain state as
+    /// a per-core change digest every cycle, so stalled rules sleep instead
+    /// of re-evaluating. All three modes stay cycle- and counter-identical;
+    /// the equivalence suites in `tests/` assert it.
     pub fn set_scheduler(&mut self, mode: SchedulerMode) {
         self.sim.set_scheduler(mode);
     }

@@ -1,14 +1,18 @@
 //! SoC-level scheduler equivalence (see `docs/SCHEDULING.md`): a full
-//! RiscyOO run under [`SchedulerMode::Fast`] must be observably identical
-//! to the one-rule-at-a-time reference oracle — same cycle count, same
-//! [`CoreStats`], same exit codes, same scheduler counters, same trace
-//! event stream — on single-core and 2-core SoCs, with and without an
-//! active chaos [`FaultPlan`].
+//! RiscyOO run under [`SchedulerMode::Fast`] and [`SchedulerMode::Compiled`]
+//! must be observably identical to the one-rule-at-a-time reference oracle —
+//! same cycle count, same [`CoreStats`], same exit codes, same scheduler
+//! counters, same trace event stream — on single-core and 2-core SoCs, with
+//! and without an active chaos [`FaultPlan`].
 //!
-//! SoC rules stay on the always-sound `Wakeup::EveryCycle` policy (their
-//! bodies read plain Rust state the wakeup layer cannot observe), so what
-//! these tests pin down is the static conflict-footprint fast path on a
+//! SoC rules carry real wakeup policies (`Inferred` for cell-only guards,
+//! `InferredPlus(mem_event)` for guards that observe plain memory-system
+//! state via the substrate digest, `EveryCycle` for the few that defeat
+//! read tracing — see `soc.rs`), so these tests pin down both the static
+//! conflict-footprint fast path and the tier-2 sleep/wake layer on a
 //! design with tens of rules per core and real conflict-matrix traffic.
+//! Traced runs re-evaluate every rule every cycle (exact stall reasons);
+//! the untraced tests below exercise sleeping and Compiled's plain lane.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -89,6 +93,7 @@ fn run_soc(
     num_cores: usize,
     mode: SchedulerMode,
     chaos_seed: Option<u64>,
+    traced: bool,
 ) -> Outcome {
     let cfg = if num_cores > 1 {
         CoreConfig::multicore(MemModel::Tso)
@@ -98,7 +103,9 @@ fn run_soc(
     let mut sim = SocSim::new(cfg, mem_riscyoo_b(), num_cores, prog);
     sim.set_scheduler(mode);
     let sink = Rc::new(RefCell::new(VecSink::default()));
-    sim.set_tracer(Tracer::new(sink.clone()));
+    if traced {
+        sim.set_tracer(Tracer::new(sink.clone()));
+    }
     let engine = chaos_seed.map(|seed| {
         let plan = FaultPlan::new(seed)
             .guard_stall("c0.issue*", 0.002)
@@ -122,31 +129,52 @@ fn run_soc(
     }
 }
 
-fn assert_equivalent(prog: &Program, num_cores: usize, chaos_seed: Option<u64>) {
-    let fast = run_soc(prog, num_cores, SchedulerMode::Fast, chaos_seed);
-    let reference = run_soc(prog, num_cores, SchedulerMode::Reference, chaos_seed);
-    assert_eq!(fast.result, reference.result, "run outcome diverged");
-    assert_eq!(fast.cycles, reference.cycles, "cycle count diverged");
-    assert_eq!(fast.stats, reference.stats, "CoreStats diverged");
-    assert_eq!(fast.exited, reference.exited, "exit codes diverged");
-    assert_eq!(fast.faults, reference.faults, "chaos fault log diverged");
-    assert_eq!(fast.counters, reference.counters, "counters diverged");
-    assert_eq!(fast.trace, reference.trace, "trace event stream diverged");
+fn assert_equivalent(prog: &Program, num_cores: usize, chaos_seed: Option<u64>, traced: bool) {
+    let reference = run_soc(prog, num_cores, SchedulerMode::Reference, chaos_seed, traced);
+    for mode in [SchedulerMode::Fast, SchedulerMode::Compiled] {
+        let got = run_soc(prog, num_cores, mode, chaos_seed, traced);
+        assert_eq!(got.result, reference.result, "{mode:?}: run outcome diverged");
+        assert_eq!(got.cycles, reference.cycles, "{mode:?}: cycle count diverged");
+        assert_eq!(got.stats, reference.stats, "{mode:?}: CoreStats diverged");
+        assert_eq!(got.exited, reference.exited, "{mode:?}: exit codes diverged");
+        assert_eq!(got.faults, reference.faults, "{mode:?}: chaos fault log diverged");
+        assert_eq!(got.counters, reference.counters, "{mode:?}: counters diverged");
+        assert_eq!(got.trace, reference.trace, "{mode:?}: trace event stream diverged");
+    }
 }
 
 #[test]
 fn single_core_soc_matches_reference() {
-    assert_equivalent(&busy_prog(80), 1, None);
+    assert_equivalent(&busy_prog(80), 1, None, true);
 }
 
 #[test]
 fn two_core_soc_matches_reference() {
-    assert_equivalent(&multicore_prog(16), 2, None);
+    assert_equivalent(&multicore_prog(16), 2, None, true);
 }
 
 #[test]
 fn soc_matches_reference_under_chaos() {
     for seed in 0..3 {
-        assert_equivalent(&busy_prog(60), 1, Some(seed));
+        assert_equivalent(&busy_prog(60), 1, Some(seed), true);
+    }
+}
+
+/// No tracer attached: the tier-2 sleep layer is active and Compiled takes
+/// its branch-free plain lane, so this is the configuration the fig17
+/// speedup actually runs in.
+#[test]
+fn untraced_soc_matches_reference() {
+    assert_equivalent(&busy_prog(80), 1, None, false);
+    assert_equivalent(&multicore_prog(16), 2, None, false);
+}
+
+/// Chaos without a tracer: verdict draws must line up per rule per cycle
+/// even while rules sleep (Compiled falls back to the instrumented loop,
+/// Fast keeps sleeping through Stall verdicts).
+#[test]
+fn untraced_soc_matches_reference_under_chaos() {
+    for seed in 0..3 {
+        assert_equivalent(&busy_prog(60), 1, Some(seed), false);
     }
 }
