@@ -332,7 +332,7 @@ fn build_socw(mode: SchedulerMode) -> Sim<SocW> {
         let addr = s.wb_q.deq()?;
         s.ld_q.enq(addr.wrapping_add(64))?;
         s.completed += 1;
-        if s.completed % 8 == 0 {
+        if s.completed.is_multiple_of(8) {
             let i = (s.completed / 8) as usize % SOCW_MD_UNITS;
             s.md_req[i].update(|v| *v += 1);
         }
@@ -375,18 +375,24 @@ fn bench_socw() -> Vec<(&'static str, f64)> {
             SchedulerMode::Reference,
             SchedulerMode::Fast,
             SchedulerMode::Compiled,
+            SchedulerMode::Parallel,
         ],
         7,
     );
-    let (ref_s, fast_s, comp_s) = (times[0], times[1], times[2]);
-    let (ref_fires, fast_fires, comp_fires) = (fires[0], fires[1], fires[2]);
+    let (ref_s, fast_s, comp_s, par_s) = (times[0], times[1], times[2], times[3]);
+    let (ref_fires, fast_fires, comp_fires, par_fires) = (fires[0], fires[1], fires[2], fires[3]);
     assert_eq!(fast_fires, ref_fires, "socw diverged: fast vs reference");
-    assert_eq!(comp_fires, ref_fires, "socw diverged: compiled vs reference");
+    assert_eq!(
+        comp_fires, ref_fires,
+        "socw diverged: compiled vs reference"
+    );
+    assert_eq!(par_fires, ref_fires, "socw diverged: parallel vs reference");
     let cps = |s: f64| SOCW_CYCLES as f64 / s;
     for (label, s) in [
         ("soc_wakeup/reference", ref_s),
         ("soc_wakeup/fast", fast_s),
         ("soc_wakeup/compiled", comp_s),
+        ("soc_wakeup/parallel", par_s),
     ] {
         println!(
             "{label:<44} {:>12.0} ns/cycle ({:.2e} cycles/s)",
@@ -395,9 +401,24 @@ fn bench_socw() -> Vec<(&'static str, f64)> {
         );
     }
     println!(
-        "[speedup] soc_wakeup compiled vs reference: {:.2}x (fast {:.2}x)",
+        "[speedup] soc_wakeup compiled vs reference: {:.2}x (fast {:.2}x, parallel {:.2}x)",
         ref_s / comp_s,
-        ref_s / fast_s
+        ref_s / fast_s,
+        ref_s / par_s
+    );
+    // Wave occupancy under the parallel discipline (see
+    // `docs/PARALLELISM.md`): how much same-wave width the conflict matrix
+    // actually exposes on this design.
+    let mut psim = build_socw(SchedulerMode::Parallel);
+    psim.run(SOCW_CYCLES);
+    let par = psim.parallelism_report();
+    println!(
+        "[occupancy] soc_wakeup parallel: {} waves executed, {} skipped, \
+         mean width {:.1}, widest {}",
+        par.waves_executed,
+        par.waves_skipped,
+        par.mean_wave_width(),
+        par.widest_wave
     );
     vec![
         ("socw_sim_cycles", SOCW_CYCLES as f64),
@@ -405,11 +426,14 @@ fn bench_socw() -> Vec<(&'static str, f64)> {
         ("socw_reference_wall_ms", ref_s * 1e3),
         ("socw_fast_wall_ms", fast_s * 1e3),
         ("socw_compiled_wall_ms", comp_s * 1e3),
+        ("socw_parallel_wall_ms", par_s * 1e3),
         ("socw_reference_cps", cps(ref_s)),
         ("socw_fast_cps", cps(fast_s)),
         ("socw_compiled_cps", cps(comp_s)),
+        ("socw_parallel_cps", cps(par_s)),
         ("socw_fast_speedup", ref_s / fast_s),
         ("socw_speedup", ref_s / comp_s),
+        ("socw_parallel_speedup", ref_s / par_s),
     ]
 }
 

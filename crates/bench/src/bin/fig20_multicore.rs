@@ -7,20 +7,22 @@
 
 use cmd_core::sched::SchedulerMode;
 use riscy_bench::{
-    maybe_profile_run, scale_from_args, stats_json_path, trace_path, write_artifact,
+    maybe_profile_run, scale_from_args, scheduler_from_args, stats_json_path, trace_path,
+    write_artifact,
 };
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, MemModel};
 use riscy_ooo::soc::SocSim;
 use riscy_workloads::parsec::parsec_suite;
 use riscy_workloads::spec::Workload;
 
-fn run(model: MemModel, nthreads: usize, w: &Workload) -> (u64, f64) {
+fn run(model: MemModel, nthreads: usize, w: &Workload, mode: SchedulerMode) -> (u64, f64) {
     let mut sim = SocSim::new(
         CoreConfig::multicore(model),
         mem_riscyoo_b(),
         nthreads,
         &w.program,
     );
+    sim.set_scheduler(mode);
     sim.run_to_completion(w.max_cycles * 4)
         .unwrap_or_else(|e| panic!("{} ({model:?}, {nthreads}t): {e}", w.name));
     let soc = sim.soc();
@@ -35,6 +37,7 @@ fn run(model: MemModel, nthreads: usize, w: &Workload) -> (u64, f64) {
 
 fn main() {
     let scale = scale_from_args();
+    let mode = scheduler_from_args();
     println!("=== Fig. 20: TSO vs WMM multicore scaling ===");
     println!("(normalized to TSO-1; higher is better; paper: TSO ≈ WMM)\n");
     println!(
@@ -42,7 +45,7 @@ fn main() {
         "benchmark", "tso-1", "wmm-1", "tso-2", "wmm-2", "tso-4", "wmm-4", "kills/Kinst"
     );
     for w1 in parsec_suite(scale, 1) {
-        let (base, _) = run(MemModel::Tso, 1, &w1);
+        let (base, _) = run(MemModel::Tso, 1, &w1, mode);
         let mut cols = vec![1.0];
         let mut max_kills: f64 = 0.0;
         for n in [1, 2, 4] {
@@ -54,7 +57,7 @@ fn main() {
                     .into_iter()
                     .find(|w| w.name == w1.name)
                     .expect("same suite");
-                let (cycles, kills) = run(model, n, &w);
+                let (cycles, kills) = run(model, n, &w, mode);
                 cols.push(base as f64 / cycles as f64);
                 max_kills = max_kills.max(kills);
             }
@@ -81,6 +84,7 @@ fn main() {
             2,
             &w.program,
         );
+        sim.set_scheduler(mode);
         if trace_out.is_some() {
             sim.enable_pipe_trace();
         }
@@ -99,7 +103,7 @@ fn main() {
             mem_riscyoo_b(),
             2,
             &w,
-            SchedulerMode::default(),
+            mode,
         );
     }
 }

@@ -1,0 +1,138 @@
+//! Fleet campaign driver: many independent SoC simulations per process.
+//!
+//! Enumerates a seed × config × workload grid, runs it on a work-stealing
+//! thread pool ([`riscy_bench::fleet`]), and reports aggregate simulation
+//! throughput (simulated cycles per host second summed over all workers —
+//! the `fleet_agg_cps` metric the CI perf gate floors).
+//!
+//! ```text
+//! fleet [--seeds N] [--configs t+,c-] [--threads N]
+//!       [--scheduler reference|fast|compiled|parallel] [--chaos]
+//!       [--scale test|ref] [--workloads a,b,...] [--stop-after N]
+//!       [--campaign-dir DIR] [--report PATH] [--bench-json PATH]
+//! ```
+//!
+//! With `--campaign-dir`, finished units persist as `unit_<id>.json` and a
+//! rerun of the same grid resumes instead of recomputing; the final
+//! `--report` bytes are identical either way (see `docs/PARALLELISM.md`
+//! §"Fleet campaigns").
+
+use std::path::PathBuf;
+
+use riscy_bench::fleet::{fleet_grid, run_fleet, FleetOpts, SocFleet};
+use riscy_bench::{
+    bench_json_path, metrics_json, path_arg, scale_from_args, scheduler_from_args, write_artifact,
+};
+use riscy_workloads::spec::spec_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let sched = scheduler_from_args();
+    let seeds: u64 = path_arg("--seeds").map_or(2, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--seeds {v}: not a number"))
+    });
+    let configs: Vec<String> = path_arg("--configs")
+        .unwrap_or_else(|| "t+,c-".to_string())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let threads: usize = path_arg("--threads").map_or_else(
+        || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        |v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--threads {v}: not a number"))
+        },
+    );
+    let chaos = std::env::args().any(|a| a == "--chaos");
+    let stop_after = path_arg("--stop-after").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--stop-after {v}: not a number"))
+    });
+
+    let mut workloads = spec_suite(scale);
+    if let Some(filter) = path_arg("--workloads") {
+        let keep: Vec<&str> = filter.split(',').collect();
+        workloads.retain(|w| keep.contains(&w.name));
+        assert!(
+            !workloads.is_empty(),
+            "--workloads {filter}: nothing matched"
+        );
+    }
+
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let config_refs: Vec<&str> = configs.iter().map(String::as_str).collect();
+    let workload_refs: Vec<&riscy_workloads::spec::Workload> = workloads.iter().collect();
+    let units = fleet_grid(&seed_list, &config_refs, &workload_refs);
+    println!(
+        "fleet: {} units ({} seeds x {} configs x {} workloads), {} threads, sched {sched:?}{}",
+        units.len(),
+        seeds,
+        configs.len(),
+        workloads.len(),
+        threads,
+        if chaos { ", chaos on" } else { "" },
+    );
+
+    let harness = SocFleet {
+        workloads: workloads.clone(),
+        sched,
+        chaos,
+    };
+    let opts = FleetOpts {
+        threads,
+        campaign_dir: path_arg("--campaign-dir").map(PathBuf::from),
+        stop_after,
+    };
+    let report = run_fleet(units, &opts, |u| harness.run_unit(u));
+
+    println!(
+        "\n{:<4} {:>6} {:<4} {:<14} {:>12} {:>12} {:>5}",
+        "id", "seed", "cfg", "workload", "cycles", "insts", "ok"
+    );
+    for r in &report.records {
+        println!(
+            "{:<4} {:>6} {:<4} {:<14} {:>12} {:>12} {:>5}{}",
+            r.unit.id,
+            r.unit.seed,
+            r.unit.config,
+            r.unit.workload,
+            r.stats.cycles,
+            r.stats.insts,
+            r.stats.exit_ok,
+            if r.resumed { "  (resumed)" } else { "" },
+        );
+    }
+    println!(
+        "\nfleet: {} units done ({} resumed), {} steals, {:.2}s wall{}",
+        report.records.len(),
+        report.records.iter().filter(|r| r.resumed).count(),
+        report.steals,
+        report.wall_s,
+        if report.stopped_early {
+            " [stopped early]"
+        } else {
+            ""
+        },
+    );
+    println!(
+        "fleet: {:.0} simulated cycles executed, aggregate {:.0} cycles/s",
+        report.fresh_cycles() as f64,
+        report.agg_cps(),
+    );
+
+    if let Some(path) = path_arg("--report") {
+        write_artifact(&path, &report.deterministic_json());
+    }
+    if let Some(path) = bench_json_path() {
+        let metrics = [
+            ("fleet_agg_cps", report.agg_cps()),
+            ("fleet_sim_cycles_total", report.total_cycles() as f64),
+            ("fleet_units", report.records.len() as f64),
+            ("fleet_threads", report.threads as f64),
+            ("fleet_steals", report.steals as f64),
+            ("fleet_wall_ms", report.wall_s * 1e3),
+        ];
+        write_artifact(&path, &metrics_json(&metrics));
+    }
+}

@@ -1,0 +1,571 @@
+//! # Work-stealing fleet runner — many SoCs per process
+//!
+//! [`SchedulerMode::Parallel`] keeps a *single* simulation deterministic
+//! under the wave-barrier discipline (see `docs/PARALLELISM.md`); this
+//! module supplies the second half of the parallelism story: **scale-out
+//! across independent simulations**. A campaign is a grid of
+//! [`FleetUnit`]s (seed × config × workload); [`run_fleet`] executes the
+//! grid on a pool of host threads with work stealing, streams one
+//! stats-JSON file per finished unit into the campaign directory, and
+//! folds everything into a [`FleetReport`] whose
+//! [`deterministic_json`](FleetReport::deterministic_json) bytes are
+//! independent of thread count, steal order, and kill/resume history.
+//!
+//! Each simulation kernel is thread-confined (`Rc`/`RefCell` state), so
+//! the unit — not the rule — is the granule that crosses threads: a
+//! worker owns a whole `SocSim` from construction to completion. Units
+//! are seeded deterministically and never share state, so any schedule of
+//! units over workers produces the same per-unit results; the report
+//! sorts by unit id before serializing, which is the entire determinism
+//! argument at this layer.
+//!
+//! ## Kill and resume
+//!
+//! With a campaign directory, every completed unit is persisted as
+//! `unit_<id>.json` (written to a temp file and renamed, so a kill can
+//! only lose in-flight units, never corrupt finished ones). A rerun of
+//! the same grid loads finished units from disk and only simulates the
+//! remainder; the final aggregate report is byte-identical to a
+//! single-shot run. [`FleetOpts::stop_after`] bounds how many units one
+//! invocation completes, which is how the resume tests simulate a kill.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cmd_core::chaos::{FaultEngine, FaultPlan};
+use cmd_core::sched::SchedulerMode;
+use cmd_core::trace::json::JsonWriter;
+use riscy_ooo::config::{mem_riscyoo_b, mem_riscyoo_c_minus, CoreConfig};
+use riscy_ooo::soc::SocSim;
+use riscy_workloads::spec::Workload;
+
+/// One cell of the campaign grid: a fully specified, independent
+/// simulation. `id` is the unit's position in the grid enumeration order
+/// and doubles as its resume key, so the same grid arguments must always
+/// enumerate the same ids (which [`fleet_grid`] guarantees).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetUnit {
+    /// Grid index; stable across invocations of the same grid.
+    pub id: usize,
+    /// Chaos / placement seed for this unit.
+    pub seed: u64,
+    /// Config label, e.g. `"t+"` or `"c-"` (see [`SocFleet::run_unit`]).
+    pub config: String,
+    /// Workload name, resolved against the fleet's workload list.
+    pub workload: String,
+}
+
+/// What one finished unit reports. Everything here is simulation-domain
+/// (deterministic); host wall time lives in [`UnitRecord`] instead so it
+/// can be excluded from the deterministic report bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions committed in the region of interest.
+    pub insts: u64,
+    /// Whether the run completed cleanly (a chaos plan may legitimately
+    /// push a run past its cycle budget; that is recorded, not fatal).
+    pub exit_ok: bool,
+}
+
+/// A unit paired with its result and bookkeeping about *how* it was
+/// obtained this invocation.
+#[derive(Debug, Clone)]
+pub struct UnitRecord {
+    /// The grid cell.
+    pub unit: FleetUnit,
+    /// Its simulation-domain result.
+    pub stats: UnitStats,
+    /// Host seconds spent simulating it this invocation (`0.0` if the
+    /// result was loaded from a campaign directory).
+    pub wall_s: f64,
+    /// True when the result was resumed from disk rather than simulated.
+    pub resumed: bool,
+}
+
+/// Execution knobs for [`run_fleet`].
+#[derive(Debug, Clone, Default)]
+pub struct FleetOpts {
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Campaign directory for per-unit persistence and resume.
+    pub campaign_dir: Option<PathBuf>,
+    /// Stop after completing this many units this invocation (testing
+    /// hook: simulates a mid-campaign kill for the resume tests).
+    pub stop_after: Option<usize>,
+}
+
+/// Aggregated outcome of one [`run_fleet`] invocation.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Finished units in ascending unit-id order (resumed and fresh).
+    /// When the run was stopped early, only completed units appear.
+    pub records: Vec<UnitRecord>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Host seconds for the whole invocation.
+    pub wall_s: f64,
+    /// Units a worker obtained from another worker's queue.
+    pub steals: u64,
+    /// True when [`FleetOpts::stop_after`] ended the run with units
+    /// still pending.
+    pub stopped_early: bool,
+}
+
+impl FleetReport {
+    /// Simulated cycles across all finished units (resumed included).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.records.iter().map(|r| r.stats.cycles).sum()
+    }
+
+    /// Committed ROI instructions across all finished units.
+    #[must_use]
+    pub fn total_insts(&self) -> u64 {
+        self.records.iter().map(|r| r.stats.insts).sum()
+    }
+
+    /// Simulated cycles actually executed *this invocation* (excludes
+    /// units resumed from disk) — the numerator of [`agg_cps`](Self::agg_cps).
+    #[must_use]
+    pub fn fresh_cycles(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| !r.resumed)
+            .map(|r| r.stats.cycles)
+            .sum()
+    }
+
+    /// True when every finished unit exited cleanly.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.records.iter().all(|r| r.stats.exit_ok)
+    }
+
+    /// Aggregate simulation throughput: simulated cycles executed this
+    /// invocation per host second, summed over all workers. This is the
+    /// fleet's headline metric (`fleet_agg_cps` in the perf gate).
+    #[must_use]
+    pub fn agg_cps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.fresh_cycles() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The campaign report with every host-dependent field (wall time,
+    /// steal count, thread count, resume provenance) excluded: two
+    /// invocations that finished the same grid produce byte-identical
+    /// output regardless of thread count, steal schedule, or how the
+    /// campaign was split across kill/resume boundaries.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("schema_version", 1);
+        w.field_u64("units", self.records.len() as u64);
+        w.field_u64("total_cycles", self.total_cycles());
+        w.field_u64("total_insts", self.total_insts());
+        w.key("all_ok");
+        w.boolean(self.all_ok());
+        w.key("runs");
+        w.begin_array();
+        for r in &self.records {
+            w.begin_object();
+            w.field_u64("id", r.unit.id as u64);
+            w.field_u64("seed", r.unit.seed);
+            w.field_str("config", &r.unit.config);
+            w.field_str("workload", &r.unit.workload);
+            w.field_u64("cycles", r.stats.cycles);
+            w.field_u64("insts", r.stats.insts);
+            w.key("exit_ok");
+            w.boolean(r.stats.exit_ok);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Enumerates the seed × config × workload grid in the canonical order
+/// (seed outermost, workload innermost) and assigns unit ids from that
+/// order. Resume keys depend on this enumeration being stable.
+#[must_use]
+pub fn fleet_grid(seeds: &[u64], configs: &[&str], workloads: &[&Workload]) -> Vec<FleetUnit> {
+    let mut units = Vec::with_capacity(seeds.len() * configs.len() * workloads.len());
+    for &seed in seeds {
+        for &config in configs {
+            for w in workloads {
+                units.push(FleetUnit {
+                    id: units.len(),
+                    seed,
+                    config: config.to_string(),
+                    workload: w.name.to_string(),
+                });
+            }
+        }
+    }
+    units
+}
+
+/// Runs `units` to completion on `opts.threads` workers with work
+/// stealing and returns the aggregate report.
+///
+/// Units are dealt round-robin onto per-worker deques; a worker pops its
+/// own queue from the front and, when empty, steals from the *back* of
+/// the other queues. Because every unit is an independent simulation,
+/// the schedule affects only wall time — never results — so the report's
+/// [`deterministic_json`](FleetReport::deterministic_json) is identical
+/// for any thread count.
+///
+/// With [`FleetOpts::campaign_dir`] set, previously persisted units are
+/// loaded instead of re-simulated and fresh completions are persisted
+/// atomically (temp file + rename).
+///
+/// # Panics
+///
+/// Panics when the campaign directory cannot be created or a unit file
+/// cannot be written — a campaign that silently loses persistence would
+/// break the resume contract.
+pub fn run_fleet<F>(units: Vec<FleetUnit>, opts: &FleetOpts, runner: F) -> FleetReport
+where
+    F: Fn(&FleetUnit) -> UnitStats + Sync,
+{
+    let start = Instant::now();
+    let threads = opts.threads.max(1);
+
+    // Resume: split the grid into already-finished records and pending work.
+    let mut records: Vec<UnitRecord> = Vec::new();
+    let mut pending: Vec<FleetUnit> = Vec::new();
+    if let Some(dir) = &opts.campaign_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("fleet: cannot create {}: {e}", dir.display()));
+        for u in units {
+            match load_unit(dir, &u) {
+                Some(stats) => records.push(UnitRecord {
+                    unit: u,
+                    stats,
+                    wall_s: 0.0,
+                    resumed: true,
+                }),
+                None => pending.push(u),
+            }
+        }
+    } else {
+        pending = units;
+    }
+    let pending_total = pending.len();
+
+    // Deal pending units round-robin onto per-worker deques.
+    let queues: Vec<Mutex<VecDeque<FleetUnit>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, u) in pending.into_iter().enumerate() {
+        queues[i % threads].lock().unwrap().push_back(u);
+    }
+
+    let steals = AtomicU64::new(0);
+    let budget = AtomicUsize::new(opts.stop_after.unwrap_or(usize::MAX));
+    let done: Mutex<Vec<UnitRecord>> = Mutex::new(Vec::new());
+    let dir = opts.campaign_dir.as_deref();
+
+    std::thread::scope(|s| {
+        for me in 0..threads {
+            let queues = &queues;
+            let steals = &steals;
+            let budget = &budget;
+            let done = &done;
+            let runner = &runner;
+            s.spawn(move || loop {
+                // Claim a completion ticket *before* taking a unit so a
+                // stopped run leaves unclaimed units on the queues (and
+                // on disk as "not yet finished") rather than half-done.
+                if budget
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+                    .is_err()
+                {
+                    return;
+                }
+                let unit = {
+                    let own = queues[me].lock().unwrap().pop_front();
+                    own.or_else(|| {
+                        (1..threads).find_map(|d| {
+                            let victim = (me + d) % threads;
+                            let stolen = queues[victim].lock().unwrap().pop_back();
+                            if stolen.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                            stolen
+                        })
+                    })
+                };
+                let Some(unit) = unit else {
+                    // Out of work everywhere; return the unused ticket for
+                    // bookkeeping symmetry and retire.
+                    budget.fetch_add(1, Ordering::SeqCst);
+                    return;
+                };
+                let t0 = Instant::now();
+                let stats = runner(&unit);
+                let wall_s = t0.elapsed().as_secs_f64();
+                if let Some(dir) = dir {
+                    persist_unit(dir, &unit, &stats);
+                }
+                done.lock().unwrap().push(UnitRecord {
+                    unit,
+                    stats,
+                    wall_s,
+                    resumed: false,
+                });
+            });
+        }
+    });
+
+    let fresh = done.into_inner().unwrap();
+    let stopped_early = fresh.len() < pending_total;
+    records.extend(fresh);
+    records.sort_by_key(|r| r.unit.id);
+    FleetReport {
+        records,
+        threads,
+        wall_s: start.elapsed().as_secs_f64(),
+        steals: steals.load(Ordering::Relaxed),
+        stopped_early,
+    }
+}
+
+fn unit_path(dir: &Path, id: usize) -> PathBuf {
+    dir.join(format!("unit_{id}.json"))
+}
+
+/// Serializes one finished unit as a flat JSON object.
+fn unit_json(unit: &FleetUnit, stats: &UnitStats) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("id", unit.id as u64);
+    w.field_u64("seed", unit.seed);
+    w.field_str("config", &unit.config);
+    w.field_str("workload", &unit.workload);
+    w.field_u64("cycles", stats.cycles);
+    w.field_u64("insts", stats.insts);
+    w.key("exit_ok");
+    w.boolean(stats.exit_ok);
+    w.end_object();
+    w.finish()
+}
+
+/// Writes the unit file atomically: temp file in the same directory, then
+/// rename, so a kill mid-write never leaves a torn `unit_<id>.json`.
+fn persist_unit(dir: &Path, unit: &FleetUnit, stats: &UnitStats) {
+    let tmp = dir.join(format!("unit_{}.json.tmp", unit.id));
+    let path = unit_path(dir, unit.id);
+    std::fs::write(&tmp, unit_json(unit, stats))
+        .and_then(|()| std::fs::rename(&tmp, &path))
+        .unwrap_or_else(|e| panic!("fleet: cannot persist {}: {e}", path.display()));
+}
+
+/// Loads a persisted unit result, verifying it describes the *same* grid
+/// cell (a stale campaign directory from a different grid must not be
+/// silently accepted as progress).
+fn load_unit(dir: &Path, unit: &FleetUnit) -> Option<UnitStats> {
+    let text = std::fs::read_to_string(unit_path(dir, unit.id)).ok()?;
+    let obj = parse_flat_json(&text)?;
+    let field_u64 = |k: &str| -> Option<u64> {
+        match obj.iter().find(|(key, _)| key == k)? {
+            (_, JsonValue::Num(n)) => Some(*n),
+            _ => None,
+        }
+    };
+    let field_str = |k: &str| -> Option<&str> {
+        match obj.iter().find(|(key, _)| key == k)? {
+            (_, JsonValue::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let field_bool = |k: &str| -> Option<bool> {
+        match obj.iter().find(|(key, _)| key == k)? {
+            (_, JsonValue::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    };
+    if field_u64("id")? != unit.id as u64
+        || field_u64("seed")? != unit.seed
+        || field_str("config")? != unit.config
+        || field_str("workload")? != unit.workload
+    {
+        return None;
+    }
+    Some(UnitStats {
+        cycles: field_u64("cycles")?,
+        insts: field_u64("insts")?,
+        exit_ok: field_bool("exit_ok")?,
+    })
+}
+
+/// A value in the flat unit-file JSON dialect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonValue {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+}
+
+/// Parses a single flat JSON object (`{"k": v, ...}` with string, bool,
+/// and non-negative integer values — exactly what [`unit_json`] emits).
+/// Returns `None` on anything else; a malformed unit file then just
+/// re-runs the unit, which is always safe.
+fn parse_flat_json(text: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut chars = text.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut out = Vec::new();
+    loop {
+        while chars.peek().is_some_and(|c| c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                return Some(out);
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next()? != ':' {
+            return None;
+        }
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        let val = match chars.peek()? {
+            '"' => JsonValue::Str(parse_string(&mut chars)?),
+            't' | 'f' => {
+                let mut word = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    word.push(chars.next()?);
+                }
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    _ => return None,
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    n = n
+                        .checked_mul(10)?
+                        .checked_add(u64::from(chars.next()?.to_digit(10)?))?;
+                }
+                JsonValue::Num(n)
+            }
+            _ => return None,
+        };
+        out.push((key, val));
+    }
+}
+
+/// Parses a JSON string literal (leading quote still pending). Only the
+/// escapes [`unit_json`] can produce are understood.
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(s),
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                _ => return None,
+            },
+            c => s.push(c),
+        }
+    }
+}
+
+/// A campaign harness over the real SoC: holds the resolved workload
+/// list and run policy, maps config labels to machine configurations,
+/// and runs one grid cell end to end.
+#[derive(Debug)]
+pub struct SocFleet {
+    /// Workloads the grid's names resolve against.
+    pub workloads: Vec<Workload>,
+    /// Scheduler mode every unit runs under.
+    pub sched: SchedulerMode,
+    /// Attach a per-unit seeded chaos [`FaultPlan`] to each run.
+    pub chaos: bool,
+}
+
+impl SocFleet {
+    /// Maps a config label to `(core, memory)` configurations. `"t+"` is
+    /// the paper's T+ single-core with the B memory system; `"c-"` pairs
+    /// it with the C– memory system (Fig. 17's second column).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown label — a typo'd grid must not silently
+    /// shrink the campaign.
+    #[must_use]
+    pub fn config_for(label: &str) -> (CoreConfig, riscy_mem::system::MemConfig) {
+        match label {
+            "t+" => (CoreConfig::riscyoo_t_plus(), mem_riscyoo_b()),
+            "c-" => (CoreConfig::riscyoo_t_plus(), mem_riscyoo_c_minus()),
+            other => panic!("fleet: unknown config label {other:?} (t+|c-)"),
+        }
+    }
+
+    /// Runs one grid cell: builds the SoC for the unit's config, seeds
+    /// chaos from the unit's seed when enabled, and simulates to
+    /// completion (or budget exhaustion, which is recorded as
+    /// `exit_ok: false` rather than a panic — a chaos plan may
+    /// legitimately starve a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the unit names a workload the fleet does not carry.
+    #[must_use]
+    pub fn run_unit(&self, unit: &FleetUnit) -> UnitStats {
+        let w = self
+            .workloads
+            .iter()
+            .find(|w| w.name == unit.workload)
+            .unwrap_or_else(|| panic!("fleet: unknown workload {:?}", unit.workload));
+        let (cfg, mem) = Self::config_for(&unit.config);
+        let mut sim = SocSim::new(cfg, mem, 1, &w.program);
+        sim.set_scheduler(self.sched);
+        let _engine = if self.chaos {
+            let plan = FaultPlan::new(unit.seed)
+                .guard_stall("c0.issue*", 0.001)
+                .rule_abort("c0.alu*", 0.0005);
+            let e = FaultEngine::new(plan);
+            sim.attach_chaos(&e);
+            Some(e)
+        } else {
+            None
+        };
+        let exit_ok = sim.run_to_completion(w.max_cycles).is_ok();
+        let insts = sim.soc().cores[0].stats.roi_insts;
+        UnitStats {
+            cycles: sim.cycles(),
+            insts,
+            exit_ok,
+        }
+    }
+}

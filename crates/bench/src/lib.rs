@@ -21,6 +21,8 @@ use riscy_workloads::spec::{Scale, Workload};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+pub mod fleet;
+
 /// Measured result of one benchmark run on one configuration.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -187,11 +189,13 @@ pub fn trace_path() -> Option<String> {
     path_arg("--trace")
 }
 
-/// Parses `--scheduler reference|fast|compiled` (default: the kernel
-/// default, [`SchedulerMode::Fast`]). `reference` re-enables the
+/// Parses `--scheduler reference|fast|compiled|parallel` (default: the
+/// kernel default, [`SchedulerMode::Fast`]). `reference` re-enables the
 /// one-rule-at-a-time oracle scheduler for cross-checking; `compiled`
 /// selects the static wave plan with the specialized dispatch loop (see
-/// `docs/SCHEDULING.md` §"Compiled schedule").
+/// `docs/SCHEDULING.md` §"Compiled schedule"); `parallel` runs the same
+/// plan under the wave-barrier shard discipline and collects the
+/// wave-occupancy report (see `docs/PARALLELISM.md`).
 ///
 /// # Panics
 ///
@@ -203,7 +207,10 @@ pub fn scheduler_from_args() -> SchedulerMode {
         None | Some("fast") => SchedulerMode::Fast,
         Some("reference") => SchedulerMode::Reference,
         Some("compiled") => SchedulerMode::Compiled,
-        Some(other) => panic!("--scheduler {other}: expected `reference`, `fast`, or `compiled`"),
+        Some("parallel") => SchedulerMode::Parallel,
+        Some(other) => {
+            panic!("--scheduler {other}: expected `reference`, `fast`, `compiled`, or `parallel`")
+        }
     }
 }
 
@@ -295,6 +302,12 @@ pub fn maybe_profile_run(
     }
     if let Some((path, tr)) = opts.chrome_trace.as_ref().zip(chrome) {
         let mut t = tr.borrow_mut();
+        if mode == SchedulerMode::Parallel {
+            // Split the rule tracks into one process per wave shard so the
+            // parallel schedule is visible in Perfetto (see
+            // `docs/PARALLELISM.md`); other modes keep the flat pid-0 view.
+            t.set_rule_shards(&sim.wave_shards());
+        }
         for (core, spans, _dropped) in sim.instruction_spans() {
             let tid = u32::try_from(core).expect("core id fits u32");
             t.set_inst_track(tid, &format!("core{core}"));

@@ -1,0 +1,256 @@
+//! Determinism contract of the work-stealing fleet runner (see
+//! `docs/PARALLELISM.md` §"Fleet campaigns"):
+//!
+//! * the deterministic report bytes are identical for any worker-thread
+//!   count (1/2/4/8) — the steal schedule is unobservable;
+//! * a campaign killed mid-flight (`stop_after`) and resumed from its
+//!   campaign directory produces the byte-identical aggregate report of a
+//!   single-shot run, and a third invocation is a pure disk replay;
+//! * a campaign directory from a *different* grid is rejected, not
+//!   silently accepted as progress;
+//! * a real SoC fleet under [`SchedulerMode::Parallel`] is run-to-run
+//!   deterministic.
+//!
+//! No test here asserts wall-clock speedups: CI hosts may expose a single
+//! core, where the pool degenerates gracefully. Throughput is gated by
+//! `scripts/perf_gate.py` on hosts that report their thread count.
+
+use std::path::PathBuf;
+
+use cmd_core::sched::SchedulerMode;
+use riscy_bench::fleet::{run_fleet, FleetOpts, FleetUnit, SocFleet, UnitStats};
+use riscy_isa::asm::{Assembler, Program};
+use riscy_isa::mem::{DRAM_BASE, MMIO_EXIT};
+use riscy_isa::reg::Gpr;
+use riscy_workloads::spec::Workload;
+
+/// A deterministic pure function of the unit, with enough busy work that
+/// workers genuinely interleave and steal from each other.
+fn synth_runner(u: &FleetUnit) -> UnitStats {
+    let mut x = u
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u.id as u64);
+    for _ in 0..(1_000 + (u.id % 7) * 500) {
+        x = x
+            .rotate_left(7)
+            .wrapping_mul(31)
+            .wrapping_add(u.config.len() as u64 + u.workload.len() as u64);
+    }
+    UnitStats {
+        cycles: 10_000 + x % 90_000,
+        insts: 3_000 + x % 7_000,
+        exit_ok: !x.is_multiple_of(97),
+    }
+}
+
+fn synth_units(n: usize) -> Vec<FleetUnit> {
+    (0..n)
+        .map(|id| FleetUnit {
+            id,
+            seed: (id as u64) % 5,
+            config: if id % 2 == 0 { "t+" } else { "c-" }.to_string(),
+            workload: format!("w{}", id % 3),
+        })
+        .collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fleet-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn report_bytes_identical_across_thread_counts() {
+    let baseline = run_fleet(
+        synth_units(25),
+        &FleetOpts {
+            threads: 1,
+            ..FleetOpts::default()
+        },
+        synth_runner,
+    );
+    assert_eq!(baseline.records.len(), 25);
+    assert!(!baseline.stopped_early);
+    let want = baseline.deterministic_json();
+    for threads in [2, 4, 8] {
+        let report = run_fleet(
+            synth_units(25),
+            &FleetOpts {
+                threads,
+                ..FleetOpts::default()
+            },
+            synth_runner,
+        );
+        assert_eq!(report.threads, threads);
+        assert_eq!(
+            report.deterministic_json(),
+            want,
+            "report bytes diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_to_the_single_shot_report() {
+    let dir = tmp_dir("resume");
+    let single_shot = run_fleet(
+        synth_units(25),
+        &FleetOpts {
+            threads: 3,
+            ..FleetOpts::default()
+        },
+        synth_runner,
+    )
+    .deterministic_json();
+
+    // "Kill" after 9 units: the completion budget is claimed before a
+    // unit is taken, so exactly 9 finish and persist.
+    let first = run_fleet(
+        synth_units(25),
+        &FleetOpts {
+            threads: 3,
+            campaign_dir: Some(dir.clone()),
+            stop_after: Some(9),
+        },
+        synth_runner,
+    );
+    assert!(first.stopped_early);
+    assert_eq!(first.records.len(), 9);
+    assert!(first.records.iter().all(|r| !r.resumed));
+
+    // Resume: finished units load from disk, the rest run fresh.
+    let resumed = run_fleet(
+        synth_units(25),
+        &FleetOpts {
+            threads: 3,
+            campaign_dir: Some(dir.clone()),
+            stop_after: None,
+        },
+        synth_runner,
+    );
+    assert!(!resumed.stopped_early);
+    assert_eq!(resumed.records.len(), 25);
+    assert_eq!(resumed.records.iter().filter(|r| r.resumed).count(), 9);
+    assert_eq!(
+        resumed.deterministic_json(),
+        single_shot,
+        "resumed report diverged from the single-shot run"
+    );
+
+    // A third invocation is a pure replay: nothing simulates.
+    let replay = run_fleet(
+        synth_units(25),
+        &FleetOpts {
+            threads: 3,
+            campaign_dir: Some(dir.clone()),
+            stop_after: None,
+        },
+        synth_runner,
+    );
+    assert_eq!(replay.records.iter().filter(|r| r.resumed).count(), 25);
+    assert_eq!(replay.fresh_cycles(), 0);
+    assert_eq!(replay.deterministic_json(), single_shot);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_dir_from_a_different_grid_is_rejected() {
+    let dir = tmp_dir("stale");
+    run_fleet(
+        synth_units(6),
+        &FleetOpts {
+            threads: 2,
+            campaign_dir: Some(dir.clone()),
+            stop_after: None,
+        },
+        synth_runner,
+    );
+    // Same unit ids, different seeds: the persisted files describe other
+    // grid cells and must not be loaded as progress.
+    let mut other = synth_units(6);
+    for u in &mut other {
+        u.seed += 100;
+    }
+    let report = run_fleet(
+        other,
+        &FleetOpts {
+            threads: 2,
+            campaign_dir: Some(dir.clone()),
+            stop_after: None,
+        },
+        synth_runner,
+    );
+    assert_eq!(
+        report.records.iter().filter(|r| r.resumed).count(),
+        0,
+        "stale unit files were accepted as progress"
+    );
+    assert_eq!(report.records.len(), 6);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A few dozen iterations then a clean MMIO exit — small enough for a
+/// debug-build test, real enough to execute the whole SoC rule set.
+fn tiny_prog() -> Program {
+    let mut a = Assembler::new(DRAM_BASE);
+    a.li(Gpr::s(1), 40);
+    a.label("loop");
+    a.addi(Gpr::s(1), Gpr::s(1), -1);
+    a.bnez(Gpr::s(1), "loop");
+    a.li(Gpr::t(6), MMIO_EXIT as i64);
+    a.li(Gpr::t(5), 1);
+    a.sd(Gpr::t(5), 0, Gpr::t(6));
+    a.label("hang");
+    a.j("hang");
+    a.assemble()
+}
+
+#[test]
+fn real_soc_fleet_is_run_to_run_deterministic() {
+    let harness = SocFleet {
+        workloads: vec![Workload {
+            name: "tiny",
+            program: tiny_prog(),
+            max_cycles: 200_000,
+        }],
+        sched: SchedulerMode::Parallel,
+        chaos: false,
+    };
+    let units = || {
+        vec![
+            FleetUnit {
+                id: 0,
+                seed: 0,
+                config: "t+".to_string(),
+                workload: "tiny".to_string(),
+            },
+            FleetUnit {
+                id: 1,
+                seed: 1,
+                config: "c-".to_string(),
+                workload: "tiny".to_string(),
+            },
+        ]
+    };
+    let run = |threads| {
+        run_fleet(
+            units(),
+            &FleetOpts {
+                threads,
+                ..FleetOpts::default()
+            },
+            |u| harness.run_unit(u),
+        )
+    };
+    let a = run(1);
+    assert!(a.all_ok(), "tiny SoC units failed to exit cleanly");
+    assert!(a.total_cycles() > 0);
+    let b = run(2);
+    assert_eq!(
+        a.deterministic_json(),
+        b.deterministic_json(),
+        "SoC fleet diverged across thread counts"
+    );
+}

@@ -27,9 +27,12 @@
 //! * [`sim`] — the rule scheduler with per-rule firing statistics, a
 //!   liveness watchdog, and structured [`sim::SimError`] diagnostics;
 //! * [`sched`] — the fast-path scheduling machinery: conflict-mask
-//!   footprints and the wakeup layer behind [`sched::SchedulerMode::Fast`]
+//!   footprints and the wakeup layer behind [`sched::SchedulerMode::Fast`],
+//!   the compiled wave plan of [`sched::SchedulerMode::Compiled`], and the
+//!   wave-barrier shard discipline of [`sched::SchedulerMode::Parallel`]
 //!   (the reference one-rule-at-a-time loop stays available as the
-//!   correctness oracle, see `docs/SCHEDULING.md`);
+//!   correctness oracle, see `docs/SCHEDULING.md` and
+//!   `docs/PARALLELISM.md`);
 //! * [`fifo`] — pipeline / bypass / conflict-free FIFOs;
 //! * [`chaos`] — seeded, cycle-deterministic fault injection (forced guard
 //!   stalls, transient rule aborts, bit flips) for resilience campaigns;
@@ -94,7 +97,9 @@ pub mod prelude {
     pub use crate::prof::{ChromeTrace, CriticalPath, Profiler, RuleProf};
     pub use crate::rng::SplitMix64;
     pub use crate::sched::{SchedulerMode, Wakeup};
-    pub use crate::sim::{DeadlockReport, RuleId, RuleStats, RuleWait, Sim, SimError, WaitCause};
+    pub use crate::sim::{
+        DeadlockReport, ParallelismReport, RuleId, RuleStats, RuleWait, Sim, SimError, WaitCause,
+    };
     pub use crate::trace::{
         Counter, Counters, CountersSnapshot, Gauge, TraceEvent, TraceSink, Tracer,
     };

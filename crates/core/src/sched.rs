@@ -62,6 +62,19 @@ pub enum SchedulerMode {
     /// attached it falls back to the (equivalent) instrumented lane.
     /// Cycle-, counter-, and trace-identical to `Reference`.
     Compiled,
+    /// The wave-parallel engine: the compiled wave plan executed under the
+    /// deterministic wave-barrier discipline described in
+    /// `docs/PARALLELISM.md` — fixed barriers between conflict-free waves,
+    /// commits merged in canonical rule order, and per-wave (shard) stall /
+    /// fire / conflict accumulators folded into the shared counters only at
+    /// each barrier. The kernel state is thread-confined by construction
+    /// (`Rc`-based cells), so within one `Sim` the discipline runs on the
+    /// owning thread; host-thread scale-out comes from running many
+    /// thread-confined `Sim`s through the fleet runner (`riscy-bench`).
+    /// This mode additionally records wave-occupancy statistics
+    /// ([`crate::sim::Sim::parallelism_report`]). Cycle-, counter-, and
+    /// trace-identical to `Reference`.
+    Parallel,
 }
 
 /// When a stalled rule's guard is re-evaluated (fast scheduler only).

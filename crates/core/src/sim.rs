@@ -16,9 +16,9 @@
 //! per-rule statistics so CM choices show up as measurable performance
 //! differences (paper §IV-C/D).
 //!
-//! # Two schedulers, one semantics
+//! # Four schedulers, one semantics
 //!
-//! [`Sim`] ships two per-cycle loops selected by [`Sim::set_scheduler`]:
+//! [`Sim`] ships four per-cycle loops selected by [`Sim::set_scheduler`]:
 //!
 //! * [`SchedulerMode::Reference`] — the literal loop described above:
 //!   every guard evaluated every cycle, every successful rule fully
@@ -33,8 +33,17 @@
 //!   evaluations are accounted as guard stalls with the cached reason, so
 //!   statistics, counters, and trace streams are identical to the
 //!   reference scheduler (property-tested in `tests/sched_equivalence.rs`).
+//! * [`SchedulerMode::Compiled`] — everything `Fast` does, executed through
+//!   a statically partitioned wave plan with whole-wave skips and a
+//!   branch-free plain lane.
+//! * [`SchedulerMode::Parallel`] — the compiled wave plan run under the
+//!   wave-barrier shard discipline (per-wave counter accumulators folded at
+//!   each barrier, wave-occupancy accounting via
+//!   [`Sim::parallelism_report`]) — the determinism contract host-thread
+//!   scale-out builds on; see `docs/PARALLELISM.md`.
 //!
-//! See `docs/SCHEDULING.md` for the full design and equivalence argument.
+//! All four are cycle-, counter-, and trace-identical; see
+//! `docs/SCHEDULING.md` for the full design and equivalence argument.
 //!
 //! # Watchdog and structured errors
 //!
@@ -555,6 +564,10 @@ pub struct Sim<S> {
     /// other loop (which moves sleep state without maintaining the per-wave
     /// counts). The plan is rebuilt lazily at the next compiled cycle.
     plan_stale: bool,
+    /// Wave-occupancy accounting maintained by [`SchedulerMode::Parallel`]
+    /// (zeroed otherwise): how much of the plan's width the barrier
+    /// discipline actually exposes per cycle.
+    par: ParallelismReport,
 }
 
 /// One wave of the compiled plan: rules `start..end` of the canonical
@@ -566,6 +579,42 @@ struct WaveState {
     start: u32,
     end: u32,
     asleep: u32,
+}
+
+/// Wave-occupancy statistics recorded by [`SchedulerMode::Parallel`]: how
+/// much rule-level parallelism the wave-barrier discipline exposed over the
+/// run. Rules inside one wave are statically conflict-free (the
+/// parallelization contract of `docs/PARALLELISM.md`), so `rules_dispatched
+/// / waves_executed` is the mean number of rules a threaded host could have
+/// evaluated concurrently between two barriers, and `widest_wave` the peak.
+/// All fields are zero unless the sim ran under `Parallel`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelismReport {
+    /// Cycles executed by the wave-parallel engine's plain lane.
+    pub cycles: u64,
+    /// Waves that dispatched at least one rule (barriers crossed with work).
+    pub waves_executed: u64,
+    /// Fully sleeping waves skipped wholesale at the barrier.
+    pub waves_skipped: u64,
+    /// Rule evaluations dispatched between barriers (sleeping members of a
+    /// partially awake wave are not dispatched and not counted).
+    pub rules_dispatched: u64,
+    /// Largest number of rules dispatched inside a single wave.
+    pub widest_wave: u32,
+}
+
+impl ParallelismReport {
+    /// Mean rules dispatched per executed wave — the average width a
+    /// threaded host could exploit between barriers. Zero before any
+    /// parallel cycle ran.
+    #[must_use]
+    pub fn mean_wave_width(&self) -> f64 {
+        if self.waves_executed == 0 {
+            0.0
+        } else {
+            self.rules_dispatched as f64 / self.waves_executed as f64
+        }
+    }
 }
 
 impl<S> Sim<S> {
@@ -606,6 +655,7 @@ impl<S> Sim<S> {
             owner_scratch: Vec::new(),
             plan_waves: Vec::new(),
             plan_stale: true,
+            par: ParallelismReport::default(),
         }
     }
 
@@ -686,11 +736,13 @@ impl<S> Sim<S> {
     /// configuration logging would tax each committed write to grow a
     /// buffer nobody reads.
     fn sync_wake_log(&mut self) {
-        let on = matches!(self.mode, SchedulerMode::Fast | SchedulerMode::Compiled)
-            && self
-                .rules
-                .iter()
-                .any(|r| !matches!(r.sched.wakeup, Wakeup::EveryCycle));
+        let on = matches!(
+            self.mode,
+            SchedulerMode::Fast | SchedulerMode::Compiled | SchedulerMode::Parallel
+        ) && self
+            .rules
+            .iter()
+            .any(|r| !matches!(r.sched.wakeup, Wakeup::EveryCycle));
         self.any_wakeup = on;
         self.clk.set_wake_log(on);
         self.pub_seen = self.clk.publish_count();
@@ -791,6 +843,7 @@ impl<S> Sim<S> {
                 SchedulerMode::Reference => "reference",
                 SchedulerMode::Fast => "fast",
                 SchedulerMode::Compiled => "compiled",
+                SchedulerMode::Parallel => "parallel",
             },
         );
         w.key("profiling");
@@ -967,11 +1020,36 @@ impl<S> Sim<S> {
     pub fn schedule_waves(&self) -> Vec<Vec<String>> {
         self.wave_ranges()
             .into_iter()
-            .map(|(s, e)| {
+            .map(|(s, e)| self.rules[s..e].iter().map(|r| r.name.clone()).collect())
+            .collect()
+    }
+
+    /// Wave-occupancy statistics accumulated by [`SchedulerMode::Parallel`]
+    /// plain-lane cycles (all-zero if the sim never ran under `Parallel`).
+    /// See [`ParallelismReport`] and `docs/PARALLELISM.md`.
+    #[must_use]
+    pub fn parallelism_report(&self) -> ParallelismReport {
+        self.par
+    }
+
+    /// Maps every rule to its shard — the index of the statically
+    /// conflict-free wave it belongs to (the same partition
+    /// [`Sim::schedule_wave_indices`] reports). This is the track grouping
+    /// the Chrome-trace exporter uses so parallel-mode profiles show one
+    /// process per shard instead of collapsing into pid 0
+    /// ([`crate::prof::ChromeTrace::set_rule_shards`]). Reflects current
+    /// footprint knowledge, so call it after the run.
+    #[must_use]
+    pub fn wave_shards(&self) -> Vec<(String, u32)> {
+        self.wave_ranges()
+            .into_iter()
+            .enumerate()
+            .flat_map(|(wv, (s, e))| {
+                let wv = u32::try_from(wv).expect("wave index");
                 self.rules[s..e]
                     .iter()
-                    .map(|r| r.name.clone())
-                    .collect()
+                    .map(move |r| (r.name.clone(), wv))
+                    .collect::<Vec<_>>()
             })
             .collect()
     }
@@ -992,12 +1070,10 @@ impl<S> Sim<S> {
             // either way, so the split only sharpens skip granularity.
             let mut s = s;
             while s < e {
-                let sleepable =
-                    !matches!(self.rules[s].sched.wakeup, Wakeup::EveryCycle);
+                let sleepable = !matches!(self.rules[s].sched.wakeup, Wakeup::EveryCycle);
                 let mut t = s + 1;
                 while t < e
-                    && !matches!(self.rules[t].sched.wakeup, Wakeup::EveryCycle)
-                        == sleepable
+                    && !matches!(self.rules[t].sched.wakeup, Wakeup::EveryCycle) == sleepable
                 {
                     t += 1;
                 }
@@ -1056,7 +1132,8 @@ impl<S> Sim<S> {
         match self.mode {
             SchedulerMode::Reference => self.cycle_reference(),
             SchedulerMode::Fast => self.cycle_fast(),
-            SchedulerMode::Compiled => self.cycle_compiled(),
+            SchedulerMode::Compiled => self.cycle_plan::<false>(),
+            SchedulerMode::Parallel => self.cycle_plan::<true>(),
         }
     }
 
@@ -1567,7 +1644,8 @@ impl<S> Sim<S> {
     }
 
     /// The compiled loop: the fast scheduler's semantics executed through
-    /// the static wave plan.
+    /// the static wave plan. Shared by [`SchedulerMode::Compiled`]
+    /// (`PAR = false`) and [`SchedulerMode::Parallel`] (`PAR = true`).
     ///
     /// Specialized lanes, selected once per cycle: with a chaos engine,
     /// tracer, profiler, or stall histograms live, the cycle runs through
@@ -1580,7 +1658,18 @@ impl<S> Sim<S> {
     /// per-rule statistics and counters are still maintained exactly
     /// (they are part of the observable contract), so switching lanes or
     /// modes at any cycle boundary is invisible.
-    fn cycle_compiled(&mut self) -> Result<(), SimError> {
+    ///
+    /// Under `PAR` the loop additionally runs the wave-barrier *shard*
+    /// discipline of `docs/PARALLELISM.md`: the shared fired/guard/CM
+    /// counters are not touched while a wave is in flight — each wave
+    /// accumulates into private shard counters that are folded into the
+    /// shared registry only at the wave barrier, exactly as a per-thread
+    /// shard would have to. Nothing user-visible can observe counters
+    /// mid-cycle (accessors run between cycles), so the fold point is
+    /// unobservable and the mode stays bit-identical to the oracle; the
+    /// equivalence suites assert it. `PAR` also records wave-occupancy
+    /// statistics ([`Sim::parallelism_report`]).
+    fn cycle_plan<const PAR: bool>(&mut self) -> Result<(), SimError> {
         if self.chaos.is_some()
             || self.tracer.is_enabled()
             || self.collect_hist
@@ -1620,9 +1709,18 @@ impl<S> Sim<S> {
                 now,
             );
         }
+        if PAR {
+            self.par.cycles += 1;
+        }
         for w in 0..self.plan_waves.len() {
             let WaveState { start, end, asleep } = self.plan_waves[w];
             let (start, end) = (start as usize, end as usize);
+            // Shard accumulators (PAR only): the wave's private counter
+            // state, folded into the shared registry at the barrier below.
+            let mut w_fired = 0u64;
+            let mut w_guard = 0u64;
+            let mut w_cm = 0u64;
+            let mut w_dispatched = 0u32;
             // Wave skip: every member is asleep and — after folding any
             // fresh publishes into the wake flags (the drain early-outs
             // when nothing published) — none of them has a wake pending.
@@ -1645,6 +1743,9 @@ impl<S> Sim<S> {
                     // costs one drained-flag scan and one add regardless
                     // of its size.
                     self.ctr_guard.add((end - start) as u64);
+                    if PAR {
+                        self.par.waves_skipped += 1;
+                    }
                     continue;
                 }
             }
@@ -1673,10 +1774,17 @@ impl<S> Sim<S> {
                     } else {
                         // Still asleep: the cached stall is accounted in
                         // batch at settlement; only the shared counter is
-                        // bumped per cycle.
-                        self.ctr_guard.inc();
+                        // bumped per cycle (via the shard under PAR).
+                        if PAR {
+                            w_guard += 1;
+                        } else {
+                            self.ctr_guard.inc();
+                        }
                         continue;
                     }
+                }
+                if PAR {
+                    w_dispatched += 1;
                 }
                 let entry = &mut self.rules[i];
                 let infer = matches!(
@@ -1705,7 +1813,11 @@ impl<S> Sim<S> {
                         if let Some(v) = violation {
                             self.clk.abort_rule();
                             entry.stats.cm_stalls += 1;
-                            self.ctr_cm.inc();
+                            if PAR {
+                                w_cm += 1;
+                            } else {
+                                self.ctr_cm.inc();
+                            }
                             entry.last_wait = Some(WaitCause::Cm(v.clone()));
                             self.last_violation = Some(v);
                         } else {
@@ -1721,7 +1833,11 @@ impl<S> Sim<S> {
                                         }
                                     }
                                     entry.stats.fired += 1;
-                                    self.ctr_fired.inc();
+                                    if PAR {
+                                        w_fired += 1;
+                                    } else {
+                                        self.ctr_fired.inc();
+                                    }
                                     entry.last_wait = None;
                                     if !entry.exempt {
                                         fired_any = true;
@@ -1729,9 +1845,12 @@ impl<S> Sim<S> {
                                 }
                                 Err(reg) => {
                                     entry.stats.guard_stalls += 1;
-                                    self.ctr_guard.inc();
-                                    entry.last_wait =
-                                        Some(WaitCause::Guard(REG_CONFLICT_REASON));
+                                    if PAR {
+                                        w_guard += 1;
+                                    } else {
+                                        self.ctr_guard.inc();
+                                    }
+                                    entry.last_wait = Some(WaitCause::Guard(REG_CONFLICT_REASON));
                                     if conflict.is_none() {
                                         conflict = Some(SimError::RegConflict {
                                             cycle: self.cycles,
@@ -1746,7 +1865,11 @@ impl<S> Sim<S> {
                     Err(stall) => {
                         self.clk.abort_rule();
                         entry.stats.guard_stalls += 1;
-                        self.ctr_guard.inc();
+                        if PAR {
+                            w_guard += 1;
+                        } else {
+                            self.ctr_guard.inc();
+                        }
                         entry.last_wait = Some(WaitCause::Guard(stall.reason()));
                         let sleepable = !matches!(entry.sched.wakeup, Wakeup::EveryCycle)
                             && !self.clk.eval_tainted()
@@ -1836,6 +1959,23 @@ impl<S> Sim<S> {
                             self.plan_waves[w].asleep += 1;
                         }
                     }
+                }
+            }
+            if PAR {
+                // Wave barrier: fold this shard's private accumulators into
+                // the shared registry, in wave (canonical) order. A threaded
+                // host would perform exactly this fold when its workers
+                // rejoin; doing it here keeps the shared counters untouched
+                // while a wave is notionally in flight.
+                self.ctr_fired.add(w_fired);
+                self.ctr_guard.add(w_guard);
+                self.ctr_cm.add(w_cm);
+                if w_dispatched > 0 {
+                    self.par.waves_executed += 1;
+                    self.par.rules_dispatched += u64::from(w_dispatched);
+                    self.par.widest_wave = self.par.widest_wave.max(w_dispatched);
+                } else {
+                    self.par.waves_skipped += 1;
                 }
             }
         }

@@ -129,7 +129,7 @@ fn apply(spec: Kind, s: &mut Soup) -> Guarded<()> {
             Ok(())
         }
         Kind::PlainGate { bump } => {
-            if (s.plain / 7) % 4 == 0 {
+            if (s.plain / 7).is_multiple_of(4) {
                 return Err(Stall::new("plain gate closed"));
             }
             s.cells[bump].update(|v| *v = v.wrapping_add(5));
@@ -143,7 +143,7 @@ fn apply(spec: Kind, s: &mut Soup) -> Guarded<()> {
             if s.cells[cell].read() % 16 < threshold {
                 return Err(Stall::new("cell low"));
             }
-            if s.plain % 3 != 0 {
+            if !s.plain.is_multiple_of(3) {
                 s.clk.taint_eval();
                 return Err(Stall::new("plain phase"));
             }
@@ -192,7 +192,9 @@ fn run_soup(seed: u64, mode: SchedulerMode, with_chaos: bool) -> Outcome {
     // Always include the plain-state trio so every soup exercises signal
     // pokes, InferredPlus, and the taint escape hatch alongside the random
     // draw below.
-    let bump_id = sim.rule("r_plain_bump", move |s: &mut Soup| apply(Kind::PlainBump, s));
+    let bump_id = sim.rule("r_plain_bump", move |s: &mut Soup| {
+        apply(Kind::PlainBump, s)
+    });
     sim.set_wakeup(bump_id, Wakeup::EveryCycle);
     let gate_kind = Kind::PlainGate {
         bump: (rng.next_u64() as usize) % NUM_CELLS,
@@ -287,6 +289,11 @@ fn assert_equivalent(seed: u64, with_chaos: bool) {
         compiled, reference,
         "compiled scheduler diverged from reference oracle (seed {seed}, chaos {with_chaos})"
     );
+    let parallel = run_soup(seed, SchedulerMode::Parallel, with_chaos);
+    assert_eq!(
+        parallel, reference,
+        "wave-parallel scheduler diverged from reference oracle (seed {seed}, chaos {with_chaos})"
+    );
 }
 
 #[test]
@@ -322,7 +329,15 @@ fn assert_iq_demo_equivalent(cfg: IqDemoConfig, program: &[DemoInst]) {
     let fast = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Fast);
     assert_eq!(fast, reference, "IQ demo diverged under {cfg:?}");
     let compiled = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Compiled);
-    assert_eq!(compiled, reference, "compiled IQ demo diverged under {cfg:?}");
+    assert_eq!(
+        compiled, reference,
+        "compiled IQ demo diverged under {cfg:?}"
+    );
+    let parallel = run_iq_demo_with_scheduler(cfg, program, SchedulerMode::Parallel);
+    assert_eq!(
+        parallel, reference,
+        "wave-parallel IQ demo diverged under {cfg:?}"
+    );
 }
 
 #[test]

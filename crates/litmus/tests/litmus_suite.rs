@@ -53,6 +53,7 @@ fn classic_suite_conforms_on_the_socsim() {
                     SchedulerMode::Fast,
                     SchedulerMode::Reference,
                     SchedulerMode::Compiled,
+                    SchedulerMode::Parallel,
                 ] {
                     if cfg!(debug_assertions) && sched != SchedulerMode::Fast && i >= 4 {
                         continue;

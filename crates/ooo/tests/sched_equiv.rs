@@ -1,5 +1,6 @@
-//! SoC-level scheduler equivalence (see `docs/SCHEDULING.md`): a full
-//! RiscyOO run under [`SchedulerMode::Fast`] and [`SchedulerMode::Compiled`]
+//! SoC-level scheduler equivalence (see `docs/SCHEDULING.md` and
+//! `docs/PARALLELISM.md`): a full RiscyOO run under [`SchedulerMode::Fast`],
+//! [`SchedulerMode::Compiled`], and [`SchedulerMode::Parallel`]
 //! must be observably identical to the one-rule-at-a-time reference oracle —
 //! same cycle count, same [`CoreStats`], same exit codes, same scheduler
 //! counters, same trace event stream — on single-core and 2-core SoCs, with
@@ -130,16 +131,44 @@ fn run_soc(
 }
 
 fn assert_equivalent(prog: &Program, num_cores: usize, chaos_seed: Option<u64>, traced: bool) {
-    let reference = run_soc(prog, num_cores, SchedulerMode::Reference, chaos_seed, traced);
-    for mode in [SchedulerMode::Fast, SchedulerMode::Compiled] {
+    let reference = run_soc(
+        prog,
+        num_cores,
+        SchedulerMode::Reference,
+        chaos_seed,
+        traced,
+    );
+    for mode in [
+        SchedulerMode::Fast,
+        SchedulerMode::Compiled,
+        SchedulerMode::Parallel,
+    ] {
         let got = run_soc(prog, num_cores, mode, chaos_seed, traced);
-        assert_eq!(got.result, reference.result, "{mode:?}: run outcome diverged");
-        assert_eq!(got.cycles, reference.cycles, "{mode:?}: cycle count diverged");
+        assert_eq!(
+            got.result, reference.result,
+            "{mode:?}: run outcome diverged"
+        );
+        assert_eq!(
+            got.cycles, reference.cycles,
+            "{mode:?}: cycle count diverged"
+        );
         assert_eq!(got.stats, reference.stats, "{mode:?}: CoreStats diverged");
-        assert_eq!(got.exited, reference.exited, "{mode:?}: exit codes diverged");
-        assert_eq!(got.faults, reference.faults, "{mode:?}: chaos fault log diverged");
-        assert_eq!(got.counters, reference.counters, "{mode:?}: counters diverged");
-        assert_eq!(got.trace, reference.trace, "{mode:?}: trace event stream diverged");
+        assert_eq!(
+            got.exited, reference.exited,
+            "{mode:?}: exit codes diverged"
+        );
+        assert_eq!(
+            got.faults, reference.faults,
+            "{mode:?}: chaos fault log diverged"
+        );
+        assert_eq!(
+            got.counters, reference.counters,
+            "{mode:?}: counters diverged"
+        );
+        assert_eq!(
+            got.trace, reference.trace,
+            "{mode:?}: trace event stream diverged"
+        );
     }
 }
 

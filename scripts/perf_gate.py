@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Merge scheduler bench artifacts into BENCH_4.json and gate regressions.
 
-Inputs are the ``--bench-json`` artifacts written by two release binaries:
+Inputs are the ``--bench-json`` artifacts written by three release binaries:
 
 * ``cmd_kernel_bench``   -> ring-of-64 wakeup benchmark (fast vs reference)
                             and the fig17-shaped ``soc_wakeup`` microbench
-                            (reference vs fast vs compiled)
-* ``fig17_vs_inorder``   -> full SoC suite run, all three scheduler modes
+                            (reference vs fast vs compiled vs parallel)
+* ``fig17_vs_inorder``   -> full SoC suite run, all four scheduler modes,
+                            plus the fleet-pool scale-out timing
+* ``fleet``              -> (optional, ``--fleet``) work-stealing campaign
+                            over a seed x config x workload grid; its
+                            ``fleet_agg_cps`` is the aggregate-throughput
+                            headline metric
 
 The merged BENCH_4.json records, per benchmark: simulated cycles, host
 wall-clock ms, host cycles/second, and the mode speedup ratios.
@@ -15,29 +20,43 @@ Gating (only with ``--baseline``) is host-neutral: raw cycles/second vary
 with the runner, so the gate compares *speedup ratios* (same host, same
 run, interleaved timing across modes) against committed floors and fails
 on regressions. Architectural quantities (simulated cycles, total rule
-firings) must match the baseline exactly — the simulation is
-deterministic, so any drift is a functional bug, not noise.
+firings, fleet unit counts) must match the baseline exactly — the
+simulation is deterministic, so any drift is a functional bug, not noise.
 
-Three ratio gates:
+The ratio gates:
 
 * ``ring_speedup`` (the wakeup-layer workload) is gated against the
   committed baseline ratio (>20% regression fails).
-* ``socw_speedup`` (reference/compiled on the fig17-shaped ``soc_wakeup``
-  microbench: ~9 live rules, ~35 sleepers) is gated against an *absolute*
-  floor of 1.5. This is where the compiled engine's structural win —
-  whole-wave skips over sleeping rules with batched stall accounting —
-  must show up; dropping below the floor means sleep entry, wake
-  draining, or wave skipping regressed.
-* ``fig17_speedup`` (reference/compiled on the full suite) and
-  ``fig17_fast_speedup`` (reference/fast) are gated against an absolute
+* ``socw_speedup`` and ``socw_parallel_speedup`` (reference/compiled and
+  reference/parallel on the fig17-shaped ``soc_wakeup`` microbench: ~9
+  live rules, ~35 sleepers) are gated against an *absolute* floor of 1.5.
+  This is where the wave plan's structural win — whole-wave skips over
+  sleeping rules with batched stall accounting — must show up; dropping
+  below the floor means sleep entry, wake draining, or wave skipping
+  regressed. Parallel shares the plan (plus the per-wave shard fold), so
+  it owes the same floor.
+* ``fig17_speedup`` (reference/compiled on the full suite),
+  ``fig17_fast_speedup`` (reference/fast), and
+  ``fig17_parallel_mode_floor`` — i.e. ``fig17_parallel_wall_ms`` vs
+  ``fig17_reference_wall_ms`` — are gated against an absolute
   no-regression floor (0.85, leaving noise headroom below the ~1.0-1.1
-  true ratio). The suite-level ratio is structurally
-  modest — the suite saturates the pipeline, so the cells that hot rules
-  watch publish nearly every cycle and few guards can sleep (the
-  attribution is in EXPERIMENTS.md) — which is exactly why the >=1.5
-  structural requirement is delegated to ``socw_speedup`` above.
+  true ratio). The suite-level ratio is structurally modest — the suite
+  saturates the pipeline, so the cells that hot rules watch publish
+  nearly every cycle and few guards can sleep (the attribution is in
+  EXPERIMENTS.md) — which is exactly why the >=1.5 structural requirement
+  is delegated to ``socw_speedup`` above.
+* ``fig17_parallel_speedup`` (the fig17 suite run as a fleet: 1 worker vs
+  min(host, 4) workers) is floored at 1.5 *only when the host exposes
+  >= 4 threads* (``fig17_host_threads``); a 1- or 2-core runner cannot
+  express the ratio, so there it only gets a sanity floor of 0.5 (the
+  pool must at least not halve throughput through overhead).
+* ``fleet_agg_cps`` (aggregate simulated cycles per host second across
+  the campaign) gets a conservative absolute sanity floor — raw
+  cycles/second are host-dependent, so the committed baseline value is
+  informational while the floor only catches collapse (an order-of-
+  magnitude loss from e.g. accidental re-simulation of resumed units).
 
-Independent of any baseline, the three scheduler modes must agree on the
+Independent of any baseline, all four scheduler modes must agree on the
 fig17 simulated cycle count within the run (the cycle checksum).
 
 stdlib-only on purpose: CI runs this with a bare python3.
@@ -66,29 +85,45 @@ EXACT_KEYS = (
     "socw_fires",
     "fig17_sim_cycles_fast",
     "fig17_sim_cycles_compiled",
+    "fig17_sim_cycles_parallel",
     "fig17_sim_cycles_reference",
+    "fleet_sim_cycles_total",
+    "fleet_units",
 )
 
 # The baseline-relative throughput ratio (>threshold regression fails).
 GATED_RATIO = "ring_speedup"
 
-# Absolute floor for the compiled engine on the fig17-shaped wakeup
-# microbench: the structural win the compiled schedule exists for.
+# Absolute floor for the wave-plan engines (compiled and parallel) on the
+# fig17-shaped wakeup microbench: the structural win the static schedule
+# exists for.
 SOCW_FLOOR = 1.5
 
-# Absolute no-regression floor for the full-suite ratios: neither the fast
-# nor the compiled scheduler may be meaningfully slower than the reference
-# loop on the real SoC. The true ratio sits at ~1.0-1.1 (see
-# EXPERIMENTS.md) and a single suite pass on a shared runner carries ~5%
-# timing noise even with interleaved min-of-2 timing, so the floor leaves
-# headroom: it catches a real double-digit regression without flaking.
+# Absolute no-regression floor for the full-suite ratios: no scheduler
+# mode may be meaningfully slower than the reference loop on the real
+# SoC. The true ratio sits at ~1.0-1.1 (see EXPERIMENTS.md) and a single
+# suite pass on a shared runner carries ~5% timing noise even with
+# interleaved min-of-2 timing, so the floor leaves headroom: it catches a
+# real double-digit regression without flaking.
 FIG17_FLOOR = 0.85
+
+# Fleet-pool scale-out floor at >= 4 host threads; the sanity floor
+# applies on smaller hosts (see the module docstring).
+FLEET_SPEEDUP_FLOOR = 1.5
+FLEET_SPEEDUP_SANITY = 0.5
+
+# Aggregate-throughput collapse detector: simulated cycles per host
+# second summed across the campaign. Release builds sustain millions of
+# cycles/s per worker on any host this project supports, so 50k only
+# trips on a structural failure, never on a slow runner.
+FLEET_AGG_CPS_SANITY = 50_000.0
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--kernel", required=True, help="cmd_kernel_bench --bench-json artifact")
     ap.add_argument("--fig17", required=True, help="fig17_vs_inorder --bench-json artifact")
+    ap.add_argument("--fleet", help="fleet --bench-json artifact (optional)")
     ap.add_argument("--out", required=True, help="merged BENCH_4.json to write")
     ap.add_argument("--baseline", help="committed BENCH_4.json to gate against")
     ap.add_argument(
@@ -100,6 +135,8 @@ def main() -> int:
     args = ap.parse_args()
 
     merged = {**load(args.kernel), **load(args.fig17)}
+    if args.fleet:
+        merged.update(load(args.fleet))
     with open(args.out, "w") as f:
         json.dump(merged, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -107,23 +144,30 @@ def main() -> int:
 
     errors = []
 
-    # Intra-run checksum: all three scheduler modes must agree on the
+    # Intra-run checksum: all four scheduler modes must agree on the
     # simulated cycle count regardless of any baseline.
     fast = merged.get("fig17_sim_cycles_fast")
     comp = merged.get("fig17_sim_cycles_compiled")
+    par = merged.get("fig17_sim_cycles_parallel")
     ref = merged.get("fig17_sim_cycles_reference")
-    if not (fast == comp == ref):
+    if not (fast == comp == par == ref):
         errors.append(
-            f"fig17 cycle checksum diverged: fast={fast} compiled={comp} reference={ref}"
+            "fig17 cycle checksum diverged: "
+            f"fast={fast} compiled={comp} parallel={par} reference={ref}"
         )
 
     # Absolute floors, baseline-independent: same host, same run,
     # interleaved across modes, so the ratios are noise-robust.
-    for key, floor, why in (
+    floors = [
         (
             "socw_speedup",
             SOCW_FLOOR,
             "compiled engine lost its structural win on sleeping waves",
+        ),
+        (
+            "socw_parallel_speedup",
+            SOCW_FLOOR,
+            "parallel discipline lost the wave plan's structural win",
         ),
         (
             "fig17_speedup",
@@ -135,7 +179,49 @@ def main() -> int:
             FIG17_FLOOR,
             "fast scheduler pays overhead on the real SoC",
         ),
-    ):
+    ]
+    # The parallel *mode* owes the same no-regression floor as the other
+    # modes; its ratio is derived from the wall times rather than shipped
+    # as its own key.
+    par_wall = merged.get("fig17_parallel_wall_ms")
+    ref_wall = merged.get("fig17_reference_wall_ms")
+    if par_wall and ref_wall:
+        merged_ratio = ref_wall / par_wall
+        floors.append(
+            (
+                "fig17_parallel_mode_floor",
+                FIG17_FLOOR,
+                "parallel scheduler pays overhead on the real SoC",
+            )
+        )
+        merged["fig17_parallel_mode_floor"] = merged_ratio
+    else:
+        errors.append("fig17 parallel/reference wall times missing from the artifacts")
+
+    # Fleet-pool scale-out: only a >=4-thread host owes the real floor.
+    host_threads = merged.get("fig17_host_threads", 0)
+    fleet_floor = FLEET_SPEEDUP_FLOOR if host_threads >= 4 else FLEET_SPEEDUP_SANITY
+    floors.append(
+        (
+            "fig17_parallel_speedup",
+            fleet_floor,
+            "fleet pool fails to scale the fig17 suite"
+            if host_threads >= 4
+            else "fleet pool overhead collapses throughput on a small host",
+        )
+    )
+    print(f"fig17_host_threads: {host_threads:.0f} (fleet-speedup floor {fleet_floor:.2f})")
+
+    if args.fleet:
+        floors.append(
+            (
+                "fleet_agg_cps",
+                FLEET_AGG_CPS_SANITY,
+                "aggregate campaign throughput collapsed",
+            )
+        )
+
+    for key, floor, why in floors:
         got = merged.get(key)
         if got is None:
             errors.append(f"{key} missing from the bench artifacts")
@@ -148,6 +234,8 @@ def main() -> int:
     if args.baseline:
         base = load(args.baseline)
         for key in EXACT_KEYS:
+            if key.startswith("fleet_") and not args.fleet:
+                continue
             if merged.get(key) != base.get(key):
                 errors.append(
                     f"{key}: run={merged.get(key)} baseline={base.get(key)} "
