@@ -68,10 +68,9 @@ fn time_fleet(scale: Scale, threads: usize) -> f64 {
     };
     let opts = FleetOpts {
         threads,
-        campaign_dir: None,
-        stop_after: None,
+        ..FleetOpts::default()
     };
-    run_fleet(units, &opts, |u| harness.run_unit(u)).wall_s
+    run_fleet(units, &opts, |u, ctx| harness.run_unit(u, ctx)).wall_s
 }
 
 fn main() {

@@ -9,13 +9,19 @@
 //! fleet [--seeds N] [--configs t+,c-] [--threads N]
 //!       [--scheduler reference|fast|compiled|parallel] [--chaos]
 //!       [--scale test|ref] [--workloads a,b,...] [--stop-after N]
-//!       [--campaign-dir DIR] [--report PATH] [--bench-json PATH]
+//!       [--campaign-dir DIR] [--checkpoint-every CYCLES]
+//!       [--abort-after-ckpts N] [--report PATH] [--bench-json PATH]
 //! ```
 //!
 //! With `--campaign-dir`, finished units persist as `unit_<id>.json` and a
 //! rerun of the same grid resumes instead of recomputing; the final
 //! `--report` bytes are identical either way (see `docs/PARALLELISM.md`
-//! §"Fleet campaigns").
+//! §"Fleet campaigns"). Adding `--checkpoint-every N` additionally
+//! snapshots each in-flight unit every N simulated cycles as
+//! `unit_<id>.ckpt`, so a killed campaign resumes *mid-unit* from the
+//! checkpointed cycle instead of replaying the unit (see
+//! `docs/CHECKPOINT.md`). `--abort-after-ckpts N` is the CI hook that
+//! simulates such a kill right after the Nth checkpoint lands.
 
 use std::path::PathBuf;
 
@@ -48,6 +54,14 @@ fn main() {
     let stop_after = path_arg("--stop-after").map(|v| {
         v.parse()
             .unwrap_or_else(|_| panic!("--stop-after {v}: not a number"))
+    });
+    let checkpoint_every = path_arg("--checkpoint-every").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--checkpoint-every {v}: not a number"))
+    });
+    let abort_after_ckpts = path_arg("--abort-after-ckpts").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--abort-after-ckpts {v}: not a number"))
     });
 
     let mut workloads = spec_suite(scale);
@@ -83,8 +97,10 @@ fn main() {
         threads,
         campaign_dir: path_arg("--campaign-dir").map(PathBuf::from),
         stop_after,
+        checkpoint_every,
+        abort_after_ckpts,
     };
-    let report = run_fleet(units, &opts, |u| harness.run_unit(u));
+    let report = run_fleet(units, &opts, |u, ctx| harness.run_unit(u, ctx));
 
     println!(
         "\n{:<4} {:>6} {:<4} {:<14} {:>12} {:>12} {:>5}",

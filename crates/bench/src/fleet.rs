@@ -28,6 +28,22 @@
 //! remainder; the final aggregate report is byte-identical to a
 //! single-shot run. [`FleetOpts::stop_after`] bounds how many units one
 //! invocation completes, which is how the resume tests simulate a kill.
+//!
+//! ## Mid-unit checkpoints
+//!
+//! [`FleetOpts::checkpoint_every`] shrinks the kill-loss granule from a
+//! whole unit to a checkpoint stride: every N simulated cycles the runner
+//! snapshots the live SoC ([`SocSim::save_snapshot`], see
+//! `docs/CHECKPOINT.md`) into `unit_<id>.ckpt` (temp file + rename, like
+//! the unit files). A resumed campaign restores the snapshot and
+//! continues from the checkpointed cycle instead of cycle zero; because
+//! snapshots round-trip bit-identically, the aggregate report bytes stay
+//! equal to a single-shot run's. Finished units delete their checkpoint;
+//! a checkpoint that fails to restore (stale grid, version skew) is
+//! discarded and the unit replays from scratch — always safe. Chaos units
+//! never checkpoint: snapshots refuse live fault engines.
+//! [`FleetOpts::abort_after_ckpts`] is the testing hook that simulates a
+//! kill *mid-unit*, right after the Nth checkpoint lands on disk.
 
 #![warn(missing_docs)]
 
@@ -41,7 +57,7 @@ use cmd_core::chaos::{FaultEngine, FaultPlan};
 use cmd_core::sched::SchedulerMode;
 use cmd_core::trace::json::JsonWriter;
 use riscy_ooo::config::{mem_riscyoo_b, mem_riscyoo_c_minus, CoreConfig};
-use riscy_ooo::soc::SocSim;
+use riscy_ooo::soc::{RunError, SocSim};
 use riscy_workloads::spec::Workload;
 
 /// One cell of the campaign grid: a fully specified, independent
@@ -99,6 +115,53 @@ pub struct FleetOpts {
     /// Stop after completing this many units this invocation (testing
     /// hook: simulates a mid-campaign kill for the resume tests).
     pub stop_after: Option<usize>,
+    /// Snapshot each in-flight unit every this many simulated cycles
+    /// (needs [`FleetOpts::campaign_dir`]; see module docs §"Mid-unit
+    /// checkpoints").
+    pub checkpoint_every: Option<u64>,
+    /// Abort the campaign right after this many checkpoints have been
+    /// written, fleet-wide (testing hook: simulates a kill *mid-unit*,
+    /// with a checkpoint on disk and the unit unfinished).
+    pub abort_after_ckpts: Option<usize>,
+}
+
+/// Per-unit execution context [`run_fleet`] hands to the runner: where
+/// this unit's mid-run checkpoint lives, how often to take one, and the
+/// shared abort budget behind [`FleetOpts::abort_after_ckpts`].
+#[derive(Debug)]
+pub struct UnitCtx<'a> {
+    /// This unit's checkpoint file (`unit_<id>.ckpt`), present only when
+    /// the campaign has both a directory and a checkpoint stride.
+    pub ckpt_path: Option<PathBuf>,
+    /// Simulated-cycle stride between checkpoints.
+    pub checkpoint_every: Option<u64>,
+    /// Remaining fleet-wide checkpoint tickets (`None` = unlimited).
+    ckpt_tickets: Option<&'a AtomicUsize>,
+}
+
+impl UnitCtx<'_> {
+    /// A context with checkpointing disabled (single-shot callers).
+    #[must_use]
+    pub fn none() -> Self {
+        UnitCtx {
+            ckpt_path: None,
+            checkpoint_every: None,
+            ckpt_tickets: None,
+        }
+    }
+
+    /// Consumes one checkpoint ticket after a checkpoint has been written.
+    /// Returns `false` when the ticket budget is now exhausted: the runner
+    /// must abandon its unit (returning `None`), exactly as if the process
+    /// had been killed the instant the checkpoint landed on disk.
+    #[must_use]
+    pub fn take_ckpt_ticket(&self) -> bool {
+        let Some(t) = self.ckpt_tickets else {
+            return true;
+        };
+        t.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+            .is_ok_and(|prev| prev > 1)
+    }
 }
 
 /// Aggregated outcome of one [`run_fleet`] invocation.
@@ -230,6 +293,13 @@ pub fn fleet_grid(seeds: &[u64], configs: &[&str], workloads: &[&Workload]) -> V
 /// loaded instead of re-simulated and fresh completions are persisted
 /// atomically (temp file + rename).
 ///
+/// The runner receives a [`UnitCtx`] describing the unit's checkpoint
+/// policy and returns `None` when it abandoned the unit mid-run (the
+/// checkpoint-ticket budget ran out — the simulated kill). An abandoned
+/// unit stops the whole invocation: remaining tickets are zeroed so no
+/// worker claims further units, the unit is neither recorded nor
+/// persisted, and only its `unit_<id>.ckpt` survives for the next resume.
+///
 /// # Panics
 ///
 /// Panics when the campaign directory cannot be created or a unit file
@@ -237,7 +307,7 @@ pub fn fleet_grid(seeds: &[u64], configs: &[&str], workloads: &[&Workload]) -> V
 /// break the resume contract.
 pub fn run_fleet<F>(units: Vec<FleetUnit>, opts: &FleetOpts, runner: F) -> FleetReport
 where
-    F: Fn(&FleetUnit) -> UnitStats + Sync,
+    F: Fn(&FleetUnit, &UnitCtx<'_>) -> Option<UnitStats> + Sync,
 {
     let start = Instant::now();
     let threads = opts.threads.max(1);
@@ -273,6 +343,7 @@ where
 
     let steals = AtomicU64::new(0);
     let budget = AtomicUsize::new(opts.stop_after.unwrap_or(usize::MAX));
+    let ckpt_tickets = opts.abort_after_ckpts.map(AtomicUsize::new);
     let done: Mutex<Vec<UnitRecord>> = Mutex::new(Vec::new());
     let dir = opts.campaign_dir.as_deref();
 
@@ -281,6 +352,7 @@ where
             let queues = &queues;
             let steals = &steals;
             let budget = &budget;
+            let ckpt_tickets = ckpt_tickets.as_ref();
             let done = &done;
             let runner = &runner;
             s.spawn(move || loop {
@@ -312,8 +384,21 @@ where
                     budget.fetch_add(1, Ordering::SeqCst);
                     return;
                 };
+                let ctx = UnitCtx {
+                    ckpt_path: dir
+                        .filter(|_| opts.checkpoint_every.is_some())
+                        .map(|d| ckpt_path(d, unit.id)),
+                    checkpoint_every: opts.checkpoint_every,
+                    ckpt_tickets,
+                };
                 let t0 = Instant::now();
-                let stats = runner(&unit);
+                let Some(stats) = runner(&unit, &ctx) else {
+                    // The unit was abandoned mid-run (simulated kill):
+                    // zero the completion budget so no worker claims
+                    // further units and this invocation winds down.
+                    budget.store(0, Ordering::SeqCst);
+                    return;
+                };
                 let wall_s = t0.elapsed().as_secs_f64();
                 if let Some(dir) = dir {
                     persist_unit(dir, &unit, &stats);
@@ -343,6 +428,24 @@ where
 
 fn unit_path(dir: &Path, id: usize) -> PathBuf {
     dir.join(format!("unit_{id}.json"))
+}
+
+fn ckpt_path(dir: &Path, id: usize) -> PathBuf {
+    dir.join(format!("unit_{id}.ckpt"))
+}
+
+/// Writes a mid-run checkpoint atomically (temp file + rename), the same
+/// torn-write discipline as the unit files.
+///
+/// # Panics
+///
+/// Panics when the checkpoint cannot be written — the operator asked for
+/// checkpointing, so silently losing it would break the resume contract.
+pub fn write_ckpt(path: &Path, bytes: &[u8]) {
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .unwrap_or_else(|e| panic!("fleet: cannot write checkpoint {}: {e}", path.display()));
 }
 
 /// Serializes one finished unit as a flat JSON object.
@@ -537,11 +640,20 @@ impl SocFleet {
     /// `exit_ok: false` rather than a panic — a chaos plan may
     /// legitimately starve a run).
     ///
+    /// With a checkpoint policy in `ctx`, the unit resumes from its
+    /// `unit_<id>.ckpt` when one exists, snapshots itself every
+    /// [`UnitCtx::checkpoint_every`] simulated cycles, and deletes the
+    /// checkpoint on completion. Returns `None` only when the
+    /// checkpoint-ticket budget expired mid-run (the simulated kill; see
+    /// [`FleetOpts::abort_after_ckpts`]). Chaos units take no checkpoints:
+    /// snapshots refuse live fault engines, and a seeded fault plan
+    /// replays deterministically from cycle zero anyway.
+    ///
     /// # Panics
     ///
     /// Panics when the unit names a workload the fleet does not carry.
     #[must_use]
-    pub fn run_unit(&self, unit: &FleetUnit) -> UnitStats {
+    pub fn run_unit(&self, unit: &FleetUnit, ctx: &UnitCtx<'_>) -> Option<UnitStats> {
         let w = self
             .workloads
             .iter()
@@ -550,22 +662,60 @@ impl SocFleet {
         let (cfg, mem) = Self::config_for(&unit.config);
         let mut sim = SocSim::new(cfg, mem, 1, &w.program);
         sim.set_scheduler(self.sched);
-        let _engine = if self.chaos {
+        if self.chaos {
             let plan = FaultPlan::new(unit.seed)
                 .guard_stall("c0.issue*", 0.001)
                 .rule_abort("c0.alu*", 0.0005);
-            let e = FaultEngine::new(plan);
-            sim.attach_chaos(&e);
-            Some(e)
-        } else {
-            None
-        };
-        let exit_ok = sim.run_to_completion(w.max_cycles).is_ok();
-        let insts = sim.soc().cores[0].stats.roi_insts;
-        UnitStats {
-            cycles: sim.cycles(),
-            insts,
-            exit_ok,
+            let engine = FaultEngine::new(plan);
+            sim.attach_chaos(&engine);
+            let exit_ok = sim.run_to_completion(w.max_cycles).is_ok();
+            return Some(UnitStats {
+                cycles: sim.cycles(),
+                insts: sim.soc().cores[0].stats.roi_insts,
+                exit_ok,
+            });
         }
+        // Resume from a mid-run checkpoint when one exists. A checkpoint
+        // that fails to restore (stale grid, version skew, torn bytes) is
+        // discarded and the unit replays from cycle zero — the same
+        // re-run-is-always-safe posture as a malformed unit file.
+        if let Some(path) = &ctx.ckpt_path {
+            if let Ok(bytes) = std::fs::read(path) {
+                if sim.restore_snapshot(&bytes).is_err() {
+                    sim = SocSim::new(cfg, mem, 1, &w.program);
+                    sim.set_scheduler(self.sched);
+                }
+            }
+        }
+        let stride = ctx.checkpoint_every.filter(|_| ctx.ckpt_path.is_some());
+        let exit_ok = loop {
+            let executed = sim.cycles();
+            if executed >= w.max_cycles {
+                break false;
+            }
+            let left = w.max_cycles - executed;
+            let chunk = stride.map_or(left, |s| s.min(left));
+            match sim.run_to_completion(chunk) {
+                Ok(_) => break true,
+                Err(RunError::Budget { .. }) if chunk < left => {
+                    // Checkpoint boundary, not real budget exhaustion.
+                    if let (Some(path), Ok(bytes)) = (&ctx.ckpt_path, sim.save_snapshot()) {
+                        write_ckpt(path, &bytes);
+                        if !ctx.take_ckpt_ticket() {
+                            return None;
+                        }
+                    }
+                }
+                Err(_) => break false,
+            }
+        };
+        if let Some(path) = &ctx.ckpt_path {
+            std::fs::remove_file(path).ok();
+        }
+        Some(UnitStats {
+            cycles: sim.cycles(),
+            insts: sim.soc().cores[0].stats.roi_insts,
+            exit_ok,
+        })
     }
 }

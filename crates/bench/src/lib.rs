@@ -22,6 +22,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 pub mod fleet;
+pub mod sampling;
 
 /// Measured result of one benchmark run on one configuration.
 #[derive(Debug, Clone)]

@@ -18,7 +18,7 @@
 use std::path::PathBuf;
 
 use cmd_core::sched::SchedulerMode;
-use riscy_bench::fleet::{run_fleet, FleetOpts, FleetUnit, SocFleet, UnitStats};
+use riscy_bench::fleet::{run_fleet, FleetOpts, FleetUnit, SocFleet, UnitCtx, UnitStats};
 use riscy_isa::asm::{Assembler, Program};
 use riscy_isa::mem::{DRAM_BASE, MMIO_EXIT};
 use riscy_isa::reg::Gpr;
@@ -26,7 +26,7 @@ use riscy_workloads::spec::Workload;
 
 /// A deterministic pure function of the unit, with enough busy work that
 /// workers genuinely interleave and steal from each other.
-fn synth_runner(u: &FleetUnit) -> UnitStats {
+fn synth_runner(u: &FleetUnit, _ctx: &UnitCtx<'_>) -> Option<UnitStats> {
     let mut x = u
         .seed
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -37,11 +37,11 @@ fn synth_runner(u: &FleetUnit) -> UnitStats {
             .wrapping_mul(31)
             .wrapping_add(u.config.len() as u64 + u.workload.len() as u64);
     }
-    UnitStats {
+    Some(UnitStats {
         cycles: 10_000 + x % 90_000,
         insts: 3_000 + x % 7_000,
         exit_ok: !x.is_multiple_of(97),
-    }
+    })
 }
 
 fn synth_units(n: usize) -> Vec<FleetUnit> {
@@ -113,6 +113,7 @@ fn killed_campaign_resumes_to_the_single_shot_report() {
             threads: 3,
             campaign_dir: Some(dir.clone()),
             stop_after: Some(9),
+            ..FleetOpts::default()
         },
         synth_runner,
     );
@@ -126,7 +127,7 @@ fn killed_campaign_resumes_to_the_single_shot_report() {
         &FleetOpts {
             threads: 3,
             campaign_dir: Some(dir.clone()),
-            stop_after: None,
+            ..FleetOpts::default()
         },
         synth_runner,
     );
@@ -145,7 +146,7 @@ fn killed_campaign_resumes_to_the_single_shot_report() {
         &FleetOpts {
             threads: 3,
             campaign_dir: Some(dir.clone()),
-            stop_after: None,
+            ..FleetOpts::default()
         },
         synth_runner,
     );
@@ -163,7 +164,7 @@ fn campaign_dir_from_a_different_grid_is_rejected() {
         &FleetOpts {
             threads: 2,
             campaign_dir: Some(dir.clone()),
-            stop_after: None,
+            ..FleetOpts::default()
         },
         synth_runner,
     );
@@ -178,7 +179,7 @@ fn campaign_dir_from_a_different_grid_is_rejected() {
         &FleetOpts {
             threads: 2,
             campaign_dir: Some(dir.clone()),
-            stop_after: None,
+            ..FleetOpts::default()
         },
         synth_runner,
     );
@@ -241,7 +242,7 @@ fn real_soc_fleet_is_run_to_run_deterministic() {
                 threads,
                 ..FleetOpts::default()
             },
-            |u| harness.run_unit(u),
+            |u, ctx| harness.run_unit(u, ctx),
         )
     };
     let a = run(1);
@@ -253,4 +254,112 @@ fn real_soc_fleet_is_run_to_run_deterministic() {
         b.deterministic_json(),
         "SoC fleet diverged across thread counts"
     );
+}
+
+/// Like [`tiny_prog`] but long enough (a few thousand cycles) that a
+/// checkpoint stride of 1 500 cycles fires several times per unit.
+fn longer_prog() -> Program {
+    let mut a = Assembler::new(DRAM_BASE);
+    a.li(Gpr::s(1), 2_000);
+    a.label("loop");
+    a.addi(Gpr::s(1), Gpr::s(1), -1);
+    a.bnez(Gpr::s(1), "loop");
+    a.li(Gpr::t(6), MMIO_EXIT as i64);
+    a.li(Gpr::t(5), 1);
+    a.sd(Gpr::t(5), 0, Gpr::t(6));
+    a.label("hang");
+    a.j("hang");
+    a.assemble()
+}
+
+#[test]
+fn checkpointed_kill_resumes_mid_unit_to_the_single_shot_report() {
+    let dir = tmp_dir("ckpt");
+    let harness = SocFleet {
+        workloads: vec![Workload {
+            name: "longer",
+            program: longer_prog(),
+            max_cycles: 500_000,
+        }],
+        sched: SchedulerMode::Fast,
+        chaos: false,
+    };
+    let units = || {
+        vec![
+            FleetUnit {
+                id: 0,
+                seed: 0,
+                config: "t+".to_string(),
+                workload: "longer".to_string(),
+            },
+            FleetUnit {
+                id: 1,
+                seed: 1,
+                config: "c-".to_string(),
+                workload: "longer".to_string(),
+            },
+        ]
+    };
+    // The reference: one uninterrupted invocation, no persistence at all.
+    let single_shot = run_fleet(
+        units(),
+        &FleetOpts {
+            threads: 1,
+            ..FleetOpts::default()
+        },
+        |u, ctx| harness.run_unit(u, ctx),
+    );
+    assert!(single_shot.all_ok());
+    let want = single_shot.deterministic_json();
+
+    // "Kill" the campaign right after the first checkpoint lands: the
+    // in-flight unit is abandoned mid-run with only its `.ckpt` on disk.
+    let first = run_fleet(
+        units(),
+        &FleetOpts {
+            threads: 1,
+            campaign_dir: Some(dir.clone()),
+            checkpoint_every: Some(1_500),
+            abort_after_ckpts: Some(1),
+            ..FleetOpts::default()
+        },
+        |u, ctx| harness.run_unit(u, ctx),
+    );
+    assert!(first.stopped_early);
+    assert!(
+        first.records.len() < 2,
+        "the kill should leave at least one unit unfinished"
+    );
+    let ckpts = || {
+        std::fs::read_dir(&dir)
+            .map(|d| {
+                d.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    assert_eq!(ckpts(), 1, "the killed unit must leave its checkpoint");
+
+    // Resume: the killed unit restores from its checkpoint mid-run; the
+    // aggregate report bytes match the uninterrupted run exactly.
+    let resumed = run_fleet(
+        units(),
+        &FleetOpts {
+            threads: 1,
+            campaign_dir: Some(dir.clone()),
+            checkpoint_every: Some(1_500),
+            ..FleetOpts::default()
+        },
+        |u, ctx| harness.run_unit(u, ctx),
+    );
+    assert!(!resumed.stopped_early);
+    assert_eq!(resumed.records.len(), 2);
+    assert_eq!(
+        resumed.deterministic_json(),
+        want,
+        "checkpoint-resumed report diverged from the single-shot run"
+    );
+    assert_eq!(ckpts(), 0, "finished units must delete their checkpoints");
+    std::fs::remove_dir_all(&dir).ok();
 }

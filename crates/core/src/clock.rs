@@ -408,6 +408,13 @@ impl Clock {
         self.inner.cycle.get()
     }
 
+    /// Rewinds/advances the cycle counter while restoring a snapshot.
+    /// Only meaningful at a cycle boundary with no rule open.
+    pub(crate) fn restore_cycle(&self, c: u64) {
+        debug_assert!(!self.in_rule(), "restore_cycle inside a rule");
+        self.inner.cycle.set(c);
+    }
+
     /// Whether a rule transaction is currently open.
     #[must_use]
     pub fn in_rule(&self) -> bool {

@@ -33,6 +33,10 @@
 //!   (the reference one-rule-at-a-time loop stays available as the
 //!   correctness oracle, see `docs/SCHEDULING.md` and
 //!   `docs/PARALLELISM.md`);
+//! * [`snap`] — versioned, byte-stable snapshots: the [`snap::Snap`] /
+//!   [`snap::Snapshot`] codec traits, the writer/reader pair, and the
+//!   kernel-state save/restore used by checkpoint/resume (see
+//!   `docs/CHECKPOINT.md`);
 //! * [`fifo`] — pipeline / bypass / conflict-free FIFOs;
 //! * [`chaos`] — seeded, cycle-deterministic fault injection (forced guard
 //!   stalls, transient rule aborts, bit flips) for resilience campaigns;
@@ -83,6 +87,7 @@ pub mod prof;
 pub mod rng;
 pub mod sched;
 pub mod sim;
+pub mod snap;
 pub mod trace;
 
 /// Convenient glob-import of the kernel's core types.
@@ -100,6 +105,7 @@ pub mod prelude {
     pub use crate::sim::{
         DeadlockReport, ParallelismReport, RuleId, RuleStats, RuleWait, Sim, SimError, WaitCause,
     };
+    pub use crate::snap::{Snap, SnapError, SnapReader, SnapWriter, Snapshot};
     pub use crate::trace::{
         Counter, Counters, CountersSnapshot, Gauge, TraceEvent, TraceSink, Tracer,
     };

@@ -77,6 +77,7 @@ use crate::clock::{Clock, CmViolation, ModuleIfc};
 use crate::guard::Guarded;
 use crate::prof::{CausalEdge, EdgeKind, Profiler};
 use crate::sched::{BitSet, RuleSched, SchedulerMode, Sleep, Wakeup};
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::trace::json::JsonWriter;
 use crate::trace::{Counter, Counters, TraceEvent, Tracer};
 
@@ -206,6 +207,10 @@ pub enum SimError {
         /// The register both rules wrote.
         reg: &'static str,
     },
+    /// Saving or restoring a checkpoint failed (see
+    /// [`crate::snap::SnapError`]); malformed snapshot bytes surface here
+    /// instead of panicking.
+    Snapshot(crate::snap::SnapError),
 }
 
 impl fmt::Display for SimError {
@@ -225,11 +230,18 @@ impl fmt::Display for SimError {
                 "two rules wrote Reg `{reg}` in the same cycle (undeclared conflict); \
                  rule `{rule}` aborted at cycle {cycle}"
             ),
+            SimError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
 
 impl Error for SimError {}
+
+impl From<crate::snap::SnapError> for SimError {
+    fn from(e: crate::snap::SnapError) -> Self {
+        SimError::Snapshot(e)
+    }
+}
 
 /// A rule body: mutates the design state or stalls.
 type RuleBody<S> = Box<dyn FnMut(&mut S) -> Guarded<()>>;
@@ -761,6 +773,125 @@ impl<S> Sim<S> {
     #[must_use]
     pub fn scheduler(&self) -> SchedulerMode {
         self.mode
+    }
+
+    /// Whether the kernel is in a snapshottable configuration.
+    ///
+    /// Chaos injection, tracing, profiling, and stall histograms all carry
+    /// observer state this codec does not serialize (and chaos perturbs
+    /// the run itself), so snapshots are refused while any is attached
+    /// rather than silently producing a checkpoint that would not resume
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] naming the offending attachment.
+    pub fn snapshot_supported(&self) -> Result<(), SnapError> {
+        if self.chaos.is_some() {
+            return Err(SnapError::Unsupported("chaos fault injection is attached"));
+        }
+        if self.tracer.is_enabled() {
+            return Err(SnapError::Unsupported("a tracer is attached"));
+        }
+        if self.prof.is_some() {
+            return Err(SnapError::Unsupported("the profiler is enabled"));
+        }
+        if self.collect_hist {
+            return Err(SnapError::Unsupported("stall histograms are enabled"));
+        }
+        Ok(())
+    }
+
+    /// Saves the kernel's observable state — cycle counts, per-rule firing
+    /// statistics, and the counter registry — at a cycle boundary.
+    ///
+    /// Scheduler sleep state is *not* saved: any unsettled batched sleep
+    /// deficit is settled into the statistics first (so the bytes are
+    /// exact), and [`Sim::restore_kernel`] wakes every rule. The sleep
+    /// layer is observation-invariant (see `docs/SCHEDULING.md`), so a
+    /// resumed run re-derives it without disturbing results.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] per [`Sim::snapshot_supported`].
+    pub fn save_kernel(&mut self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.snapshot_supported()?;
+        let now = self.clk.cycle();
+        for e in &mut self.rules {
+            settle_sleep(e, now);
+        }
+        w.u64(self.cycles);
+        w.u64(now);
+        w.u64(self.quiet_cycles);
+        w.len_prefix(self.rules.len());
+        for e in &self.rules {
+            e.name.save(w);
+            w.u64(e.stats.fired);
+            w.u64(e.stats.guard_stalls);
+            w.u64(e.stats.cm_stalls);
+        }
+        self.counters.snap_save(w);
+        Ok(())
+    }
+
+    /// Restores kernel state saved by [`Sim::save_kernel`] into a freshly
+    /// constructed design with the same rule schedule and counter registry.
+    ///
+    /// All rules wake, the compiled plan is invalidated, and the wakeup
+    /// layer restarts from a clean slate — the same template scheduler
+    /// switching uses, already proven observation-invariant.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Mismatch`] if the snapshot's rule schedule or counter
+    /// registry differs from this design's; [`SnapError::Truncated`] /
+    /// [`SnapError::Corrupt`] on malformed bytes. On error the kernel may
+    /// be partially restored and must be discarded.
+    pub fn restore_kernel(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.snapshot_supported()?;
+        let cycles = r.u64()?;
+        let clk_cycle = r.u64()?;
+        let quiet = r.u64()?;
+        let n = r.len_prefix()?;
+        if n != self.rules.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {n} rules, design has {}",
+                self.rules.len()
+            )));
+        }
+        let mut stats = Vec::with_capacity(n);
+        for e in &self.rules {
+            let name = String::load(r)?;
+            if name != e.name {
+                return Err(SnapError::Mismatch(format!(
+                    "snapshot rule `{name}` does not match design rule `{}`",
+                    e.name
+                )));
+            }
+            stats.push(RuleStats {
+                fired: r.u64()?,
+                guard_stalls: r.u64()?,
+                cm_stalls: r.u64()?,
+            });
+        }
+        self.counters.snap_restore(r)?;
+        // Wake everything *before* overwriting stats: clearing a live sleep
+        // settles its deficit into the old stats, which are discarded next.
+        for i in 0..self.rules.len() {
+            self.clear_sleep(i);
+        }
+        for (e, s) in self.rules.iter_mut().zip(stats) {
+            e.stats = s;
+            e.last_wait = None;
+        }
+        self.cycles = cycles;
+        self.quiet_cycles = quiet;
+        self.clk.restore_cycle(clk_cycle);
+        self.last_violation = None;
+        self.par = ParallelismReport::default();
+        self.sync_wake_log();
+        self.plan_stale = true;
+        Ok(())
     }
 
     /// Turns on per-rule stall-reason histograms (the `N × guard "…"` lines

@@ -1,0 +1,813 @@
+//! Versioned, byte-stable snapshots of simulation state.
+//!
+//! A snapshot is taken at a **cycle boundary**, where every transactional
+//! cell is quiescent: no rule transaction is open, every `pend` buffer is
+//! empty, every [`crate::cell::Wire`] has been cleared by the end-of-cycle
+//! latch. At that point the entire observable state of a design is the
+//! committed value of each [`crate::cell::Ehr`] / [`crate::cell::Reg`] plus
+//! whatever plain-data state modules keep beside them — all of which this
+//! module serializes through two small traits:
+//!
+//! * [`Snap`] — a by-value codec (`save`/`load → Self`) for plain data:
+//!   entry structs, enums, messages, stats. Implemented via the
+//!   [`crate::snap_struct!`] / [`crate::snap_enum!`] macros or by hand.
+//! * [`Snapshot`] — an in-place codec (`snap_save`/`snap_restore(&mut
+//!   self)`) for module structs that cannot be constructed from bytes alone
+//!   (anything holding cells needs a live [`crate::clock::Clock`];
+//!   configuration and geometry are re-validated, not re-created).
+//!
+//! # Encoding
+//!
+//! Little-endian, fixed-width integers; containers are length-prefixed with
+//! a `u64`. There is no self-description and no padding — the format is
+//! defined by the sequence of `Snap`/`Snapshot` calls, and versioned as a
+//! whole by the header ([`write_header`]/[`check_header`]). Any structural
+//! change to serialized state must bump the format version at the save/
+//! restore entry point. `HashMap`-backed state must be written in sorted
+//! key order so that `save → restore → save` is byte-identical.
+//!
+//! # Determinism contract
+//!
+//! Restoring a snapshot and running `N` cycles is bit-identical (cycle
+//! counts, perf counters, report bytes) to running the original simulation
+//! through those same `N` cycles without interruption, under every
+//! [`crate::sched::SchedulerMode`]. Scheduler sleep state is deliberately
+//! *not* serialized: restore wakes every rule, and the sleep layer is
+//! already proven observation-invariant by the equivalence suites. See
+//! `docs/CHECKPOINT.md` for the full contract.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Magic number at the head of every snapshot file (`"CMDS"`).
+pub const SNAP_MAGIC: u32 = 0x434D_4453;
+
+/// Errors surfaced while decoding or applying a snapshot.
+///
+/// Restore paths return structured errors for every malformed input —
+/// truncated bytes, wrong magic, version skew, mismatched topology — and
+/// never panic on untrusted snapshot data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapError {
+    /// The leading magic number was not [`SNAP_MAGIC`]: not a snapshot.
+    BadMagic,
+    /// The snapshot was produced by a different format version.
+    VersionMismatch {
+        /// Version found in the snapshot header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The byte stream ended before the decoder was done.
+    Truncated,
+    /// A structurally invalid encoding (bad enum tag, impossible length).
+    Corrupt(&'static str),
+    /// The snapshot is well-formed but does not match the live design
+    /// (different rule names, counter names, core count, or configuration).
+    Mismatch(String),
+    /// The simulation is in a state that cannot be snapshotted (e.g. chaos
+    /// injection, a profiler, or a tracer is attached).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::BadMagic => write!(f, "not a snapshot (bad magic number)"),
+            SnapError::VersionMismatch { found, expected } => write!(
+                f,
+                "snapshot format version {found} does not match expected version {expected}"
+            ),
+            SnapError::Truncated => write!(f, "snapshot is truncated"),
+            SnapError::Corrupt(what) => write!(f, "snapshot is corrupt: {what}"),
+            SnapError::Mismatch(what) => {
+                write!(f, "snapshot does not match the live design: {what}")
+            }
+            SnapError::Unsupported(why) => write!(f, "state cannot be snapshotted: {why}"),
+        }
+    }
+}
+
+impl Error for SnapError {}
+
+// ---------------------------------------------------------------------------
+// Writer / reader
+// ---------------------------------------------------------------------------
+
+/// Byte-stream writer for snapshots: little-endian, fixed-width, no padding.
+#[derive(Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a container length as a `u64` prefix.
+    pub fn len_prefix(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    /// Writes raw bytes with no length prefix (the caller knows the width).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes any [`Snap`] value.
+    pub fn put<T: Snap>(&mut self, v: &T) {
+        v.save(self);
+    }
+}
+
+/// Byte-stream reader for snapshots; every accessor fails with
+/// [`SnapError::Truncated`] on EOF instead of panicking.
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take_slice(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at EOF.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take_slice(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at EOF.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        let s = self.take_slice(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at EOF.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let s = self.take_slice(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at EOF.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let s = self.take_slice(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `bool` (one byte, must be 0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at EOF, [`SnapError::Corrupt`] on any byte
+    /// other than 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool byte is not 0 or 1")),
+        }
+    }
+
+    /// Reads a container length prefix, sanity-checked against the bytes
+    /// actually remaining (each element encodes to at least one byte, so a
+    /// longer claim is necessarily corrupt or truncated).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] if the claimed length cannot possibly fit.
+    pub fn len_prefix(&mut self) -> Result<usize, SnapError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| SnapError::Corrupt("length overflows usize"))?;
+        if n > self.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Reads `n` raw bytes (no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at EOF.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take_slice(n)
+    }
+
+    /// Reads any [`Snap`] value.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `T`'s decoder reports.
+    pub fn take<T: Snap>(&mut self) -> Result<T, SnapError> {
+        T::load(self)
+    }
+
+    /// Asserts that the whole input was consumed — trailing garbage means
+    /// the snapshot and the decoder disagree about the format.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] if bytes remain.
+    pub fn expect_end(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::Corrupt("trailing bytes after snapshot"))
+        }
+    }
+}
+
+/// Writes the snapshot header: [`SNAP_MAGIC`] then the format `version`.
+pub fn write_header(w: &mut SnapWriter, version: u32) {
+    w.u32(SNAP_MAGIC);
+    w.u32(version);
+}
+
+/// Checks the snapshot header against `expected` version.
+///
+/// # Errors
+///
+/// [`SnapError::BadMagic`] or [`SnapError::VersionMismatch`].
+pub fn check_header(r: &mut SnapReader<'_>, expected: u32) -> Result<(), SnapError> {
+    if r.u32()? != SNAP_MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let found = r.u32()?;
+    if found != expected {
+        return Err(SnapError::VersionMismatch { found, expected });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Snap: by-value codec
+// ---------------------------------------------------------------------------
+
+/// A by-value snapshot codec: a type that can serialize itself and be
+/// reconstructed from bytes alone.
+///
+/// Implement via [`crate::snap_struct!`] / [`crate::snap_enum!`] for plain data, or by
+/// hand when some canonical encoding already exists (e.g. an instruction's
+/// 32-bit encoding).
+pub trait Snap: Sized {
+    /// Appends this value's encoding to `w`.
+    fn save(&self, w: &mut SnapWriter);
+    /// Decodes one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] / [`SnapError::Corrupt`] on malformed input.
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError>;
+}
+
+/// An in-place snapshot codec for module structs: state is saved from and
+/// restored into an already-constructed value (cells need a live clock;
+/// configuration is validated rather than deserialized).
+pub trait Snapshot {
+    /// Appends this module's architectural state to `w`.
+    fn snap_save(&self, w: &mut SnapWriter);
+    /// Restores this module's architectural state from `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] / [`SnapError::Corrupt`] on malformed
+    /// input, [`SnapError::Mismatch`] if the encoded topology does not
+    /// match `self`.
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
+}
+
+macro_rules! snap_prim {
+    ($($t:ty => $get:ident),* $(,)?) => {
+        $(
+            impl Snap for $t {
+                fn save(&self, w: &mut SnapWriter) {
+                    w.$get(*self);
+                }
+                fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+                    r.$get()
+                }
+            }
+        )*
+    };
+}
+
+snap_prim!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, bool => bool);
+
+macro_rules! snap_signed {
+    ($($t:ty as $u:ty => $get:ident),* $(,)?) => {
+        $(
+            impl Snap for $t {
+                #[allow(clippy::cast_sign_loss)]
+                fn save(&self, w: &mut SnapWriter) {
+                    w.$get(*self as $u);
+                }
+                #[allow(clippy::cast_possible_wrap)]
+                fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+                    Ok(r.$get()? as $t)
+                }
+            }
+        )*
+    };
+}
+
+snap_signed!(i8 as u8 => u8, i16 as u16 => u16, i32 as u32 => u32, i64 as u64 => u64);
+
+impl Snap for usize {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(*self as u64);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        usize::try_from(r.u64()?).map_err(|_| SnapError::Corrupt("usize overflows host"))
+    }
+}
+
+impl Snap for String {
+    fn save(&self, w: &mut SnapWriter) {
+        w.len_prefix(self.len());
+        w.bytes(self.as_bytes());
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let b = r.bytes(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| SnapError::Corrupt("string is not UTF-8"))
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            _ => Err(SnapError::Corrupt("Option tag is not 0 or 1")),
+        }
+    }
+}
+
+impl<T: Snap, E: Snap> Snap for Result<T, E> {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Ok(v) => {
+                w.u8(0);
+                v.save(w);
+            }
+            Err(e) => {
+                w.u8(1);
+                e.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Ok(T::load(r)?)),
+            1 => Ok(Err(E::load(r)?)),
+            _ => Err(SnapError::Corrupt("Result tag is not 0 or 1")),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.len_prefix(self.len());
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.len_prefix(self.len());
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let mut out = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            out.push_back(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for Box<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        (**self).save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Box::new(T::load(r)?))
+    }
+}
+
+impl<T: Snap, const N: usize> Snap for [T; N] {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::load(r)?);
+        }
+        out.try_into()
+            .map_err(|_| SnapError::Corrupt("array length"))
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell impls
+// ---------------------------------------------------------------------------
+
+impl<T: Snap + Clone + 'static> Snapshot for crate::cell::Ehr<T> {
+    fn snap_save(&self, w: &mut SnapWriter) {
+        self.with(|v| v.save(w));
+    }
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        // Outside a rule, a cell write applies immediately to the committed
+        // value and pokes the wakeup layer — exactly restore semantics.
+        self.write(T::load(r)?);
+        Ok(())
+    }
+}
+
+impl<T: Snap + Clone + 'static> Snapshot for crate::cell::Reg<T> {
+    fn snap_save(&self, w: &mut SnapWriter) {
+        self.with(|v| v.save(w));
+    }
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.write(T::load(r)?);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-style macros
+// ---------------------------------------------------------------------------
+
+/// Implements [`Snap`] for a struct by listing **all** of its fields in
+/// declaration order (tuple-struct indices work too: `snap_struct!(Tag {
+/// 0 })`). Skipping a field is not expressible — write a manual impl when a
+/// field must not be serialized.
+///
+/// ```
+/// use cmd_core::snap_struct;
+///
+/// #[derive(PartialEq, Debug)]
+/// struct Point {
+///     x: u64,
+///     y: u64,
+/// }
+/// snap_struct!(Point { x, y });
+///
+/// use cmd_core::snap::{Snap, SnapReader, SnapWriter};
+/// let mut w = SnapWriter::new();
+/// Point { x: 1, y: 2 }.save(&mut w);
+/// let bytes = w.into_bytes();
+/// let p = Point::load(&mut SnapReader::new(&bytes)).unwrap();
+/// assert_eq!(p, Point { x: 1, y: 2 });
+/// ```
+#[macro_export]
+macro_rules! snap_struct {
+    ($ty:ty { $($f:tt),* $(,)? }) => {
+        impl $crate::snap::Snap for $ty {
+            fn save(&self, w: &mut $crate::snap::SnapWriter) {
+                $( $crate::snap::Snap::save(&self.$f, w); )*
+            }
+            fn load(
+                r: &mut $crate::snap::SnapReader<'_>,
+            ) -> Result<Self, $crate::snap::SnapError> {
+                Ok(Self { $( $f: $crate::snap::Snap::load(r)? ),* })
+            }
+        }
+    };
+}
+
+/// Implements [`Snap`] for an enum by assigning each variant an explicit
+/// `u8` tag. Unit, struct, and tuple variants are supported; tags are part
+/// of the on-disk format and must never be renumbered.
+///
+/// ```
+/// use cmd_core::snap_enum;
+///
+/// #[derive(PartialEq, Debug)]
+/// enum Msg {
+///     Ping,
+///     Data { addr: u64, len: u32 },
+///     Pair(u8, u8),
+/// }
+/// snap_enum!(Msg {
+///     0 => Ping,
+///     1 => Data { addr, len },
+///     2 => Pair(a, b),
+/// });
+///
+/// use cmd_core::snap::{Snap, SnapReader, SnapWriter};
+/// let mut w = SnapWriter::new();
+/// Msg::Data { addr: 16, len: 4 }.save(&mut w);
+/// let bytes = w.into_bytes();
+/// let m = Msg::load(&mut SnapReader::new(&bytes)).unwrap();
+/// assert_eq!(m, Msg::Data { addr: 16, len: 4 });
+/// ```
+#[macro_export]
+macro_rules! snap_enum {
+    ($ty:ty {
+        $( $tag:literal => $variant:ident
+            $( { $($f:ident),* $(,)? } )?
+            $( ( $($t:ident),* $(,)? ) )?
+        ),* $(,)?
+    }) => {
+        impl $crate::snap::Snap for $ty {
+            fn save(&self, w: &mut $crate::snap::SnapWriter) {
+                match self {
+                    $(
+                        Self::$variant $( { $($f),* } )? $( ( $($t),* ) )? => {
+                            w.u8($tag);
+                            $( $( $crate::snap::Snap::save($f, w); )* )?
+                            $( $( $crate::snap::Snap::save($t, w); )* )?
+                        }
+                    )*
+                }
+            }
+            fn load(
+                r: &mut $crate::snap::SnapReader<'_>,
+            ) -> Result<Self, $crate::snap::SnapError> {
+                match r.u8()? {
+                    $(
+                        $tag => Ok(Self::$variant
+                            $( { $($f: $crate::snap::Snap::load(r)?),* } )?
+                            // Rust evaluates call arguments left-to-right,
+                            // so tuple fields decode in declaration order.
+                            $( ( $( {
+                                let _ = stringify!($t);
+                                $crate::snap::Snap::load(r)?
+                            } ),* ) )?
+                        ),
+                    )*
+                    _ => Err($crate::snap::SnapError::Corrupt(concat!(
+                        "bad variant tag for ",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Ehr, Reg};
+    use crate::clock::Clock;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = SnapWriter::new();
+        w.put(&0xAAu8);
+        w.put(&0xBBCCu16);
+        w.put(&0xDEAD_BEEFu32);
+        w.put(&u64::MAX);
+        w.put(&true);
+        w.put(&(-5i64));
+        w.put(&7usize);
+        w.put(&String::from("hi"));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.take::<u8>().unwrap(), 0xAA);
+        assert_eq!(r.take::<u16>().unwrap(), 0xBBCC);
+        assert_eq!(r.take::<u32>().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take::<u64>().unwrap(), u64::MAX);
+        assert!(r.take::<bool>().unwrap());
+        assert_eq!(r.take::<i64>().unwrap(), -5);
+        assert_eq!(r.take::<usize>().unwrap(), 7);
+        assert_eq!(r.take::<String>().unwrap(), "hi");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let mut w = SnapWriter::new();
+        w.put(&vec![1u64, 2, 3]);
+        w.put(&Some(9u32));
+        w.put(&Option::<u32>::None);
+        w.put(&VecDeque::from([4u8, 5]));
+        w.put(&[7u16, 8, 9]);
+        w.put(&(1u8, 2u16, 3u32));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.take::<Vec<u64>>().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.take::<Option<u32>>().unwrap(), Some(9));
+        assert_eq!(r.take::<Option<u32>>().unwrap(), None);
+        assert_eq!(r.take::<VecDeque<u8>>().unwrap(), VecDeque::from([4, 5]));
+        assert_eq!(r.take::<[u16; 3]>().unwrap(), [7, 8, 9]);
+        assert_eq!(r.take::<(u8, u16, u32)>().unwrap(), (1, 2, 3));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = SnapWriter::new();
+        w.put(&vec![1u64, 2, 3]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(r.take::<Vec<u64>>().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_truncated_not_oom() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.take::<Vec<u64>>(), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn header_checks() {
+        let mut w = SnapWriter::new();
+        write_header(&mut w, 3);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        check_header(&mut r, 3).unwrap();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(
+            check_header(&mut r, 4),
+            Err(SnapError::VersionMismatch {
+                found: 3,
+                expected: 4
+            })
+        );
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        let mut r = SnapReader::new(&bad);
+        assert_eq!(check_header(&mut r, 3), Err(SnapError::BadMagic));
+    }
+
+    #[test]
+    fn cells_restore_outside_rules() {
+        let clk = Clock::new();
+        let e = Ehr::new(&clk, 1u64);
+        let g = Reg::new(&clk, 2u64);
+        let mut w = SnapWriter::new();
+        e.snap_save(&mut w);
+        g.snap_save(&mut w);
+        let bytes = w.into_bytes();
+
+        let clk2 = Clock::new();
+        let mut e2 = Ehr::new(&clk2, 0u64);
+        let mut g2 = Reg::new(&clk2, 0u64);
+        let mut r = SnapReader::new(&bytes);
+        e2.snap_restore(&mut r).unwrap();
+        g2.snap_restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(e2.read(), 1);
+        assert_eq!(g2.read(), 2);
+    }
+
+    #[derive(PartialEq, Debug)]
+    enum Toy {
+        A,
+        B { x: u64 },
+        C(u8, u16),
+    }
+    snap_enum!(Toy { 0 => A, 1 => B { x }, 2 => C(a, b) });
+
+    #[test]
+    fn enum_macro_roundtrips_and_rejects_bad_tags() {
+        for v in [Toy::A, Toy::B { x: 77 }, Toy::C(1, 2)] {
+            let mut w = SnapWriter::new();
+            v.save(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(Toy::load(&mut r).unwrap(), v);
+            r.expect_end().unwrap();
+        }
+        let mut r = SnapReader::new(&[9]);
+        assert!(matches!(Toy::load(&mut r), Err(SnapError::Corrupt(_))));
+    }
+}

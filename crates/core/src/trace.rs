@@ -307,6 +307,58 @@ impl Counters {
     }
 }
 
+impl crate::snap::Snapshot for Counters {
+    /// Serializes every registered counter as sorted `(name, value)` pairs
+    /// — sorted so the bytes are stable across registration order.
+    fn snap_save(&self, w: &mut crate::snap::SnapWriter) {
+        use crate::snap::Snap;
+        let pairs = self.snapshot();
+        w.len_prefix(pairs.len());
+        for (name, val) in &pairs {
+            name.save(w);
+            val.save(w);
+        }
+    }
+
+    /// Restores counter values *by name* into the already-populated
+    /// registry; the set of registered names must match the snapshot
+    /// exactly (the same design registers the same counters).
+    fn snap_restore(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        use crate::snap::{Snap, SnapError};
+        let n = r.len_prefix()?;
+        let mut pairs = Vec::with_capacity(n);
+        for _ in 0..n {
+            pairs.push((String::load(r)?, u64::load(r)?));
+        }
+        let entries = self.inner.borrow();
+        if entries.len() != pairs.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {} counters, registry has {}",
+                pairs.len(),
+                entries.len()
+            )));
+        }
+        // Validate every name before touching any value, so a mismatch
+        // leaves the registry unmodified.
+        for (name, _) in &pairs {
+            if !entries.iter().any(|e| e.name == *name) {
+                return Err(SnapError::Mismatch(format!(
+                    "snapshot counter `{name}` is not registered"
+                )));
+            }
+        }
+        for (name, val) in &pairs {
+            if let Some(e) = entries.iter().find(|e| e.name == *name) {
+                e.cell.set(*val);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A cycle-stamped copy of every counter, taken with
 /// [`Counters::snapshot_at`].
 ///

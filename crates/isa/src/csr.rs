@@ -34,6 +34,12 @@ impl Priv {
     }
 }
 
+cmd_core::snap_enum!(Priv {
+    0 => U,
+    1 => S,
+    2 => M,
+});
+
 /// Well-known CSR addresses used in this reproduction.
 pub mod addr {
     /// machine status
@@ -124,6 +130,21 @@ impl Exception {
     }
 }
 
+cmd_core::snap_enum!(Exception {
+    0 => InstAddrMisaligned,
+    1 => InstAccessFault,
+    2 => IllegalInst,
+    3 => Breakpoint,
+    4 => LoadAddrMisaligned,
+    5 => LoadAccessFault,
+    6 => StoreAddrMisaligned,
+    7 => StoreAccessFault,
+    8 => Ecall(p),
+    9 => InstPageFault,
+    10 => LoadPageFault,
+    11 => StorePageFault,
+});
+
 /// A minimal machine/supervisor CSR file.
 ///
 /// Unknown CSRs read as zero and ignore writes, which is enough for the
@@ -160,6 +181,23 @@ pub struct CsrFile {
     /// This hart's id (mhartid).
     pub hartid: u64,
 }
+
+cmd_core::snap_struct!(CsrFile {
+    mstatus,
+    mtvec,
+    mscratch,
+    mepc,
+    mcause,
+    mtval,
+    medeleg,
+    stvec,
+    sscratch,
+    sepc,
+    scause,
+    stval,
+    satp,
+    hartid,
+});
 
 /// mstatus bit positions used here.
 pub mod mstatus {

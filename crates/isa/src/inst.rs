@@ -121,6 +121,18 @@ pub enum AmoOp {
     Maxu,
 }
 
+cmd_core::snap_enum!(AmoOp {
+    0 => Swap,
+    1 => Add,
+    2 => Xor,
+    3 => And,
+    4 => Or,
+    5 => Min,
+    6 => Max,
+    7 => Minu,
+    8 => Maxu,
+});
+
 /// Zicsr operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CsrOp {
@@ -436,6 +448,19 @@ const OP_REG32: u32 = 0x3b;
 const OP_AMO: u32 = 0x2f;
 const OP_SYSTEM: u32 = 0x73;
 const OP_MISC_MEM: u32 = 0x0f;
+
+impl cmd_core::snap::Snap for Instr {
+    /// An instruction's snapshot encoding *is* its canonical 32-bit RISC-V
+    /// encoding — no second format to keep in sync with the decoder.
+    fn save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        w.u32(self.encode());
+    }
+
+    fn load(r: &mut cmd_core::snap::SnapReader<'_>) -> Result<Self, cmd_core::snap::SnapError> {
+        decode(r.u32()?)
+            .map_err(|_| cmd_core::snap::SnapError::Corrupt("undecodable instruction word"))
+    }
+}
 
 impl Instr {
     /// Encodes into the 32-bit RISC-V instruction word.

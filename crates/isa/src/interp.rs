@@ -70,6 +70,19 @@ impl Hart {
     }
 }
 
+cmd_core::snap_struct!(Hart {
+    id,
+    pc,
+    regs,
+    priv_mode,
+    csrs,
+    instret,
+    halted,
+    reservation,
+    roi_start,
+    roi_insts,
+});
+
 /// What one [`Machine::step`] did, for commit-level co-simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Commit {
@@ -95,13 +108,19 @@ pub enum StepOutcome {
 }
 
 /// A whole shared-memory machine: physical memory plus `n` harts.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     /// Physical memory.
     pub mem: SparseMem,
     harts: Vec<Hart>,
     console: Vec<u8>,
 }
+
+cmd_core::snap_struct!(Machine {
+    mem,
+    harts,
+    console
+});
 
 impl Machine {
     /// Creates a machine with `num_harts` harts, all starting at `entry` in

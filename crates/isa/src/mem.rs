@@ -33,9 +33,37 @@ const PAGE_BYTES: usize = 4096;
 
 /// Byte-addressable sparse physical memory (allocates 4 KiB frames on first
 /// touch; unwritten memory reads as zero).
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct SparseMem {
     pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl cmd_core::snap::Snap for SparseMem {
+    /// Pages are written in sorted frame order so repeated saves of the
+    /// same memory are byte-identical (the backing `HashMap` iterates in
+    /// arbitrary order).
+    fn save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        w.len_prefix(keys.len());
+        for k in keys {
+            w.u64(k);
+            w.bytes(&self.pages[&k][..]);
+        }
+    }
+
+    fn load(r: &mut cmd_core::snap::SnapReader<'_>) -> Result<Self, cmd_core::snap::SnapError> {
+        let n = r.len_prefix()?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = r.u64()?;
+            let bytes = r.bytes(PAGE_BYTES)?;
+            let mut page = Box::new([0u8; PAGE_BYTES]);
+            page.copy_from_slice(bytes);
+            pages.insert(k, page);
+        }
+        Ok(SparseMem { pages })
+    }
 }
 
 impl std::fmt::Debug for SparseMem {

@@ -89,6 +89,23 @@ impl From<Gpr> for u32 {
     }
 }
 
+impl cmd_core::snap::Snap for Gpr {
+    fn save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        w.u8(self.0);
+    }
+
+    fn load(r: &mut cmd_core::snap::SnapReader<'_>) -> Result<Self, cmd_core::snap::SnapError> {
+        let n = r.u8()?;
+        if n < 32 {
+            Ok(Gpr(n))
+        } else {
+            Err(cmd_core::snap::SnapError::Corrupt(
+                "register index out of range",
+            ))
+        }
+    }
+}
+
 impl fmt::Display for Gpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const NAMES: [&str; 32] = [

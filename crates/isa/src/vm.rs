@@ -57,6 +57,21 @@ pub struct PageFault {
     pub access: Access,
 }
 
+cmd_core::snap_enum!(Access {
+    0 => Fetch,
+    1 => Load,
+    2 => Store,
+});
+
+cmd_core::snap_struct!(PageFault { va, access });
+
+cmd_core::snap_struct!(Translation {
+    pa,
+    pte,
+    level,
+    steps,
+});
+
 /// A successful translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Translation {

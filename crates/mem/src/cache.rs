@@ -184,6 +184,51 @@ impl CacheArray {
     pub fn iter_valid(&self) -> impl Iterator<Item = &Slot> {
         self.slots.iter().filter(|s| s.state != Msi::I)
     }
+
+    /// A free (invalid, unlocked) slot in `line`'s set, if any — used by
+    /// functional warming, which must never evict.
+    #[must_use]
+    pub fn free_slot(&self, line: u64) -> Option<usize> {
+        self.set_range(line)
+            .find(|&i| self.slots[i].state == Msi::I && !self.slots[i].locked)
+    }
+}
+
+cmd_core::snap_struct!(Slot {
+    line,
+    state,
+    data,
+    lru,
+    locked,
+    dirty,
+    sharers,
+    owner,
+});
+
+impl cmd_core::snap::Snapshot for CacheArray {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+        self.slots.save(w);
+        w.u64(self.tick);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+        let slots: Vec<Slot> = Snap::load(r)?;
+        if slots.len() != self.slots.len() {
+            return Err(cmd_core::snap::SnapError::Mismatch(format!(
+                "snapshot cache array has {} slots, design has {}",
+                slots.len(),
+                self.slots.len()
+            )));
+        }
+        self.slots = slots;
+        self.tick = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Reads `bytes` little-endian at `addr` from a line buffer.
@@ -669,6 +714,77 @@ impl L1Cache {
             self.evict_notes.len(),
             self.resp_q.len(),
         )
+    }
+
+    /// Whether a functional-warming install of `line` can succeed: the line
+    /// is already resident or its set has a free way.
+    #[must_use]
+    pub fn warm_room(&self, line: u64) -> bool {
+        self.array.lookup(line).is_some() || self.array.free_slot(line).is_some()
+    }
+
+    /// Functional-warming install (fast-forward): places `line` in S state
+    /// into a free way, if one exists. Never evicts and emits no coherence
+    /// traffic — the warmup driver mirrors the sharer bit in the parent
+    /// directory to keep inclusion intact. Returns whether the line is
+    /// resident afterwards.
+    pub fn warm_insert(&mut self, line: u64, data: &Line) -> bool {
+        if self.array.lookup(line).is_some() {
+            return true;
+        }
+        let Some(idx) = self.array.free_slot(line) else {
+            return false;
+        };
+        self.array.install(idx, line, Msi::S, Box::new(*data));
+        true
+    }
+}
+
+cmd_core::snap_struct!(Mshr { line, want_m });
+
+impl cmd_core::snap::Snapshot for L1Cache {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+        self.array.snap_save(w);
+        self.room.save(w);
+        self.mshrs.save(w);
+        self.resp_q.snap_save(w);
+        self.to_parent_req.save(w);
+        self.to_parent_msg.save(w);
+        self.from_parent.save(w);
+        self.deferred_downs.save(w);
+        self.reservation.save(w);
+        self.evict_notes.save(w);
+        self.stats.save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+        self.array.snap_restore(r)?;
+        let room: Vec<CoreReq> = Snap::load(r)?;
+        let mshrs: Vec<Mshr> = Snap::load(r)?;
+        if room.len() > self.cfg.mshrs || mshrs.len() > self.cfg.mshrs {
+            return Err(cmd_core::snap::SnapError::Mismatch(format!(
+                "snapshot L1 occupancy ({} room, {} mshrs) exceeds configured {} mshrs",
+                room.len(),
+                mshrs.len(),
+                self.cfg.mshrs
+            )));
+        }
+        self.room = room;
+        self.mshrs = mshrs;
+        self.resp_q.snap_restore(r)?;
+        self.to_parent_req = Snap::load(r)?;
+        self.to_parent_msg = Snap::load(r)?;
+        self.from_parent = Snap::load(r)?;
+        self.deferred_downs = Snap::load(r)?;
+        self.reservation = Snap::load(r)?;
+        self.evict_notes = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

@@ -13,7 +13,7 @@ use riscy_isa::mem::SparseMem;
 
 use crate::cache::{read_from_line, CacheArray, CacheGeom};
 use crate::dram::{Dram, DramConfig, DramReq};
-use crate::msg::{CacheStats, ChildReq, ChildToParent, DownReq, Msi, ParentResp};
+use crate::msg::{CacheStats, ChildReq, ChildToParent, DownReq, Line, Msi, ParentResp};
 
 /// Configuration of the shared L2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -676,6 +676,121 @@ impl L2 {
             self.trans.len(),
             self.uncached_in.len(),
         )
+    }
+
+    /// Whether a functional-warming install of `line` can succeed: the line
+    /// is already resident or its set has a free way.
+    #[must_use]
+    pub fn warm_room(&self, line: u64) -> bool {
+        self.array.lookup(line).is_some() || self.array.free_slot(line).is_some()
+    }
+
+    /// Functional-warming install (fast-forward): places `line` in S state
+    /// into a free way, with `sharer`'s bit set when an L1 copy is being
+    /// installed alongside (`None` warms the L2 level alone). Never evicts
+    /// (inclusion would force L1 invalidations) and issues no DRAM
+    /// traffic. Returns whether the line is resident afterwards; when it
+    /// already is, only the sharer bit is added.
+    pub fn warm_insert(&mut self, line: u64, data: &Line, sharer: Option<usize>) -> bool {
+        if let Some(idx) = self.array.lookup(line) {
+            if let Some(s) = sharer {
+                self.array.slot_mut(idx).sharers |= 1 << s;
+            }
+            return true;
+        }
+        let Some(idx) = self.array.free_slot(line) else {
+            return false;
+        };
+        self.array.install(idx, line, Msi::S, Box::new(*data));
+        self.array.slot_mut(idx).sharers = sharer.map_or(0, |s| 1 << s);
+        true
+    }
+}
+
+cmd_core::snap_struct!(UncachedReq { core, tag, addr });
+cmd_core::snap_struct!(UncachedResp { tag, data });
+
+cmd_core::snap_enum!(Requester {
+    0 => Child(c),
+    1 => Uncached(u),
+});
+
+cmd_core::snap_enum!(Phase {
+    0 => EvictVictim,
+    1 => WaitDram,
+    2 => WaitDowngrades,
+});
+
+cmd_core::snap_struct!(Trans {
+    req,
+    line,
+    phase,
+    slot,
+    dram_issued,
+    downs_sent,
+});
+
+impl cmd_core::snap::Snapshot for L2 {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+        self.array.snap_save(w);
+        self.req_in.save(w);
+        self.msg_in.save(w);
+        self.resp_out.save(w);
+        self.down_out.save(w);
+        self.uncached_in.save(w);
+        self.uncached_out.save(w);
+        self.room.save(w);
+        self.trans.save(w);
+        self.dram.snap_save(w);
+        self.stats.save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+        self.array.snap_restore(r)?;
+        let req_in: VecDeque<ChildReq> = Snap::load(r)?;
+        let msg_in: VecDeque<ChildToParent> = Snap::load(r)?;
+        let resp_out: Vec<VecDeque<ParentResp>> = Snap::load(r)?;
+        let down_out: Vec<VecDeque<DownReq>> = Snap::load(r)?;
+        let uncached_in: VecDeque<UncachedReq> = Snap::load(r)?;
+        let uncached_out: Vec<VecDeque<UncachedResp>> = Snap::load(r)?;
+        let room: VecDeque<Requester> = Snap::load(r)?;
+        let trans: Vec<Trans> = Snap::load(r)?;
+        if resp_out.len() != self.resp_out.len()
+            || down_out.len() != self.down_out.len()
+            || uncached_out.len() != self.uncached_out.len()
+        {
+            return Err(cmd_core::snap::SnapError::Mismatch(format!(
+                "snapshot L2 fan-out ({} children, {} cores) does not match design \
+                 ({} children, {} cores)",
+                resp_out.len(),
+                uncached_out.len(),
+                self.resp_out.len(),
+                self.uncached_out.len()
+            )));
+        }
+        if trans.len() > self.cfg.max_trans {
+            return Err(cmd_core::snap::SnapError::Mismatch(format!(
+                "snapshot L2 has {} transactions, design allows {}",
+                trans.len(),
+                self.cfg.max_trans
+            )));
+        }
+        self.req_in = req_in;
+        self.msg_in = msg_in;
+        self.resp_out = resp_out;
+        self.down_out = down_out;
+        self.uncached_in = uncached_in;
+        self.uncached_out = uncached_out;
+        self.room = room;
+        self.trans = trans;
+        self.dram.snap_restore(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 }
 

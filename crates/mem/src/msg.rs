@@ -234,6 +234,57 @@ impl CacheStats {
     }
 }
 
+cmd_core::snap_enum!(Msi {
+    0 => I,
+    1 => S,
+    2 => E,
+    3 => M,
+});
+
+cmd_core::snap_enum!(ChildReq {
+    0 => GetS { child, line },
+    1 => GetM { child, line },
+});
+
+cmd_core::snap_enum!(ChildToParent {
+    0 => PutM { child, line, data },
+    1 => DownAck { child, line, data, to },
+});
+
+cmd_core::snap_struct!(DownReq { line, to });
+
+cmd_core::snap_struct!(ParentResp { line, state, data });
+
+cmd_core::snap_enum!(CoreReq {
+    0 => Ld { tag, addr, bytes },
+    1 => St { sb_idx, line },
+    2 => Atomic { tag, addr, bytes, op },
+});
+
+cmd_core::snap_enum!(AtomicOp {
+    0 => Lr,
+    1 => Sc(v),
+    2 => Amo(op, v),
+});
+
+cmd_core::snap_enum!(CoreResp {
+    0 => Ld { tag, data },
+    1 => St { sb_idx },
+    2 => Atomic { tag, data },
+});
+
+cmd_core::snap_struct!(CacheStats {
+    hits,
+    misses,
+    writebacks,
+    downgrades,
+});
+
+cmd_core::snap_enum!(ParentToChild {
+    0 => Grant(g),
+    1 => Down(d),
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,7 @@ impl Default for MemConfig {
 /// child `2c + 1`. Instruction fetches are fully coherent, as in the paper.
 #[derive(Debug)]
 pub struct MemSystem {
+    cfg: MemConfig,
     /// Backing physical memory.
     pub mem: SparseMem,
     l1d: Vec<L1Cache>,
@@ -91,6 +92,7 @@ impl MemSystem {
     pub fn new(cfg: MemConfig, num_cores: usize, mem: SparseMem) -> Self {
         let children = 2 * num_cores;
         MemSystem {
+            cfg,
             mem,
             l1d: (0..num_cores)
                 .map(|c| L1Cache::new(2 * c, cfg.l1d))
@@ -308,6 +310,123 @@ impl MemSystem {
             && self.p2c.is_empty()
             && self.l1d.iter().all(L1Cache::is_idle)
             && self.l1i.iter().all(L1Cache::is_idle)
+    }
+
+    /// A deterministic fingerprint of the memory configuration, embedded in
+    /// snapshots so a restore into a differently shaped system fails with a
+    /// structured error instead of silently corrupting state.
+    #[must_use]
+    pub fn config_digest(&self) -> String {
+        format!("cores={} {:?}", self.l1d.len(), self.cfg)
+    }
+
+    /// Whether the memory system can be snapshotted. Fault injection keeps
+    /// live state inside the chaos engine that snapshots do not capture.
+    ///
+    /// # Errors
+    ///
+    /// [`cmd_core::snap::SnapError::Unsupported`] when a fault engine is attached.
+    pub fn snapshot_supported(&self) -> Result<(), cmd_core::snap::SnapError> {
+        if self.chaos.is_some() {
+            return Err(cmd_core::snap::SnapError::Unsupported(
+                "memory system has a chaos fault engine attached",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Functional-warming fill (fast-forward): makes `line` resident in S
+    /// state in core `core`'s L1 (I or D side) and the L2, with the data
+    /// read from backing memory. Inclusive and eviction-free: the fill
+    /// happens only when both levels already hold the line or have a free
+    /// way, so no coherence traffic and no displacement of warmer lines.
+    /// Returns whether the line is resident after the call.
+    pub fn warm_line(&mut self, line: u64, core: usize, icache: bool) -> bool {
+        let l1 = if icache {
+            &self.l1i[core]
+        } else {
+            &self.l1d[core]
+        };
+        if !l1.warm_room(line) || !self.l2.warm_room(line) {
+            return false;
+        }
+        let data = self.mem.read_line(line);
+        let child = if icache { 2 * core + 1 } else { 2 * core };
+        let in_l2 = self.l2.warm_insert(line, &data, Some(child));
+        let l1 = if icache {
+            &mut self.l1i[core]
+        } else {
+            &mut self.l1d[core]
+        };
+        let in_l1 = l1.warm_insert(line, &data);
+        debug_assert!(in_l2 && in_l1, "warm_room said both levels had room");
+        in_l2 && in_l1
+    }
+
+    /// Functional-warming fill of the L2 level alone (no L1 copy): used
+    /// for the colder portion of the fast-forward recency window, whose
+    /// lines would long since have been evicted from the tiny L1s but
+    /// still occupy the L2 in a real run. The child's sharer bit is set
+    /// anyway: L1s drop S lines silently, so in a real run the directory
+    /// still names the old sharer and every later eviction of the line
+    /// pays a recall round trip. Warming without the stale bit made
+    /// post-handoff evictions unrealistically cheap until the whole L2
+    /// had churned. Same eviction-free discipline as
+    /// [`MemSystem::warm_line`]. Returns whether the line is resident in
+    /// the L2 afterwards.
+    pub fn warm_line_l2(&mut self, line: u64, core: usize, icache: bool) -> bool {
+        if !self.l2.warm_room(line) {
+            return false;
+        }
+        let data = self.mem.read_line(line);
+        let child = if icache { 2 * core + 1 } else { 2 * core };
+        self.l2.warm_insert(line, &data, Some(child))
+    }
+}
+
+impl cmd_core::snap::Snapshot for MemSystem {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+        self.mem.save(w);
+        w.len_prefix(self.l1d.len());
+        for l1 in self.l1d.iter().chain(self.l1i.iter()) {
+            l1.snap_save(w);
+        }
+        self.l2.snap_save(w);
+        self.c2p_req.snap_save(w);
+        self.c2p_msg.snap_save(w);
+        self.p2c.snap_save(w);
+        self.walk_req.snap_save(w);
+        self.walk_resp.snap_save(w);
+        w.u64(self.now);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+        self.snapshot_supported()?;
+        self.mem = Snap::load(r)?;
+        let cores = r.len_prefix()?;
+        if cores != self.l1d.len() {
+            return Err(cmd_core::snap::SnapError::Mismatch(format!(
+                "snapshot has {} cores, design has {}",
+                cores,
+                self.l1d.len()
+            )));
+        }
+        for l1 in self.l1d.iter_mut().chain(self.l1i.iter_mut()) {
+            l1.snap_restore(r)?;
+        }
+        self.l2.snap_restore(r)?;
+        self.c2p_req.snap_restore(r)?;
+        self.c2p_msg.snap_restore(r)?;
+        self.p2c.snap_restore(r)?;
+        self.walk_req.snap_restore(r)?;
+        self.walk_resp.snap_restore(r)?;
+        self.now = r.u64()?;
+        Ok(())
     }
 }
 

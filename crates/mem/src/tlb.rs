@@ -572,6 +572,164 @@ impl PageWalker {
     }
 }
 
+cmd_core::snap_struct!(TlbEntry {
+    va_base,
+    pa_base,
+    page_shift,
+    pte,
+    lru,
+});
+
+impl cmd_core::snap::Snapshot for Tlb {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+        self.entries.save(w);
+        w.u64(self.tick);
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+        let entries: Vec<TlbEntry> = Snap::load(r)?;
+        if entries.len() > self.capacity {
+            return Err(cmd_core::snap::SnapError::Mismatch(format!(
+                "snapshot TLB holds {} entries, capacity is {}",
+                entries.len(),
+                self.capacity
+            )));
+        }
+        self.entries = entries;
+        self.tick = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
+}
+
+impl cmd_core::snap::Snapshot for L2Tlb {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+        self.entries.save(w);
+        self.lrus.save(w);
+        w.u64(self.tick);
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+        let entries: Vec<Option<TlbEntry>> = Snap::load(r)?;
+        let lrus: Vec<u64> = Snap::load(r)?;
+        if entries.len() != self.entries.len() || lrus.len() != self.lrus.len() {
+            return Err(cmd_core::snap::SnapError::Mismatch(format!(
+                "snapshot L2 TLB geometry ({} entries) differs from design ({})",
+                entries.len(),
+                self.entries.len()
+            )));
+        }
+        self.entries = entries;
+        self.lrus = lrus;
+        self.tick = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
+}
+
+impl cmd_core::snap::Snapshot for WalkCache {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+        self.l1_ptrs.save(w);
+        self.l0_ptrs.save(w);
+        w.u64(self.tick);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+        let l1: Vec<(u64, u64, u64)> = Snap::load(r)?;
+        let l0: Vec<(u64, u64, u64)> = Snap::load(r)?;
+        if l1.len() > self.capacity || l0.len() > self.capacity {
+            return Err(cmd_core::snap::SnapError::Mismatch(
+                "snapshot walk cache exceeds capacity".into(),
+            ));
+        }
+        self.l1_ptrs = l1;
+        self.l0_ptrs = l0;
+        self.tick = r.u64()?;
+        Ok(())
+    }
+}
+
+cmd_core::snap_struct!(WalkResult { tag, va, result });
+
+cmd_core::snap_struct!(WalkState {
+    tag,
+    va,
+    access,
+    priv_mode,
+    level,
+    table_ppn,
+    outstanding,
+});
+
+impl cmd_core::snap::Snapshot for PageWalker {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+        self.walks.save(w);
+        w.bool(self.cache.is_some());
+        if let Some(c) = &self.cache {
+            c.snap_save(w);
+        }
+        self.results.save(w);
+        w.u64(self.next_tag);
+        self.to_l2.save(w);
+        self.from_l2.save(w);
+        w.u64(self.walks_done);
+        w.u64(self.pte_loads);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+        let walks: Vec<WalkState> = Snap::load(r)?;
+        if walks.len() > self.max_walks {
+            return Err(cmd_core::snap::SnapError::Mismatch(
+                "snapshot walker exceeds concurrency limit".into(),
+            ));
+        }
+        self.walks = walks;
+        let has_cache = r.bool()?;
+        match (&mut self.cache, has_cache) {
+            (Some(c), true) => c.snap_restore(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(cmd_core::snap::SnapError::Mismatch(
+                    "walk-cache presence differs between snapshot and design".into(),
+                ))
+            }
+        }
+        self.results = Snap::load(r)?;
+        self.next_tag = r.u64()?;
+        self.to_l2 = Snap::load(r)?;
+        self.from_l2 = Snap::load(r)?;
+        self.walks_done = r.u64()?;
+        self.pte_loads = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1900,3 +1900,145 @@ fn bare_uop(dec: &DecInst, rob: u16, mask: SpecMask) -> Uop {
         ghist: dec.ghist,
     }
 }
+
+cmd_core::snap_struct!(FetchReq {
+    seq,
+    epoch,
+    pc,
+    n,
+    guess_next,
+    fault,
+    at,
+});
+
+cmd_core::snap_struct!(DecInst {
+    pc,
+    instr,
+    pred_next,
+    pred_taken,
+    ghist,
+    ras,
+    fetched_at,
+    decoded_at,
+});
+
+cmd_core::snap_struct!(MemTrans {
+    uop,
+    va,
+    data,
+    tlb_id
+});
+
+impl cmd_core::snap::Snapshot for CoreState {
+    /// Serializes every architectural and microarchitectural register of
+    /// the core. The bypass network ([`Bypass`]) is `Wire`-based and
+    /// therefore empty at cycle boundaries; the pipeline-trace collector
+    /// and top-down accounting are observers and are not state — snapshots
+    /// are refused while either is attached (see
+    /// [`crate::soc::SocSim::save_snapshot`]).
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap as _;
+        self.rt.snap_save(w);
+        self.sm.snap_save(w);
+        self.prf.snap_save(w);
+        self.rob.snap_save(w);
+        w.len_prefix(self.iqs.len());
+        for iq in &self.iqs {
+            iq.snap_save(w);
+        }
+        self.lsq.snap_save(w);
+        self.sb.snap_save(w);
+        self.cur_mask.snap_save(w);
+        self.fetch_pc.snap_save(w);
+        self.epoch.snap_save(w);
+        self.fetch_seq.snap_save(w);
+        self.fetch_expect.snap_save(w);
+        self.inflight_fetch.snap_save(w);
+        self.fetch_buf.snap_save(w);
+        self.fetch_q.snap_save(w);
+        self.serialize.snap_save(w);
+        w.len_prefix(self.alu_ex.len());
+        for l in &self.alu_ex {
+            l.snap_save(w);
+        }
+        for l in &self.alu_wb {
+            l.snap_save(w);
+        }
+        self.md_unit.snap_save(w);
+        self.md_wb.snap_save(w);
+        self.mem_ex.snap_save(w);
+        self.mem_wait_tlb.snap_save(w);
+        self.forward_q.snap_save(w);
+        self.btb.snap_save(w);
+        self.tour.snap_save(w);
+        self.ras.snap_save(w);
+        self.tlb.snap_save(w);
+        self.csr.save(w);
+        self.priv_mode.save(w);
+        w.u64(self.next_tlb_id);
+        self.roi_start.save(w);
+        self.stats.save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::SnapError;
+        self.rt.snap_restore(r)?;
+        self.sm.snap_restore(r)?;
+        self.prf.snap_restore(r)?;
+        self.rob.snap_restore(r)?;
+        let n = r.len_prefix()?;
+        if n != self.iqs.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {} issue queues, design has {}",
+                n,
+                self.iqs.len()
+            )));
+        }
+        for iq in &mut self.iqs {
+            iq.snap_restore(r)?;
+        }
+        self.lsq.snap_restore(r)?;
+        self.sb.snap_restore(r)?;
+        self.cur_mask.snap_restore(r)?;
+        self.fetch_pc.snap_restore(r)?;
+        self.epoch.snap_restore(r)?;
+        self.fetch_seq.snap_restore(r)?;
+        self.fetch_expect.snap_restore(r)?;
+        self.inflight_fetch.snap_restore(r)?;
+        self.fetch_buf.snap_restore(r)?;
+        self.fetch_q.snap_restore(r)?;
+        self.serialize.snap_restore(r)?;
+        let pipes = r.len_prefix()?;
+        if pipes != self.alu_ex.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {} ALU pipes, design has {}",
+                pipes,
+                self.alu_ex.len()
+            )));
+        }
+        for l in &mut self.alu_ex {
+            l.snap_restore(r)?;
+        }
+        for l in &mut self.alu_wb {
+            l.snap_restore(r)?;
+        }
+        self.md_unit.snap_restore(r)?;
+        self.md_wb.snap_restore(r)?;
+        self.mem_ex.snap_restore(r)?;
+        self.mem_wait_tlb.snap_restore(r)?;
+        self.forward_q.snap_restore(r)?;
+        self.btb.snap_restore(r)?;
+        self.tour.snap_restore(r)?;
+        self.ras.snap_restore(r)?;
+        self.tlb.snap_restore(r)?;
+        self.csr = cmd_core::snap::Snap::load(r)?;
+        self.priv_mode = cmd_core::snap::Snap::load(r)?;
+        self.next_tlb_id = r.u64()?;
+        self.roi_start = cmd_core::snap::Snap::load(r)?;
+        self.stats = cmd_core::snap::Snap::load(r)?;
+        Ok(())
+    }
+}

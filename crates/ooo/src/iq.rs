@@ -144,6 +144,43 @@ impl IssueQueue {
     }
 }
 
+cmd_core::snap_struct!(IqEntry {
+    uop,
+    rdy1,
+    rdy2,
+    age,
+});
+
+impl cmd_core::snap::Snapshot for IssueQueue {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        w.len_prefix(self.slots.len());
+        for s in &self.slots {
+            s.snap_save(w);
+        }
+        self.next_age.snap_save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::SnapError;
+        let n = r.len_prefix()?;
+        if n != self.slots.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot IQ size {} does not match design {}",
+                n,
+                self.slots.len()
+            )));
+        }
+        for s in &mut self.slots {
+            s.snap_restore(r)?;
+        }
+        self.next_age.snap_restore(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

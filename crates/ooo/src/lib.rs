@@ -10,6 +10,7 @@
 //!   comparison-processor proxies;
 //! * [`types`] — micro-ops, physical registers, speculation masks;
 //! * [`frontend`] — BTB, tournament predictor, RAS;
+//! * [`ff`] — interpreter-driven fast-forward with functional warming;
 //! * [`rename`] — rename tables, free list, speculation manager;
 //! * [`prf`] — physical register file, scoreboard, bypass network;
 //! * [`rob`] — reorder buffer with the paper's interface;
@@ -56,6 +57,7 @@
 
 pub mod config;
 pub mod core;
+pub mod ff;
 pub mod frontend;
 pub mod iq;
 pub mod lsq;

@@ -762,6 +762,96 @@ fn extract(data: u64, sa: u64, la: u64, ln: u8) -> u64 {
     }
 }
 
+cmd_core::snap_enum!(LdState {
+    0 => WaitAddr,
+    1 => Ready,
+    2 => Stalled,
+    3 => Issued,
+    4 => Done,
+});
+
+cmd_core::snap_enum!(StallSrc {
+    0 => SqPartial(a),
+    1 => SbEntry(i),
+    2 => Fence(a),
+});
+
+cmd_core::snap_struct!(LqEntry {
+    rob,
+    mask,
+    age,
+    dst,
+    bytes,
+    signed,
+    addr,
+    mmio,
+    atomic,
+    atomic_class,
+    state,
+    stall,
+    value,
+    fwd_src_age,
+    fault,
+    killed,
+    wb_done,
+    zombie,
+    at_commit,
+});
+
+cmd_core::snap_struct!(SqEntry {
+    rob,
+    mask,
+    age,
+    bytes,
+    addr,
+    data,
+    mmio,
+    is_fence,
+    faulted,
+    committed,
+    issued,
+});
+
+impl cmd_core::snap::Snapshot for Lsq {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        w.len_prefix(self.lq.len());
+        w.len_prefix(self.sq.len());
+        for s in &self.lq {
+            s.snap_save(w);
+        }
+        for s in &self.sq {
+            s.snap_save(w);
+        }
+        self.next_age.snap_save(w);
+        self.evict_kills.snap_save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::SnapError;
+        let lq = r.len_prefix()?;
+        let sq = r.len_prefix()?;
+        if lq != self.lq.len() || sq != self.sq.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot LSQ geometry {lq}/{sq} does not match design {}/{}",
+                self.lq.len(),
+                self.sq.len()
+            )));
+        }
+        for s in &mut self.lq {
+            s.snap_restore(r)?;
+        }
+        for s in &mut self.sq {
+            s.snap_restore(r)?;
+        }
+        self.next_age.snap_restore(r)?;
+        self.evict_kills.snap_restore(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -258,6 +258,74 @@ impl SpecManager {
     }
 }
 
+cmd_core::snap_struct!(RatSnapshot { rat, free });
+
+cmd_core::snap_struct!(SpecSnapshot {
+    rat,
+    ras,
+    ghist,
+    mask,
+});
+
+impl cmd_core::snap::Snapshot for RenameTable {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        self.rat.snap_save(w);
+        self.crat.snap_save(w);
+        self.free.snap_save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::{Snap, SnapError};
+        let rat: Vec<PhysReg> = Snap::load(r)?;
+        let crat: Vec<PhysReg> = Snap::load(r)?;
+        let free: VecDeque<PhysReg> = Snap::load(r)?;
+        if rat.len() != 32 || crat.len() != 32 {
+            return Err(SnapError::Corrupt("rename table is not 32 entries"));
+        }
+        if rat
+            .iter()
+            .chain(crat.iter())
+            .chain(free.iter())
+            .any(|p| p.index() >= self.phys_regs)
+        {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot references physical registers beyond the design's {}",
+                self.phys_regs
+            )));
+        }
+        self.rat.write(rat);
+        self.crat.write(crat);
+        self.free.write(free);
+        Ok(())
+    }
+}
+
+impl cmd_core::snap::Snapshot for SpecManager {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        self.snapshots.snap_save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::{Snap, SnapError};
+        let snaps: Vec<Option<SpecSnapshot>> = Snap::load(r)?;
+        if snaps.len() != self.num_tags {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {} speculation tags, design has {}",
+                snaps.len(),
+                self.num_tags
+            )));
+        }
+        self.snapshots.write(snaps);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -266,6 +266,59 @@ impl Rob {
     }
 }
 
+cmd_core::snap_struct!(RobEntry {
+    uop,
+    completed,
+    exception,
+    tval,
+    ld_kill,
+    next_pc,
+    non_spec_mem,
+    mmio,
+    system,
+    started,
+});
+
+impl cmd_core::snap::Snapshot for Rob {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        w.len_prefix(self.entries.len());
+        for e in &self.entries {
+            e.snap_save(w);
+        }
+        self.head.snap_save(w);
+        self.tail.snap_save(w);
+        self.count.snap_save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::{Snap, SnapError};
+        let cap = r.len_prefix()?;
+        if cap != self.entries.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot ROB capacity {} does not match design {}",
+                cap,
+                self.entries.len()
+            )));
+        }
+        for e in &mut self.entries {
+            e.snap_restore(r)?;
+        }
+        let head: usize = Snap::load(r)?;
+        let tail: usize = Snap::load(r)?;
+        let count: usize = Snap::load(r)?;
+        if head >= cap || tail >= cap || count > cap {
+            return Err(SnapError::Corrupt("ROB pointers out of range"));
+        }
+        self.head.write(head);
+        self.tail.write(tail);
+        self.count.write(count);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -182,6 +182,41 @@ fn write_bytes(e: &mut SbEntry, addr: u64, bytes: u8, data: u64) {
     }
 }
 
+cmd_core::snap_struct!(SbEntry {
+    line,
+    data,
+    byte_en,
+    issued,
+});
+
+impl cmd_core::snap::Snapshot for StoreBuffer {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        w.len_prefix(self.slots.len());
+        for s in &self.slots {
+            s.snap_save(w);
+        }
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::SnapError;
+        let n = r.len_prefix()?;
+        if n != self.slots.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot store buffer has {} entries, design has {}",
+                n,
+                self.slots.len()
+            )));
+        }
+        for s in &mut self.slots {
+            s.snap_restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

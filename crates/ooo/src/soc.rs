@@ -906,3 +906,190 @@ pub use crate::core::CoreState as Core;
 
 #[allow(dead_code)]
 fn _assert_types(_: &DecInst, _: &MemTrans) {}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+/// Version of the SoC snapshot byte format. Bumped whenever the encoding of
+/// any serialized module changes; old snapshots are refused with
+/// [`cmd_core::snap::SnapError::VersionMismatch`] instead of being
+/// misinterpreted.
+pub const SOC_SNAP_VERSION: u32 = 1;
+
+cmd_core::snap_struct!(CoreStats {
+    committed,
+    branches,
+    mispredicts,
+    ld_kill_flushes,
+    system_flushes,
+    dtlb_misses,
+    l2tlb_misses,
+    roi_cycles,
+    roi_insts,
+    iq_full_stalls,
+    rob_full_stalls,
+    lsq_replays,
+    sb_drains,
+    rob_occ_sum,
+    iq_occ_sum,
+    occ_cycles,
+});
+
+impl cmd_core::snap::Snapshot for Soc {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap as _;
+        self.mem.snap_save(w);
+        w.len_prefix(self.cores.len());
+        for core in &self.cores {
+            core.snap_save(w);
+        }
+        self.devices.exited.save(w);
+        self.devices.console.save(w);
+        // The per-core memory-event digests are derived state, but they
+        // gate `mem_event` pokes: serializing them keeps the resumed run's
+        // wakeup pattern — and hence its scheduler counters — bit-identical
+        // to the uninterrupted run.
+        self.mem_digest.save(w);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::{Snap, SnapError};
+        self.mem.snap_restore(r)?;
+        let n = r.len_prefix()?;
+        if n != self.cores.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {} cores, design has {}",
+                n,
+                self.cores.len()
+            )));
+        }
+        for core in &mut self.cores {
+            core.snap_restore(r)?;
+        }
+        let exited: Vec<Option<u64>> = Snap::load(r)?;
+        if exited.len() != self.cores.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot device state covers {} cores, design has {}",
+                exited.len(),
+                self.cores.len()
+            )));
+        }
+        self.devices.exited = exited;
+        self.devices.console = Snap::load(r)?;
+        let digest: Vec<u64> = Snap::load(r)?;
+        if digest.len() != self.cores.len() {
+            return Err(SnapError::Corrupt("memory-event digest length"));
+        }
+        self.mem_digest = digest;
+        Ok(())
+    }
+}
+
+impl SocSim {
+    /// Whether the simulation can be snapshotted right now.
+    ///
+    /// Checkpoints capture simulated state, not observer state: chaos
+    /// injection, co-simulation against the golden model, pipeline tracing,
+    /// profiling (TMA), and kernel tracers/histograms all carry side state
+    /// this codec does not serialize, so snapshots are refused while any is
+    /// attached rather than silently producing a checkpoint that would not
+    /// resume bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`cmd_core::snap::SnapError::Unsupported`] naming the attachment.
+    pub fn snapshot_supported(&self) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::SnapError;
+        self.sim.snapshot_supported()?;
+        let soc = self.soc();
+        soc.mem.snapshot_supported()?;
+        if self.chaos.is_some() {
+            return Err(SnapError::Unsupported("a chaos fault engine is attached"));
+        }
+        if soc.golden.is_some() {
+            return Err(SnapError::Unsupported(
+                "golden-model co-simulation is attached",
+            ));
+        }
+        for core in &soc.cores {
+            if core.pipe.is_enabled() {
+                return Err(SnapError::Unsupported("pipeline tracing is enabled"));
+            }
+            if core.tma.is_some() {
+                return Err(SnapError::Unsupported("TMA profiling is enabled"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The configuration fingerprint embedded in every snapshot: core
+    /// configuration plus memory-system geometry. Restore refuses
+    /// snapshots whose fingerprint differs from the live design's.
+    #[must_use]
+    pub fn config_digest(&self) -> String {
+        let soc = self.soc();
+        format!("{:?} | {}", soc.cfg, soc.mem.config_digest())
+    }
+
+    /// Serializes the complete simulation — kernel (cycle counts, rule
+    /// statistics, counters) and SoC (cores, caches, TLBs, DRAM, devices) —
+    /// at a cycle boundary. The bytes are deterministic: saving the same
+    /// state twice yields identical buffers, and a restored run is
+    /// bit-identical to the uninterrupted one under every
+    /// [`cmd_core::sched::SchedulerMode`]. See `docs/CHECKPOINT.md`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] with
+    /// [`cmd_core::snap::SnapError::Unsupported`] per
+    /// [`SocSim::snapshot_supported`].
+    pub fn save_snapshot(&mut self) -> Result<Vec<u8>, SimError> {
+        use cmd_core::snap::{write_header, Snap as _, SnapWriter};
+        self.snapshot_supported()?;
+        let mut w = SnapWriter::new();
+        write_header(&mut w, SOC_SNAP_VERSION);
+        self.config_digest().save(&mut w);
+        self.sim.save_kernel(&mut w)?;
+        cmd_core::snap::Snapshot::snap_save(self.sim.state(), &mut w);
+        Ok(w.into_bytes())
+    }
+
+    /// Restores a snapshot produced by [`SocSim::save_snapshot`] into a
+    /// freshly built simulation with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] wrapping the structured decode error:
+    /// [`cmd_core::snap::SnapError::BadMagic`] /
+    /// [`cmd_core::snap::SnapError::VersionMismatch`] on header skew,
+    /// [`cmd_core::snap::SnapError::Mismatch`] if the embedded
+    /// configuration fingerprint or any module topology differs,
+    /// [`cmd_core::snap::SnapError::Truncated`] /
+    /// [`cmd_core::snap::SnapError::Corrupt`] on malformed bytes. On error
+    /// the simulation may be partially restored and must be discarded.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        use cmd_core::snap::{check_header, Snap, SnapError, SnapReader};
+        self.snapshot_supported()?;
+        let mut r = SnapReader::new(bytes);
+        check_header(&mut r, SOC_SNAP_VERSION)?;
+        let digest = String::load(&mut r)?;
+        let live = self.config_digest();
+        if digest != live {
+            return Err(SimError::Snapshot(SnapError::Mismatch(format!(
+                "snapshot configuration `{digest}` does not match live design `{live}`"
+            ))));
+        }
+        self.sim.restore_kernel(&mut r)?;
+        cmd_core::snap::Snapshot::snap_restore(self.sim.state_mut(), &mut r)?;
+        if r.remaining() != 0 {
+            return Err(SimError::Snapshot(SnapError::Corrupt(
+                "trailing bytes after snapshot",
+            )));
+        }
+        Ok(())
+    }
+}

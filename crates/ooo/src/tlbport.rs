@@ -294,6 +294,60 @@ impl TlbHier {
     }
 }
 
+cmd_core::snap_struct!(Parked {
+    id,
+    va,
+    access,
+    priv_mode,
+    l2_ready_at,
+    walking,
+    walk_tag,
+});
+
+cmd_core::snap_struct!(TlbResp { id, result });
+
+impl cmd_core::snap::Snapshot for TlbHier {
+    fn snap_save(&self, w: &mut cmd_core::snap::SnapWriter) {
+        use cmd_core::snap::Snap;
+
+        self.itlb.snap_save(w);
+        self.dtlb.snap_save(w);
+        self.l2.snap_save(w);
+        self.walker.snap_save(w);
+        self.d_parked.save(w);
+        self.i_parked.save(w);
+        self.d_resps.save(w);
+        self.i_resps.save(w);
+        w.u64(self.walks);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut cmd_core::snap::SnapReader<'_>,
+    ) -> Result<(), cmd_core::snap::SnapError> {
+        use cmd_core::snap::Snap;
+
+        self.itlb.snap_restore(r)?;
+        self.dtlb.snap_restore(r)?;
+        self.l2.snap_restore(r)?;
+        self.walker.snap_restore(r)?;
+        let d_parked: Vec<Parked> = Snap::load(r)?;
+        if d_parked.len() > self.cfg.l1d_miss_slots {
+            return Err(cmd_core::snap::SnapError::Mismatch(format!(
+                "snapshot has {} parked D TLB misses, design allows {}",
+                d_parked.len(),
+                self.cfg.l1d_miss_slots
+            )));
+        }
+        self.d_parked = d_parked;
+        self.i_parked = Snap::load(r)?;
+        self.d_resps = Snap::load(r)?;
+        self.i_resps = Snap::load(r)?;
+        self.walks = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

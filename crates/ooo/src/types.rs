@@ -145,6 +145,55 @@ pub enum FlushCause {
     SystemDone,
 }
 
+cmd_core::snap_struct!(PhysReg { 0 });
+cmd_core::snap_struct!(SpecTag { 0 });
+cmd_core::snap_struct!(SpecMask { 0 });
+
+cmd_core::snap_enum!(ExecPipe {
+    0 => Alu,
+    1 => Mem,
+    2 => MulDiv,
+});
+
+cmd_core::snap_enum!(MemKind {
+    0 => Load,
+    1 => Store,
+    2 => Atomic,
+    3 => Fence,
+});
+
+cmd_core::snap_enum!(SystemOp {
+    0 => Csr,
+    1 => Trap,
+    2 => Ret,
+    3 => FlushFence,
+    4 => Nop,
+});
+
+cmd_core::snap_struct!(Uop {
+    instr,
+    pc,
+    pred_next,
+    rob,
+    arch_dst,
+    dst,
+    old_dst,
+    src1,
+    src2,
+    mask,
+    own_tag,
+    lsq_idx,
+    mem_kind,
+    pred_taken,
+    ghist,
+});
+
+cmd_core::snap_enum!(FlushCause {
+    0 => Exception(e),
+    1 => LoadSpeculationFailure,
+    2 => SystemDone,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
