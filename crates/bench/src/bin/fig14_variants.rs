@@ -52,5 +52,12 @@ fn main() {
             &w,
             cmd_core::sched::SchedulerMode::default(),
         );
+        riscy_bench::maybe_telemetry_run(
+            CoreConfig::riscyoo_t_plus(),
+            riscy_ooo::config::mem_riscyoo_b(),
+            1,
+            &w,
+            cmd_core::sched::SchedulerMode::default(),
+        );
     }
 }

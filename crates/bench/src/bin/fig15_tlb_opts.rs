@@ -7,8 +7,8 @@
 
 use cmd_core::sched::SchedulerMode;
 use riscy_bench::{
-    geomean, maybe_profile_run, results_json, run_ooo, scale_from_args, stats_json_path,
-    write_artifact,
+    geomean, maybe_profile_run, maybe_telemetry_run, results_json, run_ooo, scale_from_args,
+    stats_json_path, write_artifact,
 };
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, TlbConfig};
 use riscy_workloads::spec::spec_suite;
@@ -81,6 +81,13 @@ fn main() {
     }
     if let Some(w) = suite.first() {
         maybe_profile_run(
+            CoreConfig::riscyoo_t_plus(),
+            mem_riscyoo_b(),
+            1,
+            w,
+            SchedulerMode::default(),
+        );
+        maybe_telemetry_run(
             CoreConfig::riscyoo_t_plus(),
             mem_riscyoo_b(),
             1,

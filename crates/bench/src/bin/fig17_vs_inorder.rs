@@ -5,8 +5,9 @@ use cmd_core::sched::SchedulerMode;
 use riscy_baseline::InOrderConfig;
 use riscy_bench::fleet::{fleet_grid, run_fleet, FleetOpts, SocFleet};
 use riscy_bench::{
-    bench_json_path, geomean, maybe_profile_run, metrics_json, results_json, run_inorder,
-    run_ooo_with_scheduler, scale_from_args, scheduler_from_args, stats_json_path, write_artifact,
+    bench_json_path, geomean, maybe_profile_run, maybe_telemetry_run, metrics_json, results_json,
+    run_inorder, run_ooo_with_scheduler, scale_from_args, scheduler_from_args, stats_json_path,
+    write_artifact,
 };
 use riscy_ooo::config::{mem_riscyoo_b, mem_riscyoo_c_minus, CoreConfig};
 use riscy_workloads::spec::{spec_suite, Scale, Workload};
@@ -165,5 +166,6 @@ fn main() {
     }
     if let Some(w) = spec_suite(scale).into_iter().next() {
         maybe_profile_run(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), 1, &w, mode);
+        maybe_telemetry_run(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), 1, &w, mode);
     }
 }

@@ -6,8 +6,8 @@
 
 use cmd_core::sched::SchedulerMode;
 use riscy_bench::{
-    harmean, maybe_profile_run, results_json, run_ooo, scale_from_args, stats_json_path,
-    write_artifact,
+    harmean, maybe_profile_run, maybe_telemetry_run, results_json, run_ooo, scale_from_args,
+    stats_json_path, write_artifact,
 };
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
 use riscy_workloads::spec::spec_suite;
@@ -58,6 +58,13 @@ fn main() {
         .find(|w| BOOM_SET.contains(&w.name))
     {
         maybe_profile_run(
+            CoreConfig::riscyoo_t_plus_r_plus(),
+            mem_riscyoo_b(),
+            1,
+            &w,
+            SchedulerMode::default(),
+        );
+        maybe_telemetry_run(
             CoreConfig::riscyoo_t_plus_r_plus(),
             mem_riscyoo_b(),
             1,

@@ -7,8 +7,8 @@
 
 use cmd_core::sched::SchedulerMode;
 use riscy_bench::{
-    maybe_profile_run, scale_from_args, scheduler_from_args, stats_json_path, trace_path,
-    write_artifact,
+    maybe_profile_run, maybe_telemetry_run, scale_from_args, scheduler_from_args, stats_json_path,
+    trace_path, write_artifact,
 };
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig, MemModel};
 use riscy_ooo::soc::SocSim;
@@ -99,6 +99,13 @@ fn main() {
     }
     if let Some(w) = parsec_suite(scale, 2).into_iter().next() {
         maybe_profile_run(
+            CoreConfig::multicore(MemModel::Tso),
+            mem_riscyoo_b(),
+            2,
+            &w,
+            mode,
+        );
+        maybe_telemetry_run(
             CoreConfig::multicore(MemModel::Tso),
             mem_riscyoo_b(),
             2,

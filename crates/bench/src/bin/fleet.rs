@@ -11,6 +11,9 @@
 //!       [--scale test|ref] [--workloads a,b,...] [--stop-after N]
 //!       [--campaign-dir DIR] [--checkpoint-every CYCLES]
 //!       [--abort-after-ckpts N] [--report PATH] [--bench-json PATH]
+//!       [--heartbeat-every CYCLES] [--unit-timeout SECONDS]
+//!       [--telemetry] [--telemetry-window CYCLES] [--telemetry-windows N]
+//!       [--watch [--once]]
 //! ```
 //!
 //! With `--campaign-dir`, finished units persist as `unit_<id>.json` and a
@@ -22,16 +25,41 @@
 //! checkpointed cycle instead of replaying the unit (see
 //! `docs/CHECKPOINT.md`). `--abort-after-ckpts N` is the CI hook that
 //! simulates such a kill right after the Nth checkpoint lands.
+//!
+//! Monitoring (see `docs/OBSERVABILITY.md` §telemetry):
+//! `--heartbeat-every N` streams per-unit progress records into
+//! `heartbeats.ndjson`; `--unit-timeout S` bounds each unit's wall time
+//! and leaves a `unit_<id>.stall.json` wait-graph bundle behind instead
+//! of hanging silently; `--telemetry` writes each unit's windowed
+//! time-series as `unit_<id>.telemetry.json`. `fleet --watch
+//! --campaign-dir DIR` renders the live campaign status from another
+//! terminal (`--once` prints a single snapshot for scripting); finished
+//! campaigns aggregate with the `sweep_report` binary.
 
 use std::path::PathBuf;
 
-use riscy_bench::fleet::{fleet_grid, run_fleet, FleetOpts, SocFleet};
+use riscy_bench::fleet::{fleet_grid, run_fleet, watch_snapshot, FleetOpts, SocFleet};
 use riscy_bench::{
-    bench_json_path, metrics_json, path_arg, scale_from_args, scheduler_from_args, write_artifact,
+    bench_json_path, metrics_json, path_arg, scale_from_args, scheduler_from_args, telemetry_opts,
+    write_artifact,
 };
 use riscy_workloads::spec::spec_suite;
 
 fn main() {
+    if std::env::args().any(|a| a == "--watch") {
+        let dir = path_arg("--campaign-dir")
+            .map(PathBuf::from)
+            .expect("fleet --watch: --campaign-dir is required");
+        let once = std::env::args().any(|a| a == "--once");
+        loop {
+            print!("{}", watch_snapshot(&dir));
+            if once {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_secs(1));
+            println!();
+        }
+    }
     let scale = scale_from_args();
     let sched = scheduler_from_args();
     let seeds: u64 = path_arg("--seeds").map_or(2, |v| {
@@ -62,6 +90,18 @@ fn main() {
     let abort_after_ckpts = path_arg("--abort-after-ckpts").map(|v| {
         v.parse()
             .unwrap_or_else(|_| panic!("--abort-after-ckpts {v}: not a number"))
+    });
+    let heartbeat_every = path_arg("--heartbeat-every").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--heartbeat-every {v}: not a number"))
+    });
+    let unit_timeout = path_arg("--unit-timeout").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--unit-timeout {v}: not a number"))
+    });
+    let telemetry = std::env::args().any(|a| a == "--telemetry").then(|| {
+        let t = telemetry_opts();
+        (t.window, t.max_windows)
     });
 
     let mut workloads = spec_suite(scale);
@@ -99,6 +139,9 @@ fn main() {
         stop_after,
         checkpoint_every,
         abort_after_ckpts,
+        heartbeat_every,
+        unit_timeout,
+        telemetry,
     };
     let report = run_fleet(units, &opts, |u, ctx| harness.run_unit(u, ctx));
 

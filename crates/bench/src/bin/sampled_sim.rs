@@ -13,16 +13,23 @@
 //! sampled_sim [--scale test|ref] [--workloads a,b,...] [--samples N]
 //!             [--warmup N] [--interval N]
 //!             [--report sample_report.json] [--bench-json PATH]
+//!             [--telemetry-json PATH]
 //! ```
 //!
 //! `--report` writes the per-workload `sample_report.json` CI artifact
 //! (full vs estimated IPC, every raw sample point). See
-//! `docs/CHECKPOINT.md` §"Sampled simulation".
+//! `docs/CHECKPOINT.md` §"Sampled simulation". `--telemetry-json` runs
+//! the first workload once more with windowed kernel telemetry and
+//! writes the time-series artifact (see `docs/OBSERVABILITY.md`
+//! §telemetry).
 
+use cmd_core::sched::SchedulerMode;
 use riscy_bench::sampling::{
     compare_sampled, functional_profile, sample_report_json, SamplePlan, SampledWorkload,
 };
-use riscy_bench::{bench_json_path, metrics_json, path_arg, scale_from_args, write_artifact};
+use riscy_bench::{
+    bench_json_path, maybe_telemetry_run, metrics_json, path_arg, scale_from_args, write_artifact,
+};
 use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
 use riscy_workloads::spec::spec_suite;
 
@@ -123,5 +130,8 @@ fn main() {
             ("sampled_workloads", entries.len() as f64),
         ];
         write_artifact(&path, &metrics_json(&metrics));
+    }
+    if let Some(w) = workloads.first() {
+        maybe_telemetry_run(cfg, mem, 1, w, SchedulerMode::default());
     }
 }

@@ -79,7 +79,7 @@ pub struct FleetUnit {
 /// What one finished unit reports. Everything here is simulation-domain
 /// (deterministic); host wall time lives in [`UnitRecord`] instead so it
 /// can be excluded from the deterministic report bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnitStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -88,6 +88,11 @@ pub struct UnitStats {
     /// Whether the run completed cleanly (a chaos plan may legitimately
     /// push a run past its cycle budget; that is recorded, not fatal).
     pub exit_ok: bool,
+    /// Named simulation-domain metrics (IPC, miss rates, config axes …)
+    /// the sweep aggregator folds into Pareto reports (see
+    /// [`crate::sweep`]). Deterministic: derived only from counters and
+    /// the unit's configuration, never from host time.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// A unit paired with its result and bookkeeping about *how* it was
@@ -123,6 +128,96 @@ pub struct FleetOpts {
     /// written, fleet-wide (testing hook: simulates a kill *mid-unit*,
     /// with a checkpoint on disk and the unit unfinished).
     pub abort_after_ckpts: Option<usize>,
+    /// Append a heartbeat record to `heartbeats.ndjson` every this many
+    /// simulated cycles per unit (needs [`FleetOpts::campaign_dir`]; see
+    /// [`Heartbeats`]). Host-dependent by design and therefore excluded
+    /// from [`FleetReport::deterministic_json`].
+    pub heartbeat_every: Option<u64>,
+    /// Per-unit wall-clock budget in host seconds. A unit that exceeds it
+    /// stops at the next chunk boundary, persists a structured
+    /// wait-graph bundle as `unit_<id>.stall.json`, and records
+    /// `exit_ok: false` — the campaign keeps going instead of sitting
+    /// silently on a hung unit. Diagnostic mode: because the cut point
+    /// depends on host speed, reports from timed-out campaigns are not
+    /// byte-comparable.
+    pub unit_timeout: Option<f64>,
+    /// Enable windowed kernel telemetry on every unit as
+    /// `(window_cycles, max_windows)`; each finished unit writes its ring
+    /// as `unit_<id>.telemetry.json` (needs [`FleetOpts::campaign_dir`]).
+    pub telemetry: Option<(u64, usize)>,
+}
+
+/// The fleet's live-monitoring stream: newline-delimited JSON heartbeat
+/// records in the campaign directory (`heartbeats.ndjson`), one object
+/// per beat (`unit`, `phase`, `cycles`, `insts`, `ckpts`, `cps`, `eta_s`,
+/// `wall_s`). The whole file is rewritten atomically (temp file + rename)
+/// on every beat so `fleet --watch` never reads a torn line, and existing
+/// lines are preloaded on resume so a campaign's monitoring history
+/// survives kill/resume. Heartbeats carry host time on purpose — they are
+/// for operators, and are excluded from every deterministic artifact.
+#[derive(Debug)]
+pub struct Heartbeats {
+    path: PathBuf,
+    lines: Mutex<Vec<String>>,
+}
+
+impl Heartbeats {
+    /// Opens (or creates) the stream at `dir/heartbeats.ndjson`,
+    /// preloading any lines a previous invocation left behind.
+    #[must_use]
+    pub fn open(dir: &Path) -> Self {
+        let path = dir.join("heartbeats.ndjson");
+        let lines = std::fs::read_to_string(&path)
+            .map(|t| t.lines().map(str::to_string).collect())
+            .unwrap_or_default();
+        Heartbeats {
+            path,
+            lines: Mutex::new(lines),
+        }
+    }
+
+    /// Appends one record and rewrites the file atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream cannot be written — the operator asked for
+    /// monitoring, so silently dropping it would defeat the point.
+    pub fn beat(&self, line: String) {
+        let mut lines = self.lines.lock().unwrap();
+        lines.push(line);
+        let mut text = lines.join("\n");
+        text.push('\n');
+        let tmp = self.path.with_extension("ndjson.tmp");
+        std::fs::write(&tmp, text)
+            .and_then(|()| std::fs::rename(&tmp, &self.path))
+            .unwrap_or_else(|e| panic!("fleet: cannot write {}: {e}", self.path.display()));
+    }
+}
+
+/// Serializes one heartbeat record as a single NDJSON line.
+#[allow(clippy::too_many_arguments)]
+fn heartbeat_line(
+    unit: usize,
+    phase: &str,
+    cycles: u64,
+    insts: u64,
+    ckpts: u64,
+    cps: f64,
+    eta_s: f64,
+    wall_s: f64,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("unit", unit as u64);
+    w.field_str("phase", phase);
+    w.field_u64("cycles", cycles);
+    w.field_u64("insts", insts);
+    w.field_u64("ckpts", ckpts);
+    w.field_f64("cps", cps);
+    w.field_f64("eta_s", eta_s);
+    w.field_f64("wall_s", wall_s);
+    w.end_object();
+    w.finish()
 }
 
 /// Per-unit execution context [`run_fleet`] hands to the runner: where
@@ -137,16 +232,38 @@ pub struct UnitCtx<'a> {
     pub checkpoint_every: Option<u64>,
     /// Remaining fleet-wide checkpoint tickets (`None` = unlimited).
     ckpt_tickets: Option<&'a AtomicUsize>,
+    /// The campaign's heartbeat stream, when monitoring is on.
+    pub heartbeats: Option<&'a Heartbeats>,
+    /// Simulated-cycle stride between heartbeat records.
+    pub heartbeat_every: Option<u64>,
+    /// Per-unit wall-clock budget in host seconds (see
+    /// [`FleetOpts::unit_timeout`]).
+    pub unit_timeout: Option<f64>,
+    /// Where this unit's stall bundle goes on timeout
+    /// (`unit_<id>.stall.json`).
+    pub stall_path: Option<PathBuf>,
+    /// Windowed-telemetry policy as `(window_cycles, max_windows)`.
+    pub telemetry: Option<(u64, usize)>,
+    /// Where this unit's telemetry ring goes on completion
+    /// (`unit_<id>.telemetry.json`).
+    pub telemetry_path: Option<PathBuf>,
 }
 
 impl UnitCtx<'_> {
-    /// A context with checkpointing disabled (single-shot callers).
+    /// A context with checkpointing, monitoring, and telemetry disabled
+    /// (single-shot callers).
     #[must_use]
     pub fn none() -> Self {
         UnitCtx {
             ckpt_path: None,
             checkpoint_every: None,
             ckpt_tickets: None,
+            heartbeats: None,
+            heartbeat_every: None,
+            unit_timeout: None,
+            stall_path: None,
+            telemetry: None,
+            telemetry_path: None,
         }
     }
 
@@ -232,7 +349,7 @@ impl FleetReport {
     pub fn deterministic_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_u64("schema_version", 1);
+        w.schema_version();
         w.field_u64("units", self.records.len() as u64);
         w.field_u64("total_cycles", self.total_cycles());
         w.field_u64("total_insts", self.total_insts());
@@ -250,6 +367,12 @@ impl FleetReport {
             w.field_u64("insts", r.stats.insts);
             w.key("exit_ok");
             w.boolean(r.stats.exit_ok);
+            w.key("metrics");
+            w.begin_object();
+            for (name, value) in &r.stats.metrics {
+                w.field_f64(name, *value);
+            }
+            w.end_object();
             w.end_object();
         }
         w.end_array();
@@ -346,6 +469,9 @@ where
     let ckpt_tickets = opts.abort_after_ckpts.map(AtomicUsize::new);
     let done: Mutex<Vec<UnitRecord>> = Mutex::new(Vec::new());
     let dir = opts.campaign_dir.as_deref();
+    let heartbeats = dir
+        .filter(|_| opts.heartbeat_every.is_some() || opts.unit_timeout.is_some())
+        .map(Heartbeats::open);
 
     std::thread::scope(|s| {
         for me in 0..threads {
@@ -353,6 +479,7 @@ where
             let steals = &steals;
             let budget = &budget;
             let ckpt_tickets = ckpt_tickets.as_ref();
+            let heartbeats = heartbeats.as_ref();
             let done = &done;
             let runner = &runner;
             s.spawn(move || loop {
@@ -390,6 +517,14 @@ where
                         .map(|d| ckpt_path(d, unit.id)),
                     checkpoint_every: opts.checkpoint_every,
                     ckpt_tickets,
+                    heartbeats,
+                    heartbeat_every: opts.heartbeat_every,
+                    unit_timeout: opts.unit_timeout,
+                    stall_path: dir.map(|d| stall_path(d, unit.id)),
+                    telemetry: opts.telemetry,
+                    telemetry_path: dir
+                        .filter(|_| opts.telemetry.is_some())
+                        .map(|d| telemetry_path(d, unit.id)),
                 };
                 let t0 = Instant::now();
                 let Some(stats) = runner(&unit, &ctx) else {
@@ -434,6 +569,58 @@ fn ckpt_path(dir: &Path, id: usize) -> PathBuf {
     dir.join(format!("unit_{id}.ckpt"))
 }
 
+fn stall_path(dir: &Path, id: usize) -> PathBuf {
+    dir.join(format!("unit_{id}.stall.json"))
+}
+
+fn telemetry_path(dir: &Path, id: usize) -> PathBuf {
+    dir.join(format!("unit_{id}.telemetry.json"))
+}
+
+/// How often (in simulated cycles) a unit with *only* a wall-clock
+/// timeout re-checks the clock: fine enough that a hung unit is caught
+/// within seconds, coarse enough that the chunked run loop stays cheap.
+const TIMEOUT_CHECK_STRIDE: u64 = 50_000;
+
+/// Writes a per-unit campaign artifact atomically (temp file + rename),
+/// quietly — campaigns write many of these.
+fn write_unit_artifact(path: &Path, contents: &str) {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .unwrap_or_else(|e| panic!("fleet: cannot write {}: {e}", path.display()));
+}
+
+/// Persists the structured diagnosis of a timed-out unit: identity,
+/// progress at the cut, and the kernel's wait graph (which rules are
+/// stalled and on what guard / conflict-matrix edge), so a hung campaign
+/// unit is debuggable from the campaign directory alone.
+fn write_stall_bundle(path: &Path, unit: &FleetUnit, sim: &SocSim, wall_s: f64) {
+    let report = sim.wait_graph();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.schema_version();
+    w.field_u64("unit", unit.id as u64);
+    w.field_u64("seed", unit.seed);
+    w.field_str("config", &unit.config);
+    w.field_str("workload", &unit.workload);
+    w.field_u64("cycles", sim.cycles());
+    w.field_u64("insts", sim.soc().cores[0].stats.roi_insts);
+    w.field_f64("wall_s", wall_s);
+    w.field_u64("stalled_for", report.stalled_for);
+    w.key("waits");
+    w.begin_array();
+    for wait in &report.waits {
+        w.begin_object();
+        w.field_str("rule", &wait.rule);
+        w.field_str("cause", &wait.cause.to_string());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    write_unit_artifact(path, &w.finish());
+}
+
 /// Writes a mid-run checkpoint atomically (temp file + rename), the same
 /// torn-write discipline as the unit files.
 ///
@@ -448,10 +635,13 @@ pub fn write_ckpt(path: &Path, bytes: &[u8]) {
         .unwrap_or_else(|e| panic!("fleet: cannot write checkpoint {}: {e}", path.display()));
 }
 
-/// Serializes one finished unit as a flat JSON object.
+/// Serializes one finished unit as a flat JSON object. Metrics are
+/// flattened as `m_<name>` keys so the file stays in the one-level
+/// dialect [`parse_flat_json`] understands.
 fn unit_json(unit: &FleetUnit, stats: &UnitStats) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
+    w.schema_version();
     w.field_u64("id", unit.id as u64);
     w.field_u64("seed", unit.seed);
     w.field_str("config", &unit.config);
@@ -460,6 +650,9 @@ fn unit_json(unit: &FleetUnit, stats: &UnitStats) -> String {
     w.field_u64("insts", stats.insts);
     w.key("exit_ok");
     w.boolean(stats.exit_ok);
+    for (name, value) in &stats.metrics {
+        w.field_f64(&format!("m_{name}"), *value);
+    }
     w.end_object();
     w.finish()
 }
@@ -474,12 +667,12 @@ fn persist_unit(dir: &Path, unit: &FleetUnit, stats: &UnitStats) {
         .unwrap_or_else(|e| panic!("fleet: cannot persist {}: {e}", path.display()));
 }
 
-/// Loads a persisted unit result, verifying it describes the *same* grid
-/// cell (a stale campaign directory from a different grid must not be
-/// silently accepted as progress).
-fn load_unit(dir: &Path, unit: &FleetUnit) -> Option<UnitStats> {
-    let text = std::fs::read_to_string(unit_path(dir, unit.id)).ok()?;
-    let obj = parse_flat_json(&text)?;
+/// Parses one persisted unit file back into its grid cell and result.
+/// Returns `None` on malformed input; the caller then just re-runs the
+/// unit, which is always safe.
+#[must_use]
+pub fn parse_unit_file(text: &str) -> Option<(FleetUnit, UnitStats)> {
+    let obj = parse_flat_json(text)?;
     let field_u64 = |k: &str| -> Option<u64> {
         match obj.iter().find(|(key, _)| key == k)? {
             (_, JsonValue::Num(n)) => Some(*n),
@@ -498,30 +691,210 @@ fn load_unit(dir: &Path, unit: &FleetUnit) -> Option<UnitStats> {
             _ => None,
         }
     };
-    if field_u64("id")? != unit.id as u64
-        || field_u64("seed")? != unit.seed
-        || field_str("config")? != unit.config
-        || field_str("workload")? != unit.workload
-    {
+    let metrics = obj
+        .iter()
+        .filter_map(|(key, v)| {
+            let name = key.strip_prefix("m_")?;
+            let value = match v {
+                JsonValue::Num(n) => *n as f64,
+                JsonValue::Float(x) => *x,
+                _ => return None,
+            };
+            Some((name.to_string(), value))
+        })
+        .collect();
+    Some((
+        FleetUnit {
+            id: usize::try_from(field_u64("id")?).ok()?,
+            seed: field_u64("seed")?,
+            config: field_str("config")?.to_string(),
+            workload: field_str("workload")?.to_string(),
+        },
+        UnitStats {
+            cycles: field_u64("cycles")?,
+            insts: field_u64("insts")?,
+            exit_ok: field_bool("exit_ok")?,
+            metrics,
+        },
+    ))
+}
+
+/// Loads a persisted unit result, verifying it describes the *same* grid
+/// cell (a stale campaign directory from a different grid must not be
+/// silently accepted as progress).
+fn load_unit(dir: &Path, unit: &FleetUnit) -> Option<UnitStats> {
+    let text = std::fs::read_to_string(unit_path(dir, unit.id)).ok()?;
+    let (parsed, stats) = parse_unit_file(&text)?;
+    if parsed != *unit {
         return None;
     }
-    Some(UnitStats {
-        cycles: field_u64("cycles")?,
-        insts: field_u64("insts")?,
-        exit_ok: field_bool("exit_ok")?,
-    })
+    Some(stats)
+}
+
+/// Loads every `unit_<id>.json` in a campaign directory in ascending
+/// unit-id order — the sweep aggregator's input (see [`crate::sweep`]).
+/// Malformed or unreadable files are skipped, exactly as resume skips
+/// them.
+///
+/// # Panics
+///
+/// Panics when the directory itself cannot be read: aggregating a
+/// campaign that does not exist is an operator error, not an empty sweep.
+#[must_use]
+pub fn load_campaign(dir: &Path) -> Vec<(FleetUnit, UnitStats)> {
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("fleet: cannot read campaign {}: {e}", dir.display()));
+    let mut ids: Vec<usize> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_prefix("unit_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.iter()
+        .filter_map(|&id| {
+            let text = std::fs::read_to_string(unit_path(dir, id)).ok()?;
+            parse_unit_file(&text).filter(|(u, _)| u.id == id)
+        })
+        .collect()
+}
+
+/// Renders a one-screen status snapshot of a live campaign from its
+/// on-disk monitoring state (`fleet --watch`): the latest heartbeat per
+/// unit, which units have finished (`unit_<id>.json` on disk), and which
+/// are flagged as stalled (a `stalled` heartbeat or a
+/// `unit_<id>.stall.json` bundle). Read-only and safe to run while the
+/// campaign is executing — heartbeats and unit files are rename-atomic,
+/// so a snapshot never observes a torn record.
+///
+/// # Panics
+///
+/// Panics when the campaign directory cannot be read.
+#[must_use]
+pub fn watch_snapshot(dir: &Path) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    let mut latest: BTreeMap<u64, Vec<(String, JsonValue)>> = BTreeMap::new();
+    let mut beats = 0usize;
+    if let Ok(text) = std::fs::read_to_string(dir.join("heartbeats.ndjson")) {
+        for line in text.lines() {
+            let Some(obj) = parse_flat_json(line) else {
+                continue;
+            };
+            let Some((_, JsonValue::Num(id))) = obj.iter().find(|(k, _)| k == "unit") else {
+                continue;
+            };
+            beats += 1;
+            latest.insert(*id, obj);
+        }
+    }
+    let mut done: Vec<usize> = Vec::new();
+    let mut stalled_bundles: Vec<usize> = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("fleet: cannot read campaign {}: {e}", dir.display()));
+    for e in entries.filter_map(Result::ok) {
+        let Ok(name) = e.file_name().into_string() else {
+            continue;
+        };
+        if let Some(id) = name
+            .strip_prefix("unit_")
+            .and_then(|r| r.strip_suffix(".stall.json"))
+            .and_then(|r| r.parse().ok())
+        {
+            stalled_bundles.push(id);
+        } else if let Some(id) = name
+            .strip_prefix("unit_")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|r| r.parse().ok())
+        {
+            done.push(id);
+        }
+    }
+    done.sort_unstable();
+    stalled_bundles.sort_unstable();
+
+    let get_u64 = |obj: &[(String, JsonValue)], k: &str| -> u64 {
+        match obj.iter().find(|(key, _)| key == k) {
+            Some((_, JsonValue::Num(n))) => *n,
+            _ => 0,
+        }
+    };
+    let get_f64 = |obj: &[(String, JsonValue)], k: &str| -> f64 {
+        match obj.iter().find(|(key, _)| key == k) {
+            Some((_, JsonValue::Float(x))) => *x,
+            Some((_, JsonValue::Num(n))) => *n as f64,
+            _ => 0.0,
+        }
+    };
+    let get_str = |obj: &[(String, JsonValue)], k: &str| -> String {
+        match obj.iter().find(|(key, _)| key == k) {
+            Some((_, JsonValue::Str(s))) => s.clone(),
+            _ => String::from("?"),
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign {}: {} units finished, {} heartbeats",
+        dir.display(),
+        done.len(),
+        beats,
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<8} {:>14} {:>12} {:>12} {:>8} {:>6}",
+        "unit", "phase", "cycles", "insts", "cps", "eta_s", "ckpts"
+    );
+    for (id, obj) in &latest {
+        let phase = get_str(obj, "phase");
+        let finished = done.contains(&usize::try_from(*id).unwrap_or(usize::MAX));
+        let shown = if finished && phase != "stalled" {
+            "done".to_string()
+        } else {
+            phase.clone()
+        };
+        let flag = if phase == "stalled" {
+            "  << STALLED"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:<6} {:<8} {:>14} {:>12} {:>12.0} {:>8.1} {:>6}{}",
+            id,
+            shown,
+            get_u64(obj, "cycles"),
+            get_u64(obj, "insts"),
+            get_f64(obj, "cps"),
+            get_f64(obj, "eta_s"),
+            get_u64(obj, "ckpts"),
+            flag,
+        );
+    }
+    for id in &stalled_bundles {
+        let _ = writeln!(out, "stall bundle on disk: unit_{id}.stall.json");
+    }
+    out
 }
 
 /// A value in the flat unit-file JSON dialect.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 enum JsonValue {
     Num(u64),
+    Float(f64),
     Str(String),
     Bool(bool),
 }
 
 /// Parses a single flat JSON object (`{"k": v, ...}` with string, bool,
-/// and non-negative integer values — exactly what [`unit_json`] emits).
+/// and number values — exactly what [`unit_json`] and [`heartbeat_line`]
+/// emit; numbers with a `.`, exponent, or sign parse as [`JsonValue::Float`]).
 /// Returns `None` on anything else; a malformed unit file then just
 /// re-runs the unit, which is always safe.
 fn parse_flat_json(text: &str) -> Option<Vec<(String, JsonValue)>> {
@@ -565,14 +938,19 @@ fn parse_flat_json(text: &str) -> Option<Vec<(String, JsonValue)>> {
                     _ => return None,
                 }
             }
-            c if c.is_ascii_digit() => {
-                let mut n: u64 = 0;
-                while chars.peek().is_some_and(char::is_ascii_digit) {
-                    n = n
-                        .checked_mul(10)?
-                        .checked_add(u64::from(chars.next()?.to_digit(10)?))?;
+            c if c.is_ascii_digit() || *c == '-' => {
+                let mut lit = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    lit.push(chars.next()?);
                 }
-                JsonValue::Num(n)
+                if lit.chars().all(|c| c.is_ascii_digit()) {
+                    JsonValue::Num(lit.parse().ok()?)
+                } else {
+                    JsonValue::Float(lit.parse().ok()?)
+                }
             }
             _ => return None,
         };
@@ -621,17 +999,73 @@ impl SocFleet {
     /// the paper's T+ single-core with the B memory system; `"c-"` pairs
     /// it with the C– memory system (Fig. 17's second column).
     ///
+    /// Labels compose with `:key=value` overrides for sweep campaigns —
+    /// `"t+:rob=48:iq=24"` is the T+ core with a 48-entry ROB and a
+    /// 24-entry issue queue. Recognized keys: `rob`, `iq`, `lq`, `sq`,
+    /// `sb`, `width`. Because the label is the unit's identity on disk,
+    /// the same label always resolves to the same machine.
+    ///
     /// # Panics
     ///
-    /// Panics on an unknown label — a typo'd grid must not silently
-    /// shrink the campaign.
+    /// Panics on an unknown label or override key — a typo'd grid must
+    /// not silently shrink or distort the campaign.
     #[must_use]
     pub fn config_for(label: &str) -> (CoreConfig, riscy_mem::system::MemConfig) {
-        match label {
+        let mut parts = label.split(':');
+        let base = parts.next().expect("split yields at least one part");
+        let (mut cfg, mem) = match base {
             "t+" => (CoreConfig::riscyoo_t_plus(), mem_riscyoo_b()),
             "c-" => (CoreConfig::riscyoo_t_plus(), mem_riscyoo_c_minus()),
             other => panic!("fleet: unknown config label {other:?} (t+|c-)"),
+        };
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .unwrap_or_else(|| panic!("fleet: config override {part:?} is not key=value"));
+            let n: usize = value
+                .parse()
+                .unwrap_or_else(|_| panic!("fleet: config override {part:?}: not a number"));
+            match key {
+                "rob" => cfg.rob_entries = n,
+                "iq" => cfg.iq_entries = n,
+                "lq" => cfg.lq_entries = n,
+                "sq" => cfg.sq_entries = n,
+                "sb" => cfg.sb_entries = n,
+                "width" => cfg.width = n,
+                other => {
+                    panic!("fleet: unknown config override key {other:?} (rob|iq|lq|sq|sb|width)")
+                }
+            }
         }
+        (cfg, mem)
+    }
+
+    /// The deterministic per-unit metrics the sweep aggregator consumes:
+    /// IPC and event rates from the finished simulation, plus the unit's
+    /// structure sizes as `axis.*` entries so a Pareto report can trade
+    /// performance off against cost (the paper's Fig. 12/13 axes).
+    fn unit_metrics(sim: &SocSim, cfg: &CoreConfig) -> Vec<(String, f64)> {
+        let soc = sim.soc();
+        let st = &soc.cores[0].stats;
+        let insts = st.roi_insts.max(1) as f64;
+        let ipc = if st.roi_cycles == 0 {
+            0.0
+        } else {
+            st.roi_insts as f64 / st.roi_cycles as f64
+        };
+        vec![
+            ("ipc".to_string(), ipc),
+            (
+                "brpred_pki".to_string(),
+                1000.0 * st.mispredicts as f64 / insts,
+            ),
+            (
+                "dcache_pki".to_string(),
+                1000.0 * soc.mem.dcache_ref(0).stats.misses as f64 / insts,
+            ),
+            ("axis.rob_entries".to_string(), cfg.rob_entries as f64),
+            ("axis.iq_entries".to_string(), cfg.iq_entries as f64),
+        ]
     }
 
     /// Runs one grid cell: builds the SoC for the unit's config, seeds
@@ -662,17 +1096,49 @@ impl SocFleet {
         let (cfg, mem) = Self::config_for(&unit.config);
         let mut sim = SocSim::new(cfg, mem, 1, &w.program);
         sim.set_scheduler(self.sched);
+        // Telemetry goes on before any snapshot restore: the snapshot
+        // contract requires restore-side enablement to match save-side.
+        if let Some((win, cap)) = ctx.telemetry {
+            sim.enable_telemetry(win, cap);
+        }
+        let start = Instant::now();
+        let mut ckpts_taken: u64 = 0;
+        let beat = |sim: &SocSim, phase: &str, ckpts: u64| {
+            let Some(hb) = ctx.heartbeats else { return };
+            let cycles = sim.cycles();
+            let insts = sim.soc().cores[0].stats.roi_insts;
+            let wall_s = start.elapsed().as_secs_f64();
+            let cps = if wall_s > 0.0 {
+                cycles as f64 / wall_s
+            } else {
+                0.0
+            };
+            let eta_s = if cps > 0.0 {
+                w.max_cycles.saturating_sub(cycles) as f64 / cps
+            } else {
+                0.0
+            };
+            hb.beat(heartbeat_line(
+                unit.id, phase, cycles, insts, ckpts, cps, eta_s, wall_s,
+            ));
+        };
         if self.chaos {
             let plan = FaultPlan::new(unit.seed)
                 .guard_stall("c0.issue*", 0.001)
                 .rule_abort("c0.alu*", 0.0005);
             let engine = FaultEngine::new(plan);
             sim.attach_chaos(&engine);
+            beat(&sim, "start", 0);
             let exit_ok = sim.run_to_completion(w.max_cycles).is_ok();
+            beat(&sim, "done", 0);
+            if let Some(path) = &ctx.telemetry_path {
+                write_unit_artifact(path, &sim.telemetry_json());
+            }
             return Some(UnitStats {
                 cycles: sim.cycles(),
                 insts: sim.soc().cores[0].stats.roi_insts,
                 exit_ok,
+                metrics: Self::unit_metrics(&sim, &cfg),
             });
         }
         // Resume from a mid-run checkpoint when one exists. A checkpoint
@@ -684,13 +1150,36 @@ impl SocFleet {
                 if sim.restore_snapshot(&bytes).is_err() {
                     sim = SocSim::new(cfg, mem, 1, &w.program);
                     sim.set_scheduler(self.sched);
+                    if let Some((win, cap)) = ctx.telemetry {
+                        sim.enable_telemetry(win, cap);
+                    }
                 }
             }
         }
-        let stride = ctx.checkpoint_every.filter(|_| ctx.ckpt_path.is_some());
+        beat(&sim, "start", 0);
+        // The chunk stride is the finest of the requested cadences; each
+        // instrument fires only when its own stride has elapsed, so a
+        // coarse checkpoint cadence composes with fine heartbeats.
+        let ckpt_stride = ctx.checkpoint_every.filter(|_| ctx.ckpt_path.is_some());
+        let hb_stride = ctx.heartbeat_every.filter(|_| ctx.heartbeats.is_some());
+        let timeout_stride = ctx.unit_timeout.map(|_| TIMEOUT_CHECK_STRIDE);
+        let stride = [ckpt_stride, hb_stride, timeout_stride]
+            .into_iter()
+            .flatten()
+            .min();
+        let mut last_ckpt = sim.cycles();
+        let mut last_beat = sim.cycles();
+        let mut timed_out = false;
         let exit_ok = loop {
             let executed = sim.cycles();
             if executed >= w.max_cycles {
+                break false;
+            }
+            if ctx
+                .unit_timeout
+                .is_some_and(|t| start.elapsed().as_secs_f64() > t)
+            {
+                timed_out = true;
                 break false;
             }
             let left = w.max_cycles - executed;
@@ -698,24 +1187,48 @@ impl SocFleet {
             match sim.run_to_completion(chunk) {
                 Ok(_) => break true,
                 Err(RunError::Budget { .. }) if chunk < left => {
-                    // Checkpoint boundary, not real budget exhaustion.
-                    if let (Some(path), Ok(bytes)) = (&ctx.ckpt_path, sim.save_snapshot()) {
-                        write_ckpt(path, &bytes);
-                        if !ctx.take_ckpt_ticket() {
-                            return None;
+                    // Chunk boundary, not real budget exhaustion.
+                    let cycles = sim.cycles();
+                    if ckpt_stride.is_some_and(|s| cycles - last_ckpt >= s) {
+                        last_ckpt = cycles;
+                        if let (Some(path), Ok(bytes)) = (&ctx.ckpt_path, sim.save_snapshot()) {
+                            write_ckpt(path, &bytes);
+                            ckpts_taken += 1;
+                            if !ctx.take_ckpt_ticket() {
+                                return None;
+                            }
                         }
+                    }
+                    if hb_stride.is_some_and(|s| cycles - last_beat >= s) {
+                        last_beat = cycles;
+                        beat(&sim, "run", ckpts_taken);
                     }
                 }
                 Err(_) => break false,
             }
         };
+        if timed_out {
+            // The unit blew its wall-clock budget: leave a structured
+            // diagnosis behind instead of a silent hang, then let the
+            // campaign move on.
+            if let Some(path) = &ctx.stall_path {
+                write_stall_bundle(path, unit, &sim, start.elapsed().as_secs_f64());
+            }
+            beat(&sim, "stalled", ckpts_taken);
+        } else {
+            beat(&sim, "done", ckpts_taken);
+        }
         if let Some(path) = &ctx.ckpt_path {
             std::fs::remove_file(path).ok();
+        }
+        if let Some(path) = &ctx.telemetry_path {
+            write_unit_artifact(path, &sim.telemetry_json());
         }
         Some(UnitStats {
             cycles: sim.cycles(),
             insts: sim.soc().cores[0].stats.roi_insts,
             exit_ok,
+            metrics: Self::unit_metrics(&sim, &cfg),
         })
     }
 }

@@ -23,6 +23,7 @@ use std::rc::Rc;
 
 pub mod fleet;
 pub mod sampling;
+pub mod sweep;
 
 /// Measured result of one benchmark run on one configuration.
 #[derive(Debug, Clone)]
@@ -176,6 +177,20 @@ pub fn path_arg(flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The integer following `flag` on the command line, or `default`.
+///
+/// # Panics
+///
+/// Panics when the value is present but not a number — a silently ignored
+/// typo would invalidate whatever sweep the operator was running.
+#[must_use]
+pub fn u64_arg(flag: &str, default: u64) -> u64 {
+    path_arg(flag).map_or(default, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{flag} {v}: expected an integer"))
+    })
+}
+
 /// Parses `--stats-json <path>`: where the binary should dump its
 /// machine-readable stats snapshot (see `docs/OBSERVABILITY.md`).
 #[must_use]
@@ -320,6 +335,70 @@ pub fn maybe_profile_run(
     }
 }
 
+/// The telemetry flags shared by every `fig*` binary and `sampled_sim`
+/// (see `docs/OBSERVABILITY.md` §telemetry): `--telemetry-json <path>`
+/// requests the windowed time-series artifact, `--telemetry-window <N>`
+/// sets the sampling period in cycles, `--telemetry-windows <N>` bounds
+/// the ring.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOpts {
+    /// Where to write the time-series JSON, if requested.
+    pub telemetry_json: Option<String>,
+    /// Sampling period in cycles.
+    pub window: u64,
+    /// Ring capacity in windows.
+    pub max_windows: usize,
+}
+
+/// Parses the telemetry flags from the command line.
+///
+/// # Panics
+///
+/// Panics when a window flag carries a non-numeric value.
+#[must_use]
+pub fn telemetry_opts() -> TelemetryOpts {
+    TelemetryOpts {
+        telemetry_json: path_arg("--telemetry-json"),
+        window: u64_arg("--telemetry-window", cmd_core::telemetry::DEFAULT_WINDOW),
+        max_windows: usize::try_from(u64_arg(
+            "--telemetry-windows",
+            cmd_core::telemetry::DEFAULT_MAX_WINDOWS as u64,
+        ))
+        .expect("--telemetry-windows fits usize"),
+    }
+}
+
+/// When `--telemetry-json` is present, runs `w` once more on the
+/// out-of-order SoC with windowed telemetry enabled and writes the
+/// time-series artifact. A no-op without the flag, so `fig*` binaries
+/// call it unconditionally on one representative workload — the figure
+/// rows themselves stay uninstrumented (and telemetry would not change
+/// them anyway, see the zero-perturbation contract in
+/// `docs/OBSERVABILITY.md`).
+///
+/// # Panics
+///
+/// Panics if the workload fails to complete or the artifact cannot be
+/// written.
+pub fn maybe_telemetry_run(
+    cfg: CoreConfig,
+    mem: MemConfig,
+    num_cores: usize,
+    w: &Workload,
+    mode: SchedulerMode,
+) {
+    let opts = telemetry_opts();
+    let Some(path) = &opts.telemetry_json else {
+        return;
+    };
+    let mut sim = SocSim::new(cfg, mem, num_cores, &w.program);
+    sim.set_scheduler(mode);
+    sim.enable_telemetry(opts.window, opts.max_windows);
+    sim.run_to_completion(w.max_cycles.saturating_mul(4))
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    write_artifact(path, &sim.telemetry_json());
+}
+
 /// Writes an artifact file requested on the command line.
 ///
 /// # Panics
@@ -345,7 +424,7 @@ pub fn results_json(configs: &[(&str, &[RunResult])]) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_f64("ipc", if ipcs.is_empty() { 0.0 } else { geomean(&ipcs) });
-    w.field_u64("schema_version", 1);
+    w.schema_version();
     w.key("configs");
     w.begin_array();
     for (label, runs) in configs {
@@ -381,7 +460,7 @@ pub fn metrics_json(metrics: &[(&str, f64)]) -> String {
     use cmd_core::trace::json::JsonWriter;
     let mut w = JsonWriter::new();
     w.begin_object();
-    w.field_u64("schema_version", 1);
+    w.schema_version();
     for (k, v) in metrics {
         w.field_f64(k, *v);
     }

@@ -347,7 +347,7 @@ pub fn sample_report_json(entries: &[SampledWorkload]) -> String {
     };
     let mut w = JsonWriter::new();
     w.begin_object();
-    w.field_u64("schema_version", 1);
+    w.schema_version();
     w.field_f64("ff_speedup", speedup);
     w.field_f64("sample_ipc_err_max", err_max);
     w.field_f64("sample_ipc_err_mean", err_mean);

@@ -41,6 +41,7 @@ fn synth_runner(u: &FleetUnit, _ctx: &UnitCtx<'_>) -> Option<UnitStats> {
         cycles: 10_000 + x % 90_000,
         insts: 3_000 + x % 7_000,
         exit_ok: !x.is_multiple_of(97),
+        metrics: vec![("ipc".to_string(), (x % 100) as f64 / 100.0)],
     })
 }
 

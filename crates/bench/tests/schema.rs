@@ -1,0 +1,155 @@
+//! Every machine-readable artifact this workspace emits carries the
+//! shared `schema_version` field, written by one helper
+//! (`JsonWriter::schema_version`, see `docs/OBSERVABILITY.md`). This
+//! test exercises each emitter end to end so a new artifact that forgets
+//! the field — or hand-rolls a divergent one — fails CI here rather
+//! than surprising a downstream report parser.
+
+use cmd_core::sched::SchedulerMode;
+use riscy_bench::fleet::{run_fleet, FleetOpts, FleetUnit, SocFleet, UnitCtx};
+use riscy_bench::sampling::{sample_report_json, SampleEstimate, SamplePoint, SampledWorkload};
+use riscy_bench::sweep::{aggregate, sweep_json, Objective};
+use riscy_bench::{metrics_json, results_json, RunResult};
+use riscy_isa::asm::{Assembler, Program};
+use riscy_isa::mem::{DRAM_BASE, MMIO_EXIT};
+use riscy_isa::reg::Gpr;
+use riscy_ooo::config::{mem_riscyoo_b, CoreConfig};
+use riscy_ooo::soc::SocSim;
+use riscy_workloads::spec::Workload;
+
+fn tiny_prog() -> Program {
+    let mut a = Assembler::new(DRAM_BASE);
+    a.li(Gpr::s(1), 20);
+    a.label("loop");
+    a.addi(Gpr::s(1), Gpr::s(1), -1);
+    a.bnez(Gpr::s(1), "loop");
+    a.li(Gpr::t(6), MMIO_EXIT as i64);
+    a.li(Gpr::t(5), 1);
+    a.sd(Gpr::t(5), 0, Gpr::t(6));
+    a.label("hang");
+    a.j("hang");
+    a.assemble()
+}
+
+fn assert_schema(label: &str, json: &str) {
+    assert!(
+        json.contains("\"schema_version\":1"),
+        "{label} emitted a document without schema_version: {json}"
+    );
+}
+
+#[test]
+fn every_artifact_emitter_carries_schema_version() {
+    // Bench-table emitters.
+    let run = RunResult {
+        name: "mcf",
+        roi_cycles: 200,
+        roi_insts: 100,
+        dtlb_pki: 1.0,
+        l2tlb_pki: 0.5,
+        brpred_pki: 2.0,
+        dcache_pki: 3.0,
+        l2_pki: 0.25,
+    };
+    assert_schema("results_json", &results_json(&[("T+", &[run])]));
+    assert_schema("metrics_json", &metrics_json(&[("x", 1.0)]));
+
+    // Sampled-simulation report.
+    let sampled = SampledWorkload {
+        name: "mcf".to_string(),
+        full_ipc: 0.5,
+        full_wall_s: 2.0,
+        estimate: SampleEstimate {
+            total_insts: 1000,
+            points: vec![SamplePoint {
+                start_inst: 0,
+                insts: 100,
+                cycles: 200,
+            }],
+            ff_insts: 900,
+        },
+        est_ipc: 0.5,
+        sampled_wall_s: 0.5,
+    };
+    assert_schema("sample_report_json", &sample_report_json(&[sampled]));
+
+    // Fleet campaign artifacts: the aggregate report and the sweep
+    // report over a real (tiny) SoC unit.
+    let harness = SocFleet {
+        workloads: vec![Workload {
+            name: "tiny",
+            program: tiny_prog(),
+            max_cycles: 200_000,
+        }],
+        sched: SchedulerMode::Fast,
+        chaos: false,
+    };
+    let units = vec![FleetUnit {
+        id: 0,
+        seed: 0,
+        config: "t+".to_string(),
+        workload: "tiny".to_string(),
+    }];
+    let report = run_fleet(
+        units,
+        &FleetOpts {
+            threads: 1,
+            ..FleetOpts::default()
+        },
+        |u, ctx| harness.run_unit(u, ctx),
+    );
+    assert_schema("fleet deterministic_json", &report.deterministic_json());
+    let recs: Vec<_> = report
+        .records
+        .iter()
+        .map(|r| (r.unit.clone(), r.stats.clone()))
+        .collect();
+    let objectives = Objective::defaults_for(&recs);
+    let points = aggregate(&recs, &objectives);
+    assert_schema("sweep_json", &sweep_json(&points, &objectives));
+
+    // SoC-level artifacts: stats, profile, and telemetry JSON.
+    let prog = tiny_prog();
+    let mut sim = SocSim::new(CoreConfig::riscyoo_t_plus(), mem_riscyoo_b(), 1, &prog);
+    sim.enable_profiling();
+    sim.enable_telemetry(100, 8);
+    sim.run_to_completion(200_000).unwrap();
+    assert_schema("stats_json", &sim.stats_json());
+    assert_schema("profile_json", &sim.profile_json());
+    assert_schema("telemetry_json", &sim.telemetry_json());
+
+    // Persisted unit files carry the field too.
+    let dir = std::env::temp_dir().join(format!("schema-test-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    run_fleet(
+        vec![FleetUnit {
+            id: 0,
+            seed: 0,
+            config: "t+".to_string(),
+            workload: "tiny".to_string(),
+        }],
+        &FleetOpts {
+            threads: 1,
+            campaign_dir: Some(dir.clone()),
+            ..FleetOpts::default()
+        },
+        |u, ctx| harness.run_unit(u, ctx),
+    );
+    let unit_file = std::fs::read_to_string(dir.join("unit_0.json")).unwrap();
+    assert_schema("unit_json", &unit_file);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // And a plain single-shot runner still works without any context.
+    let stats = harness
+        .run_unit(
+            &FleetUnit {
+                id: 0,
+                seed: 0,
+                config: "t+".to_string(),
+                workload: "tiny".to_string(),
+            },
+            &UnitCtx::none(),
+        )
+        .unwrap();
+    assert!(stats.exit_ok);
+}

@@ -47,6 +47,10 @@
 //! * [`prof`] — the causal profiler: per-rule host-time attribution,
 //!   critical-path analysis over publish→wake / CM-block edges, and the
 //!   Chrome trace-event (Perfetto) exporter;
+//! * [`telemetry`] — windowed time-series sampling of counters into
+//!   bounded, byte-deterministic, snapshot-transparent rings (the
+//!   campaign-monitoring substrate, see `docs/OBSERVABILITY.md`
+//!   §telemetry);
 //! * [`demo`] — the paper's tutorial designs (GCD §III, IQ/RDYB §IV).
 //!
 //! # Examples
@@ -88,6 +92,7 @@ pub mod rng;
 pub mod sched;
 pub mod sim;
 pub mod snap;
+pub mod telemetry;
 pub mod trace;
 
 /// Convenient glob-import of the kernel's core types.
@@ -106,6 +111,7 @@ pub mod prelude {
         DeadlockReport, ParallelismReport, RuleId, RuleStats, RuleWait, Sim, SimError, WaitCause,
     };
     pub use crate::snap::{Snap, SnapError, SnapReader, SnapWriter, Snapshot};
+    pub use crate::telemetry::{Telemetry, TelemetryColumns, TelemetryTap, TelemetryWindow};
     pub use crate::trace::{
         Counter, Counters, CountersSnapshot, Gauge, TraceEvent, TraceSink, Tracer,
     };

@@ -672,7 +672,7 @@ impl ChromeTrace {
         w.field_str("displayTimeUnit", "ms");
         w.key("otherData");
         w.begin_object();
-        w.field_u64("schema_version", 1);
+        w.schema_version();
         w.field_str("time_unit", "1us = 1 cycle");
         w.field_u64("dropped_events", self.dropped);
         w.end_object();

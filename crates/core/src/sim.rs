@@ -78,6 +78,7 @@ use crate::guard::Guarded;
 use crate::prof::{CausalEdge, EdgeKind, Profiler};
 use crate::sched::{BitSet, RuleSched, SchedulerMode, Sleep, Wakeup};
 use crate::snap::{Snap, SnapError, SnapReader, SnapWriter, Snapshot};
+use crate::telemetry::{Telemetry, TelemetryTap};
 use crate::trace::json::JsonWriter;
 use crate::trace::{Counter, Counters, TraceEvent, Tracer};
 
@@ -563,6 +564,14 @@ pub struct Sim<S> {
     /// The causal profiler, when enabled (see [`Sim::enable_profiling`]).
     /// Boxed so the disabled case costs one pointer on the struct.
     prof: Option<Box<Profiler>>,
+    /// The windowed telemetry sampler, when enabled (see
+    /// [`Sim::enable_telemetry`]). Boxed for the same reason as `prof`:
+    /// the disabled case costs one pointer and one branch per cycle.
+    tel: Option<Box<Telemetry>>,
+    /// Design-supplied extra telemetry columns (see
+    /// [`Sim::set_telemetry_tap`]): called at each window boundary with
+    /// the design state, appended after the registry-counter columns.
+    tel_tap: Option<TelemetryTap<S>>,
     /// Per-cycle map from global method index to the rule that committed it
     /// (u32::MAX = nobody yet). Maintained only while profiling, to turn a
     /// CM stall into a rule→rule causality edge.
@@ -664,6 +673,8 @@ impl<S> Sim<S> {
             pub_seen: 0,
             any_wakeup: false,
             prof: None,
+            tel: None,
+            tel_tap: None,
             owner_scratch: Vec::new(),
             plan_waves: Vec::new(),
             plan_stale: true,
@@ -831,6 +842,16 @@ impl<S> Sim<S> {
             w.u64(e.stats.cm_stalls);
         }
         self.counters.snap_save(w);
+        // Telemetry, unlike the other instruments, IS serialized: its ring
+        // holds only simulated quantities, so a resumed run continues the
+        // series exactly (in-flight partial windows included).
+        match self.tel.as_deref() {
+            Some(t) => {
+                true.save(w);
+                t.save(w);
+            }
+            None => false.save(w),
+        }
         Ok(())
     }
 
@@ -875,6 +896,21 @@ impl<S> Sim<S> {
             });
         }
         self.counters.snap_restore(r)?;
+        let had_tel = bool::load(r)?;
+        match (had_tel, self.tel.as_deref_mut()) {
+            (false, None) => {}
+            (true, Some(t)) => t.adopt(Telemetry::load(r)?)?,
+            (true, None) => {
+                return Err(SnapError::Mismatch(
+                    "snapshot carries telemetry but telemetry is not enabled here".into(),
+                ));
+            }
+            (false, Some(_)) => {
+                return Err(SnapError::Mismatch(
+                    "telemetry is enabled but the snapshot carries none".into(),
+                ));
+            }
+        }
         // Wake everything *before* overwriting stats: clearing a live sleep
         // settles its deficit into the old stats, which are discarded next.
         for i in 0..self.rules.len() {
@@ -931,6 +967,72 @@ impl<S> Sim<S> {
         self.prof.as_deref()
     }
 
+    /// Turns on windowed telemetry sampling (see [`crate::telemetry`]):
+    /// every `window` cycles the sampler closes a window of per-column
+    /// deltas — registry counters plus the wave-occupancy totals plus any
+    /// tap columns — into a ring of at most `cap` windows. Purely
+    /// observational: an enabled run is cycle- and counter-identical to a
+    /// disabled one, and the disabled cost is one branch per cycle.
+    ///
+    /// Enable telemetry (and any instrument that contributes columns,
+    /// like the tap) *before* running: the column layout freezes at the
+    /// first window boundary.
+    pub fn enable_telemetry(&mut self, window: u64, cap: usize) {
+        self.tel = Some(Box::new(Telemetry::new(window, cap)));
+    }
+
+    /// [`Sim::enable_telemetry`] restricted to registry counters whose
+    /// names start with one of `prefixes` (tap columns are always kept).
+    pub fn enable_telemetry_filtered(&mut self, window: u64, cap: usize, prefixes: &[&str]) {
+        self.tel = Some(Box::new(Telemetry::new(window, cap).with_filter(prefixes)));
+    }
+
+    /// Registers a design tap contributing extra telemetry columns (e.g.
+    /// per-core committed-instruction counts, TMA buckets). Called once
+    /// per window boundary with the design state; must return the same
+    /// columns in the same order every call — telemetry rings are
+    /// positional. The tap is not serialized with snapshots: re-register
+    /// it (by re-enabling telemetry the same way) before restoring.
+    pub fn set_telemetry_tap(&mut self, tap: TelemetryTap<S>) {
+        self.tel_tap = Some(tap);
+    }
+
+    /// The telemetry sampler, when enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tel.as_deref()
+    }
+
+    /// The telemetry ring as a JSON document (empty-windowed but valid
+    /// when telemetry is off).
+    #[must_use]
+    pub fn telemetry_json(&self) -> String {
+        self.tel.as_deref().map_or_else(
+            || Telemetry::new(1, 1).to_json(self.cycles),
+            |t| t.to_json(self.cycles),
+        )
+    }
+
+    /// Assembles the cumulative telemetry column vector: the (sorted)
+    /// registry-counter snapshot under the sampler's prefix filter, the
+    /// wave-occupancy totals, then the tap's columns.
+    fn telemetry_columns(&self) -> Vec<(String, u64)> {
+        let tel = self.tel.as_deref().expect("telemetry enabled");
+        let mut cols: Vec<(String, u64)> = self
+            .counters
+            .snapshot()
+            .into_iter()
+            .filter(|(n, _)| tel.keeps(n))
+            .collect();
+        cols.push(("par.waves_executed".into(), self.par.waves_executed));
+        cols.push(("par.waves_skipped".into(), self.par.waves_skipped));
+        cols.push(("par.rules_dispatched".into(), self.par.rules_dispatched));
+        if let Some(tap) = &self.tel_tap {
+            cols.extend(tap(&self.state));
+        }
+        cols
+    }
+
     /// Critical paths over the recorded causality edges, with rule indices
     /// resolved to names: `(window_start, names constrainer-first)`.
     /// Empty when profiling is off or no edges were recorded.
@@ -966,7 +1068,7 @@ impl<S> Sim<S> {
         let prof = self.prof.as_deref();
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_u64("schema_version", 1);
+        w.schema_version();
         w.field_u64("cycles", self.cycles);
         w.field_str(
             "scheduler",
@@ -2136,6 +2238,15 @@ impl<S> Sim<S> {
         if let Some(p) = self.prof.as_mut() {
             if self.cycles.is_multiple_of(p.window) {
                 p.push_mark(self.counters.snapshot_at(self.cycles));
+            }
+        }
+        if let Some(window) = self.tel.as_deref().map(Telemetry::window) {
+            if self.cycles.is_multiple_of(window) {
+                let cols = self.telemetry_columns();
+                self.tel
+                    .as_mut()
+                    .expect("telemetry enabled")
+                    .sample(self.cycles, &cols);
             }
         }
         if let Some(err) = conflict {

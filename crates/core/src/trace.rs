@@ -513,6 +513,13 @@ pub mod json {
         out
     }
 
+    /// The schema version stamped on every JSON artifact this workspace
+    /// emits (stats, profile, sample, fleet, sweep, telemetry). Bump it
+    /// whenever a key is renamed or removed — adding keys is compatible.
+    /// Emitters write it through [`JsonWriter::schema_version`] so the
+    /// value cannot drift between documents.
+    pub const SCHEMA_VERSION: u64 = 1;
+
     /// The streaming writer. See the [module docs](self).
     #[derive(Debug, Default)]
     pub struct JsonWriter {
@@ -604,6 +611,12 @@ pub mod json {
             self.sep();
             self.out.push_str(v);
             self.need_comma = true;
+        }
+
+        /// Writes the shared `"schema_version"` field ([`SCHEMA_VERSION`]).
+        /// Every top-level artifact object calls this exactly once.
+        pub fn schema_version(&mut self) {
+            self.field_u64("schema_version", SCHEMA_VERSION);
         }
 
         /// Convenience: `key` followed by a `u64` value.

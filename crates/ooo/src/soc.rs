@@ -636,7 +636,7 @@ impl SocSim {
         let total_committed: u64 = soc.cores.iter().map(|c| c.stats.committed).sum();
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_u64("schema_version", 1);
+        w.schema_version();
         w.field_f64(
             "ipc",
             if cycles == 0 {
@@ -757,6 +757,53 @@ impl SocSim {
         self.sim.profiler()
     }
 
+    /// Turns on windowed telemetry: every `window` cycles the kernel
+    /// snapshots its counters (plus the SoC columns below) into a bounded
+    /// ring of at most `cap` windows (see [`cmd_core::telemetry`]). Purely
+    /// observational — cycles and counters are identical to an
+    /// uninstrumented run. The SoC contributes per-core architectural
+    /// columns (`c<i>.committed`, `c<i>.roi_insts`, `c<i>.mispredicts`)
+    /// and, when profiling is also on, the five per-core TMA buckets.
+    ///
+    /// Because the column layout freezes at the first window boundary,
+    /// enable profiling (if wanted) *before* the first `window` cycles run.
+    pub fn enable_telemetry(&mut self, window: u64, cap: usize) {
+        self.sim.set_telemetry_tap(Box::new(|soc: &Soc| {
+            let mut cols = Vec::new();
+            for core in &soc.cores {
+                let i = core.id;
+                cols.push((format!("c{i}.committed"), core.stats.committed));
+                cols.push((format!("c{i}.roi_insts"), core.stats.roi_insts));
+                cols.push((format!("c{i}.mispredicts"), core.stats.mispredicts));
+                if let Some(t) = &core.tma {
+                    let b = t.buckets;
+                    cols.push((format!("c{i}.tma.retiring"), b.retiring));
+                    cols.push((format!("c{i}.tma.frontend_bound"), b.frontend_bound));
+                    cols.push((format!("c{i}.tma.bad_speculation"), b.bad_speculation));
+                    cols.push((format!("c{i}.tma.backend_core"), b.backend_core));
+                    cols.push((format!("c{i}.tma.backend_memory"), b.backend_memory));
+                }
+            }
+            cols
+        }));
+        self.sim.enable_telemetry(window, cap);
+    }
+
+    /// The kernel's telemetry ring, when [`SocSim::enable_telemetry`] was
+    /// called.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&cmd_core::telemetry::Telemetry> {
+        self.sim.telemetry()
+    }
+
+    /// The windowed time-series as deterministic JSON (empty ring when
+    /// telemetry is off). Written by every `fig*` binary's
+    /// `--telemetry-json`.
+    #[must_use]
+    pub fn telemetry_json(&self) -> String {
+        self.sim.telemetry_json()
+    }
+
     /// Per-core TMA buckets (`None` entries mean profiling was off).
     #[must_use]
     pub fn tma_buckets(&self) -> Vec<Option<TmaBuckets>> {
@@ -805,7 +852,7 @@ impl SocSim {
         use cmd_core::trace::json::JsonWriter;
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_u64("schema_version", 1);
+        w.schema_version();
         w.key("sim");
         w.raw(&self.sim.profile_json());
         w.key("tma");
@@ -914,8 +961,9 @@ fn _assert_types(_: &DecInst, _: &MemTrans) {}
 /// Version of the SoC snapshot byte format. Bumped whenever the encoding of
 /// any serialized module changes; old snapshots are refused with
 /// [`cmd_core::snap::SnapError::VersionMismatch`] instead of being
-/// misinterpreted.
-pub const SOC_SNAP_VERSION: u32 = 1;
+/// misinterpreted. v2 added the kernel telemetry section (a presence flag
+/// plus the windowed ring when telemetry is enabled).
+pub const SOC_SNAP_VERSION: u32 = 2;
 
 cmd_core::snap_struct!(CoreStats {
     committed,
